@@ -1,0 +1,82 @@
+//! Criterion bench: block-design construction throughput — full ring
+//! designs (Theorem 1) and the reduced constructions (Theorems 4/5/6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ring_designs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_design");
+    for &(v, k) in &[(9usize, 4usize), (25, 6), (49, 8), (81, 10)] {
+        g.bench_with_input(BenchmarkId::new("full", format!("v{v}_k{k}")), &(v, k), |b, &(v, k)| {
+            b.iter(|| pdl_design::RingDesign::for_v_k(black_box(v), black_box(k)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduced_designs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduced_design");
+    for &(v, k) in &[(13usize, 4usize), (25, 5), (27, 3)] {
+        g.bench_with_input(BenchmarkId::new("thm4", format!("v{v}_k{k}")), &(v, k), |b, &(v, k)| {
+            b.iter(|| pdl_design::theorem4_design(black_box(v), black_box(k)))
+        });
+        g.bench_with_input(BenchmarkId::new("thm5", format!("v{v}_k{k}")), &(v, k), |b, &(v, k)| {
+            b.iter(|| pdl_design::theorem5_design(black_box(v), black_box(k)))
+        });
+    }
+    for &(v, k) in &[(16usize, 4usize), (27, 3), (64, 8)] {
+        g.bench_with_input(BenchmarkId::new("thm6", format!("v{v}_k{k}")), &(v, k), |b, &(v, k)| {
+            b.iter(|| pdl_design::theorem6_design(black_box(v), black_box(k)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_field_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("finite_field");
+    for &q in &[16u64, 81, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| pdl_algebra::FiniteField::new(black_box(q)))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: exp/log-table multiplication vs schoolbook polynomial
+/// multiplication in GF(256) — the table justification.
+fn bench_field_mul_ablation(c: &mut Criterion) {
+    let f = pdl_algebra::FiniteField::new(256);
+    let mut g = c.benchmark_group("gf256_mul_ablation");
+    g.bench_function("exp_log_tables", |b| {
+        b.iter(|| {
+            let mut acc = 1usize;
+            for x in 1..256usize {
+                acc = f.mul(black_box(acc), black_box(x)) | 1;
+            }
+            acc
+        })
+    });
+    g.bench_function("schoolbook", |b| {
+        b.iter(|| {
+            let mut acc = 1usize;
+            for x in 1..256usize {
+                acc = f.mul_schoolbook(black_box(acc), black_box(x)) | 1;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_ring_designs,
+    bench_reduced_designs,
+    bench_field_construction,
+    bench_field_mul_ablation
+}
+criterion_main!(benches);

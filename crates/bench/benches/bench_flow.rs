@@ -1,0 +1,87 @@
+//! Criterion bench: flow-based parity assignment scaling (Theorem 14)
+//! as the number of stripes grows — the cost of the Section 4 method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdl_core::{single_copy_layout, RingLayout, StripePartition};
+use std::hint::black_box;
+
+fn bench_parity_assignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parity_flow");
+    for &(v, k) in &[(9usize, 4usize), (17, 4), (25, 4), (37, 4)] {
+        let rl = RingLayout::for_v_k(v, k);
+        let part = StripePartition::from_layout(rl.layout());
+        g.throughput(Throughput::Elements(rl.layout().b() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("ring", format!("v{v}_b{}", rl.layout().b())),
+            &part,
+            |b, part| b.iter(|| black_box(part).assign_parity().unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_generalized_assignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distinguished_units");
+    let design = pdl_design::theorem4_design(13, 4).design;
+    let l = single_copy_layout(&design, 0);
+    let part = StripePartition::from_layout(&l);
+    for &cs in &[1usize, 2, 3] {
+        let counts = vec![cs; part.stripes().len()];
+        g.bench_with_input(BenchmarkId::from_parameter(cs), &counts, |b, counts| {
+            b.iter(|| black_box(&part).assign_distinguished(black_box(counts)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_raw_maxflow(c: &mut Criterion) {
+    use pdl_flow::FlowNetwork;
+    let mut g = c.benchmark_group("dinic");
+    for &n in &[50usize, 200, 800] {
+        // layered random-ish graph built deterministically
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = FlowNetwork::new(n + 2);
+                for i in 0..n {
+                    net.add_edge(n, i, ((i * 7) % 5 + 1) as i64);
+                    net.add_edge(i, n + 1, ((i * 11) % 4 + 1) as i64);
+                    if i + 1 < n {
+                        net.add_edge(i, i + 1, 3);
+                    }
+                }
+                black_box(net.max_flow(n, n + 1))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: the paper's two-phase G′ procedure vs the generic
+/// lower-bound reduction, on identical partitions.
+fn bench_two_phase_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parity_method_ablation");
+    for &(v, k) in &[(13usize, 4usize), (25, 4)] {
+        let rl = RingLayout::for_v_k(v, k);
+        let part = StripePartition::from_layout(rl.layout());
+        g.bench_with_input(BenchmarkId::new("generic_lower_bounds", v), &part, |b, p| {
+            b.iter(|| black_box(p).assign_parity().unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("paper_two_phase", v), &part, |b, p| {
+            b.iter(|| black_box(p).assign_parity_two_phase().unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_parity_assignment,
+    bench_generalized_assignment,
+    bench_raw_maxflow,
+    bench_two_phase_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: layout metric computation (Conditions 2 & 3) and
+//! layout construction, including the stairway transformation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdl_core::{stairway_layout, QualityReport, RingLayout};
+use pdl_design::RingDesign;
+use std::hint::black_box;
+
+fn bench_quality_report(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quality_report");
+    for &(v, k) in &[(9usize, 4usize), (25, 6), (49, 8)] {
+        let rl = RingLayout::for_v_k(v, k);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("v{v}_k{k}")),
+            rl.layout(),
+            |b, l| b.iter(|| QualityReport::measure(black_box(l))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_layout_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout_build");
+    for &(v, k) in &[(9usize, 4usize), (25, 6), (49, 8)] {
+        g.bench_with_input(
+            BenchmarkId::new("ring", format!("v{v}_k{k}")),
+            &(v, k),
+            |b, &(v, k)| b.iter(|| RingLayout::for_v_k(black_box(v), black_box(k))),
+        );
+    }
+    for &(q, k, v) in &[(8usize, 3usize, 9usize), (9, 4, 12), (16, 5, 20)] {
+        let design = RingDesign::for_v_k(q, k);
+        g.bench_with_input(
+            BenchmarkId::new("stairway", format!("q{q}_v{v}")),
+            &design,
+            |b, d| b.iter(|| stairway_layout(black_box(d), v).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_disk_removal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disk_removal");
+    let rl = RingLayout::for_v_k(17, 9);
+    g.bench_function("thm8_single", |b| b.iter(|| black_box(&rl).remove_disk(3)));
+    g.bench_function("thm9_triple", |b| {
+        b.iter(|| black_box(&rl).remove_disks(&[1, 5, 9]).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_quality_report, bench_layout_construction, bench_disk_removal
+}
+criterion_main!(benches);

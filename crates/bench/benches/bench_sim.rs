@@ -1,0 +1,53 @@
+//! Criterion bench: simulator event throughput — normal-mode workload
+//! processing and full rebuild runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdl_core::RingLayout;
+use pdl_sim::{simulate, simulate_rebuild, RebuildTarget, SimConfig, StopCondition, Workload};
+use std::hint::black_box;
+
+fn bench_foreground(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_foreground");
+    for &(v, k) in &[(9usize, 4usize), (25, 6)] {
+        let rl = RingLayout::for_v_k(v, k);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("v{v}_k{k}")),
+            rl.layout(),
+            |b, l| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        seed: 1,
+                        workload: Workload { arrivals_per_sec: 200.0, ..Default::default() },
+                        stop: StopCondition::Duration(2_000_000),
+                        ..Default::default()
+                    };
+                    black_box(simulate(l, cfg))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rebuild(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_rebuild");
+    for &(v, k) in &[(9usize, 3usize), (17, 5)] {
+        let rl = RingLayout::for_v_k(v, k);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("v{v}_k{k}")),
+            rl.layout(),
+            |b, l| b.iter(|| black_box(simulate_rebuild(l, 0, RebuildTarget::ReadOnly, 3))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_foreground, bench_rebuild
+}
+criterion_main!(benches);

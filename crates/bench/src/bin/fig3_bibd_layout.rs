@@ -1,0 +1,46 @@
+//! E3 — Fig. 3: the Holland–Gibson BIBD-based layout for v=4, k=3 —
+//! k copies of the design with the parity position rotating per copy,
+//! giving perfectly balanced parity at size k·r.
+
+use pdl_bench::{f4, header, row};
+use pdl_core::{holland_gibson_layout, parity_counts, QualityReport};
+use pdl_design::complete_design;
+
+fn main() {
+    println!("E3 / Fig 3: BIBD-based layout (k-copy parity rotation), v=4, k=3\n");
+    let d = complete_design(4, 3, 100);
+    let l = holland_gibson_layout(&d);
+    println!("{}", l.ascii_art(12));
+    let q = QualityReport::measure(&l);
+    println!("{q}");
+    println!("parity units per disk: {:?}\n", parity_counts(&l));
+    assert!(q.parity_balanced());
+    assert!(q.reconstruction_balanced());
+
+    println!("k-copy construction across designs:");
+    let widths = [4, 4, 6, 6, 10, 10, 10];
+    println!("{}", header(&["v", "k", "b", "size", "overhead", "recon", "balanced"], &widths));
+    for (v, k) in [(4usize, 3usize), (7, 3), (9, 3), (13, 4), (16, 4)] {
+        let c = pdl_design::theorem4_design(v, k);
+        let l = holland_gibson_layout(&c.design);
+        let q = QualityReport::measure(&l);
+        println!(
+            "{}",
+            row(
+                &[
+                    &v,
+                    &k,
+                    &c.params.b,
+                    &l.size(),
+                    &f4(q.parity_overhead.1),
+                    &f4(q.reconstruction_workload.1),
+                    &(q.parity_balanced() && q.reconstruction_balanced()),
+                ],
+                &widths
+            )
+        );
+        assert!(q.parity_balanced());
+        assert!((q.parity_overhead.1 - 1.0 / k as f64).abs() < 1e-12);
+    }
+    println!("\npaper: k-copy rotation balances parity exactly at overhead 1/k — confirmed.");
+}

@@ -1,0 +1,55 @@
+//! E10 — Fig. 4 / Theorem 10: the stairway transformation for v = q+1.
+//! Size kq(q−1), parity overhead exactly 1/k, reconstruction workload
+//! exactly (k−1)/q for every pair.
+
+use pdl_bench::{f4, header, row};
+use pdl_core::{stairway_layout, QualityReport, StairwayParams};
+use pdl_design::RingDesign;
+
+fn main() {
+    println!("E10 / Fig 4 + Theorem 10: stairway q → q+1\n");
+
+    // Small illustration in the style of Fig. 4.
+    let design = RingDesign::for_v_k(4, 3);
+    let l = stairway_layout(&design, 5).unwrap();
+    println!("q=4, k=3 → v=5 (size {}):", l.size());
+    println!("{}", l.ascii_art(12));
+
+    let widths = [4, 4, 4, 8, 10, 10, 10, 8];
+    println!(
+        "{}",
+        header(&["q", "k", "v", "size", "overhead", "recon", "paper", "check"], &widths)
+    );
+    for (q, k) in [(4usize, 3usize), (5, 3), (7, 4), (8, 5), (9, 4), (13, 6), (16, 5)] {
+        let v = q + 1;
+        let design = RingDesign::for_v_k(q, k);
+        let l = stairway_layout(&design, v).unwrap();
+        let p = StairwayParams::solve(q, v).unwrap();
+        assert_eq!(p.c, q + 1, "Theorem 10: c = q+1 copies");
+        assert_eq!(l.size(), k * q * (q - 1), "Theorem 10: size = kq(q-1)");
+        let q_m = QualityReport::measure(&l);
+        let paper_recon = (k as f64 - 1.0) / q as f64;
+        let ok = q_m.parity_balanced()
+            && (q_m.parity_overhead.1 - 1.0 / k as f64).abs() < 1e-12
+            && (q_m.reconstruction_workload.0 - paper_recon).abs() < 1e-12
+            && q_m.reconstruction_balanced();
+        assert!(ok, "q={q} k={k}");
+        println!(
+            "{}",
+            row(
+                &[
+                    &q,
+                    &k,
+                    &v,
+                    &l.size(),
+                    &f4(q_m.parity_overhead.1),
+                    &f4(q_m.reconstruction_workload.1),
+                    &f4(paper_recon),
+                    &"ok",
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\npaper: size kq(q-1), overhead 1/k, recon exactly (k-1)/q — confirmed.");
+}

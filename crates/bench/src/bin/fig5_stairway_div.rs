@@ -1,0 +1,61 @@
+//! E11 — Fig. 5 / Theorem 11: the stairway transformation when
+//! (v−q) | v. Parity stays perfectly balanced at 1/k; reconstruction
+//! workload falls within [((c−2)/(c−1))·(k−1)/(q−1), (k−1)/(q−1)].
+
+use pdl_bench::{bound_check, f4, header, row};
+use pdl_core::{stairway_layout, QualityReport, StairwayParams};
+use pdl_design::RingDesign;
+
+fn main() {
+    println!("E11 / Fig 5 + Theorem 11: stairway with (v-q) | v\n");
+    let widths = [4, 4, 4, 4, 8, 10, 18, 18, 8];
+    println!(
+        "{}",
+        header(
+            &["q", "k", "v", "c", "size", "overhead", "recon[min,max]", "paper bounds", "check"],
+            &widths
+        )
+    );
+    for (q, k, v) in [
+        (8usize, 3usize, 10usize),
+        (9, 4, 12),
+        (16, 5, 20),
+        (25, 4, 30),
+        (27, 3, 36),
+        (32, 6, 40),
+    ] {
+        let p = StairwayParams::solve(q, v).unwrap();
+        assert_eq!(p.w, 0, "divisible case has no wide steps");
+        let design = RingDesign::for_v_k(q, k);
+        let l = stairway_layout(&design, v).unwrap();
+        assert_eq!(l.size(), p.size(k));
+        let m = QualityReport::measure(&l);
+        let (wlo, whi) = p.reconstruction_workload_bounds(k);
+        let check = bound_check(m.reconstruction_workload, (wlo, whi));
+        assert_eq!(check, "ok", "q={q} k={k} v={v}");
+        assert!(m.parity_balanced(), "Theorem 11 parity is perfect");
+        println!(
+            "{}",
+            row(
+                &[
+                    &q,
+                    &k,
+                    &v,
+                    &p.c,
+                    &l.size(),
+                    &f4(m.parity_overhead.1),
+                    &format!(
+                        "[{},{}]",
+                        f4(m.reconstruction_workload.0),
+                        f4(m.reconstruction_workload.1)
+                    ),
+                    &format!("[{},{}]", f4(wlo), f4(whi)),
+                    &"ok",
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\npaper: size k(c-1)(q-1), overhead exactly 1/k, recon within");
+    println!("[((c-2)/(c-1))(k-1)/(q-1), (k-1)/(q-1)] — confirmed.");
+}

@@ -1,0 +1,102 @@
+//! E21 — large-request behavior (Conditions 5 & 6 in the simulator):
+//! aligned full-stripe writes skip read-modify-write entirely, and large
+//! reads exercise the layouts' parallelism.
+
+use pdl_bench::{f4, header, row};
+use pdl_core::{raid5_layout, Layout, ParallelismReport, RingLayout};
+use pdl_sim::{simulate, SimConfig, StopCondition, Workload};
+
+fn run(layout: &Layout, size: (usize, usize), read_frac: f64, aligned: bool) -> (f64, u64, u64) {
+    let cfg = SimConfig {
+        seed: 55,
+        workload: Workload {
+            arrivals_per_sec: 25.0,
+            read_fraction: read_frac,
+            request_units: size,
+            aligned,
+            ..Default::default()
+        },
+        stop: StopCondition::Duration(20_000_000),
+        ..Default::default()
+    };
+    let r = simulate(layout, cfg);
+    (
+        r.mean_response_us / 1e3,
+        r.fg_reads.iter().sum::<u64>(),
+        r.fg_writes.iter().sum::<u64>(),
+    )
+}
+
+fn main() {
+    println!("E21: large requests — LWO and parallelism in the simulator\n");
+    let ring = RingLayout::for_v_k(9, 4);
+    let raid5 = raid5_layout(9, ring.layout().size());
+
+    println!("(a) write workloads on ring v=9, k=4 (3 data units per stripe):");
+    let widths = [26, 12, 10, 10, 14];
+    println!(
+        "{}",
+        header(&["workload", "resp(ms)", "reads", "writes", "reads/write"], &widths)
+    );
+    for (name, size, aligned) in [
+        ("small writes (RMW)", (1usize, 1usize), false),
+        ("3-unit unaligned", (3, 3), false),
+        ("3-unit aligned (LWO)", (3, 3), true),
+    ] {
+        let (resp, reads, writes) = run(ring.layout(), size, 0.0, aligned);
+        println!(
+            "{}",
+            row(
+                &[
+                    &name,
+                    &f4(resp),
+                    &reads,
+                    &writes,
+                    &f4(reads as f64 / writes.max(1) as f64),
+                ],
+                &widths
+            )
+        );
+        if name.contains("LWO") {
+            assert_eq!(reads, 0, "aligned full-stripe writes must not pre-read");
+        }
+    }
+
+    println!("\n(b) 9-unit reads: RAID5 (ideal parallelism) vs declustered:");
+    let widths = [14, 12, 14, 14];
+    println!(
+        "{}",
+        header(&["layout", "resp(ms)", "IOs/request", "parallel µ"], &widths)
+    );
+    for (name, l) in [("RAID5", &raid5), ("ring k=4", ring.layout())] {
+        let cfg = SimConfig {
+            seed: 56,
+            workload: Workload {
+                arrivals_per_sec: 15.0,
+                read_fraction: 1.0,
+                request_units: (9, 9),
+                aligned: true,
+                ..Default::default()
+            },
+            stop: StopCondition::Duration(20_000_000),
+            ..Default::default()
+        };
+        let r = simulate(l, cfg);
+        let p = ParallelismReport::measure(l);
+        println!(
+            "{}",
+            row(
+                &[
+                    &name,
+                    &f4(r.mean_response_us / 1e3),
+                    &f4(r.fg_reads.iter().sum::<u64>() as f64 / r.completed.max(1) as f64),
+                    &f4(p.parallelism_mean),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\nshape: the LWO path eliminates all pre-reads for aligned full-stripe");
+    println!("writes (Condition 5); RAID5's perfect Condition-6 score shows up as");
+    println!("fewer, wider-spread IOs per large read — both reproduced.");
+}

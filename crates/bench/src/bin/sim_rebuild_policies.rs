@@ -1,0 +1,113 @@
+//! E19 — reconstruction scheduling policies and the window of
+//! vulnerability: stripe-oriented vs disk-oriented rebuild (Holland,
+//! Gibson & Siewiorek's two algorithms), and the data lost if a second
+//! disk fails mid-rebuild — RAID5 vs declustered.
+
+use pdl_bench::{f4, header, row};
+use pdl_core::{raid5_layout, Layout, RingLayout};
+use pdl_sim::{
+    simulate, worst_second_failure, RebuildPolicy, RebuildTarget, SimConfig, StopCondition,
+    Workload,
+};
+
+fn rebuild(layout: &Layout, policy: RebuildPolicy, arrivals: f64) -> pdl_sim::SimResult {
+    let cfg = SimConfig {
+        seed: 77,
+        failed_disk: Some(0),
+        rebuild: Some(RebuildTarget::DedicatedSpare),
+        rebuild_policy: policy,
+        workload: Workload { arrivals_per_sec: arrivals, ..Default::default() },
+        stop: StopCondition::RebuildComplete,
+        ..Default::default()
+    };
+    simulate(layout, cfg)
+}
+
+fn main() {
+    println!("E19: rebuild scheduling policies and double-failure exposure\n");
+    let rl = RingLayout::for_v_k(9, 3);
+
+    println!("(a) policy comparison, ring v=9 k=3, idle vs 40 req/s:");
+    let widths = [22, 10, 12, 12];
+    println!("{}", header(&["policy", "load", "rebuild(s)", "fg resp(ms)"], &widths));
+    let policies = [
+        ("stripe, par=1", RebuildPolicy::StripeOriented { parallelism: 1 }),
+        ("stripe, par=4", RebuildPolicy::StripeOriented { parallelism: 4 }),
+        ("stripe, par=16", RebuildPolicy::StripeOriented { parallelism: 16 }),
+        ("disk, depth=1", RebuildPolicy::DiskOriented { depth: 1 }),
+        ("disk, depth=3", RebuildPolicy::DiskOriented { depth: 3 }),
+    ];
+    let mut times = Vec::new();
+    for arrivals in [0.0f64, 40.0] {
+        for (name, p) in policies {
+            let r = rebuild(rl.layout(), p, arrivals);
+            let secs = r.rebuild_finished_at.unwrap() as f64 / 1e6;
+            if arrivals == 0.0 {
+                times.push((name, secs));
+            }
+            println!(
+                "{}",
+                row(&[&name, &arrivals, &f4(secs), &f4(r.mean_response_us / 1e3)], &widths)
+            );
+        }
+    }
+    let narrow = times.iter().find(|(n, _)| *n == "stripe, par=1").unwrap().1;
+    let disk = times.iter().find(|(n, _)| *n == "disk, depth=3").unwrap().1;
+    assert!(disk < narrow, "disk-oriented must beat single-stripe rebuild");
+
+    println!("\n(b) second failure at fraction f of the first rebuild window:");
+    let raid5 = raid5_layout(9, rl.layout().size());
+    let widths = [14, 10, 10, 10, 10, 10];
+    println!(
+        "{}",
+        header(&["layout", "f=0", "f=0.25", "f=0.5", "f=0.75", "f=1.0"], &widths)
+    );
+    for (name, layout) in [("ring k=3", rl.layout()), ("RAID5", &raid5)] {
+        let r = rebuild(layout, RebuildPolicy::StripeOriented { parallelism: 4 }, 0.0);
+        let t_end = r.rebuild_finished_at.unwrap();
+        let mut cells: Vec<String> = vec![name.to_string()];
+        let mut last = usize::MAX;
+        for step in 0..=4u64 {
+            let loss = worst_second_failure(layout, 0, t_end * step / 4, &r);
+            cells.push(format!("{}/{}", loss.lost, loss.at_risk));
+            last = loss.lost;
+        }
+        assert_eq!(last, 0, "after rebuild completes nothing is lost");
+        let refs: Vec<&dyn std::fmt::Display> =
+            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        println!("{}", row(&refs, &widths));
+    }
+    println!("\nshape: declustering exposes only λ = k(k-1) stripes per disk pair");
+    println!("(6 of 216 here) vs ALL stripes for RAID5, and the faster rebuild");
+    println!("closes the window sooner — both effects confirmed.");
+
+    println!("\n(c) disk scheduling under a linear seek model (80 req/s):");
+    use pdl_sim::{DiskModel, Scheduling, SeekModel};
+    let widths = [10, 12, 12];
+    println!("{}", header(&["sched", "resp(ms)", "p95(ms)"], &widths));
+    let mut means = Vec::new();
+    for (name, sched) in [("FIFO", Scheduling::Fifo), ("SSTF", Scheduling::Sstf)] {
+        let cfg = SimConfig {
+            seed: 31,
+            disk: DiskModel {
+                positioning_us: (2_000, 4_000),
+                transfer_us: 2_000,
+                seek: SeekModel::Linear { max_seek_us: 20_000 },
+            },
+            scheduling: sched,
+            workload: Workload { arrivals_per_sec: 80.0, ..Default::default() },
+            stop: StopCondition::Duration(30_000_000),
+            ..Default::default()
+        };
+        let r = simulate(rl.layout(), cfg);
+        means.push(r.mean_response_us);
+        println!(
+            "{}",
+            row(
+                &[&name, &f4(r.mean_response_us / 1e3), &f4(r.p95_response_us as f64 / 1e3)],
+                &widths
+            )
+        );
+    }
+    assert!(means[1] < means[0], "SSTF must reduce mean response under seeks");
+}

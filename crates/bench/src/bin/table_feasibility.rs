@@ -1,0 +1,41 @@
+//! E8 — the headline feasibility table: how many (v, k) pairs admit
+//! layouts of ≤ 10,000 units per disk under each construction family.
+//! This quantifies the paper's claim that its techniques "greatly
+//! increase the number of parity-declustered data layouts that are
+//! feasible for use in disk arrays."
+
+use pdl_bench::{header, row};
+use pdl_core::{count_feasible, layout_size, Method, DEFAULT_FEASIBILITY_LIMIT};
+
+fn main() {
+    let limit = DEFAULT_FEASIBILITY_LIMIT as u128;
+    println!("E8: feasible (v,k) pairs per method, size ≤ {limit} units/disk\n");
+
+    println!("sweep A: v ∈ [4, 100], k ∈ [2, 16]");
+    println!("sweep B: v ∈ [4, 500], k ∈ [2, 32]");
+    println!("sweep C: v ∈ [4, 1000], k ∈ [2, 40]\n");
+    let a = count_feasible(4..=100, 16, limit);
+    let b = count_feasible(4..=500, 32, limit);
+    let c = count_feasible(4..=1000, 40, limit);
+
+    let widths = [14, 10, 10, 10];
+    println!("{}", header(&["method", "A", "B", "C"], &widths));
+    for (i, m) in Method::ALL.iter().enumerate() {
+        println!("{}", row(&[&m.name(), &a[i], &b[i], &c[i]], &widths));
+    }
+
+    println!("\nexample sizes at v=41, k=5 (cf. the paper's 1GB-disk discussion):");
+    let widths2 = [14, 14];
+    println!("{}", header(&["method", "units/disk"], &widths2));
+    for m in Method::ALL {
+        let s = layout_size(m, 41, 5).map(|s| s.to_string()).unwrap_or_else(|| "n/a".into());
+        println!("{}", row(&[&m.name(), &s], &widths2));
+    }
+
+    let idx = |m: Method| Method::ALL.iter().position(|&x| x == m).unwrap();
+    assert!(c[idx(Method::Stairway)] > 3 * c[idx(Method::CompleteHG)]);
+    assert!(c[idx(Method::BibdSingleCopy)] >= c[idx(Method::BibdHG)]);
+    println!("\npaper: complete designs become infeasible as v grows; ring-based,");
+    println!("single-copy flow-balanced, and stairway layouts recover most of the");
+    println!("(v,k) plane — confirmed (stairway ≥ 3× completeHG coverage at C).");
+}

@@ -1,0 +1,34 @@
+//! E4 — Theorem 1: ring-based designs are BIBDs with b = v(v−1),
+//! r = k(v−1), λ = k(k−1), for fields, Z_p, and product rings alike.
+
+use pdl_bench::{header, row};
+use pdl_design::RingDesign;
+
+fn main() {
+    println!("E4 / Theorem 1: ring-based block design parameters\n");
+    let widths = [16, 5, 4, 8, 8, 8, 8];
+    println!(
+        "{}",
+        header(&["ring", "v", "k", "b", "r", "λ", "verified"], &widths)
+    );
+    let cases: &[(&str, usize, usize)] = &[
+        ("GF(5)", 5, 3),
+        ("GF(8)", 8, 4),
+        ("GF(9)", 9, 5),
+        ("GF(16)", 16, 6),
+        ("GF(25)", 25, 7),
+        ("GF(4)xGF(3)", 12, 3),
+        ("GF(3)xGF(5)", 15, 3),
+        ("GF(4)xGF(9)", 36, 4),
+        ("GF(4)xGF(25)", 100, 4),
+    ];
+    for &(name, v, k) in cases {
+        let d = RingDesign::for_v_k(v, k);
+        let p = d.to_block_design().verify_bibd().expect("Theorem 1 guarantees a BIBD");
+        assert_eq!(p.b, v * (v - 1));
+        assert_eq!(p.r, k * (v - 1));
+        assert_eq!(p.lambda, k * (k - 1));
+        println!("{}", row(&[&name, &v, &k, &p.b, &p.r, &p.lambda, &"ok"], &widths));
+    }
+    println!("\npaper: b=v(v-1), r=k(v-1), λ=k(k-1) — confirmed on all rings tested.");
+}

@@ -1,0 +1,69 @@
+//! # pdl-bench
+//!
+//! Experiment binaries and criterion benches that regenerate every
+//! figure and table of the paper (see `DESIGN.md` §5 for the index and
+//! `EXPERIMENTS.md` for recorded results). The library portion holds
+//! shared table-formatting helpers used by the binaries.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[&dyn Display], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        out.push_str(&format!("{:>w$}  ", cell.to_string(), w = w));
+    }
+    out.trim_end().to_string()
+}
+
+/// Prints a header row followed by a separator line.
+pub fn header(names: &[&str], widths: &[usize]) -> String {
+    let cells: Vec<&dyn Display> = names.iter().map(|n| n as &dyn Display).collect();
+    let line = row(&cells, widths);
+    let sep = "-".repeat(line.len());
+    format!("{line}\n{sep}")
+}
+
+/// Formats an `f64` to 4 decimal places (common in the metric tables).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Checks a measured value against inclusive bounds with tolerance,
+/// returning "ok" or a deviation note (used in paper-vs-measured tables).
+pub fn bound_check(measured: (f64, f64), expected: (f64, f64)) -> &'static str {
+    let eps = 1e-9;
+    if measured.0 >= expected.0 - eps && measured.1 <= expected.1 + eps {
+        "ok"
+    } else {
+        "VIOLATED"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_formats_fixed_width() {
+        let r = row(&[&"a", &12, &3.5], &[3, 4, 6]);
+        assert_eq!(r, "  a    12     3.5");
+    }
+
+    #[test]
+    fn header_has_separator() {
+        let h = header(&["x", "y"], &[2, 2]);
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn bound_check_works() {
+        assert_eq!(bound_check((0.5, 0.6), (0.4, 0.7)), "ok");
+        assert_eq!(bound_check((0.5, 0.8), (0.4, 0.7)), "VIOLATED");
+        assert_eq!(bound_check((0.5, 0.5), (0.5, 0.5)), "ok");
+    }
+}

@@ -1,0 +1,151 @@
+//! Layout serialization: a stable JSON exchange format so generated
+//! layouts can be shipped to an array controller (the paper's lookup
+//! table, Condition 4) or archived alongside experiment results.
+
+use crate::layout::{Layout, LayoutError, Stripe, StripeUnit};
+use serde::{Deserialize, Serialize};
+
+/// The serialized form of a layout: version-tagged, minimal, and
+/// independent of in-memory representation details.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct LayoutSpec {
+    /// Format version (currently 1).
+    pub version: u32,
+    /// Number of disks.
+    pub v: usize,
+    /// Units per disk.
+    pub size: usize,
+    /// Stripes as `(units, parity_slot)`, units as `(disk, offset)`.
+    pub stripes: Vec<(Vec<(u32, u32)>, u32)>,
+}
+
+/// Errors when decoding a layout.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The JSON was malformed.
+    Json(serde_json::Error),
+    /// The spec version is unsupported.
+    UnsupportedVersion(u32),
+    /// The decoded stripes do not form a valid layout.
+    Invalid(LayoutError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Json(e) => write!(f, "malformed layout JSON: {e}"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported layout version {v}"),
+            CodecError::Invalid(e) => write!(f, "decoded layout invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl LayoutSpec {
+    /// Captures a layout.
+    pub fn from_layout(layout: &Layout) -> Self {
+        LayoutSpec {
+            version: 1,
+            v: layout.v(),
+            size: layout.size(),
+            stripes: layout
+                .stripes()
+                .iter()
+                .map(|s| {
+                    (
+                        s.units().iter().map(|u| (u.disk, u.offset)).collect(),
+                        s.parity_slot() as u32,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs (and re-validates) the layout.
+    pub fn to_layout(&self) -> Result<Layout, CodecError> {
+        if self.version != 1 {
+            return Err(CodecError::UnsupportedVersion(self.version));
+        }
+        let stripes = self
+            .stripes
+            .iter()
+            .map(|(units, parity)| {
+                Stripe::new(
+                    units.iter().map(|&(d, o)| StripeUnit { disk: d, offset: o }).collect(),
+                    *parity as usize,
+                )
+            })
+            .collect();
+        Layout::from_stripes(self.v, self.size, stripes).map_err(CodecError::Invalid)
+    }
+}
+
+/// Serializes a layout to JSON.
+pub fn to_json(layout: &Layout) -> String {
+    serde_json::to_string(&LayoutSpec::from_layout(layout)).expect("spec is always serializable")
+}
+
+/// Deserializes and validates a layout from JSON.
+pub fn from_json(json: &str) -> Result<Layout, CodecError> {
+    let spec: LayoutSpec = serde_json::from_str(json).map_err(CodecError::Json)?;
+    spec.to_layout()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::QualityReport;
+    use crate::ring_layout::RingLayout;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let rl = RingLayout::for_v_k(9, 4);
+        let json = to_json(rl.layout());
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.v(), 9);
+        assert_eq!(back.size(), rl.layout().size());
+        assert_eq!(back.b(), rl.layout().b());
+        for (a, b) in rl.layout().stripes().iter().zip(back.stripes()) {
+            assert_eq!(a.units(), b.units());
+            assert_eq!(a.parity_slot(), b.parity_slot());
+        }
+        // metrics identical
+        let qa = QualityReport::measure(rl.layout());
+        let qb = QualityReport::measure(&back);
+        assert_eq!(qa.parity_units, qb.parity_units);
+    }
+
+    #[test]
+    fn corrupted_json_rejected() {
+        assert!(matches!(from_json("not json"), Err(CodecError::Json(_))));
+    }
+
+    #[test]
+    fn invalid_layout_rejected() {
+        // A spec whose stripes double-cover a unit must not validate.
+        let spec = LayoutSpec {
+            version: 1,
+            v: 2,
+            size: 1,
+            stripes: vec![(vec![(0, 0), (1, 0)], 0), (vec![(0, 0)], 0)],
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(matches!(from_json(&json), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut spec = LayoutSpec::from_layout(RingLayout::for_v_k(5, 2).layout());
+        spec.version = 99;
+        assert!(matches!(spec.to_layout(), Err(CodecError::UnsupportedVersion(99))));
+    }
+
+    #[test]
+    fn spec_is_stable_json() {
+        let rl = RingLayout::for_v_k(4, 3);
+        let json = to_json(rl.layout());
+        assert!(json.contains("\"version\":1"));
+        assert!(json.contains("\"v\":4"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Double parity (P+Q) declustering — the paper's own suggested
+//! extension of Theorem 14: "a natural extension that applies to the
+//! more general problem of selecting some number of distinguished units
+//! (perhaps more than one) from each stripe, and balancing them among
+//! the disks."
+//!
+//! With two distinguished units per stripe (P and Q, e.g. XOR +
+//! Reed–Solomon), the array tolerates any two simultaneous disk
+//! failures; the generalized flow assignment balances the combined
+//! parity load to within one unit per disk.
+
+use crate::layout::{Layout, StripeUnit, UnitRole};
+use crate::parity_assign::{AssignError, StripePartition};
+
+/// A layout where every stripe carries two distinguished parity units
+/// (P and Q), both populations balanced across disks by the generalized
+/// Theorem 14 flow.
+#[derive(Clone, Debug)]
+pub struct DoubleParityLayout {
+    layout: Layout,
+    /// `(p_slot, q_slot)` per stripe, indices into the stripe's units.
+    parity_slots: Vec<(usize, usize)>,
+}
+
+impl DoubleParityLayout {
+    /// Chooses P and Q units for every stripe of `layout` (the layout's
+    /// own single-parity choice is ignored). Stripes need at least 3
+    /// units to keep one data unit; smaller stripes are rejected.
+    pub fn new(layout: Layout) -> Result<Self, AssignError> {
+        if let Some(bad) = layout.stripes().iter().position(|s| s.len() < 3) {
+            return Err(AssignError::CountTooLarge {
+                stripe: bad,
+                requested: 2,
+                size: layout.stripes()[bad].len() - 1,
+            });
+        }
+        let part = StripePartition::from_layout(&layout);
+        let counts = vec![2usize; layout.b()];
+        let chosen = part.assign_distinguished(&counts)?;
+        let parity_slots = chosen
+            .into_iter()
+            .map(|slots| {
+                debug_assert_eq!(slots.len(), 2);
+                (slots[0], slots[1])
+            })
+            .collect();
+        Ok(DoubleParityLayout { layout, parity_slots })
+    }
+
+    /// The underlying layout geometry.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The `(P, Q)` units of stripe `s`.
+    pub fn parity_units(&self, s: usize) -> (StripeUnit, StripeUnit) {
+        let (p, q) = self.parity_slots[s];
+        let units = self.layout.stripes()[s].units();
+        (units[p], units[q])
+    }
+
+    /// Role of a unit under double parity.
+    pub fn role(&self, disk: usize, offset: usize) -> UnitRole {
+        let r = self.layout.unit_ref(disk, offset);
+        let (p, q) = self.parity_slots[r.stripe as usize];
+        if r.slot as usize == p || r.slot as usize == q {
+            UnitRole::Parity
+        } else {
+            UnitRole::Data
+        }
+    }
+
+    /// Combined parity units per disk (P + Q together).
+    pub fn parity_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.layout.v()];
+        for s in 0..self.layout.b() {
+            let (p, q) = self.parity_units(s);
+            counts[p.disk as usize] += 1;
+            counts[q.disk as usize] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of each disk holding parity (overhead ≈ 2/k).
+    pub fn parity_overheads(&self) -> Vec<f64> {
+        self.parity_counts()
+            .iter()
+            .map(|&c| c as f64 / self.layout.size() as f64)
+            .collect()
+    }
+
+    /// True if every stripe still has at least one surviving *readable*
+    /// unit combination after the two given disks fail — i.e. at most
+    /// two units lost per stripe (always true by Condition 1).
+    pub fn survives_double_failure(&self, f1: usize, f2: usize) -> bool {
+        assert_ne!(f1, f2);
+        self.layout
+            .stripes()
+            .iter()
+            .all(|s| {
+                let lost = s.units().iter().filter(|u| {
+                    u.disk as usize == f1 || u.disk as usize == f2
+                }).count();
+                // With 2 parities, any ≤2 lost units are recoverable as
+                // long as the stripe had ≥ lost redundancy.
+                lost <= 2
+            })
+    }
+
+    /// Reconstruction workload for a *double* failure `(f1, f2)`: the
+    /// fraction of disk `d` that must be read to rebuild both, counting
+    /// each stripe crossing `d` and at least one failed disk once.
+    pub fn double_failure_workload(&self, f1: usize, f2: usize, d: usize) -> f64 {
+        assert!(d != f1 && d != f2);
+        let crossing = self
+            .layout
+            .stripes()
+            .iter()
+            .filter(|s| s.crosses(d) && (s.crosses(f1) || s.crosses(f2)))
+            .count();
+        crossing as f64 / self.layout.size() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring_layout::RingLayout;
+
+    fn dp(v: usize, k: usize) -> DoubleParityLayout {
+        DoubleParityLayout::new(RingLayout::for_v_k(v, k).layout().clone()).unwrap()
+    }
+
+    #[test]
+    fn parity_balanced_within_one() {
+        for (v, k) in [(9usize, 4usize), (13, 4), (16, 5), (25, 6)] {
+            let d = dp(v, k);
+            let counts = d.parity_counts();
+            let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(hi - lo <= 1, "v={v} k={k}: {counts:?}");
+            assert_eq!(counts.iter().sum::<usize>(), 2 * d.layout().b());
+        }
+    }
+
+    #[test]
+    fn p_and_q_are_distinct_units() {
+        let d = dp(9, 4);
+        for s in 0..d.layout().b() {
+            let (p, q) = d.parity_units(s);
+            assert_ne!(p, q);
+            assert_ne!(p.disk, q.disk, "P and Q must sit on different disks");
+        }
+    }
+
+    #[test]
+    fn overhead_is_two_over_k() {
+        let d = dp(13, 4);
+        for o in d.parity_overheads() {
+            assert!((o - 2.0 / 4.0).abs() < 0.05, "overhead {o}");
+        }
+    }
+
+    #[test]
+    fn roles_count_correctly() {
+        let d = dp(9, 4);
+        let l = d.layout();
+        let parity = (0..l.v())
+            .flat_map(|disk| (0..l.size()).map(move |off| (disk, off)))
+            .filter(|&(disk, off)| d.role(disk, off) == UnitRole::Parity)
+            .count();
+        assert_eq!(parity, 2 * l.b());
+    }
+
+    #[test]
+    fn survives_any_double_failure() {
+        let d = dp(13, 4);
+        for f1 in 0..13 {
+            for f2 in f1 + 1..13 {
+                assert!(d.survives_double_failure(f1, f2));
+            }
+        }
+    }
+
+    #[test]
+    fn double_failure_workload_below_raid6_full() {
+        // Declustered double parity reads less than the whole survivor.
+        let d = dp(13, 4);
+        let w = d.double_failure_workload(0, 1, 5);
+        assert!(w < 1.0, "workload {w}");
+        assert!(w > 0.0);
+    }
+
+    #[test]
+    fn stripes_too_small_rejected() {
+        let rl = RingLayout::for_v_k(5, 2); // k=2 cannot hold P+Q+data
+        assert!(DoubleParityLayout::new(rl.layout().clone()).is_err());
+    }
+}

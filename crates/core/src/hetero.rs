@@ -1,0 +1,264 @@
+//! Heterogeneous arrays — disks of different sizes (the paper's final
+//! remark on Theorem 14: "Another modification even allows us to address
+//! the case where the disks may be of different sizes").
+//!
+//! The flow formulation is unchanged: `L(d) = Σ_{s∋d} c_s/k_s` simply
+//! grows with a disk's stripe membership, and the ⌊L⌋/⌈L⌉ guarantee
+//! still holds per disk. What changes is the data model: units are
+//! validated against per-disk capacities instead of a rectangle.
+
+use crate::layout::{LayoutError, StripeUnit};
+use crate::parity_assign::AssignError;
+use pdl_design::RingDesign;
+use pdl_flow::{assign_parity_two_phase, ParityInstance};
+
+/// A validated array with per-disk capacities and flow-assigned parity.
+#[derive(Clone, Debug)]
+pub struct HeteroArray {
+    sizes: Vec<usize>,
+    stripes: Vec<Vec<StripeUnit>>,
+    parity: Vec<usize>,
+}
+
+impl HeteroArray {
+    /// Builds and validates: every unit within its disk's capacity,
+    /// every `(disk, offset)` covered exactly once, at most one unit per
+    /// disk per stripe; parity is then balanced by the Section 4 flow.
+    pub fn new(
+        sizes: Vec<usize>,
+        stripes: Vec<Vec<StripeUnit>>,
+    ) -> Result<HeteroArray, HeteroError> {
+        let v = sizes.len();
+        let offsets: Vec<usize> = sizes
+            .iter()
+            .scan(0usize, |acc, &s| {
+                let base = *acc;
+                *acc += s;
+                Some(base)
+            })
+            .collect();
+        let total: usize = sizes.iter().sum();
+        let mut covered = vec![false; total];
+        for (si, stripe) in stripes.iter().enumerate() {
+            if stripe.is_empty() {
+                return Err(HeteroError::Invalid(LayoutError::EmptyStripe { stripe: si }));
+            }
+            let mut disks: Vec<u32> = Vec::with_capacity(stripe.len());
+            for &u in stripe {
+                if u.disk as usize >= v || u.offset as usize >= sizes[u.disk as usize] {
+                    return Err(HeteroError::Invalid(LayoutError::UnitOutOfRange {
+                        stripe: si,
+                        unit: u,
+                    }));
+                }
+                if disks.contains(&u.disk) {
+                    return Err(HeteroError::Invalid(LayoutError::TwoUnitsOneDisk {
+                        stripe: si,
+                        disk: u.disk as usize,
+                    }));
+                }
+                disks.push(u.disk);
+                let idx = offsets[u.disk as usize] + u.offset as usize;
+                if covered[idx] {
+                    return Err(HeteroError::Invalid(LayoutError::DuplicateCoverage { unit: u }));
+                }
+                covered[idx] = true;
+            }
+        }
+        if let Some(idx) = covered.iter().position(|&c| !c) {
+            let disk = offsets.iter().rposition(|&o| o <= idx).unwrap();
+            return Err(HeteroError::Invalid(LayoutError::MissingCoverage {
+                unit: StripeUnit::new(disk, idx - offsets[disk]),
+            }));
+        }
+        let inst = ParityInstance {
+            v,
+            stripes: stripes
+                .iter()
+                .map(|s| s.iter().map(|u| u.disk as usize).collect())
+                .collect(),
+        };
+        let parity = assign_parity_two_phase(&inst)
+            .ok_or(HeteroError::Assign(AssignError::Infeasible))?;
+        Ok(HeteroArray { sizes, stripes, parity })
+    }
+
+    /// Per-disk capacities.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Number of disks.
+    pub fn v(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of stripes.
+    pub fn b(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The parity unit of stripe `s`.
+    pub fn parity_unit(&self, s: usize) -> StripeUnit {
+        self.stripes[s][self.parity[s]]
+    }
+
+    /// Parity units per disk — Theorem 14 guarantees ⌊L(d)⌋/⌈L(d)⌉.
+    pub fn parity_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.v()];
+        for s in 0..self.b() {
+            counts[self.parity_unit(s).disk as usize] += 1;
+        }
+        counts
+    }
+
+    /// The loads `L(d)`.
+    pub fn loads(&self) -> Vec<f64> {
+        let mut l = vec![0f64; self.v()];
+        for stripe in &self.stripes {
+            for u in stripe {
+                l[u.disk as usize] += 1.0 / stripe.len() as f64;
+            }
+        }
+        l
+    }
+
+    /// Parity overhead per disk, relative to its own capacity.
+    pub fn parity_overheads(&self) -> Vec<f64> {
+        self.parity_counts()
+            .iter()
+            .zip(&self.sizes)
+            .map(|(&c, &s)| c as f64 / s as f64)
+            .collect()
+    }
+
+    /// Fraction of disk `d` read while reconstructing failed disk `f`.
+    pub fn reconstruction_workload(&self, f: usize, d: usize) -> f64 {
+        assert_ne!(f, d);
+        let crossing = self
+            .stripes
+            .iter()
+            .filter(|s| {
+                s.iter().any(|u| u.disk as usize == f) && s.iter().any(|u| u.disk as usize == d)
+            })
+            .count();
+        crossing as f64 / self.sizes[d] as f64
+    }
+}
+
+/// Errors building heterogeneous arrays.
+#[derive(Debug)]
+pub enum HeteroError {
+    /// Structural validation failed.
+    Invalid(LayoutError),
+    /// Parity assignment failed (cannot happen for valid inputs).
+    Assign(AssignError),
+}
+
+impl std::fmt::Display for HeteroError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeteroError::Invalid(e) => write!(f, "invalid hetero array: {e}"),
+            HeteroError::Assign(e) => write!(f, "parity assignment failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HeteroError {}
+
+/// A realistic mixed-size array: a ring layout across all `v` disks,
+/// plus extra ring-layout copies over the first `w` (larger) disks,
+/// stacked at higher offsets. The first `w` disks end up with
+/// `(1 + extra)·k(w−1)`-ish capacity… precisely: base `k(v−1)` plus
+/// `extra · k2(w−1)` units each.
+pub fn mixed_size_array(
+    v: usize,
+    k: usize,
+    w: usize,
+    k2: usize,
+    extra: usize,
+) -> Result<HeteroArray, HeteroError> {
+    assert!(w >= 2 && w <= v && extra >= 1);
+    let base = RingDesign::for_v_k(v, k);
+    let small = RingDesign::for_v_k(w, k2);
+    let base_size = k * (v - 1);
+    let small_size = k2 * (w - 1);
+    let mut stripes: Vec<Vec<StripeUnit>> = Vec::new();
+    for stripe in crate::ring_layout::ring_copy_stripes(&base, None) {
+        stripes.push(stripe.0.iter().map(|&(d, o)| StripeUnit::new(d, o)).collect());
+    }
+    for copy in 0..extra {
+        let shift = base_size + copy * small_size;
+        for stripe in crate::ring_layout::ring_copy_stripes(&small, None) {
+            stripes.push(
+                stripe.0.iter().map(|&(d, o)| StripeUnit::new(d, o + shift)).collect(),
+            );
+        }
+    }
+    let sizes: Vec<usize> = (0..v)
+        .map(|d| base_size + if d < w { extra * small_size } else { 0 })
+        .collect();
+    HeteroArray::new(sizes, stripes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_array_validates_and_balances() {
+        // 9 disks (k=4), first 5 disks have 2 extra copies of a 5-disk
+        // ring layout (k=3).
+        let h = mixed_size_array(9, 4, 5, 3, 2).unwrap();
+        assert_eq!(h.v(), 9);
+        assert_eq!(h.sizes()[0], 4 * 8 + 2 * 3 * 4);
+        assert_eq!(h.sizes()[8], 4 * 8);
+        // Theorem 14 (hetero form): parity within floor/ceil of L(d).
+        let loads = h.loads();
+        for (d, &c) in h.parity_counts().iter().enumerate() {
+            assert!(
+                c as f64 >= loads[d].floor() - 1e-9 && c as f64 <= loads[d].ceil() + 1e-9,
+                "disk {d}: {c} vs L={}",
+                loads[d]
+            );
+        }
+        // larger disks carry proportionally more parity
+        assert!(h.parity_counts()[0] > h.parity_counts()[8]);
+    }
+
+    #[test]
+    fn overheads_stay_near_one_over_k() {
+        let h = mixed_size_array(8, 3, 4, 3, 1).unwrap();
+        for &o in &h.parity_overheads() {
+            assert!((o - 1.0 / 3.0).abs() < 0.1, "overhead {o}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_workload_reflects_shared_regions() {
+        let h = mixed_size_array(9, 4, 5, 3, 2).unwrap();
+        // two big disks share base + extra stripes; a big and a small
+        // disk share only the base region
+        let big_big = h.reconstruction_workload(0, 1);
+        let big_small = h.reconstruction_workload(0, 8);
+        assert!(big_big > 0.0 && big_small > 0.0);
+        // disk 8's entire capacity is base stripes: the fraction of disk
+        // 8 read for disk 0 equals the base-layout workload (k-1)/(v-1)
+        assert!((big_small - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_validation_catches_gaps() {
+        // sizes claim more capacity than stripes provide
+        let stripes = vec![vec![StripeUnit::new(0, 0), StripeUnit::new(1, 0)]];
+        let err = HeteroArray::new(vec![2, 1], stripes).unwrap_err();
+        assert!(matches!(err, HeteroError::Invalid(LayoutError::MissingCoverage { .. })));
+    }
+
+    #[test]
+    fn out_of_capacity_rejected() {
+        let stripes = vec![vec![StripeUnit::new(0, 1), StripeUnit::new(1, 0)]];
+        let err = HeteroArray::new(vec![1, 1], stripes).unwrap_err();
+        assert!(matches!(err, HeteroError::Invalid(LayoutError::UnitOutOfRange { .. })));
+    }
+}

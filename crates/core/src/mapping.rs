@@ -1,0 +1,188 @@
+//! Logical→physical address mapping (Condition 4).
+//!
+//! The paper requires the map from a logical data-unit address to its
+//! `(disk, offset)` to cost one table lookup plus O(1) arithmetic, with
+//! the table small enough to pin in memory. [`AddressMapper`] is exactly
+//! that: a flat table over one layout copy, extended to arbitrarily large
+//! disks by tiling copies arithmetically.
+
+use crate::layout::{Layout, StripeUnit, UnitRole};
+
+/// Table-driven address mapper for a layout.
+#[derive(Clone, Debug)]
+pub struct AddressMapper {
+    v: usize,
+    size: usize,
+    /// Logical data unit `i` (within one copy) → physical unit.
+    table: Vec<StripeUnit>,
+    /// `(disk, offset)` → logical index within the copy (data units only).
+    reverse: Vec<u32>,
+    /// Stripe index of each logical unit (for parity lookups).
+    stripe_of: Vec<u32>,
+}
+
+const NOT_DATA: u32 = u32::MAX;
+
+impl AddressMapper {
+    /// Builds the mapper. Logical addresses enumerate data units in
+    /// stripe order, which keeps logically adjacent units in the same
+    /// stripe adjacent on disk (locality for large sequential IO).
+    pub fn new(layout: &Layout) -> Self {
+        let (v, size) = (layout.v(), layout.size());
+        let mut table = Vec::with_capacity(layout.data_unit_count());
+        let mut reverse = vec![NOT_DATA; v * size];
+        let mut stripe_of = Vec::with_capacity(layout.data_unit_count());
+        for (si, stripe) in layout.stripes().iter().enumerate() {
+            for u in stripe.data_units() {
+                reverse[u.disk as usize * size + u.offset as usize] = table.len() as u32;
+                table.push(u);
+                stripe_of.push(si as u32);
+            }
+        }
+        AddressMapper { v, size, table, reverse, stripe_of }
+    }
+
+    /// Data units per layout copy.
+    pub fn data_units_per_copy(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of disks.
+    pub fn v(&self) -> usize {
+        self.v
+    }
+
+    /// Physical location of logical unit `addr`, tiling layout copies
+    /// down the disks for addresses beyond one copy: one modulo, one
+    /// table lookup, one add (Condition 4's "table lookup plus a small
+    /// constant number of arithmetic operations").
+    pub fn locate(&self, addr: usize) -> StripeUnit {
+        let copy = addr / self.table.len();
+        let base = self.table[addr % self.table.len()];
+        StripeUnit { disk: base.disk, offset: base.offset + (copy * self.size) as u32 }
+    }
+
+    /// The parity unit protecting logical unit `addr`, mapped into the
+    /// same copy.
+    pub fn parity_of<'a>(&self, addr: usize, layout: &'a Layout) -> StripeUnit {
+        let copy = addr / self.table.len();
+        let si = self.stripe_of[addr % self.table.len()] as usize;
+        let p = layout.stripes()[si].parity_unit();
+        StripeUnit { disk: p.disk, offset: p.offset + (copy * self.size) as u32 }
+    }
+
+    /// Stripe (within the copy) of a logical address.
+    pub fn stripe_of(&self, addr: usize) -> usize {
+        self.stripe_of[addr % self.table.len()] as usize
+    }
+
+    /// Logical address of a physical data unit within copy 0, if it is a
+    /// data unit.
+    pub fn logical_of(&self, u: StripeUnit) -> Option<usize> {
+        let copy = u.offset as usize / self.size;
+        let idx = self.reverse[u.disk as usize * self.size + u.offset as usize % self.size];
+        (idx != NOT_DATA).then(|| idx as usize + copy * self.table.len())
+    }
+
+    /// Size of the lookup table in entries — the paper's Condition 4
+    /// efficiency measure.
+    pub fn table_entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Approximate resident bytes of all tables.
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<StripeUnit>()
+            + self.reverse.len() * 4
+            + self.stripe_of.len() * 4
+    }
+}
+
+/// Round-trips every data unit of a layout through the mapper; used by
+/// tests and the verification binaries.
+pub fn verify_mapper(layout: &Layout) -> bool {
+    let m = AddressMapper::new(layout);
+    for addr in 0..m.data_units_per_copy() {
+        let u = m.locate(addr);
+        if layout.role(u.disk as usize, u.offset as usize) != UnitRole::Data {
+            return false;
+        }
+        if m.logical_of(u) != Some(addr) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hg::{holland_gibson_layout, raid5_layout};
+    use crate::ring_layout::RingLayout;
+    use pdl_design::complete_design;
+
+    #[test]
+    fn roundtrip_on_ring_layout() {
+        let rl = RingLayout::for_v_k(9, 4);
+        assert!(verify_mapper(rl.layout()));
+    }
+
+    #[test]
+    fn roundtrip_on_hg_layout() {
+        let l = holland_gibson_layout(&complete_design(5, 3, 100));
+        assert!(verify_mapper(&l));
+    }
+
+    #[test]
+    fn roundtrip_on_raid5() {
+        assert!(verify_mapper(&raid5_layout(6, 12)));
+    }
+
+    #[test]
+    fn data_unit_count_matches() {
+        let rl = RingLayout::for_v_k(7, 3);
+        let m = AddressMapper::new(rl.layout());
+        assert_eq!(m.data_units_per_copy(), rl.layout().data_unit_count());
+        // ring layout: b stripes of k units, 1 parity each
+        assert_eq!(m.data_units_per_copy(), rl.layout().b() * (3 - 1));
+    }
+
+    #[test]
+    fn multi_copy_tiling() {
+        let rl = RingLayout::for_v_k(5, 3);
+        let m = AddressMapper::new(rl.layout());
+        let n = m.data_units_per_copy();
+        let u0 = m.locate(7);
+        let u1 = m.locate(7 + n);
+        let u2 = m.locate(7 + 3 * n);
+        assert_eq!(u0.disk, u1.disk);
+        assert_eq!(u1.offset as usize, u0.offset as usize + rl.layout().size());
+        assert_eq!(u2.offset as usize, u0.offset as usize + 3 * rl.layout().size());
+        // reverse lookup works across copies
+        assert_eq!(m.logical_of(u1), Some(7 + n));
+    }
+
+    #[test]
+    fn parity_lookup() {
+        let rl = RingLayout::for_v_k(5, 3);
+        let l = rl.layout();
+        let m = AddressMapper::new(l);
+        for addr in 0..m.data_units_per_copy() {
+            let p = m.parity_of(addr, l);
+            assert_eq!(l.role(p.disk as usize, p.offset as usize), UnitRole::Parity);
+            // the parity must share the stripe with the data unit
+            let u = m.locate(addr);
+            let su = l.unit_ref(u.disk as usize, u.offset as usize).stripe;
+            let sp = l.unit_ref(p.disk as usize, p.offset as usize).stripe;
+            assert_eq!(su, sp);
+        }
+    }
+
+    #[test]
+    fn table_size_reporting() {
+        let rl = RingLayout::for_v_k(8, 3);
+        let m = AddressMapper::new(rl.layout());
+        assert_eq!(m.table_entries(), rl.layout().data_unit_count());
+        assert!(m.table_bytes() > 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Block designs over a `v`-element ground set, and BIBD verification.
+//!
+//! A *balanced incomplete block design* (BIBD) is a multiset of `b`
+//! `k`-element blocks from a `v`-set such that every element lies in
+//! exactly `r` blocks and every unordered pair in exactly `λ` blocks.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A block design: `b` blocks (subsets, possibly repeated) of `{0..v}`.
+///
+/// Blocks keep their construction order — ring-based designs use the
+/// position of an element within its block (the "g_i-th element"), so
+/// blocks are *sequences of distinct elements*, not sorted sets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockDesign {
+    v: usize,
+    blocks: Vec<Vec<usize>>,
+}
+
+/// The parameters `(v, b, r, k, λ)` of a verified BIBD.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BibdParams {
+    /// Ground-set size (number of disks).
+    pub v: usize,
+    /// Number of blocks (parity stripes per layout copy).
+    pub b: usize,
+    /// Replication: blocks containing any fixed element.
+    pub r: usize,
+    /// Block size (parity stripe size).
+    pub k: usize,
+    /// Pair balance: blocks containing any fixed pair.
+    pub lambda: usize,
+}
+
+impl fmt::Display for BibdParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BIBD(v={}, b={}, r={}, k={}, λ={})",
+            self.v, self.b, self.r, self.k, self.lambda
+        )
+    }
+}
+
+/// Why a block design failed BIBD verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BibdViolation {
+    /// The design has no blocks.
+    Empty,
+    /// Two blocks have different sizes.
+    NonUniformBlockSize {
+        /// Size of the first block.
+        expected: usize,
+        /// Index of the offending block.
+        block: usize,
+        /// Its size.
+        got: usize,
+    },
+    /// Some element appears in a different number of blocks than another.
+    UnevenReplication {
+        /// The element with deviating replication.
+        element: usize,
+        /// Its replication count.
+        got: usize,
+        /// Replication of element 0.
+        expected: usize,
+    },
+    /// Some pair appears in a different number of blocks than another.
+    UnevenPairCount {
+        /// The deviating pair.
+        pair: (usize, usize),
+        /// Its count.
+        got: usize,
+        /// Count of the first pair.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for BibdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BibdViolation::Empty => write!(f, "design has no blocks"),
+            BibdViolation::NonUniformBlockSize { expected, block, got } => {
+                write!(f, "block {block} has size {got}, expected {expected}")
+            }
+            BibdViolation::UnevenReplication { element, got, expected } => {
+                write!(f, "element {element} appears in {got} blocks, expected {expected}")
+            }
+            BibdViolation::UnevenPairCount { pair, got, expected } => {
+                write!(f, "pair {pair:?} appears in {got} blocks, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BibdViolation {}
+
+impl BlockDesign {
+    /// Creates a design, checking every block draws distinct elements
+    /// from `0..v`.
+    pub fn new(v: usize, blocks: Vec<Vec<usize>>) -> Self {
+        assert!(v >= 1, "ground set must be nonempty");
+        let mut seen = vec![usize::MAX; v];
+        for (bi, block) in blocks.iter().enumerate() {
+            for &e in block {
+                assert!(e < v, "block {bi} references element {e} >= v = {v}");
+                assert_ne!(seen[e], bi, "block {bi} repeats element {e}");
+                seen[e] = bi;
+            }
+        }
+        BlockDesign { v, blocks }
+    }
+
+    /// Ground-set size.
+    pub fn v(&self) -> usize {
+        self.v
+    }
+
+    /// Number of blocks `b`.
+    pub fn b(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[Vec<usize>] {
+        &self.blocks
+    }
+
+    /// Uniform block size `k`, if all blocks agree.
+    pub fn block_size(&self) -> Option<usize> {
+        let k = self.blocks.first()?.len();
+        self.blocks.iter().all(|b| b.len() == k).then_some(k)
+    }
+
+    /// Number of blocks containing each element.
+    pub fn replication_counts(&self) -> Vec<usize> {
+        let mut r = vec![0usize; self.v];
+        for block in &self.blocks {
+            for &e in block {
+                r[e] += 1;
+            }
+        }
+        r
+    }
+
+    /// `counts[i][j]` (i < j): number of blocks containing both i and j.
+    pub fn pair_counts(&self) -> Vec<Vec<usize>> {
+        let mut counts = vec![vec![0usize; self.v]; self.v];
+        for block in &self.blocks {
+            for (ai, &a) in block.iter().enumerate() {
+                for &b in block.iter().skip(ai + 1) {
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    counts[lo][hi] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Verifies the BIBD conditions, returning the parameters on success.
+    pub fn verify_bibd(&self) -> Result<BibdParams, BibdViolation> {
+        if self.blocks.is_empty() {
+            return Err(BibdViolation::Empty);
+        }
+        let k = self.blocks[0].len();
+        for (bi, block) in self.blocks.iter().enumerate() {
+            if block.len() != k {
+                return Err(BibdViolation::NonUniformBlockSize {
+                    expected: k,
+                    block: bi,
+                    got: block.len(),
+                });
+            }
+        }
+        let reps = self.replication_counts();
+        let r = reps[0];
+        for (e, &c) in reps.iter().enumerate() {
+            if c != r {
+                return Err(BibdViolation::UnevenReplication { element: e, got: c, expected: r });
+            }
+        }
+        let pairs = self.pair_counts();
+        let lambda = if self.v >= 2 { pairs[0][1] } else { 0 };
+        for i in 0..self.v {
+            for j in i + 1..self.v {
+                if pairs[i][j] != lambda {
+                    return Err(BibdViolation::UnevenPairCount {
+                        pair: (i, j),
+                        got: pairs[i][j],
+                        expected: lambda,
+                    });
+                }
+            }
+        }
+        Ok(BibdParams { v: self.v, b: self.blocks.len(), r, k, lambda })
+    }
+
+    /// Multiplicity of each *distinct* block (order-insensitive): map from
+    /// the sorted block to how many times it occurs.
+    pub fn block_multiplicities(&self) -> BTreeMap<Vec<usize>, usize> {
+        let mut m = BTreeMap::new();
+        for block in &self.blocks {
+            let mut key = block.clone();
+            key.sort_unstable();
+            *m.entry(key).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Concatenates `copies` copies of the design.
+    pub fn replicate(&self, copies: usize) -> BlockDesign {
+        assert!(copies >= 1, "need at least one copy");
+        let mut blocks = Vec::with_capacity(self.blocks.len() * copies);
+        for _ in 0..copies {
+            blocks.extend(self.blocks.iter().cloned());
+        }
+        BlockDesign { v: self.v, blocks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fano plane: the classic (7, 7, 3, 3, 1) design.
+    pub fn fano() -> BlockDesign {
+        BlockDesign::new(
+            7,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![0, 5, 6],
+                vec![1, 3, 5],
+                vec![1, 4, 6],
+                vec![2, 3, 6],
+                vec![2, 4, 5],
+            ],
+        )
+    }
+
+    #[test]
+    fn fano_is_bibd() {
+        let p = fano().verify_bibd().unwrap();
+        assert_eq!(p, BibdParams { v: 7, b: 7, r: 3, k: 3, lambda: 1 });
+    }
+
+    #[test]
+    fn bibd_counting_identities() {
+        // bk = vr and λ(v-1) = r(k-1) for any verified design.
+        let p = fano().verify_bibd().unwrap();
+        assert_eq!(p.b * p.k, p.v * p.r);
+        assert_eq!(p.lambda * (p.v - 1), p.r * (p.k - 1));
+    }
+
+    #[test]
+    fn detects_uneven_replication() {
+        let d = BlockDesign::new(4, vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
+        match d.verify_bibd() {
+            Err(BibdViolation::UnevenReplication { .. }) => {}
+            other => panic!("expected replication violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_uneven_pairs() {
+        // every element twice, but pair (0,1) twice vs (0,2) zero
+        let d = BlockDesign::new(4, vec![vec![0, 1], vec![0, 1], vec![2, 3], vec![2, 3]]);
+        match d.verify_bibd() {
+            Err(BibdViolation::UnevenPairCount { .. }) => {}
+            other => panic!("expected pair violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_nonuniform_blocks() {
+        let d = BlockDesign::new(4, vec![vec![0, 1, 2], vec![0, 3]]);
+        assert!(matches!(d.verify_bibd(), Err(BibdViolation::NonUniformBlockSize { .. })));
+    }
+
+    #[test]
+    fn empty_design_rejected() {
+        let d = BlockDesign::new(3, vec![]);
+        assert_eq!(d.verify_bibd(), Err(BibdViolation::Empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats element")]
+    fn duplicate_element_in_block_panics() {
+        BlockDesign::new(4, vec![vec![1, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= v")]
+    fn out_of_range_element_panics() {
+        BlockDesign::new(4, vec![vec![0, 4]]);
+    }
+
+    #[test]
+    fn multiplicities() {
+        let d = BlockDesign::new(3, vec![vec![0, 1], vec![1, 0], vec![1, 2]]);
+        let m = d.block_multiplicities();
+        assert_eq!(m[&vec![0, 1]], 2);
+        assert_eq!(m[&vec![1, 2]], 1);
+    }
+
+    #[test]
+    fn replicate_multiplies_counts() {
+        let d = fano().replicate(3);
+        let p = d.verify_bibd().unwrap();
+        assert_eq!(p.b, 21);
+        assert_eq!(p.r, 9);
+        assert_eq!(p.lambda, 3);
+    }
+}

@@ -1,0 +1,137 @@
+//! Difference families and block development (Wallis [16]).
+//!
+//! Section 2.1 closes by noting that "the ring-based block design
+//! construction is a special case of the construction of block designs
+//! from supplementary difference sets, where the initial blocks are the
+//! tuples corresponding to the pairs (0, y) for y ≠ 0". This module
+//! implements the general mechanism — develop base blocks through the
+//! additive group of a ring — and the tests verify the paper's remark
+//! literally.
+
+use crate::block::BlockDesign;
+use pdl_algebra::{FiniteRing, Ring};
+
+/// True iff `base_blocks` form a `(v, k, λ)` *difference family* over
+/// the additive group of `ring`: every nonzero element arises exactly
+/// `λ` times as a difference `a − b` of two elements within one base
+/// block.
+pub fn is_difference_family(ring: &FiniteRing, base_blocks: &[Vec<usize>], lambda: usize) -> bool {
+    let v = ring.order();
+    let mut counts = vec![0usize; v];
+    for block in base_blocks {
+        for (i, &a) in block.iter().enumerate() {
+            for (j, &b) in block.iter().enumerate() {
+                if i != j {
+                    counts[ring.sub(a, b)] += 1;
+                }
+            }
+        }
+    }
+    counts[0] == 0 && counts[1..].iter().all(|&c| c == lambda)
+}
+
+/// Develops base blocks through the additive group: the design whose
+/// blocks are `{x + e : e ∈ B}` for every base block `B` and every ring
+/// element `x`. If the base blocks form a `(v, k, λ)` difference family,
+/// the result is a BIBD with `b = v·|base|`, `r = k·|base|`, and `λ`.
+pub fn develop(ring: &FiniteRing, base_blocks: &[Vec<usize>]) -> BlockDesign {
+    let v = ring.order();
+    let mut blocks = Vec::with_capacity(v * base_blocks.len());
+    for base in base_blocks {
+        for x in 0..v {
+            blocks.push(base.iter().map(|&e| ring.add(x, e)).collect());
+        }
+    }
+    BlockDesign::new(v, blocks)
+}
+
+/// The ring design's *initial blocks* in the paper's sense: the tuples
+/// for the pairs `(0, y)`, `y ≠ 0` — i.e. `{y·(g_i − g_0)}`.
+pub fn ring_initial_blocks(design: &crate::ring_design::RingDesign) -> Vec<Vec<usize>> {
+    (1..design.v()).map(|y| design.block(0, y).to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring_design::RingDesign;
+    use pdl_algebra::Zn;
+
+    #[test]
+    fn fano_difference_set() {
+        // {0, 1, 3} is the classic (7, 3, 1) planar difference set.
+        let ring = FiniteRing::Zn(Zn::new(7));
+        let base = vec![vec![0usize, 1, 3]];
+        assert!(is_difference_family(&ring, &base, 1));
+        let d = develop(&ring, &base);
+        let p = d.verify_bibd().unwrap();
+        assert_eq!((p.v, p.b, p.r, p.k, p.lambda), (7, 7, 3, 3, 1));
+    }
+
+    #[test]
+    fn biplane_difference_set() {
+        // {0, 1, 3, 9} in Z_13 is a (13, 4, 1) difference set.
+        let ring = FiniteRing::Zn(Zn::new(13));
+        let base = vec![vec![0usize, 1, 3, 9]];
+        assert!(is_difference_family(&ring, &base, 1));
+        let p = develop(&ring, &base).verify_bibd().unwrap();
+        assert_eq!((p.b, p.r, p.lambda), (13, 4, 1));
+    }
+
+    #[test]
+    fn non_difference_set_rejected() {
+        let ring = FiniteRing::Zn(Zn::new(7));
+        assert!(!is_difference_family(&ring, &[vec![0, 1, 2]], 1));
+    }
+
+    #[test]
+    fn paper_remark_ring_design_is_developed_initial_blocks() {
+        // The paper's Section 2.1 remark, verified literally: developing
+        // the (0, y) tuples through the ring reproduces the full
+        // ring-based design (as a multiset of blocks).
+        for (v, k) in [(5usize, 3usize), (7, 3), (8, 4), (9, 3), (12, 3)] {
+            let rd = RingDesign::for_v_k(v, k);
+            let initial = ring_initial_blocks(&rd);
+            let developed = develop(rd.ring(), &initial);
+            let original = rd.to_block_design();
+            assert_eq!(
+                developed.block_multiplicities(),
+                original.block_multiplicities(),
+                "v={v} k={k}: development must reproduce the ring design"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_initial_blocks_form_difference_family() {
+        // The initial blocks of a ring design are a (v, k, k(k−1))
+        // difference family (λ matches Theorem 1).
+        for (v, k) in [(7usize, 3usize), (9, 4), (13, 4)] {
+            let rd = RingDesign::for_v_k(v, k);
+            let initial = ring_initial_blocks(&rd);
+            assert!(
+                is_difference_family(rd.ring(), &initial, k * (k - 1)),
+                "v={v} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_base_blocks() {
+        // Two base blocks in Z_13 forming a (13, 3, 1) difference family:
+        // {0,1,4} and {0,2,7} — differences ±{1,3,4} and ±{2,5,7}… check
+        // programmatically rather than by hand.
+        let ring = FiniteRing::Zn(Zn::new(13));
+        let base = vec![vec![0usize, 1, 4], vec![0usize, 2, 7]];
+        if is_difference_family(&ring, &base, 1) {
+            let p = develop(&ring, &base).verify_bibd().unwrap();
+            assert_eq!((p.b, p.lambda), (26, 1));
+        } else {
+            // fall back to a known-good family for (13, 3, 1)
+            let base = vec![vec![0usize, 1, 4], vec![0usize, 2, 8]];
+            assert!(is_difference_family(&ring, &base, 1));
+            let p = develop(&ring, &base).verify_bibd().unwrap();
+            assert_eq!((p.b, p.lambda), (26, 1));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Maximum flow with per-edge lower bounds.
+//!
+//! The parity-assignment graph of Section 4 puts bounds `[⌊L(d)⌋, ⌈L(d)⌉]`
+//! on the disk→sink edges. We solve the general problem by the standard
+//! reduction: route each lower bound unconditionally through a super
+//! source/sink, verify feasibility, then maximize residual `s→t` flow.
+//! This subsumes the paper's two-phase G′ construction (Theorem 13) and
+//! yields the same integral flows.
+
+use crate::dinic::{EdgeId, FlowNetwork};
+
+/// An edge specification with flow bounds `lower ≤ f ≤ upper`.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundedEdge {
+    /// Tail node.
+    pub from: usize,
+    /// Head node.
+    pub to: usize,
+    /// Minimum flow the edge must carry.
+    pub lower: i64,
+    /// Maximum flow the edge may carry.
+    pub upper: i64,
+}
+
+/// Result of a bounded max-flow computation.
+#[derive(Clone, Debug)]
+pub struct BoundedFlow {
+    /// Total `s → t` flow value.
+    pub value: i64,
+    /// Flow on each input edge, in input order (respecting the bounds).
+    pub edge_flows: Vec<i64>,
+}
+
+/// Computes a maximum `s→t` flow respecting all edge bounds, or `None`
+/// if no feasible flow exists.
+pub fn max_flow_with_lower_bounds(
+    n: usize,
+    edges: &[BoundedEdge],
+    s: usize,
+    t: usize,
+) -> Option<BoundedFlow> {
+    assert!(s < n && t < n && s != t);
+    for e in edges {
+        assert!(e.from < n && e.to < n, "edge endpoint out of range");
+        assert!(0 <= e.lower && e.lower <= e.upper, "need 0 <= lower <= upper");
+    }
+    // Transformed network: nodes 0..n plus super-source S=n, super-sink T=n+1.
+    let (ss, tt) = (n, n + 1);
+    let mut g = FlowNetwork::new(n + 2);
+    let mut excess = vec![0i64; n];
+    let ids: Vec<EdgeId> = edges
+        .iter()
+        .map(|e| {
+            excess[e.to] += e.lower;
+            excess[e.from] -= e.lower;
+            g.add_edge(e.from, e.to, e.upper - e.lower)
+        })
+        .collect();
+    // Allow circulation for the s→t flow being maximized.
+    g.add_edge(t, s, i64::MAX / 4);
+    let mut need = 0i64;
+    for (u, &x) in excess.iter().enumerate() {
+        if x > 0 {
+            g.add_edge(ss, u, x);
+            need += x;
+        } else if x < 0 {
+            g.add_edge(u, tt, -x);
+        }
+    }
+    if g.max_flow(ss, tt) != need {
+        return None; // lower bounds are unsatisfiable
+    }
+    // Maximize the true s→t flow on the residual graph.
+    let value_extra = g.max_flow(s, t);
+    let mut edge_flows = Vec::with_capacity(edges.len());
+    for (e, &id) in edges.iter().zip(&ids) {
+        edge_flows.push(e.lower + g.edge_flow(id));
+    }
+    // Total value = what the t→s circulation edge carried plus the extra.
+    // Easier: recompute from edges leaving s.
+    let mut value = 0i64;
+    for (e, f) in edges.iter().zip(&edge_flows) {
+        if e.from == s {
+            value += f;
+        }
+        if e.to == s {
+            value -= f;
+        }
+    }
+    let _ = value_extra;
+    Some(BoundedFlow { value, edge_flows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn be(from: usize, to: usize, lower: i64, upper: i64) -> BoundedEdge {
+        BoundedEdge { from, to, lower, upper }
+    }
+
+    #[test]
+    fn no_lower_bounds_reduces_to_plain_max_flow() {
+        let edges = vec![be(0, 1, 0, 10), be(1, 2, 0, 3)];
+        let f = max_flow_with_lower_bounds(3, &edges, 0, 2).unwrap();
+        assert_eq!(f.value, 3);
+    }
+
+    #[test]
+    fn forced_lower_bound_routes_flow() {
+        // s→a [2,5], a→t [0,10]: must push at least 2.
+        let edges = vec![be(0, 1, 2, 5), be(1, 2, 0, 10)];
+        let f = max_flow_with_lower_bounds(3, &edges, 0, 2).unwrap();
+        assert_eq!(f.value, 5); // maximization saturates the upper bound
+        assert!(f.edge_flows[0] >= 2);
+    }
+
+    #[test]
+    fn infeasible_lower_bounds_detected() {
+        // s→a needs ≥5 but a→t allows ≤2.
+        let edges = vec![be(0, 1, 5, 5), be(1, 2, 0, 2)];
+        assert!(max_flow_with_lower_bounds(3, &edges, 0, 2).is_none());
+    }
+
+    #[test]
+    fn bounds_respected_on_all_edges() {
+        let edges = vec![
+            be(0, 1, 1, 3),
+            be(0, 2, 0, 4),
+            be(1, 3, 1, 2),
+            be(2, 3, 2, 4),
+            be(1, 2, 0, 2),
+        ];
+        let f = max_flow_with_lower_bounds(4, &edges, 0, 3).unwrap();
+        for (e, fl) in edges.iter().zip(&f.edge_flows) {
+            assert!(*fl >= e.lower && *fl <= e.upper, "edge {e:?} carries {fl}");
+        }
+        // conservation at interior nodes
+        let mut net = vec![0i64; 4];
+        for (e, fl) in edges.iter().zip(&f.edge_flows) {
+            net[e.from] -= fl;
+            net[e.to] += fl;
+        }
+        assert_eq!(net[1], 0);
+        assert_eq!(net[2], 0);
+        assert_eq!(net[0], -f.value);
+        assert_eq!(net[3], f.value);
+    }
+
+    #[test]
+    fn paper_style_parity_graph() {
+        // 4 stripes over 3 disks, stripe→disk unit edges; disk loads
+        // L(d) from stripe sizes; source→stripe [1,1] edges modeled as
+        // lower bounds (each stripe must pick exactly one parity disk).
+        // stripes: {0,1}, {1,2}, {0,2}, {0,1,2} → L = (1/2+1/2+1/3, …)
+        let stripes: Vec<Vec<usize>> = vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]];
+        let b = stripes.len();
+        let v = 3usize;
+        // nodes: 0 = s, 1..=b stripes, b+1..=b+v disks, b+v+1 = t
+        let s = 0;
+        let t = b + v + 1;
+        let mut edges = Vec::new();
+        let mut load = vec![0f64; v];
+        for (si, stripe) in stripes.iter().enumerate() {
+            edges.push(be(s, 1 + si, 1, 1));
+            for &d in stripe {
+                edges.push(be(1 + si, b + 1 + d, 0, 1));
+                load[d] += 1.0 / stripe.len() as f64;
+            }
+        }
+        for (d, &l) in load.iter().enumerate() {
+            edges.push(be(b + 1 + d, t, l.floor() as i64, l.ceil() as i64));
+        }
+        let f = max_flow_with_lower_bounds(t + 1, &edges, s, t).unwrap();
+        assert_eq!(f.value, b as i64, "Theorem 13: max flow equals b");
+    }
+
+    #[test]
+    fn integrality_of_flows() {
+        // All inputs integral → all outputs integral (trivially true for
+        // i64, but assert edge flows are in-bounds and value consistent).
+        let edges = vec![be(0, 1, 0, 7), be(0, 2, 3, 6), be(1, 3, 0, 5), be(2, 3, 0, 9)];
+        let f = max_flow_with_lower_bounds(4, &edges, 0, 3).unwrap();
+        assert_eq!(f.value, f.edge_flows[2] + f.edge_flows[3]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the flow substrate: max-flow/min-cut
+//! consistency on random graphs, lower-bound feasibility, and matching
+//! optimality.
+
+use pdl_flow::{
+    assign_parity_two_phase, hopcroft_karp, max_flow_with_lower_bounds, max_matching_size,
+    BoundedEdge, FlowNetwork, ParityInstance,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(seed: u64, n: usize, m: usize) -> Vec<(usize, usize, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .filter_map(|_| {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            (u != v).then(|| (u, v, rng.random_range(0..12)))
+        })
+        .collect()
+}
+
+/// Exhaustive min-cut by enumerating all source-side subsets (small n).
+fn brute_min_cut(n: usize, edges: &[(usize, usize, i64)], s: usize, t: usize) -> i64 {
+    let mut best = i64::MAX;
+    for mask in 0u32..(1 << n) {
+        if mask & (1 << s) == 0 || mask & (1 << t) != 0 {
+            continue;
+        }
+        let cut: i64 = edges
+            .iter()
+            .filter(|&&(u, v, _)| mask & (1 << u) != 0 && mask & (1 << v) == 0)
+            .map(|&(_, _, c)| c)
+            .sum();
+        best = best.min(cut);
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Max-flow equals min-cut on random small graphs.
+    #[test]
+    fn maxflow_equals_brute_mincut(seed in any::<u64>(), n in 3usize..8, m in 4usize..20) {
+        let edges = random_graph(seed, n, m);
+        let mut g = FlowNetwork::new(n);
+        for &(u, v, c) in &edges {
+            g.add_edge(u, v, c);
+        }
+        let flow = g.max_flow(0, n - 1);
+        let cut = brute_min_cut(n, &edges, 0, n - 1);
+        prop_assert_eq!(flow, cut);
+    }
+
+    /// Lower-bounded flows respect all bounds and conservation.
+    #[test]
+    fn bounded_flow_valid(seed in any::<u64>(), n in 3usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.random_bool(0.5) {
+                    let upper = rng.random_range(1..8);
+                    let lower = rng.random_range(0..=upper.min(2));
+                    edges.push(BoundedEdge { from: u, to: v, lower, upper });
+                }
+            }
+        }
+        if let Some(f) = max_flow_with_lower_bounds(n, &edges, 0, n - 1) {
+            let mut net = vec![0i64; n];
+            for (e, fl) in edges.iter().zip(&f.edge_flows) {
+                prop_assert!(*fl >= e.lower && *fl <= e.upper);
+                net[e.from] -= fl;
+                net[e.to] += fl;
+            }
+            for (i, x) in net.iter().enumerate() {
+                if i == 0 {
+                    prop_assert_eq!(*x, -f.value);
+                } else if i == n - 1 {
+                    prop_assert_eq!(*x, f.value);
+                } else {
+                    prop_assert_eq!(*x, 0);
+                }
+            }
+        }
+    }
+
+    /// Hopcroft–Karp matchings are maximal: no augmenting edge remains
+    /// between two unmatched vertices.
+    #[test]
+    fn matching_is_maximal(seed in any::<u64>(), nl in 1usize..8, nr in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let adj: Vec<Vec<usize>> = (0..nl)
+            .map(|_| (0..nr).filter(|_| rng.random_bool(0.35)).collect())
+            .collect();
+        let m = hopcroft_karp(nl, nr, &adj);
+        let mut right_used = vec![false; nr];
+        for r in m.iter().flatten() {
+            right_used[*r] = true;
+        }
+        for (l, ml) in m.iter().enumerate() {
+            if ml.is_none() {
+                for &r in &adj[l] {
+                    prop_assert!(right_used[r], "edge ({l},{r}) would extend the matching");
+                }
+            }
+        }
+    }
+
+    /// König-style sanity: matching size never exceeds either side.
+    #[test]
+    fn matching_size_bounds(seed in any::<u64>(), nl in 1usize..9, nr in 1usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let adj: Vec<Vec<usize>> = (0..nl)
+            .map(|_| (0..nr).filter(|_| rng.random_bool(0.4)).collect())
+            .collect();
+        let sz = max_matching_size(nl, nr, &adj);
+        prop_assert!(sz <= nl && sz <= nr);
+        let edges: usize = adj.iter().map(Vec::len).sum();
+        prop_assert!(sz <= edges);
+    }
+
+    /// The two-phase parity assignment balances random regular-ish
+    /// instances to floor/ceil.
+    #[test]
+    fn two_phase_random_instances(seed in any::<u64>(), v in 3usize..9, b in 3usize..16) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stripes: Vec<Vec<usize>> = (0..b)
+            .map(|_| {
+                let k = rng.random_range(2..=v.min(4));
+                let mut disks: Vec<usize> = (0..v).collect();
+                for i in (1..disks.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    disks.swap(i, j);
+                }
+                disks.truncate(k);
+                disks
+            })
+            .collect();
+        let inst = ParityInstance { v, stripes };
+        let slots = assign_parity_two_phase(&inst).expect("always solvable");
+        let loads = inst.loads();
+        let mut counts = vec![0usize; v];
+        for (s, &slot) in inst.stripes.iter().zip(&slots) {
+            counts[s[slot]] += 1;
+        }
+        for (d, &c) in counts.iter().enumerate() {
+            prop_assert!(c as f64 >= loads[d].floor() - 1e-9);
+            prop_assert!(c as f64 <= loads[d].ceil() + 1e-9);
+        }
+    }
+}

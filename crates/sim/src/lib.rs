@@ -1,0 +1,36 @@
+//! # pdl-sim
+//!
+//! Event-driven disk-array load and reconstruction simulator — the
+//! stand-in for the Holland & Gibson simulation software the paper's
+//! Section 5 planned to use. Simulates seeded Poisson workloads over any
+//! [`pdl_core::Layout`] in normal, degraded, and rebuilding modes, with
+//! dedicated-spare or distributed-sparing reconstruction, plus analytic
+//! (queue-free) predictors for cross-checking.
+//!
+//! ```
+//! use pdl_core::RingLayout;
+//! use pdl_sim::{simulate_rebuild, RebuildTarget, rebuild_reads_match_layout};
+//!
+//! let rl = RingLayout::for_v_k(7, 3);
+//! let res = simulate_rebuild(rl.layout(), 0, RebuildTarget::ReadOnly, 42);
+//! assert!(res.rebuild_finished_at.is_some());
+//! assert!(rebuild_reads_match_layout(rl.layout(), 0, &res));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod engine;
+pub mod model;
+pub mod vulnerability;
+
+pub use analytic::{
+    expected_degraded_read_load, expected_write_load, parity_fraction,
+    reconstruction_total_reads, write_bottleneck_ratio,
+};
+pub use engine::{rebuild_reads_match_layout, simulate, simulate_rebuild, ArraySim, SimResult};
+pub use model::{
+    AddressDist, DiskModel, IoKind, RebuildPolicy, RebuildTarget, Scheduling, SeekModel,
+    SimConfig, StopCondition, Workload,
+};
+pub use vulnerability::{second_failure_loss, worst_second_failure, DataLossReport};

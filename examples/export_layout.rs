@@ -1,0 +1,47 @@
+//! Export/import: generate the best feasible layout for an array, ship
+//! it as JSON (the controller's lookup table, Condition 4), and load it
+//! back — the artifact a real storage system would persist.
+//!
+//! Run with: `cargo run --release --example export_layout -- 13 4`
+
+use parity_decluster::core::{
+    build_layout, from_json, layout_size, to_json, Method, QualityReport,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let v: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(13);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    // Pick the smallest feasible method.
+    let (method, layout) = Method::ALL
+        .into_iter()
+        .filter_map(|m| {
+            layout_size(m, v as u64, k as u64)
+                .filter(|&s| s <= 10_000)
+                .and_then(|_| build_layout(m, v, k, 1_000_000).map(|l| (m, l)))
+        })
+        .min_by_key(|(_, l)| l.size())
+        .expect("no feasible layout for these parameters");
+    println!(
+        "best feasible layout for v={v}, k={k}: {} ({} units/disk, {} stripes)",
+        method.name(),
+        layout.size(),
+        layout.b()
+    );
+    println!("{}\n", QualityReport::measure(&layout));
+
+    let json = to_json(&layout);
+    println!("serialized: {} bytes of JSON", json.len());
+    let preview: String = json.chars().take(120).collect();
+    println!("  {preview}…\n");
+
+    // Round-trip: a controller loading this table gets the same layout.
+    let restored = from_json(&json).expect("round-trip must validate");
+    assert_eq!(restored.v(), layout.v());
+    assert_eq!(restored.b(), layout.b());
+    let q1 = QualityReport::measure(&layout);
+    let q2 = QualityReport::measure(&restored);
+    assert_eq!(q1.parity_units, q2.parity_units);
+    println!("round-trip OK: restored layout validates and measures identically");
+}

@@ -1,0 +1,47 @@
+//! Growing an array: take a 16-disk declustered array and extend it to
+//! 20 disks with the stairway transformation, then add distributed
+//! sparing — the Section 5 "extendible layouts" and "distributed
+//! sparing" scenarios end to end.
+//!
+//! Run with: `cargo run --release --example grow_array`
+
+use parity_decluster::core::{
+    extend_via_stairway, QualityReport, RingLayout, SparedLayout, StairwayParams,
+};
+use parity_decluster::design::RingDesign;
+
+fn main() {
+    let (q, k, v) = (16usize, 5usize, 20usize);
+    let design = RingDesign::for_v_k(q, k);
+    let base = RingLayout::new(design.clone());
+    println!("starting array: v={q}, k={k}, {} units/disk", base.layout().size());
+    println!("{}\n", QualityReport::measure(base.layout()));
+
+    // Extend 16 → 20 disks with the stairway transformation.
+    let params = StairwayParams::solve(q, v).expect("stairway parameters exist");
+    println!("extending to v={v} via {params}");
+    let report = extend_via_stairway(&design, v).expect("construction succeeds");
+    println!(
+        "only {:.1}% of existing data must move (regenerating from scratch would move ~100%)",
+        report.moved_fraction * 100.0
+    );
+    let extended = parity_decluster::core::stairway_layout(&design, v).unwrap();
+    println!("{}\n", QualityReport::measure(&extended));
+
+    // Add distributed sparing so the next failure rebuilds in place.
+    let spared = SparedLayout::new(extended).expect("spare assignment is feasible");
+    let counts = spared.spare_counts();
+    println!(
+        "distributed sparing: one spare per stripe, {}–{} spares per disk",
+        counts.iter().min().unwrap(),
+        counts.iter().max().unwrap()
+    );
+    let plan = spared.rebuild_plan(0);
+    let writes = plan.write_counts(spared.layout().v());
+    println!(
+        "if disk 0 fails: {} stripes rebuild into spares spread over {} disks (max {} writes/disk)",
+        plan.targets.len(),
+        writes.iter().filter(|&&w| w > 0).count(),
+        writes.iter().max().unwrap()
+    );
+}

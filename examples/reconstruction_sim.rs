@@ -1,0 +1,58 @@
+//! Reconstruction simulation: fail a disk in a declustered array and a
+//! RAID5 array of the same geometry, rebuild both under live load, and
+//! compare — the experiment motivating the entire paper.
+//!
+//! Run with: `cargo run --release --example reconstruction_sim`
+
+use parity_decluster::core::{raid5_layout, RingLayout};
+use parity_decluster::sim::{
+    simulate, RebuildTarget, SimConfig, StopCondition, Workload,
+};
+
+fn main() {
+    let v = 9;
+    let k = 3;
+    let declustered = RingLayout::for_v_k(v, k);
+    let raid5 = raid5_layout(v, declustered.layout().size());
+    println!(
+        "array: v={v} disks × {} units; declustered k={k} vs RAID5 (k=v)\n",
+        declustered.layout().size()
+    );
+
+    for (name, layout) in [("declustered", declustered.layout()), ("RAID5", &raid5)] {
+        let cfg = SimConfig {
+            seed: 2024,
+            failed_disk: Some(0),
+            rebuild: Some(RebuildTarget::DedicatedSpare),
+            workload: Workload { arrivals_per_sec: 40.0, read_fraction: 0.7, ..Default::default() },
+            stop: StopCondition::RebuildComplete,
+            ..Default::default()
+        };
+        let r = simulate(layout, cfg);
+        println!("=== {name} ===");
+        println!(
+            "rebuild completed in {:.2} s of simulated time",
+            r.rebuild_finished_at.unwrap() as f64 / 1e6
+        );
+        println!(
+            "foreground: {} requests, mean response {:.1} ms, p95 {:.1} ms",
+            r.completed,
+            r.mean_response_us / 1e3,
+            r.p95_response_us as f64 / 1e3
+        );
+        println!(
+            "per-disk rebuild reads (survivors): {:?}",
+            &r.rebuild_reads[1..v]
+        );
+        println!(
+            "spare disk absorbed {} rebuild writes\n",
+            r.rebuild_writes.last().copied().unwrap_or(0)
+        );
+    }
+
+    println!(
+        "expected shape: the declustered array reads only (k-1)/(v-1) = {:.0}% of each\n\
+         survivor and rebuilds several times faster with lower user-visible latency.",
+        (k as f64 - 1.0) / (v as f64 - 1.0) * 100.0
+    );
+}

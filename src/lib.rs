@@ -1,0 +1,41 @@
+//! # parity-decluster
+//!
+//! A complete implementation of **"Improved Parity-Declustered Layouts
+//! for Disk Arrays"** (Schwabe & Sutherland, SPAA 1994 / JCSS 1996):
+//! ring-based BIBD constructions, approximately-balanced layouts (disk
+//! removal and the stairway transformation), flow-based parity
+//! assignment, and an event-driven disk-array simulator for evaluating
+//! reconstruction performance.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`algebra`] — finite fields, rings, number theory;
+//! * [`design`] — balanced incomplete block designs (Theorems 1–7);
+//! * [`flow`] — max-flow with lower bounds, bipartite matching;
+//! * [`core`] — layouts, metrics, and all constructions (the paper's
+//!   contribution);
+//! * [`sim`] — the disk-array load/reconstruction simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parity_decluster::core::{RingLayout, QualityReport};
+//!
+//! // A declustered layout for 13 disks with parity stripes of size 4:
+//! // one table copy, 48 units per disk, perfectly balanced.
+//! let rl = RingLayout::for_v_k(13, 4);
+//! let q = QualityReport::measure(rl.layout());
+//! assert!(q.parity_balanced() && q.reconstruction_balanced());
+//!
+//! // Reconstruction after a failure reads only (k-1)/(v-1) = 25% of
+//! // each surviving disk, vs 100% for RAID5.
+//! assert!((q.reconstruction_workload.1 - 0.25).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pdl_algebra as algebra;
+pub use pdl_core as core;
+pub use pdl_design as design;
+pub use pdl_flow as flow;
+pub use pdl_sim as sim;
