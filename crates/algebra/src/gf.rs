@@ -32,14 +32,8 @@ impl FiniteField {
         let (p, m) = crate::nt::prime_power(q)
             .unwrap_or_else(|| panic!("GF({q}): order must be a prime power"));
         let modulus = find_irreducible(p, m);
-        let mut field = FiniteField {
-            p,
-            m,
-            q: q as usize,
-            modulus,
-            exp: Vec::new(),
-            log: Vec::new(),
-        };
+        let mut field =
+            FiniteField { p, m, q: q as usize, modulus, exp: Vec::new(), log: Vec::new() };
         field.build_tables();
         field
     }
@@ -223,7 +217,7 @@ impl FiniteField {
     /// order `gcd(v-1, k-1)` or `gcd(v-1, k)`.
     pub fn element_of_order(&self, d: u64) -> usize {
         let n = (self.q - 1) as u64;
-        assert!(d >= 1 && n % d == 0, "order {d} must divide q-1 = {n}");
+        assert!(d >= 1 && n.is_multiple_of(d), "order {d} must divide q-1 = {n}");
         if d == 1 {
             return 1;
         }
@@ -242,19 +236,15 @@ impl FiniteField {
         assert_eq!(self.m % kd, 0, "GF({k}) is not a subfield of GF({})", self.q);
         let n = self.q - 1;
         let step = n / (k - 1);
-        let mut elems: Vec<usize> = std::iter::once(0)
-            .chain((0..k - 1).map(|i| self.exp[i * step]))
-            .collect();
+        let mut elems: Vec<usize> =
+            std::iter::once(0).chain((0..k - 1).map(|i| self.exp[i * step])).collect();
         elems.sort_unstable();
         elems
     }
 
     /// All subfield orders of this field (`p^d` for `d | m`), ascending.
     pub fn subfield_orders(&self) -> Vec<usize> {
-        divisors(self.m as u64)
-            .into_iter()
-            .map(|d| (self.p as usize).pow(d as u32))
-            .collect()
+        divisors(self.m as u64).into_iter().map(|d| (self.p as usize).pow(d as u32)).collect()
     }
 
     /// Embeds a base-field residue `c ∈ Z_p` as a field element index.

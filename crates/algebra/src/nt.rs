@@ -71,15 +71,15 @@ pub fn is_prime(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
-    if n % 3 == 0 {
+    if n.is_multiple_of(3) {
         return n == 3;
     }
     let mut d = 5u64;
     while d.saturating_mul(d) <= n {
-        if n % d == 0 || n % (d + 2) == 0 {
+        if n.is_multiple_of(d) || n.is_multiple_of(d + 2) {
             return false;
         }
         d += 6;
@@ -95,7 +95,7 @@ pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
     }
     let mut push = |p: u64, n: &mut u64| {
         let mut e = 0u32;
-        while *n % p == 0 {
+        while (*n).is_multiple_of(p) {
             *n /= p;
             e += 1;
         }
@@ -141,11 +141,7 @@ pub fn is_prime_power(n: u64) -> bool {
 /// the Theorem 2 bound: a ring-based block design on `v` elements with
 /// block size `k` exists iff `k ≤ M(v)`.
 pub fn min_prime_power_factor(v: u64) -> u64 {
-    factorize(v)
-        .into_iter()
-        .map(|(p, e)| p.pow(e))
-        .min()
-        .unwrap_or(0)
+    factorize(v).into_iter().map(|(p, e)| p.pow(e)).min().unwrap_or(0)
 }
 
 /// All divisors of `n`, ascending.
@@ -239,7 +235,10 @@ mod tests {
         let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
         assert_eq!(
             primes,
-            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97
+            ]
         );
     }
 

@@ -302,10 +302,8 @@ mod tests {
     fn irreducible_product_detected() {
         // Every product of two monic irreducibles of degree 2 over Z_3 must fail.
         let p = 3;
-        let irr2: Vec<Poly> = (0..9)
-            .map(|n| poly(&[n % 3, n / 3, 1]))
-            .filter(|f| is_irreducible(f, p))
-            .collect();
+        let irr2: Vec<Poly> =
+            (0..9).map(|n| poly(&[n % 3, n / 3, 1])).filter(|f| is_irreducible(f, p)).collect();
         assert_eq!(irr2.len(), 3); // (9-3)/2 = 3 monic irreducible quadratics
         for a in &irr2 {
             for b in &irr2 {

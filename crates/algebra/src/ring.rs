@@ -157,7 +157,12 @@ impl ProductRing {
         &self.factors
     }
 
-    fn zip_op(&self, a: usize, b: usize, op: impl Fn(&FiniteField, usize, usize) -> usize) -> usize {
+    fn zip_op(
+        &self,
+        a: usize,
+        b: usize,
+        op: impl Fn(&FiniteField, usize, usize) -> usize,
+    ) -> usize {
         let (mut a, mut b) = (a, b);
         let mut idx = 0usize;
         let mut place = 1usize;
@@ -183,12 +188,8 @@ impl Ring for ProductRing {
         self.zip_op(a, b, |f, x, y| f.add(x, y))
     }
     fn neg(&self, a: usize) -> usize {
-        let comps: Vec<usize> = self
-            .components(a)
-            .iter()
-            .zip(&self.factors)
-            .map(|(&x, f)| f.neg(x))
-            .collect();
+        let comps: Vec<usize> =
+            self.components(a).iter().zip(&self.factors).map(|(&x, f)| f.neg(x)).collect();
         self.from_components(&comps)
     }
     fn mul(&self, a: usize, b: usize) -> usize {
@@ -256,13 +257,8 @@ impl FiniteRing {
             }
             FiniteRing::Product(pr) => {
                 let max = pr.factors().iter().map(|f| f.order()).min().unwrap();
-                assert!(
-                    k <= max,
-                    "k={k} exceeds M(v)={max} for this product ring (Theorem 2)"
-                );
-                (0..k)
-                    .map(|j| pr.from_components(&vec![j; pr.factors().len()]))
-                    .collect()
+                assert!(k <= max, "k={k} exceeds M(v)={max} for this product ring (Theorem 2)");
+                (0..k).map(|j| pr.from_components(&vec![j; pr.factors().len()])).collect()
             }
         }
     }
@@ -374,7 +370,8 @@ mod tests {
 
     #[test]
     fn product_ring_components_roundtrip() {
-        let r = ProductRing::new(vec![FiniteField::new(4), FiniteField::new(3), FiniteField::new(25)]);
+        let r =
+            ProductRing::new(vec![FiniteField::new(4), FiniteField::new(3), FiniteField::new(25)]);
         for a in 0..Ring::order(&r) {
             assert_eq!(r.from_components(&r.components(a)), a);
         }

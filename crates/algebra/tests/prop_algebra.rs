@@ -1,178 +1,231 @@
-//! Property-based tests for the algebraic substrate: number theory
+//! Property-style tests for the algebraic substrate: number theory
 //! against naive oracles, polynomial arithmetic laws, and ring axioms
-//! over randomly chosen structures.
+//! over randomly chosen structures. Uses seeded random sampling (the
+//! offline environment has no `proptest`) with 128 cases per property.
 
 use pdl_algebra::nt;
 use pdl_algebra::poly::{is_irreducible, Poly};
 use pdl_algebra::{FiniteField, FiniteRing, ProductRing, Ring, Zn};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn gcd_against_naive(a in 0u64..5000, b in 0u64..5000) {
+#[test]
+fn gcd_against_naive() {
+    let mut rng = StdRng::seed_from_u64(0x6cd);
+    for _ in 0..CASES {
+        let a = rng.random_range(0u64..5000);
+        let b = rng.random_range(0u64..5000);
         let g = nt::gcd(a, b);
         if a != 0 || b != 0 {
-            prop_assert!(g >= 1);
-            prop_assert_eq!(a % g, 0);
-            prop_assert_eq!(b % g, 0);
+            assert!(g >= 1);
+            assert_eq!(a % g, 0);
+            assert_eq!(b % g, 0);
             // no larger common divisor
             for d in (g + 1)..=(a.min(b)) {
-                prop_assert!(!(a % d == 0 && b % d == 0));
+                assert!(!(a % d == 0 && b % d == 0));
             }
         } else {
-            prop_assert_eq!(g, 0);
+            assert_eq!(g, 0);
         }
     }
+}
 
-    #[test]
-    fn lcm_gcd_identity(a in 1u64..3000, b in 1u64..3000) {
-        prop_assert_eq!(nt::lcm(a, b) * nt::gcd(a, b), a * b);
+#[test]
+fn lcm_gcd_identity() {
+    let mut rng = StdRng::seed_from_u64(0x1c3);
+    for _ in 0..CASES {
+        let a = rng.random_range(1u64..3000);
+        let b = rng.random_range(1u64..3000);
+        assert_eq!(nt::lcm(a, b) * nt::gcd(a, b), a * b);
     }
+}
 
-    #[test]
-    fn factorization_multiplies_back(n in 2u64..200_000) {
+#[test]
+fn factorization_multiplies_back() {
+    let mut rng = StdRng::seed_from_u64(0xfac);
+    for _ in 0..CASES {
+        let n = rng.random_range(2u64..200_000);
         let f = nt::factorize(n);
         let prod: u64 = f.iter().map(|&(p, e)| p.pow(e)).product();
-        prop_assert_eq!(prod, n);
+        assert_eq!(prod, n);
         for &(p, _) in &f {
-            prop_assert!(nt::is_prime(p));
+            assert!(nt::is_prime(p));
         }
     }
+}
 
-    #[test]
-    fn is_prime_against_trial(n in 0u64..3000) {
+#[test]
+fn is_prime_against_trial() {
+    let mut rng = StdRng::seed_from_u64(0x991);
+    for _ in 0..CASES {
+        let n = rng.random_range(0u64..3000);
         let naive = n >= 2 && (2..n).all(|d| n % d != 0);
-        prop_assert_eq!(nt::is_prime(n), naive);
+        assert_eq!(nt::is_prime(n), naive);
     }
+}
 
-    #[test]
-    fn mod_pow_against_naive(b in 0u64..100, e in 0u64..24, m in 1u64..500) {
+#[test]
+fn mod_pow_against_naive() {
+    let mut rng = StdRng::seed_from_u64(0x90d);
+    for _ in 0..CASES {
+        let b = rng.random_range(0u64..100);
+        let e = rng.random_range(0u64..24);
+        let m = rng.random_range(1u64..500);
         let mut acc = 1u64 % m;
         for _ in 0..e {
             acc = acc * (b % m) % m;
         }
-        prop_assert_eq!(nt::mod_pow(b, e, m), acc);
+        assert_eq!(nt::mod_pow(b, e, m), acc);
     }
+}
 
-    #[test]
-    fn divisors_complete(n in 1u64..2000) {
+#[test]
+fn divisors_complete() {
+    let mut rng = StdRng::seed_from_u64(0xd1f);
+    for _ in 0..CASES {
+        let n = rng.random_range(1u64..2000);
         let ds = nt::divisors(n);
         for d in 1..=n {
-            prop_assert_eq!(ds.contains(&d), n % d == 0);
+            assert_eq!(ds.contains(&d), n % d == 0);
         }
     }
+}
 
-    #[test]
-    fn min_prime_power_factor_divides(v in 2u64..5000) {
+#[test]
+fn min_prime_power_factor_divides() {
+    let mut rng = StdRng::seed_from_u64(0x3b9);
+    for _ in 0..CASES {
+        let v = rng.random_range(2u64..5000);
         let m = nt::min_prime_power_factor(v);
-        prop_assert!(m >= 2);
-        prop_assert_eq!(v % m, 0);
-        prop_assert!(nt::is_prime_power(m));
+        assert!(m >= 2);
+        assert_eq!(v % m, 0);
+        assert!(nt::is_prime_power(m));
     }
+}
 
-    #[test]
-    fn poly_ring_laws(a in prop::collection::vec(0u64..5, 0..6),
-                      b in prop::collection::vec(0u64..5, 0..6),
-                      c in prop::collection::vec(0u64..5, 0..6)) {
+fn random_coeffs(rng: &mut StdRng, max: u64, len_bound: usize) -> Vec<u64> {
+    let len = rng.random_range(0..len_bound);
+    (0..len).map(|_| rng.random_range(0..max)).collect()
+}
+
+#[test]
+fn poly_ring_laws() {
+    let mut rng = StdRng::seed_from_u64(0x901);
+    for _ in 0..CASES {
         let p = 5u64;
-        let (pa, pb, pc) = (Poly::from_coeffs(a), Poly::from_coeffs(b), Poly::from_coeffs(c));
-        prop_assert_eq!(pa.add(&pb, p), pb.add(&pa, p));
-        prop_assert_eq!(pa.mul(&pb, p), pb.mul(&pa, p));
-        prop_assert_eq!(pa.mul(&pb.add(&pc, p), p),
-                        pa.mul(&pb, p).add(&pa.mul(&pc, p), p));
+        let pa = Poly::from_coeffs(random_coeffs(&mut rng, 5, 6));
+        let pb = Poly::from_coeffs(random_coeffs(&mut rng, 5, 6));
+        let pc = Poly::from_coeffs(random_coeffs(&mut rng, 5, 6));
+        assert_eq!(pa.add(&pb, p), pb.add(&pa, p));
+        assert_eq!(pa.mul(&pb, p), pb.mul(&pa, p));
+        assert_eq!(pa.mul(&pb.add(&pc, p), p), pa.mul(&pb, p).add(&pa.mul(&pc, p), p));
         // subtraction inverts addition
-        prop_assert_eq!(pa.add(&pb, p).sub(&pb, p), pa);
+        assert_eq!(pa.add(&pb, p).sub(&pb, p), pa);
     }
+}
 
-    #[test]
-    fn poly_rem_is_remainder(a in prop::collection::vec(0u64..7, 0..8)) {
+#[test]
+fn poly_rem_is_remainder() {
+    let mut rng = StdRng::seed_from_u64(0x4e3);
+    for _ in 0..CASES {
         // (a mod f) differs from a by a multiple of f: check degree bound
         let p = 7u64;
         let f = Poly::from_coeffs(vec![3, 0, 1, 1]); // cubic, monic
-        let pa = Poly::from_coeffs(a);
+        let pa = Poly::from_coeffs(random_coeffs(&mut rng, 7, 8));
         let r = pa.rem(&f, p);
-        prop_assert!(r.degree().map_or(true, |d| d < 3));
+        assert!(r.degree().is_none_or(|d| d < 3));
     }
+}
 
-    #[test]
-    fn irreducible_products_are_reducible(
-        i in 0usize..3usize,
-        j in 0usize..3usize,
-    ) {
-        // all monic irreducible quadratics over Z_3
-        let p = 3u64;
-        let irr: Vec<Poly> = (0..9)
-            .map(|n| Poly::from_coeffs(vec![n % 3, n / 3, 1]))
-            .filter(|f| is_irreducible(f, p))
-            .collect();
-        let prod = irr[i].mul(&irr[j], p);
-        prop_assert!(!is_irreducible(&prod, p));
+#[test]
+fn irreducible_products_are_reducible() {
+    // all monic irreducible quadratics over Z_3
+    let p = 3u64;
+    let irr: Vec<Poly> = (0..9)
+        .map(|n| Poly::from_coeffs(vec![n % 3, n / 3, 1]))
+        .filter(|f| is_irreducible(f, p))
+        .collect();
+    for i in 0..3 {
+        for j in 0..3 {
+            let prod = irr[i].mul(&irr[j], p);
+            assert!(!is_irreducible(&prod, p));
+        }
     }
+}
 
-    #[test]
-    fn zn_units_iff_coprime(n in 2usize..200, a in 0usize..200) {
+#[test]
+fn zn_units_iff_coprime() {
+    let mut rng = StdRng::seed_from_u64(0x2a7);
+    for _ in 0..CASES {
+        let n = rng.random_range(2usize..200);
+        let a = rng.random_range(0usize..200) % n;
         let z = Zn::new(n);
-        let a = a % n;
-        prop_assert_eq!(z.is_unit(a), nt::gcd(a as u64, n as u64) == 1);
+        assert_eq!(z.is_unit(a), nt::gcd(a as u64, n as u64) == 1);
     }
+}
 
-    #[test]
-    fn product_ring_componentwise(x in 0usize..36, y in 0usize..36) {
+#[test]
+fn product_ring_componentwise() {
+    let mut rng = StdRng::seed_from_u64(0x9c4);
+    for _ in 0..CASES {
+        let x = rng.random_range(0usize..36);
+        let y = rng.random_range(0usize..36);
         let r = ProductRing::new(vec![FiniteField::new(4), FiniteField::new(9)]);
         let (cx, cy) = (r.components(x), r.components(y));
         let sum = r.components(Ring::add(&r, x, y));
         let f4 = FiniteField::new(4);
         let f9 = FiniteField::new(9);
-        prop_assert_eq!(sum[0], f4.add(cx[0], cy[0]));
-        prop_assert_eq!(sum[1], f9.add(cx[1], cy[1]));
-    }
-
-    #[test]
-    fn lemma3_ring_order(v in 2u64..400) {
-        let ring = FiniteRing::lemma3_ring(v);
-        prop_assert_eq!(ring.order() as u64, v);
-        // 1 is always a unit; 0 never is
-        prop_assert!(ring.is_unit(ring.one()));
-        prop_assert!(!ring.is_unit(0));
+        assert_eq!(sum[0], f4.add(cx[0], cy[0]));
+        assert_eq!(sum[1], f9.add(cx[1], cy[1]));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn lemma3_ring_order() {
+    let mut rng = StdRng::seed_from_u64(0x133);
+    for _ in 0..CASES {
+        let v = rng.random_range(2u64..400);
+        let ring = FiniteRing::lemma3_ring(v);
+        assert_eq!(ring.order() as u64, v);
+        // 1 is always a unit; 0 never is
+        assert!(ring.is_unit(ring.one()));
+        assert!(!ring.is_unit(0));
+    }
+}
 
-    #[test]
-    fn field_multiplicative_group_cyclic(qi in 0usize..8) {
-        let qs = [4u64, 5, 7, 8, 9, 16, 25, 27];
-        let f = FiniteField::new(qs[qi]);
+#[test]
+fn field_multiplicative_group_cyclic() {
+    for q in [4u64, 5, 7, 8, 9, 16, 25, 27] {
+        let f = FiniteField::new(q);
         let g = f.primitive_element();
         // powers of g enumerate all nonzero elements
         let mut seen = vec![false; f.order()];
         let mut cur = 1usize;
         for _ in 0..f.order() - 1 {
-            prop_assert!(!seen[cur]);
+            assert!(!seen[cur]);
             seen[cur] = true;
             cur = f.mul(cur, g);
         }
-        prop_assert_eq!(cur, 1);
-        prop_assert!(!seen[0]);
+        assert_eq!(cur, 1);
+        assert!(!seen[0]);
     }
+}
 
-    #[test]
-    fn subfield_is_closed_field(mi in 0usize..3) {
-        let cases = [(16u64, 4usize), (64, 8), (81, 9)];
-        let (q, k) = cases[mi];
+#[test]
+fn subfield_is_closed_field() {
+    for (q, k) in [(16u64, 4usize), (64, 8), (81, 9)] {
         let f = FiniteField::new(q);
         let sub = f.subfield(k);
-        prop_assert_eq!(sub.len(), k);
+        assert_eq!(sub.len(), k);
         for &a in &sub {
             for &b in &sub {
-                prop_assert!(sub.contains(&f.add(a, b)));
-                prop_assert!(sub.contains(&f.mul(a, b)));
+                assert!(sub.contains(&f.add(a, b)));
+                assert!(sub.contains(&f.mul(a, b)));
             }
             if a != 0 {
-                prop_assert!(sub.contains(&f.inv(a).unwrap()));
+                assert!(sub.contains(&f.inv(a).unwrap()));
             }
         }
     }

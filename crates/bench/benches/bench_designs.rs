@@ -7,9 +7,11 @@ use std::hint::black_box;
 fn bench_ring_designs(c: &mut Criterion) {
     let mut g = c.benchmark_group("ring_design");
     for &(v, k) in &[(9usize, 4usize), (25, 6), (49, 8), (81, 10)] {
-        g.bench_with_input(BenchmarkId::new("full", format!("v{v}_k{k}")), &(v, k), |b, &(v, k)| {
-            b.iter(|| pdl_design::RingDesign::for_v_k(black_box(v), black_box(k)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("full", format!("v{v}_k{k}")),
+            &(v, k),
+            |b, &(v, k)| b.iter(|| pdl_design::RingDesign::for_v_k(black_box(v), black_box(k))),
+        );
     }
     g.finish();
 }
@@ -17,17 +19,23 @@ fn bench_ring_designs(c: &mut Criterion) {
 fn bench_reduced_designs(c: &mut Criterion) {
     let mut g = c.benchmark_group("reduced_design");
     for &(v, k) in &[(13usize, 4usize), (25, 5), (27, 3)] {
-        g.bench_with_input(BenchmarkId::new("thm4", format!("v{v}_k{k}")), &(v, k), |b, &(v, k)| {
-            b.iter(|| pdl_design::theorem4_design(black_box(v), black_box(k)))
-        });
-        g.bench_with_input(BenchmarkId::new("thm5", format!("v{v}_k{k}")), &(v, k), |b, &(v, k)| {
-            b.iter(|| pdl_design::theorem5_design(black_box(v), black_box(k)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("thm4", format!("v{v}_k{k}")),
+            &(v, k),
+            |b, &(v, k)| b.iter(|| pdl_design::theorem4_design(black_box(v), black_box(k))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("thm5", format!("v{v}_k{k}")),
+            &(v, k),
+            |b, &(v, k)| b.iter(|| pdl_design::theorem5_design(black_box(v), black_box(k))),
+        );
     }
     for &(v, k) in &[(16usize, 4usize), (27, 3), (64, 8)] {
-        g.bench_with_input(BenchmarkId::new("thm6", format!("v{v}_k{k}")), &(v, k), |b, &(v, k)| {
-            b.iter(|| pdl_design::theorem6_design(black_box(v), black_box(k)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("thm6", format!("v{v}_k{k}")),
+            &(v, k),
+            |b, &(v, k)| b.iter(|| pdl_design::theorem6_design(black_box(v), black_box(k))),
+        );
     }
     g.finish();
 }

@@ -30,11 +30,9 @@ fn bench_layout_construction(c: &mut Criterion) {
     }
     for &(q, k, v) in &[(8usize, 3usize, 9usize), (9, 4, 12), (16, 5, 20)] {
         let design = RingDesign::for_v_k(q, k);
-        g.bench_with_input(
-            BenchmarkId::new("stairway", format!("q{q}_v{v}")),
-            &design,
-            |b, d| b.iter(|| stairway_layout(black_box(d), v).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::new("stairway", format!("q{q}_v{v}")), &design, |b, d| {
+            b.iter(|| stairway_layout(black_box(d), v).unwrap())
+        });
     }
     g.finish();
 }

@@ -3,14 +3,26 @@
 //! and (9)." Exhaustively re-verified, in parallel.
 
 use pdl_core::stairway_params_exist;
-use rayon::prelude::*;
 
 fn main() {
     println!("E13: stairway parameters exist for every v ≤ 10,000\n");
-    let failures: Vec<usize> = (3usize..=10_000)
-        .into_par_iter()
-        .filter(|&v| stairway_params_exist(v).is_none())
-        .collect();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let all: Vec<usize> = (3usize..=10_000).collect();
+    let failures: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = all
+            .chunks(all.len().div_ceil(threads))
+            .map(|chunk| {
+                s.spawn(move || {
+                    chunk
+                        .iter()
+                        .copied()
+                        .filter(|&v| stairway_params_exist(v).is_none())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
     if failures.is_empty() {
         println!("verified: all v in [3, 10000] admit (q, c, w) — claim CONFIRMED");
     } else {

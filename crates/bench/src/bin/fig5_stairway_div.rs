@@ -16,14 +16,9 @@ fn main() {
             &widths
         )
     );
-    for (q, k, v) in [
-        (8usize, 3usize, 10usize),
-        (9, 4, 12),
-        (16, 5, 20),
-        (25, 4, 30),
-        (27, 3, 36),
-        (32, 6, 40),
-    ] {
+    for (q, k, v) in
+        [(8usize, 3usize, 10usize), (9, 4, 12), (16, 5, 20), (25, 4, 30), (27, 3, 36), (32, 6, 40)]
+    {
         let p = StairwayParams::solve(q, v).unwrap();
         assert_eq!(p.w, 0, "divisible case has no wide steps");
         let design = RingDesign::for_v_k(q, k);

@@ -3,18 +3,13 @@
 //! every disk receives ⌊L(d)⌋ or ⌈L(d)⌉ parity units.
 
 use pdl_bench::{header, row};
-use pdl_core::{
-    parity_counts, single_copy_layout, QualityReport, RingLayout, StripePartition,
-};
+use pdl_core::{parity_counts, single_copy_layout, QualityReport, RingLayout, StripePartition};
 use pdl_design::{complete_design, theorem4_design, theorem6_design};
 
 fn main() {
     println!("E14 / Fig 7 + Theorems 13-14: flow-based parity assignment\n");
     let widths = [26, 5, 7, 10, 10, 8];
-    println!(
-        "{}",
-        header(&["layout", "v", "b", "parity/disk", "⌊L⌋/⌈L⌉", "check"], &widths)
-    );
+    println!("{}", header(&["layout", "v", "b", "parity/disk", "⌊L⌋/⌈L⌉", "check"], &widths));
 
     let check = |name: &str, part: StripePartition| {
         let counts_one = vec![1usize; part.stripes().len()];
@@ -26,10 +21,7 @@ fn main() {
             let hi = loads[d].ceil() as usize;
             assert!(c >= lo && c <= hi, "{name}: disk {d} has {c} ∉ [{lo},{hi}]");
         }
-        let (cmin, cmax) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (cmin, cmax) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         let q = QualityReport::measure(&l);
         println!(
             "{}",

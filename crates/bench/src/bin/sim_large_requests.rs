@@ -20,11 +20,7 @@ fn run(layout: &Layout, size: (usize, usize), read_frac: f64, aligned: bool) -> 
         ..Default::default()
     };
     let r = simulate(layout, cfg);
-    (
-        r.mean_response_us / 1e3,
-        r.fg_reads.iter().sum::<u64>(),
-        r.fg_writes.iter().sum::<u64>(),
-    )
+    (r.mean_response_us / 1e3, r.fg_reads.iter().sum::<u64>(), r.fg_writes.iter().sum::<u64>())
 }
 
 fn main() {
@@ -34,10 +30,7 @@ fn main() {
 
     println!("(a) write workloads on ring v=9, k=4 (3 data units per stripe):");
     let widths = [26, 12, 10, 10, 14];
-    println!(
-        "{}",
-        header(&["workload", "resp(ms)", "reads", "writes", "reads/write"], &widths)
-    );
+    println!("{}", header(&["workload", "resp(ms)", "reads", "writes", "reads/write"], &widths));
     for (name, size, aligned) in [
         ("small writes (RMW)", (1usize, 1usize), false),
         ("3-unit unaligned", (3, 3), false),
@@ -47,13 +40,7 @@ fn main() {
         println!(
             "{}",
             row(
-                &[
-                    &name,
-                    &f4(resp),
-                    &reads,
-                    &writes,
-                    &f4(reads as f64 / writes.max(1) as f64),
-                ],
+                &[&name, &f4(resp), &reads, &writes, &f4(reads as f64 / writes.max(1) as f64),],
                 &widths
             )
         );
@@ -64,10 +51,7 @@ fn main() {
 
     println!("\n(b) 9-unit reads: RAID5 (ideal parallelism) vs declustered:");
     let widths = [14, 12, 14, 14];
-    println!(
-        "{}",
-        header(&["layout", "resp(ms)", "IOs/request", "parallel µ"], &widths)
-    );
+    println!("{}", header(&["layout", "resp(ms)", "IOs/request", "parallel µ"], &widths));
     for (name, l) in [("RAID5", &raid5), ("ring k=4", ring.layout())] {
         let cfg = SimConfig {
             seed: 56,

@@ -46,22 +46,13 @@ fn main() {
     );
 
     let widths = [16, 10, 12, 12, 14];
-    println!(
-        "{}",
-        header(&["layout", "writes/s", "resp(ms)", "max util", "util skew"], &widths)
-    );
+    println!("{}", header(&["layout", "writes/s", "resp(ms)", "max util", "util skew"], &widths));
     let mut worst_gap: f64 = 0.0;
     for arrivals in [20.0f64, 40.0, 60.0, 80.0] {
         let (rn, un, sn) = run_writes(&naive, arrivals, 11);
         let (rb, ub, sb) = run_writes(&balanced, arrivals, 11);
-        println!(
-            "{}",
-            row(&[&"naive", &arrivals, &f4(rn), &f4(un), &f4(sn)], &widths)
-        );
-        println!(
-            "{}",
-            row(&[&"balanced", &arrivals, &f4(rb), &f4(ub), &f4(sb)], &widths)
-        );
+        println!("{}", row(&[&"naive", &arrivals, &f4(rn), &f4(un), &f4(sn)], &widths));
+        println!("{}", row(&[&"balanced", &arrivals, &f4(rb), &f4(ub), &f4(sb)], &widths));
         worst_gap = worst_gap.max(sn - sb);
         assert!(
             sb <= sn + 0.05,

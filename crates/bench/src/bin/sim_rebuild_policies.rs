@@ -58,10 +58,7 @@ fn main() {
     println!("\n(b) second failure at fraction f of the first rebuild window:");
     let raid5 = raid5_layout(9, rl.layout().size());
     let widths = [14, 10, 10, 10, 10, 10];
-    println!(
-        "{}",
-        header(&["layout", "f=0", "f=0.25", "f=0.5", "f=0.75", "f=1.0"], &widths)
-    );
+    println!("{}", header(&["layout", "f=0", "f=0.25", "f=0.5", "f=0.75", "f=1.0"], &widths));
     for (name, layout) in [("ring k=3", rl.layout()), ("RAID5", &raid5)] {
         let r = rebuild(layout, RebuildPolicy::StripeOriented { parallelism: 4 }, 0.0);
         let t_end = r.rebuild_finished_at.unwrap();

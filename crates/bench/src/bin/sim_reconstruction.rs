@@ -33,14 +33,8 @@ fn main() {
         ("ring k=3".into(), RingLayout::for_v_k(v, 3).layout().clone()),
         ("ring k=5".into(), RingLayout::for_v_k(v, 5).layout().clone()),
         ("ring k=7".into(), RingLayout::for_v_k(v, 7).layout().clone()),
-        (
-            "stairway 8→9 k=3".into(),
-            stairway_layout(&RingDesign::for_v_k(8, 3), 9).unwrap(),
-        ),
-        (
-            "removal 11→9 k=5".into(),
-            RingLayout::for_v_k(11, 5).remove_disks(&[9, 10]).unwrap(),
-        ),
+        ("stairway 8→9 k=3".into(), stairway_layout(&RingDesign::for_v_k(8, 3), 9).unwrap()),
+        ("removal 11→9 k=5".into(), RingLayout::for_v_k(11, 5).remove_disks(&[9, 10]).unwrap()),
     ];
 
     for arrivals in [0.0f64, 60.0] {
@@ -52,19 +46,13 @@ fn main() {
         let widths = [18, 6, 12, 14, 12];
         println!(
             "{}",
-            header(
-                &["layout", "size", "rebuild(s)", "ms per unit", "fg resp(ms)"],
-                &widths
-            )
+            header(&["layout", "size", "rebuild(s)", "ms per unit", "fg resp(ms)"], &widths)
         );
         let mut per_unit = Vec::new();
         for (name, l) in &declustered {
             let (secs, norm, resp) = rebuild_under_load(l, arrivals, 42);
             per_unit.push((name.clone(), norm));
-            println!(
-                "{}",
-                row(&[name, &l.size(), &f4(secs), &f4(norm), &f4(resp)], &widths)
-            );
+            println!("{}", row(&[name, &l.size(), &f4(secs), &f4(norm), &f4(resp)], &widths));
         }
         // Shape check: smaller k rebuilds faster per unit than RAID5.
         let raid5 = per_unit[0].1;

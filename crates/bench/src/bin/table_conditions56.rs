@@ -5,8 +5,8 @@
 
 use pdl_bench::{f4, header, row};
 use pdl_core::{
-    holland_gibson_layout, raid5_layout, random_layout, stairway_layout, Layout,
-    ParallelismReport, RingLayout,
+    holland_gibson_layout, raid5_layout, random_layout, stairway_layout, Layout, ParallelismReport,
+    RingLayout,
 };
 use pdl_design::{complete_design, theorem4_design, RingDesign};
 
@@ -17,27 +17,15 @@ fn main() {
         ("ring v=9,k=3".into(), RingLayout::for_v_k(9, 3).layout().clone()),
         ("ring v=9,k=4".into(), RingLayout::for_v_k(9, 4).layout().clone()),
         ("ring v=13,k=4".into(), RingLayout::for_v_k(13, 4).layout().clone()),
-        (
-            "hg complete v=5,k=3".into(),
-            holland_gibson_layout(&complete_design(5, 3, 1000)),
-        ),
-        (
-            "hg thm4 v=13,k=4".into(),
-            holland_gibson_layout(&theorem4_design(13, 4).design),
-        ),
+        ("hg complete v=5,k=3".into(), holland_gibson_layout(&complete_design(5, 3, 1000))),
+        ("hg thm4 v=13,k=4".into(), holland_gibson_layout(&theorem4_design(13, 4).design)),
         ("thm8 v=9→8,k=4".into(), RingLayout::for_v_k(9, 4).remove_disk(0)),
-        (
-            "stairway 9→13,k=4".into(),
-            stairway_layout(&RingDesign::for_v_k(9, 4), 13).unwrap(),
-        ),
+        ("stairway 9→13,k=4".into(), stairway_layout(&RingDesign::for_v_k(9, 4), 13).unwrap()),
         ("random v=9,k=3".into(), random_layout(9, 3, 24, 7).unwrap()),
     ];
 
     let widths = [22, 12, 12, 12];
-    println!(
-        "{}",
-        header(&["layout", "large-write", "parallel µ", "parallel min"], &widths)
-    );
+    println!("{}", header(&["layout", "large-write", "parallel µ", "parallel min"], &widths));
     for (name, l) in &layouts {
         let r = ParallelismReport::measure(l);
         println!(

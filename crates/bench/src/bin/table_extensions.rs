@@ -4,9 +4,7 @@
 //! layouts.
 
 use pdl_bench::{f4, header, row};
-use pdl_core::{
-    random_layout, relayout_cost, QualityReport, RingLayout, SparedLayout,
-};
+use pdl_core::{random_layout, relayout_cost, QualityReport, RingLayout, SparedLayout};
 use pdl_design::RingDesign;
 
 fn main() {
@@ -15,10 +13,7 @@ fn main() {
     // --- Distributed sparing --------------------------------------------
     println!("(a) distributed sparing: spare units balanced by generalized Thm 14");
     let widths = [6, 4, 14, 14, 16];
-    println!(
-        "{}",
-        header(&["v", "k", "spares/disk", "rebuild wrts", "stranded"], &widths)
-    );
+    println!("{}", header(&["v", "k", "spares/disk", "rebuild wrts", "stranded"], &widths));
     for (v, k) in [(9usize, 4usize), (13, 4), (16, 5), (25, 6)] {
         let spared = SparedLayout::new(RingLayout::for_v_k(v, k).layout().clone()).unwrap();
         let counts = spared.spare_counts();
@@ -45,10 +40,7 @@ fn main() {
     // --- Extendible layouts ---------------------------------------------
     println!("\n(b) extendible layouts: stairway extension vs regeneration");
     let widths = [8, 8, 16, 16];
-    println!(
-        "{}",
-        header(&["q", "v", "stairway moved", "regen moved"], &widths)
-    );
+    println!("{}", header(&["q", "v", "stairway moved", "regen moved"], &widths));
     for (q, k, v) in [(8usize, 3usize, 9usize), (8, 3, 11), (9, 3, 12), (13, 4, 16)] {
         let design = RingDesign::for_v_k(q, k);
         let rep = pdl_core::extend_via_stairway(&design, v).unwrap();
@@ -56,19 +48,13 @@ fn main() {
         let regen = RingLayout::for_v_k(v, k);
         let regen_cost = relayout_cost(base.layout(), regen.layout());
         assert!(rep.moved_fraction < regen_cost);
-        println!(
-            "{}",
-            row(&[&q, &v, &f4(rep.moved_fraction), &f4(regen_cost)], &widths)
-        );
+        println!("{}", row(&[&q, &v, &f4(rep.moved_fraction), &f4(regen_cost)], &widths));
     }
 
     // --- Randomized layouts ---------------------------------------------
     println!("\n(c) randomized (Merchant-Yu-style) layouts: workload spread");
     let widths = [22, 14, 20];
-    println!(
-        "{}",
-        header(&["layout", "parity Δ", "recon workload"], &widths)
-    );
+    println!("{}", header(&["layout", "parity Δ", "recon workload"], &widths));
     let rl = RingLayout::for_v_k(13, 4);
     let qr = QualityReport::measure(rl.layout());
     println!(

@@ -4,9 +4,7 @@
 //! for perfect parity balance.
 
 use pdl_bench::{header, row};
-use pdl_core::{
-    copies_for_perfect_parity, parity_counts, single_copy_layout, StripePartition,
-};
+use pdl_core::{copies_for_perfect_parity, parity_counts, single_copy_layout, StripePartition};
 use pdl_design::{theorem4_design, theorem5_design, theorem6_design, ConstructedBibd};
 
 fn check_perfect(design: &pdl_design::BlockDesign, copies: usize) -> bool {
@@ -28,13 +26,13 @@ fn main() {
         )
     );
     let cases: Vec<(String, ConstructedBibd)> = vec![
-        ("thm6 v=9,k=3".into(), theorem6_design(9, 3)),     // b=12, v=9 → 3 copies
-        ("thm6 v=16,k=4".into(), theorem6_design(16, 4)),   // b=20, v=16 → 4 copies
-        ("thm4 v=13,k=4".into(), theorem4_design(13, 4)),   // b=52, v=13 → 1 copy
-        ("thm5 v=13,k=4".into(), theorem5_design(13, 4)),   // b=39, v=13 → 1 copy
-        ("thm4 v=8,k=3".into(), theorem4_design(8, 3)),     // b=56, v=8 → 1
-        ("thm6 v=25,k=5".into(), theorem6_design(25, 5)),   // b=30, v=25 → 5
-        ("thm6 v=8,k=2".into(), theorem6_design(8, 2)),     // b=28, v=8 → 2
+        ("thm6 v=9,k=3".into(), theorem6_design(9, 3)), // b=12, v=9 → 3 copies
+        ("thm6 v=16,k=4".into(), theorem6_design(16, 4)), // b=20, v=16 → 4 copies
+        ("thm4 v=13,k=4".into(), theorem4_design(13, 4)), // b=52, v=13 → 1 copy
+        ("thm5 v=13,k=4".into(), theorem5_design(13, 4)), // b=39, v=13 → 1 copy
+        ("thm4 v=8,k=3".into(), theorem4_design(8, 3)), // b=56, v=8 → 1
+        ("thm6 v=25,k=5".into(), theorem6_design(25, 5)), // b=30, v=25 → 5
+        ("thm6 v=8,k=2".into(), theorem6_design(8, 2)), // b=28, v=8 → 2
     ];
     for (name, c) in cases {
         let (b, v) = (c.params.b, c.params.v);
@@ -50,10 +48,7 @@ fn main() {
             }
         }
         assert!(!fewer_ok, "{name}: fewer than lcm copies balanced perfectly");
-        println!(
-            "{}",
-            row(&[&name, &v, &b, &need, &at_lcm, &(!fewer_ok), &"ok"], &widths)
-        );
+        println!("{}", row(&[&name, &v, &b, &need, &at_lcm, &(!fewer_ok), &"ok"], &widths));
     }
     println!("\npaper: lcm(b,v)/b copies are necessary AND sufficient — confirmed,");
     println!("proving the Holland-Gibson conjecture computationally as well.");

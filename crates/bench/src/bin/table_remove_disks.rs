@@ -9,21 +9,13 @@ use pdl_core::{max_safe_removals, QualityReport, RingLayout};
 fn main() {
     println!("E9 / Theorems 8 & 9: disk removal from ring-based layouts\n");
     let widths = [4, 4, 4, 6, 12, 12, 12, 10];
-    println!(
-        "{}",
-        header(
-            &["v", "k", "i", "v-i", "overhead", "bound", "recon", "check"],
-            &widths
-        )
-    );
+    println!("{}", header(&["v", "k", "i", "v-i", "overhead", "bound", "recon", "check"], &widths));
     for (v, k) in [(8usize, 4usize), (9, 4), (11, 5), (13, 6), (16, 9), (17, 9)] {
         let rl = RingLayout::for_v_k(v, k);
         let imax = max_safe_removals(k);
         for i in 0..=imax {
             let removed: Vec<usize> = (0..i).collect();
-            let l = rl.remove_disks(&removed).unwrap_or_else(|e| {
-                panic!("v={v} k={k} i={i}: {e}")
-            });
+            let l = rl.remove_disks(&removed).unwrap_or_else(|e| panic!("v={v} k={k} i={i}: {e}"));
             let q = QualityReport::measure(&l);
             let denom = k as f64 * (v as f64 - 1.0);
             let (olo, ohi) = if i == 0 {

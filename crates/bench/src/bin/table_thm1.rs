@@ -7,10 +7,7 @@ use pdl_design::RingDesign;
 fn main() {
     println!("E4 / Theorem 1: ring-based block design parameters\n");
     let widths = [16, 5, 4, 8, 8, 8, 8];
-    println!(
-        "{}",
-        header(&["ring", "v", "k", "b", "r", "λ", "verified"], &widths)
-    );
+    println!("{}", header(&["ring", "v", "k", "b", "r", "λ", "verified"], &widths));
     let cases: &[(&str, usize, usize)] = &[
         ("GF(5)", 5, 3),
         ("GF(8)", 8, 4),

@@ -16,9 +16,9 @@ fn main() {
         for k in 2..=m.min(8) {
             assert!(ring_design_exists(v, k), "v={v} k={k}");
             let d = RingDesign::for_v_k(v as usize, k as usize);
-            d.to_block_design().verify_bibd().unwrap_or_else(|e| {
-                panic!("v={v} k={k}: construction failed verification: {e}")
-            });
+            d.to_block_design()
+                .verify_bibd()
+                .unwrap_or_else(|e| panic!("v={v} k={k}: construction failed verification: {e}"));
             built += 1;
         }
         assert!(!ring_design_exists(v, m + 1), "v={v}: k=M(v)+1 must not exist");

@@ -9,13 +9,7 @@ use pdl_design::{theorem4_design, theorem5_design};
 fn main() {
     println!("E6 / Theorems 4 & 5: symmetric-generator reduced designs\n");
     let widths = [4, 4, 8, 6, 8, 6, 8, 10];
-    println!(
-        "{}",
-        header(
-            &["v", "k", "full b", "g4", "b(T4)", "g5", "b(T5)", "winner"],
-            &widths
-        )
-    );
+    println!("{}", header(&["v", "k", "full b", "g4", "b(T4)", "g5", "b(T5)", "winner"], &widths));
     for v in [5usize, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32] {
         for k in [3usize, 4, 5] {
             if k >= v {

@@ -8,10 +8,7 @@ use pdl_design::{bibd_min_blocks, theorem6_design};
 fn main() {
     println!("E7 / Theorems 6 & 7: optimally small λ=1 designs (v = k^m)\n");
     let widths = [6, 4, 4, 8, 8, 4, 10, 10];
-    println!(
-        "{}",
-        header(&["v", "k", "m", "b", "r", "λ", "Thm7 min", "optimal"], &widths)
-    );
+    println!("{}", header(&["v", "k", "m", "b", "r", "λ", "Thm7 min", "optimal"], &widths));
     for (v, k, m) in [
         (4usize, 2usize, 2u32),
         (8, 2, 3),

@@ -53,10 +53,7 @@ impl LayoutSpec {
                 .stripes()
                 .iter()
                 .map(|s| {
-                    (
-                        s.units().iter().map(|u| (u.disk, u.offset)).collect(),
-                        s.parity_slot() as u32,
-                    )
+                    (s.units().iter().map(|u| (u.disk, u.offset)).collect(), s.parity_slot() as u32)
                 })
                 .collect(),
         }

@@ -97,7 +97,11 @@ mod tests {
                         }
                         (None, None) => {}
                         (Some(l), None) => {
-                            panic!("{} v={v} k={k}: built size {} but no closed form", m.name(), l.size())
+                            panic!(
+                                "{} v={v} k={k}: built size {} but no closed form",
+                                m.name(),
+                                l.size()
+                            )
                         }
                         (None, Some(s)) => {
                             // complete designs capped by max_blocks are the

@@ -83,10 +83,7 @@ impl DoubleParityLayout {
 
     /// Fraction of each disk holding parity (overhead ≈ 2/k).
     pub fn parity_overheads(&self) -> Vec<f64> {
-        self.parity_counts()
-            .iter()
-            .map(|&c| c as f64 / self.layout.size() as f64)
-            .collect()
+        self.parity_counts().iter().map(|&c| c as f64 / self.layout.size() as f64).collect()
     }
 
     /// True if every stripe still has at least one surviving *readable*
@@ -94,17 +91,13 @@ impl DoubleParityLayout {
     /// two units lost per stripe (always true by Condition 1).
     pub fn survives_double_failure(&self, f1: usize, f2: usize) -> bool {
         assert_ne!(f1, f2);
-        self.layout
-            .stripes()
-            .iter()
-            .all(|s| {
-                let lost = s.units().iter().filter(|u| {
-                    u.disk as usize == f1 || u.disk as usize == f2
-                }).count();
-                // With 2 parities, any ≤2 lost units are recoverable as
-                // long as the stripe had ≥ lost redundancy.
-                lost <= 2
-            })
+        self.layout.stripes().iter().all(|s| {
+            let lost =
+                s.units().iter().filter(|u| u.disk as usize == f1 || u.disk as usize == f2).count();
+            // With 2 parities, any ≤2 lost units are recoverable as
+            // long as the stripe had ≥ lost redundancy.
+            lost <= 2
+        })
     }
 
     /// Reconstruction workload for a *double* failure `(f1, f2)`: the

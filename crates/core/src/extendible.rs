@@ -51,12 +51,7 @@ pub fn extend_via_stairway(
     let extended = crate::stairway::stairway_layout(design, v)?;
     let moved = crate::stairway::stairway_movement(q, v)
         .expect("stairway_layout succeeded, so params exist");
-    Ok(ExtensionReport {
-        v_old: q,
-        v_new: v,
-        moved_fraction: moved,
-        new_size: extended.size(),
-    })
+    Ok(ExtensionReport { v_old: q, v_new: v, moved_fraction: moved, new_size: extended.size() })
 }
 
 #[cfg(test)]

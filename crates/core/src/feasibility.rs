@@ -97,9 +97,7 @@ pub fn layout_size(method: Method, v: u64, k: u64) -> Option<u128> {
             best_bibd_params(v, k).map(|(b, r)| (r * (lcm(b, v) / b)) as u128)
         }
         Method::BibdSingleCopy => best_bibd_params(v, k).map(|(_, r)| r as u128),
-        Method::RingBased => {
-            (k <= min_prime_power_factor(v)).then(|| (k * (v - 1)) as u128)
-        }
+        Method::RingBased => (k <= min_prime_power_factor(v)).then(|| (k * (v - 1)) as u128),
         Method::Stairway => stairway_smallest_source(v as usize, k as usize)
             .map(|(_, p)| p.size(k as usize) as u128),
     }
@@ -141,7 +139,11 @@ pub fn stairway_params_exist(v: usize) -> Option<(usize, StairwayParams)> {
 /// Sweeps the `(v, k)` plane and counts feasible pairs per method
 /// (`size ≤ limit`). Returns `counts[method_index]` aligned with
 /// [`Method::ALL`].
-pub fn count_feasible(v_range: std::ops::RangeInclusive<u64>, k_max: u64, limit: u128) -> [usize; 6] {
+pub fn count_feasible(
+    v_range: std::ops::RangeInclusive<u64>,
+    k_max: u64,
+    limit: u128,
+) -> [usize; 6] {
     let mut counts = [0usize; 6];
     for v in v_range {
         for k in 2..=k_max.min(v) {
@@ -239,14 +241,8 @@ mod tests {
         let counts = count_feasible(4..=100, 16, DEFAULT_FEASIBILITY_LIMIT as u128);
         let idx = |m: Method| Method::ALL.iter().position(|&x| x == m).unwrap();
         assert!(counts[idx(Method::RingBased)] > 0);
-        assert!(
-            counts[idx(Method::Stairway)] > counts[idx(Method::CompleteHG)],
-            "{counts:?}"
-        );
-        assert!(
-            counts[idx(Method::BibdSingleCopy)] >= counts[idx(Method::BibdHG)],
-            "{counts:?}"
-        );
+        assert!(counts[idx(Method::Stairway)] > counts[idx(Method::CompleteHG)], "{counts:?}");
+        assert!(counts[idx(Method::BibdSingleCopy)] >= counts[idx(Method::BibdHG)], "{counts:?}");
     }
 
     #[test]

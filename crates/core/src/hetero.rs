@@ -73,13 +73,10 @@ impl HeteroArray {
         }
         let inst = ParityInstance {
             v,
-            stripes: stripes
-                .iter()
-                .map(|s| s.iter().map(|u| u.disk as usize).collect())
-                .collect(),
+            stripes: stripes.iter().map(|s| s.iter().map(|u| u.disk as usize).collect()).collect(),
         };
-        let parity = assign_parity_two_phase(&inst)
-            .ok_or(HeteroError::Assign(AssignError::Infeasible))?;
+        let parity =
+            assign_parity_two_phase(&inst).ok_or(HeteroError::Assign(AssignError::Infeasible))?;
         Ok(HeteroArray { sizes, stripes, parity })
     }
 
@@ -125,11 +122,7 @@ impl HeteroArray {
 
     /// Parity overhead per disk, relative to its own capacity.
     pub fn parity_overheads(&self) -> Vec<f64> {
-        self.parity_counts()
-            .iter()
-            .zip(&self.sizes)
-            .map(|(&c, &s)| c as f64 / s as f64)
-            .collect()
+        self.parity_counts().iter().zip(&self.sizes).map(|(&c, &s)| c as f64 / s as f64).collect()
     }
 
     /// Fraction of disk `d` read while reconstructing failed disk `f`.
@@ -190,14 +183,11 @@ pub fn mixed_size_array(
     for copy in 0..extra {
         let shift = base_size + copy * small_size;
         for stripe in crate::ring_layout::ring_copy_stripes(&small, None) {
-            stripes.push(
-                stripe.0.iter().map(|&(d, o)| StripeUnit::new(d, o + shift)).collect(),
-            );
+            stripes.push(stripe.0.iter().map(|&(d, o)| StripeUnit::new(d, o + shift)).collect());
         }
     }
-    let sizes: Vec<usize> = (0..v)
-        .map(|d| base_size + if d < w { extra * small_size } else { 0 })
-        .collect();
+    let sizes: Vec<usize> =
+        (0..v).map(|d| base_size + if d < w { extra * small_size } else { 0 }).collect();
     HeteroArray::new(sizes, stripes)
 }
 

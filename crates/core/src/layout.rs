@@ -166,7 +166,11 @@ pub struct Layout {
 
 impl Layout {
     /// Builds and validates a layout from its stripes.
-    pub fn from_stripes(v: usize, size: usize, stripes: Vec<Stripe>) -> Result<Layout, LayoutError> {
+    pub fn from_stripes(
+        v: usize,
+        size: usize,
+        stripes: Vec<Stripe>,
+    ) -> Result<Layout, LayoutError> {
         assert!(v >= 1 && size >= 1, "array must be nonempty");
         let sentinel = UnitRef { stripe: u32::MAX, slot: u32::MAX };
         let mut unit_map = vec![sentinel; v * size];
@@ -353,8 +357,7 @@ mod tests {
 
     #[test]
     fn out_of_range_detected() {
-        let err =
-            Layout::from_stripes(1, 1, vec![Stripe::new(vec![unit(0, 5)], 0)]).unwrap_err();
+        let err = Layout::from_stripes(1, 1, vec![Stripe::new(vec![unit(0, 5)], 0)]).unwrap_err();
         assert!(matches!(err, LayoutError::UnitOutOfRange { .. }));
     }
 

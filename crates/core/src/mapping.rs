@@ -64,7 +64,7 @@ impl AddressMapper {
 
     /// The parity unit protecting logical unit `addr`, mapped into the
     /// same copy.
-    pub fn parity_of<'a>(&self, addr: usize, layout: &'a Layout) -> StripeUnit {
+    pub fn parity_of(&self, addr: usize, layout: &Layout) -> StripeUnit {
         let copy = addr / self.table.len();
         let si = self.stripe_of[addr % self.table.len()] as usize;
         let p = layout.stripes()[si].parity_unit();

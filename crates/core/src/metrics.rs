@@ -107,10 +107,8 @@ impl QualityReport {
     /// Computes the full report for a layout.
     pub fn measure(layout: &Layout) -> Self {
         let counts = parity_counts(layout);
-        let (pmin, pmax) = (
-            counts.iter().copied().min().unwrap_or(0),
-            counts.iter().copied().max().unwrap_or(0),
-        );
+        let (pmin, pmax) =
+            (counts.iter().copied().min().unwrap_or(0), counts.iter().copied().max().unwrap_or(0));
         QualityReport {
             v: layout.v(),
             size: layout.size(),
@@ -143,11 +141,18 @@ impl QualityReport {
 
 impl fmt::Display for QualityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "v={} size={} b={} stripes k∈[{},{}]", self.v, self.size, self.b, self.stripe_sizes.0, self.stripe_sizes.1)?;
+        writeln!(
+            f,
+            "v={} size={} b={} stripes k∈[{},{}]",
+            self.v, self.size, self.b, self.stripe_sizes.0, self.stripe_sizes.1
+        )?;
         writeln!(
             f,
             "parity/disk ∈ [{},{}]  overhead ∈ [{:.4},{:.4}]",
-            self.parity_units.0, self.parity_units.1, self.parity_overhead.0, self.parity_overhead.1
+            self.parity_units.0,
+            self.parity_units.1,
+            self.parity_overhead.0,
+            self.parity_overhead.1
         )?;
         write!(
             f,
@@ -187,6 +192,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn crossing_matrix_symmetric_and_correct() {
         let m = crossing_matrix(&fig2_like());
         for f in 0..4 {

@@ -140,7 +140,12 @@ impl StripePartition {
             // round to (n-1, n).
             let lo = (l + 1e-9).floor() as i64;
             let hi = (l - 1e-9).ceil() as i64;
-            edges.push(BoundedEdge { from: 1 + b + d, to: t, lower: lo.min(hi), upper: lo.max(hi) });
+            edges.push(BoundedEdge {
+                from: 1 + b + d,
+                to: t,
+                lower: lo.min(hi),
+                upper: lo.max(hi),
+            });
         }
         let flow =
             max_flow_with_lower_bounds(t + 1, &edges, s, t).ok_or(AssignError::Infeasible)?;
@@ -310,7 +315,7 @@ mod tests {
         let part = StripePartition::from_layout(&l);
         let counts = vec![2usize; part.stripes().len()];
         let chosen = part.assign_distinguished(&counts).unwrap();
-        let mut per_disk = vec![0usize; 6];
+        let mut per_disk = [0usize; 6];
         for (stripe, slots) in part.stripes().iter().zip(&chosen) {
             assert_eq!(slots.len(), 2);
             assert_ne!(slots[0], slots[1]);
@@ -351,8 +356,7 @@ mod tests {
             for l in [&a, &b] {
                 for (d, &c) in parity_counts(l).iter().enumerate() {
                     assert!(
-                        c as f64 >= loads[d].floor() - 1e-9
-                            && c as f64 <= loads[d].ceil() + 1e-9,
+                        c as f64 >= loads[d].floor() - 1e-9 && c as f64 <= loads[d].ceil() + 1e-9,
                         "v={v} k={k} disk {d}"
                     );
                 }

@@ -63,10 +63,7 @@ impl RingLayout {
         let stripes = ring_copy_stripes(&design, None)
             .into_iter()
             .map(|(units, p)| {
-                Stripe::new(
-                    units.into_iter().map(|(d, o)| StripeUnit::new(d, o)).collect(),
-                    p,
-                )
+                Stripe::new(units.into_iter().map(|(d, o)| StripeUnit::new(d, o)).collect(), p)
             })
             .collect();
         let layout = Layout::from_stripes(v, k * (v - 1), stripes)
@@ -183,10 +180,7 @@ impl RingLayout {
         let matching = hopcroft_karp(orphans.len(), surviving.len(), &adj);
         let matched = matching.iter().flatten().count();
         if matched < orphans.len() {
-            return Err(RemovalError::OrphanMatchingFailed {
-                orphans: orphans.len(),
-                matched,
-            });
+            return Err(RemovalError::OrphanMatchingFailed { orphans: orphans.len(), matched });
         }
         for (oi, &idx) in orphans.iter().enumerate() {
             protos[idx].2 = Some(surviving[matching[oi].unwrap()]);

@@ -27,11 +27,8 @@ impl SparedLayout {
     pub fn new(layout: Layout) -> Result<Self, AssignError> {
         // Build a partition over the stripes with the parity unit deleted,
         // so the flow chooses spares among data units only.
-        let stripped: Vec<Vec<StripeUnit>> = layout
-            .stripes()
-            .iter()
-            .map(|s| s.data_units().collect())
-            .collect();
+        let stripped: Vec<Vec<StripeUnit>> =
+            layout.stripes().iter().map(|s| s.data_units().collect()).collect();
         let part = StripePartition::new(layout.v(), layout.size(), stripped);
         let counts = vec![1usize; layout.b()];
         let chosen = part.assign_distinguished(&counts)?;
@@ -94,8 +91,7 @@ impl SparedLayout {
         let mut targets = Vec::new();
         let mut stranded = Vec::new();
         for (si, stripe) in self.layout.stripes().iter().enumerate() {
-            let Some(slot) = stripe.units().iter().position(|u| u.disk as usize == failed)
-            else {
+            let Some(slot) = stripe.units().iter().position(|u| u.disk as usize == failed) else {
                 continue;
             };
             if slot == self.spare_slot[si] {

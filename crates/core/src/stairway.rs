@@ -78,11 +78,7 @@ impl StairwayParams {
 
 impl fmt::Display for StairwayParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "stairway q={} → v={} (d={}, c={}, w={})",
-            self.q, self.v, self.d, self.c, self.w
-        )
+        write!(f, "stairway q={} → v={} (d={}, c={}, w={})", self.q, self.v, self.d, self.c, self.w)
     }
 }
 
@@ -147,11 +143,11 @@ pub fn stairway_movement(q: usize, v: usize) -> Option<f64> {
 
 /// Applies the stairway transformation to the ring design for `q` disks,
 /// producing a validated layout for `v` disks.
+#[allow(clippy::needless_range_loop)]
 pub fn stairway_layout(design: &RingDesign, v: usize) -> Result<Layout, StairwayError> {
     let q = design.v();
     let k = design.k();
-    let params = StairwayParams::solve(q, v)
-        .ok_or(StairwayError::NoValidParams { q, v })?;
+    let params = StairwayParams::solve(q, v).ok_or(StairwayError::NoValidParams { q, v })?;
     let StairwayParams { d, c, w, .. } = params;
 
     // Step widths: c−1 steps, the last w of them wide (width d+1).
@@ -241,8 +237,7 @@ mod tests {
         );
         let (wlo, whi) = params.reconstruction_workload_bounds(k);
         assert!(
-            r.reconstruction_workload.0 >= wlo - 1e-9
-                && r.reconstruction_workload.1 <= whi + 1e-9,
+            r.reconstruction_workload.0 >= wlo - 1e-9 && r.reconstruction_workload.1 <= whi + 1e-9,
             "q={q} v={v} k={k}: workload {:?} outside [{wlo},{whi}]",
             r.reconstruction_workload
         );
@@ -311,14 +306,8 @@ mod tests {
     #[test]
     fn stairway_rejects_invalid_targets() {
         let design = RingDesign::for_v_k(5, 3);
-        assert!(matches!(
-            stairway_layout(&design, 12),
-            Err(StairwayError::NoValidParams { .. })
-        ));
-        assert!(matches!(
-            stairway_layout(&design, 5),
-            Err(StairwayError::NoValidParams { .. })
-        ));
+        assert!(matches!(stairway_layout(&design, 12), Err(StairwayError::NoValidParams { .. })));
+        assert!(matches!(stairway_layout(&design, 5), Err(StairwayError::NoValidParams { .. })));
     }
 
     #[test]

@@ -35,11 +35,7 @@ pub struct BibdParams {
 
 impl fmt::Display for BibdParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "BIBD(v={}, b={}, r={}, k={}, λ={})",
-            self.v, self.b, self.r, self.k, self.lambda
-        )
+        write!(f, "BIBD(v={}, b={}, r={}, k={}, λ={})", self.v, self.b, self.r, self.k, self.lambda)
     }
 }
 
@@ -159,6 +155,7 @@ impl BlockDesign {
     }
 
     /// Verifies the BIBD conditions, returning the parameters on success.
+    #[allow(clippy::needless_range_loop)]
     pub fn verify_bibd(&self) -> Result<BibdParams, BibdViolation> {
         if self.blocks.is_empty() {
             return Err(BibdViolation::Empty);

@@ -81,11 +81,7 @@ pub fn complete_design(v: usize, k: usize, max_blocks: usize) -> BlockDesign {
 /// Parameters of the complete design without materializing it:
 /// `(b, r, λ) = (C(v,k), C(v-1,k-1), C(v-2,k-2))`.
 pub fn complete_design_params(v: u64, k: u64) -> (u128, u128, u128) {
-    (
-        binomial(v, k),
-        binomial(v - 1, k - 1),
-        if k >= 2 { binomial(v - 2, k - 2) } else { 0 },
-    )
+    (binomial(v, k), binomial(v - 1, k - 1), if k >= 2 { binomial(v - 2, k - 2) } else { 0 })
 }
 
 #[cfg(test)]

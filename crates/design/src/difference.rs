@@ -109,10 +109,7 @@ mod tests {
         for (v, k) in [(7usize, 3usize), (9, 4), (13, 4)] {
             let rd = RingDesign::for_v_k(v, k);
             let initial = ring_initial_blocks(&rd);
-            assert!(
-                is_difference_family(rd.ring(), &initial, k * (k - 1)),
-                "v={v} k={k}"
-            );
+            assert!(is_difference_family(rd.ring(), &initial, k * (k - 1)), "v={v} k={k}");
         }
     }
 

@@ -15,10 +15,8 @@ pub fn reduce_redundancy(design: &BlockDesign) -> (BlockDesign, usize) {
     if f <= 1 {
         return (design.clone(), 1);
     }
-    let blocks = mult
-        .into_iter()
-        .flat_map(|(block, m)| std::iter::repeat_n(block, m / f))
-        .collect();
+    let blocks =
+        mult.into_iter().flat_map(|(block, m)| std::iter::repeat_n(block, m / f)).collect();
     (BlockDesign::new(design.v(), blocks), f)
 }
 
@@ -36,10 +34,8 @@ pub fn reduce_by_factor(design: &BlockDesign, f: usize) -> Option<BlockDesign> {
     if mult.values().any(|&m| m % f != 0) {
         return None;
     }
-    let blocks = mult
-        .into_iter()
-        .flat_map(|(block, m)| std::iter::repeat_n(block, m / f))
-        .collect();
+    let blocks =
+        mult.into_iter().flat_map(|(block, m)| std::iter::repeat_n(block, m / f)).collect();
     Some(BlockDesign::new(design.v(), blocks))
 }
 

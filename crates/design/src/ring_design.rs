@@ -28,10 +28,7 @@ impl RingDesign {
     /// `g_0 = 0`, which [`FiniteRing::lemma3_generators`] guarantees.
     pub fn new(ring: FiniteRing, generators: Vec<usize>) -> Self {
         assert!(generators.len() >= 2, "need at least two generators");
-        assert!(
-            ring.is_generator_set(&generators),
-            "pairwise generator differences must be units"
-        );
+        assert!(ring.is_generator_set(&generators), "pairwise generator differences must be units");
         let v = ring.order();
         let g0 = generators[0];
         let diffs: Vec<usize> = generators.iter().map(|&g| ring.sub(g, g0)).collect();

@@ -22,7 +22,7 @@ pub fn sts_exists(v: usize) -> bool {
 /// `x∘y = (x+y)·(n+1)/2 mod n` (i.e. the "average" of x and y).
 fn idempotent_quasigroup(n: usize) -> impl Fn(usize, usize) -> usize {
     debug_assert!(n % 2 == 1);
-    let half = (n + 1) / 2;
+    let half = n.div_ceil(2);
     move |x: usize, y: usize| (x + y) * half % n
 }
 
@@ -30,10 +30,10 @@ fn idempotent_quasigroup(n: usize) -> impl Fn(usize, usize) -> usize {
 /// relabel the addition table by σ(2i) = i, σ(2i+1) = n/2 + i, so that
 /// `x∘x = x` for `x < n/2`.
 fn half_idempotent_quasigroup(n: usize) -> impl Fn(usize, usize) -> usize {
-    debug_assert!(n % 2 == 0);
+    debug_assert!(n.is_multiple_of(2));
     move |x: usize, y: usize| {
         let z = (x + y) % n;
-        if z % 2 == 0 {
+        if z.is_multiple_of(2) {
             z / 2
         } else {
             n / 2 + z / 2
@@ -103,9 +103,8 @@ pub fn skolem_sts(v: usize) -> BlockDesign {
 pub fn steiner_triple_system(v: usize) -> ConstructedBibd {
     assert!(sts_exists(v), "no STS exists for v = {v} (need v ≡ 1, 3 mod 6)");
     let design = if v % 6 == 3 { bose_sts(v) } else { skolem_sts(v) };
-    let params = design
-        .verify_bibd()
-        .unwrap_or_else(|e| panic!("STS({v}) failed verification: {e}"));
+    let params =
+        design.verify_bibd().unwrap_or_else(|e| panic!("STS({v}) failed verification: {e}"));
     assert_eq!(params.b, v * (v - 1) / 6);
     assert_eq!(params.r, (v - 1) / 2);
     assert_eq!(params.lambda, 1);

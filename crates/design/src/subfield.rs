@@ -84,10 +84,25 @@ mod tests {
 
     #[test]
     fn theorem6_examples_meet_lower_bound() {
-        for (v, k) in [(4usize, 2usize), (8, 2), (16, 2), (9, 3), (27, 3), (16, 4), (64, 4), (25, 5), (64, 8), (81, 9)] {
+        for (v, k) in [
+            (4usize, 2usize),
+            (8, 2),
+            (16, 2),
+            (9, 3),
+            (27, 3),
+            (16, 4),
+            (64, 4),
+            (25, 5),
+            (64, 8),
+            (81, 9),
+        ] {
             let c = theorem6_design(v, k);
             assert_eq!(c.params.lambda, 1, "v={v} k={k}");
-            assert_eq!(c.params.b as u64, bibd_min_blocks(v as u64, k as u64), "v={v} k={k}: must be optimally small");
+            assert_eq!(
+                c.params.b as u64,
+                bibd_min_blocks(v as u64, k as u64),
+                "v={v} k={k}: must be optimally small"
+            );
             assert_eq!(c.reduction_factor, k * (k - 1));
         }
     }

@@ -27,7 +27,13 @@ pub struct ConstructedBibd {
     pub reduction_factor: usize,
 }
 
-fn finish(q: usize, k: usize, gens: Vec<usize>, field: FiniteField, factor: usize) -> ConstructedBibd {
+fn finish(
+    q: usize,
+    k: usize,
+    gens: Vec<usize>,
+    field: FiniteField,
+    factor: usize,
+) -> ConstructedBibd {
     debug_assert_eq!(gens.len(), k);
     debug_assert_eq!(gens[0], 0, "layout constructions require g0 = 0");
     let full = RingDesign::new(FiniteRing::Field(field), gens).to_block_design();

@@ -124,19 +124,14 @@ mod tests {
 
     #[test]
     fn bounds_respected_on_all_edges() {
-        let edges = vec![
-            be(0, 1, 1, 3),
-            be(0, 2, 0, 4),
-            be(1, 3, 1, 2),
-            be(2, 3, 2, 4),
-            be(1, 2, 0, 2),
-        ];
+        let edges =
+            vec![be(0, 1, 1, 3), be(0, 2, 0, 4), be(1, 3, 1, 2), be(2, 3, 2, 4), be(1, 2, 0, 2)];
         let f = max_flow_with_lower_bounds(4, &edges, 0, 3).unwrap();
         for (e, fl) in edges.iter().zip(&f.edge_flows) {
             assert!(*fl >= e.lower && *fl <= e.upper, "edge {e:?} carries {fl}");
         }
         // conservation at interior nodes
-        let mut net = vec![0i64; 4];
+        let mut net = [0i64; 4];
         for (e, fl) in edges.iter().zip(&f.edge_flows) {
             net[e.from] -= fl;
             net[e.to] += fl;

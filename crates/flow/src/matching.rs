@@ -157,9 +157,8 @@ mod tests {
         for _ in 0..40 {
             let nl = rng.random_range(1..7);
             let nr = rng.random_range(1..7);
-            let adj: Vec<Vec<usize>> = (0..nl)
-                .map(|_| (0..nr).filter(|_| rng.random_bool(0.4)).collect())
-                .collect();
+            let adj: Vec<Vec<usize>> =
+                (0..nl).map(|_| (0..nr).filter(|_| rng.random_bool(0.4)).collect()).collect();
             let fast = max_matching_size(nl, nr, &adj);
             let slow = brute(nl, nr, &adj);
             assert_eq!(fast, slow, "adj={adj:?}");

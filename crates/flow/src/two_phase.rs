@@ -138,9 +138,7 @@ mod tests {
         // specific assignment may differ).
         let inst = ParityInstance {
             v: 6,
-            stripes: (0..12)
-                .map(|i| vec![i % 6, (i + 1) % 6, (i + 3) % 6])
-                .collect(),
+            stripes: (0..12).map(|i| vec![i % 6, (i + 1) % 6, (i + 3) % 6]).collect(),
         };
         check(&inst);
     }
@@ -159,14 +157,7 @@ mod tests {
         // a 2-regular instance: each disk in 4 stripes of size 2.
         let inst = ParityInstance {
             v: 3,
-            stripes: vec![
-                vec![0, 1],
-                vec![1, 2],
-                vec![2, 0],
-                vec![0, 1],
-                vec![1, 2],
-                vec![2, 0],
-            ],
+            stripes: vec![vec![0, 1], vec![1, 2], vec![2, 0], vec![0, 1], vec![1, 2], vec![2, 0]],
         };
         let slots = assign_parity_two_phase(&inst).unwrap();
         let mut counts = [0usize; 3];

@@ -1,14 +1,16 @@
-//! Property-based tests for the flow substrate: max-flow/min-cut
+//! Property-style tests for the flow substrate: max-flow/min-cut
 //! consistency on random graphs, lower-bound feasibility, and matching
-//! optimality.
+//! optimality. Uses seeded random sampling (the offline environment
+//! has no `proptest`) with 64 cases per property.
 
 use pdl_flow::{
     assign_parity_two_phase, hopcroft_karp, max_flow_with_lower_bounds, max_matching_size,
     BoundedEdge, FlowNetwork, ParityInstance,
 };
-use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+const CASES: usize = 64;
 
 fn random_graph(seed: u64, n: usize, m: usize) -> Vec<(usize, usize, i64)> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -38,12 +40,14 @@ fn brute_min_cut(n: usize, edges: &[(usize, usize, i64)], s: usize, t: usize) ->
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Max-flow equals min-cut on random small graphs.
-    #[test]
-    fn maxflow_equals_brute_mincut(seed in any::<u64>(), n in 3usize..8, m in 4usize..20) {
+/// Max-flow equals min-cut on random small graphs.
+#[test]
+fn maxflow_equals_brute_mincut() {
+    let mut meta = StdRng::seed_from_u64(0x3a7f);
+    for _ in 0..CASES {
+        let seed: u64 = meta.random_range(0..u64::MAX);
+        let n = meta.random_range(3usize..8);
+        let m = meta.random_range(4usize..20);
         let edges = random_graph(seed, n, m);
         let mut g = FlowNetwork::new(n);
         for &(u, v, c) in &edges {
@@ -51,12 +55,17 @@ proptest! {
         }
         let flow = g.max_flow(0, n - 1);
         let cut = brute_min_cut(n, &edges, 0, n - 1);
-        prop_assert_eq!(flow, cut);
+        assert_eq!(flow, cut);
     }
+}
 
-    /// Lower-bounded flows respect all bounds and conservation.
-    #[test]
-    fn bounded_flow_valid(seed in any::<u64>(), n in 3usize..7) {
+/// Lower-bounded flows respect all bounds and conservation.
+#[test]
+fn bounded_flow_valid() {
+    let mut meta = StdRng::seed_from_u64(0xb0f1);
+    for _ in 0..CASES {
+        let seed: u64 = meta.random_range(0..u64::MAX);
+        let n = meta.random_range(3usize..7);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut edges = Vec::new();
         for u in 0..n {
@@ -71,30 +80,35 @@ proptest! {
         if let Some(f) = max_flow_with_lower_bounds(n, &edges, 0, n - 1) {
             let mut net = vec![0i64; n];
             for (e, fl) in edges.iter().zip(&f.edge_flows) {
-                prop_assert!(*fl >= e.lower && *fl <= e.upper);
+                assert!(*fl >= e.lower && *fl <= e.upper);
                 net[e.from] -= fl;
                 net[e.to] += fl;
             }
             for (i, x) in net.iter().enumerate() {
                 if i == 0 {
-                    prop_assert_eq!(*x, -f.value);
+                    assert_eq!(*x, -f.value);
                 } else if i == n - 1 {
-                    prop_assert_eq!(*x, f.value);
+                    assert_eq!(*x, f.value);
                 } else {
-                    prop_assert_eq!(*x, 0);
+                    assert_eq!(*x, 0);
                 }
             }
         }
     }
+}
 
-    /// Hopcroft–Karp matchings are maximal: no augmenting edge remains
-    /// between two unmatched vertices.
-    #[test]
-    fn matching_is_maximal(seed in any::<u64>(), nl in 1usize..8, nr in 1usize..8) {
+/// Hopcroft–Karp matchings are maximal: no augmenting edge remains
+/// between two unmatched vertices.
+#[test]
+fn matching_is_maximal() {
+    let mut meta = StdRng::seed_from_u64(0x33a7);
+    for _ in 0..CASES {
+        let seed: u64 = meta.random_range(0..u64::MAX);
+        let nl = meta.random_range(1usize..8);
+        let nr = meta.random_range(1usize..8);
         let mut rng = StdRng::seed_from_u64(seed);
-        let adj: Vec<Vec<usize>> = (0..nl)
-            .map(|_| (0..nr).filter(|_| rng.random_bool(0.35)).collect())
-            .collect();
+        let adj: Vec<Vec<usize>> =
+            (0..nl).map(|_| (0..nr).filter(|_| rng.random_bool(0.35)).collect()).collect();
         let m = hopcroft_karp(nl, nr, &adj);
         let mut right_used = vec![false; nr];
         for r in m.iter().flatten() {
@@ -103,29 +117,40 @@ proptest! {
         for (l, ml) in m.iter().enumerate() {
             if ml.is_none() {
                 for &r in &adj[l] {
-                    prop_assert!(right_used[r], "edge ({l},{r}) would extend the matching");
+                    assert!(right_used[r], "edge ({l},{r}) would extend the matching");
                 }
             }
         }
     }
+}
 
-    /// König-style sanity: matching size never exceeds either side.
-    #[test]
-    fn matching_size_bounds(seed in any::<u64>(), nl in 1usize..9, nr in 1usize..9) {
+/// König-style sanity: matching size never exceeds either side.
+#[test]
+fn matching_size_bounds() {
+    let mut meta = StdRng::seed_from_u64(0x51ce);
+    for _ in 0..CASES {
+        let seed: u64 = meta.random_range(0..u64::MAX);
+        let nl = meta.random_range(1usize..9);
+        let nr = meta.random_range(1usize..9);
         let mut rng = StdRng::seed_from_u64(seed);
-        let adj: Vec<Vec<usize>> = (0..nl)
-            .map(|_| (0..nr).filter(|_| rng.random_bool(0.4)).collect())
-            .collect();
+        let adj: Vec<Vec<usize>> =
+            (0..nl).map(|_| (0..nr).filter(|_| rng.random_bool(0.4)).collect()).collect();
         let sz = max_matching_size(nl, nr, &adj);
-        prop_assert!(sz <= nl && sz <= nr);
+        assert!(sz <= nl && sz <= nr);
         let edges: usize = adj.iter().map(Vec::len).sum();
-        prop_assert!(sz <= edges);
+        assert!(sz <= edges);
     }
+}
 
-    /// The two-phase parity assignment balances random regular-ish
-    /// instances to floor/ceil.
-    #[test]
-    fn two_phase_random_instances(seed in any::<u64>(), v in 3usize..9, b in 3usize..16) {
+/// The two-phase parity assignment balances random regular-ish
+/// instances to floor/ceil.
+#[test]
+fn two_phase_random_instances() {
+    let mut meta = StdRng::seed_from_u64(0x2fa2);
+    for _ in 0..CASES {
+        let seed: u64 = meta.random_range(0..u64::MAX);
+        let v = meta.random_range(3usize..9);
+        let b = meta.random_range(3usize..16);
         let mut rng = StdRng::seed_from_u64(seed);
         let stripes: Vec<Vec<usize>> = (0..b)
             .map(|_| {
@@ -147,8 +172,8 @@ proptest! {
             counts[s[slot]] += 1;
         }
         for (d, &c) in counts.iter().enumerate() {
-            prop_assert!(c as f64 >= loads[d].floor() - 1e-9);
-            prop_assert!(c as f64 <= loads[d].ceil() + 1e-9);
+            assert!(c as f64 >= loads[d].floor() - 1e-9);
+            assert!(c as f64 <= loads[d].ceil() + 1e-9);
         }
     }
 }

@@ -58,22 +58,17 @@ pub fn expected_degraded_read_load(layout: &Layout, failed: usize) -> Vec<f64> {
 /// Total units that must be read to reconstruct `failed` (all stripes
 /// crossing it, `k_s − 1` survivors each).
 pub fn reconstruction_total_reads(layout: &Layout, failed: usize) -> usize {
-    layout
-        .stripes()
-        .iter()
-        .filter(|s| s.crosses(failed))
-        .map(|s| s.len() - 1)
-        .sum()
+    layout.stripes().iter().filter(|s| s.crosses(failed)).map(|s| s.len() - 1).sum()
 }
 
 /// Parity units per disk as fractions of the disk — convenience
 /// re-export of the core metric for sweep binaries.
 pub fn parity_fraction(layout: &Layout) -> Vec<f64> {
     let mut counts = vec![0usize; layout.v()];
-    for d in 0..layout.v() {
+    for (d, count) in counts.iter_mut().enumerate() {
         for o in 0..layout.size() {
             if layout.role(d, o) == UnitRole::Parity {
-                counts[d] += 1;
+                *count += 1;
             }
         }
     }

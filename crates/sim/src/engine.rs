@@ -245,11 +245,7 @@ impl<'a> ArraySim<'a> {
             // A target sits on the failed disk: fold its value into parity
             // by reading the untouched data units.
             let lost = *lost;
-            reads.extend(
-                stripe
-                    .data_units()
-                    .filter(|u| !targets.contains(u) && *u != lost),
-            );
+            reads.extend(stripe.data_units().filter(|u| !targets.contains(u) && *u != lost));
             writes.extend(targets.iter().filter(|u| Some(u.disk as usize) != failed));
             if !parity_failed {
                 writes.push(parity);
@@ -275,20 +271,12 @@ impl<'a> ArraySim<'a> {
             e.0 = e.0.min(u.offset);
             e.1 += 1;
         }
-        per_disk
-            .into_iter()
-            .map(|(d, (off, n))| (d as usize, off, n, kind))
-            .collect()
+        per_disk.into_iter().map(|(d, (off, n))| (d as usize, off, n, kind)).collect()
     }
 
     /// Translates a logical request of `n` contiguous units into
     /// (phase-1, phase-2) coalesced disk IOs.
-    fn translate_range(
-        &self,
-        addr: usize,
-        n: usize,
-        kind: IoKind,
-    ) -> (Vec<IoSpec>, Vec<IoSpec>) {
+    fn translate_range(&self, addr: usize, n: usize, kind: IoKind) -> (Vec<IoSpec>, Vec<IoSpec>) {
         let failed = self.cfg.failed_disk;
         match kind {
             IoKind::Read => {
@@ -298,9 +286,8 @@ impl<'a> ArraySim<'a> {
                     if Some(unit.disk as usize) == failed {
                         // Degraded read: all surviving units of the stripe.
                         let stripe = &self.layout.stripes()[self.mapper.stripe_of(a)];
-                        reads.extend(
-                            stripe.units().iter().filter(|u| u.disk != unit.disk).copied(),
-                        );
+                        reads
+                            .extend(stripe.units().iter().filter(|u| u.disk != unit.disk).copied());
                     } else {
                         reads.push(unit);
                     }
@@ -314,7 +301,10 @@ impl<'a> ArraySim<'a> {
                 let mut by_stripe: std::collections::BTreeMap<usize, Vec<pdl_core::StripeUnit>> =
                     Default::default();
                 for a in addr..addr + n {
-                    by_stripe.entry(self.mapper.stripe_of(a)).or_default().push(self.mapper.locate(a));
+                    by_stripe
+                        .entry(self.mapper.stripe_of(a))
+                        .or_default()
+                        .push(self.mapper.locate(a));
                 }
                 let mut reads = Vec::new();
                 let mut writes = Vec::new();
@@ -463,7 +453,12 @@ impl<'a> ArraySim<'a> {
                     for (d, o) in self.rebuild_read_units(si) {
                         self.submit_io(
                             d,
-                            Io { owner: Owner::Rebuild(si), kind: IoKind::Read, offset: o, units: 1 },
+                            Io {
+                                owner: Owner::Rebuild(si),
+                                kind: IoKind::Read,
+                                offset: o,
+                                units: 1,
+                            },
                         );
                     }
                 }
@@ -677,7 +672,12 @@ pub fn simulate(layout: &Layout, cfg: SimConfig) -> SimResult {
 }
 
 /// Rebuild-only run (no foreground traffic), returning the result.
-pub fn simulate_rebuild(layout: &Layout, failed: usize, target: RebuildTarget, seed: u64) -> SimResult {
+pub fn simulate_rebuild(
+    layout: &Layout,
+    failed: usize,
+    target: RebuildTarget,
+    seed: u64,
+) -> SimResult {
     let cfg = SimConfig {
         seed,
         failed_disk: Some(failed),
@@ -714,11 +714,8 @@ mod tests {
     #[test]
     fn normal_mode_completes_requests() {
         let rl = RingLayout::for_v_k(5, 3);
-        let cfg = SimConfig {
-            seed: 1,
-            stop: StopCondition::Duration(5_000_000),
-            ..Default::default()
-        };
+        let cfg =
+            SimConfig { seed: 1, stop: StopCondition::Duration(5_000_000), ..Default::default() };
         let r = simulate(rl.layout(), cfg);
         assert!(r.completed > 100, "completed {}", r.completed);
         assert!(r.mean_response_us > 0.0);
@@ -728,7 +725,8 @@ mod tests {
     #[test]
     fn determinism_per_seed() {
         let rl = RingLayout::for_v_k(5, 3);
-        let cfg = SimConfig { seed: 9, stop: StopCondition::Duration(2_000_000), ..Default::default() };
+        let cfg =
+            SimConfig { seed: 9, stop: StopCondition::Duration(2_000_000), ..Default::default() };
         let a = simulate(rl.layout(), cfg.clone());
         let b = simulate(rl.layout(), cfg);
         assert_eq!(a.completed, b.completed);
@@ -750,8 +748,7 @@ mod tests {
         let r = simulate_rebuild(rl.layout(), 0, RebuildTarget::DedicatedSpare, 4);
         assert!(r.rebuild_finished_at.is_some());
         // spare disk (index v) received one write per stripe crossing disk 0
-        let crossing =
-            rl.layout().stripes().iter().filter(|s| s.crosses(0)).count() as u64;
+        let crossing = rl.layout().stripes().iter().filter(|s| s.crosses(0)).count() as u64;
         assert_eq!(r.rebuild_writes[7], crossing);
         // spare takes no reads
         assert_eq!(r.rebuild_reads[7], 0);
@@ -766,10 +763,7 @@ mod tests {
         let a = simulate_rebuild(rl.layout(), 4, RebuildTarget::ReadOnly, 7);
         let b = simulate_rebuild(&raid5, 4, RebuildTarget::ReadOnly, 7);
         let (ta, tb) = (a.rebuild_finished_at.unwrap(), b.rebuild_finished_at.unwrap());
-        assert!(
-            ta < tb,
-            "declustered rebuild {ta}µs should beat RAID5 {tb}µs"
-        );
+        assert!(ta < tb, "declustered rebuild {ta}µs should beat RAID5 {tb}µs");
         // RAID5 reads (v-1)·size units; declustered k-1/(v-1) of that.
         let total_a: u64 = a.rebuild_reads.iter().sum();
         let total_b: u64 = b.rebuild_reads.iter().sum();
@@ -928,7 +922,8 @@ mod tests {
     #[test]
     fn stop_at_duration_bounds_time() {
         let rl = RingLayout::for_v_k(5, 2);
-        let cfg = SimConfig { seed: 2, stop: StopCondition::Duration(1_000_000), ..Default::default() };
+        let cfg =
+            SimConfig { seed: 2, stop: StopCondition::Duration(1_000_000), ..Default::default() };
         let r = simulate(rl.layout(), cfg);
         assert!(r.sim_time_us <= 1_000_000);
     }
@@ -1079,7 +1074,8 @@ mod tests {
         // completed IO — verified indirectly by determinism of results
         // across Fifo/PositionIndependent where order is offset-blind.
         let rl = RingLayout::for_v_k(5, 3);
-        let cfg = SimConfig { seed: 3, stop: StopCondition::Duration(2_000_000), ..Default::default() };
+        let cfg =
+            SimConfig { seed: 3, stop: StopCondition::Duration(2_000_000), ..Default::default() };
         let a = simulate(rl.layout(), cfg.clone());
         let b = simulate(rl.layout(), cfg);
         assert_eq!(a.fg_reads, b.fg_reads);

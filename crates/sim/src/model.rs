@@ -291,7 +291,7 @@ mod tests {
     #[test]
     fn uniform_addresses_cover_space() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut seen = vec![false; 20];
+        let mut seen = [false; 20];
         for _ in 0..2000 {
             seen[AddressDist::Uniform.sample(20, &mut rng)] = true;
         }

@@ -1,0 +1,170 @@
+//! Workload traces: a concrete, replayable sequence of block-level
+//! operations shared between the event simulator and the byte-level
+//! block store (`pdl-store`).
+//!
+//! The simulator samples its accesses on the fly from a [`Workload`];
+//! this module materializes the same sampling process into a [`Trace`]
+//! so the identical access pattern can be replayed against real bytes
+//! (and, being plain data, archived or diffed between runs).
+
+use crate::model::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One block-level operation of a trace. Addresses and lengths are in
+/// logical data blocks (the simulator's "units"), not bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Read `len` blocks starting at logical block `addr`.
+    Read {
+        /// Starting logical block address.
+        addr: usize,
+        /// Number of blocks.
+        len: usize,
+    },
+    /// Write `len` blocks starting at logical block `addr`.
+    Write {
+        /// Starting logical block address.
+        addr: usize,
+        /// Number of blocks.
+        len: usize,
+    },
+}
+
+impl TraceOp {
+    /// Starting address of the op.
+    pub fn addr(&self) -> usize {
+        match *self {
+            TraceOp::Read { addr, .. } | TraceOp::Write { addr, .. } => addr,
+        }
+    }
+
+    /// Length of the op in blocks.
+    pub fn len(&self) -> usize {
+        match *self {
+            TraceOp::Read { len, .. } | TraceOp::Write { len, .. } => len,
+        }
+    }
+
+    /// True for zero-length ops (never produced by the generator).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if this is a write.
+    pub fn is_write(&self) -> bool {
+        matches!(self, TraceOp::Write { .. })
+    }
+}
+
+/// A replayable access pattern over a logical block space.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Operations in arrival order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Materializes `count` operations of `workload` over a space of
+    /// `blocks` logical blocks, using the same sampling primitives as
+    /// the event simulator (address distribution, size range,
+    /// read/write mix, alignment). Deterministic per seed.
+    pub fn from_workload(workload: &Workload, blocks: usize, count: usize, seed: u64) -> Trace {
+        assert!(blocks > 0, "trace needs a nonempty block space");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ops = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = workload.request_size(&mut rng).min(blocks);
+            let mut addr = workload.addresses.sample(blocks, &mut rng).min(blocks - len);
+            if workload.aligned && len > 0 {
+                addr = addr / len * len;
+            }
+            ops.push(if rng.random_bool(workload.read_fraction) {
+                TraceOp::Read { addr, len }
+            } else {
+                TraceOp::Write { addr, len }
+            });
+        }
+        Trace { ops }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the trace has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total blocks touched by reads and by writes, respectively.
+    pub fn volume(&self) -> (usize, usize) {
+        let mut r = 0;
+        let mut w = 0;
+        for op in &self.ops {
+            match op {
+                TraceOp::Read { len, .. } => r += len,
+                TraceOp::Write { len, .. } => w += len,
+            }
+        }
+        (r, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AddressDist;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = Workload::default();
+        let a = Trace::from_workload(&w, 100, 50, 7);
+        let b = Trace::from_workload(&w, 100, 50, 7);
+        assert_eq!(a, b);
+        let c = Trace::from_workload(&w, 100, 50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ops_stay_in_bounds() {
+        let w = Workload {
+            request_units: (1, 9),
+            addresses: AddressDist::HotCold { hot_access: 0.8, hot_space: 0.2 },
+            ..Workload::default()
+        };
+        let t = Trace::from_workload(&w, 64, 500, 3);
+        assert_eq!(t.len(), 500);
+        for op in &t.ops {
+            assert!(!op.is_empty());
+            assert!(op.addr() + op.len() <= 64, "op {op:?} out of bounds");
+        }
+    }
+
+    #[test]
+    fn read_fraction_respected() {
+        let w = Workload { read_fraction: 0.75, ..Workload::default() };
+        let t = Trace::from_workload(&w, 100, 4000, 11);
+        let writes = t.ops.iter().filter(|o| o.is_write()).count();
+        assert!((800..1200).contains(&writes), "writes {writes}");
+    }
+
+    #[test]
+    fn aligned_workload_aligns() {
+        let w = Workload { request_units: (4, 4), aligned: true, ..Workload::default() };
+        let t = Trace::from_workload(&w, 64, 200, 5);
+        for op in &t.ops {
+            assert_eq!(op.addr() % 4, 0);
+            assert_eq!(op.len(), 4);
+        }
+    }
+
+    #[test]
+    fn volume_sums() {
+        let t = Trace {
+            ops: vec![TraceOp::Read { addr: 0, len: 3 }, TraceOp::Write { addr: 1, len: 2 }],
+        };
+        assert_eq!(t.volume(), (3, 2));
+    }
+}

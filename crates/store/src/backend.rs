@@ -1,0 +1,438 @@
+//! Pluggable storage backends: where the array's bytes actually live.
+//!
+//! A [`Backend`] exposes a fixed-geometry array of disks, each divided
+//! into fixed-size units, with thread-safe unit-granular reads and
+//! writes (interior mutability, so an online rebuild can stream from
+//! many disks concurrently) and per-disk IO counters — the measurement
+//! surface for verifying declustering's (k−1)/(v−1) rebuild-load claim
+//! on real traffic.
+
+use crate::error::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// A fixed array of `disks × units_per_disk` units of `unit_size` bytes.
+///
+/// Implementations must be thread-safe: the rebuilder issues reads to
+/// many disks from worker threads. Counters track physical IO per disk
+/// (reads/writes of whole units) and are maintained by the backend so
+/// every access path — normal, degraded, rebuild — is measured.
+pub trait Backend: Send + Sync {
+    /// Number of physical disks (including any spares).
+    fn disks(&self) -> usize;
+
+    /// Units per disk.
+    fn units_per_disk(&self) -> usize;
+
+    /// Bytes per unit.
+    fn unit_size(&self) -> usize;
+
+    /// Reads the unit at `(disk, offset)` into `buf` (`unit_size` bytes).
+    fn read_unit(&self, disk: usize, offset: usize, buf: &mut [u8]) -> Result<(), StoreError>;
+
+    /// Writes `buf` (`unit_size` bytes) to the unit at `(disk, offset)`.
+    fn write_unit(&self, disk: usize, offset: usize, buf: &[u8]) -> Result<(), StoreError>;
+
+    /// Flushes buffered writes to durable storage.
+    fn flush(&self) -> Result<(), StoreError>;
+
+    /// Units read from `disk` since construction or the last reset.
+    fn read_count(&self, disk: usize) -> u64;
+
+    /// Units written to `disk` since construction or the last reset.
+    fn write_count(&self, disk: usize) -> u64;
+
+    /// Zeroes all IO counters.
+    fn reset_counters(&self);
+
+    /// Durably records the store's logical→physical disk mapping (the
+    /// redirect table updated when a rebuild moves a logical disk onto
+    /// a spare). Volatile backends keep the default no-op; durable
+    /// backends must persist it so a reopened store does not read the
+    /// stale pre-rebuild disk.
+    fn persist_mapping(&self, redirect: &[usize]) -> Result<(), StoreError> {
+        let _ = redirect;
+        Ok(())
+    }
+
+    /// Loads the mapping saved by [`Backend::persist_mapping`], or
+    /// `None` if none was ever saved.
+    fn load_mapping(&self) -> Result<Option<Vec<usize>>, StoreError> {
+        Ok(None)
+    }
+}
+
+fn check_geometry(
+    disks: usize,
+    units: usize,
+    disk: usize,
+    offset: usize,
+    unit_size: usize,
+    buf_len: usize,
+) -> Result<(), StoreError> {
+    if disk >= disks || offset >= units {
+        return Err(StoreError::OutOfRange { disk, offset });
+    }
+    if buf_len != unit_size {
+        return Err(StoreError::BadBufferSize { expected: unit_size, got: buf_len });
+    }
+    Ok(())
+}
+
+/// Shared per-disk IO counters.
+#[derive(Debug)]
+struct Counters {
+    reads: Vec<AtomicU64>,
+    writes: Vec<AtomicU64>,
+}
+
+impl Counters {
+    fn new(disks: usize) -> Self {
+        Counters {
+            reads: (0..disks).map(|_| AtomicU64::new(0)).collect(),
+            writes: (0..disks).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn reset(&self) {
+        for c in self.reads.iter().chain(&self.writes) {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// In-memory backend: one `Vec<u8>` per disk behind an `RwLock`, so
+/// concurrent readers (the rebuild fan-in) never serialize against each
+/// other. The reference backend for tests and benchmarks.
+#[derive(Debug)]
+pub struct MemBackend {
+    unit_size: usize,
+    units: usize,
+    data: Vec<RwLock<Vec<u8>>>,
+    counters: Counters,
+}
+
+impl MemBackend {
+    /// Allocates a zero-filled array.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero (the infallible constructor is
+    /// for in-process geometry; the file-backed path returns
+    /// [`StoreError::Geometry`] instead).
+    pub fn new(disks: usize, units_per_disk: usize, unit_size: usize) -> Self {
+        assert!(disks > 0 && units_per_disk > 0 && unit_size > 0, "empty geometry");
+        MemBackend {
+            unit_size,
+            units: units_per_disk,
+            data: (0..disks).map(|_| RwLock::new(vec![0u8; units_per_disk * unit_size])).collect(),
+            counters: Counters::new(disks),
+        }
+    }
+
+    /// Overwrites a whole disk with zeroes (simulates replacing the
+    /// physical medium; the store's rebuild then restores content).
+    pub fn wipe_disk(&self, disk: usize) {
+        let mut d = self.data[disk].write().unwrap();
+        d.fill(0);
+    }
+}
+
+impl Backend for MemBackend {
+    fn disks(&self) -> usize {
+        self.data.len()
+    }
+
+    fn units_per_disk(&self) -> usize {
+        self.units
+    }
+
+    fn unit_size(&self) -> usize {
+        self.unit_size
+    }
+
+    fn read_unit(&self, disk: usize, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        check_geometry(self.data.len(), self.units, disk, offset, self.unit_size, buf.len())?;
+        let d = self.data[disk].read().unwrap();
+        let at = offset * self.unit_size;
+        buf.copy_from_slice(&d[at..at + self.unit_size]);
+        self.counters.reads[disk].fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_unit(&self, disk: usize, offset: usize, buf: &[u8]) -> Result<(), StoreError> {
+        check_geometry(self.data.len(), self.units, disk, offset, self.unit_size, buf.len())?;
+        let mut d = self.data[disk].write().unwrap();
+        let at = offset * self.unit_size;
+        d[at..at + self.unit_size].copy_from_slice(buf);
+        self.counters.writes[disk].fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn read_count(&self, disk: usize) -> u64 {
+        self.counters.reads[disk].load(Ordering::Relaxed)
+    }
+
+    fn write_count(&self, disk: usize) -> u64 {
+        self.counters.writes[disk].load(Ordering::Relaxed)
+    }
+
+    fn reset_counters(&self) {
+        self.counters.reset();
+    }
+}
+
+/// File-backed backend: one preallocated file per disk under a
+/// directory (`disk-0000.bin`, `disk-0001.bin`, …), reads and writes at
+/// `offset * unit_size`. Each file sits behind its own mutex, so IO to
+/// different disks proceeds in parallel while IO to one disk is
+/// serialized — the same contention model as a real single-actuator
+/// drive.
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+    unit_size: usize,
+    units: usize,
+    files: Vec<Mutex<File>>,
+    counters: Counters,
+}
+
+impl FileBackend {
+    fn disk_path(dir: &Path, disk: usize) -> PathBuf {
+        dir.join(format!("disk-{disk:04}.bin"))
+    }
+
+    /// Creates (or truncates) the per-disk files, preallocated to the
+    /// full geometry with zeroes.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        disks: usize,
+        units_per_disk: usize,
+        unit_size: usize,
+    ) -> Result<Self, StoreError> {
+        if disks == 0 || units_per_disk == 0 || unit_size == 0 {
+            return Err(StoreError::Geometry(format!(
+                "empty geometry: {disks} disks × {units_per_disk} units × {unit_size} B"
+            )));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        // A fresh array must not inherit the rebuild mapping of a
+        // previous array that lived in this directory.
+        match std::fs::remove_file(dir.join(Self::MAPPING_FILE)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let mut files = Vec::with_capacity(disks);
+        for d in 0..disks {
+            let f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(Self::disk_path(&dir, d))?;
+            f.set_len((units_per_disk * unit_size) as u64)?;
+            files.push(Mutex::new(f));
+        }
+        Ok(FileBackend {
+            dir,
+            unit_size,
+            units: units_per_disk,
+            files,
+            counters: Counters::new(disks),
+        })
+    }
+
+    /// Opens an existing array created by [`FileBackend::create`],
+    /// validating that every disk file has the expected length.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        disks: usize,
+        units_per_disk: usize,
+        unit_size: usize,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let expected = (units_per_disk * unit_size) as u64;
+        let mut files = Vec::with_capacity(disks);
+        for d in 0..disks {
+            let path = Self::disk_path(&dir, d);
+            let f = OpenOptions::new().read(true).write(true).open(&path)?;
+            let len = f.metadata()?.len();
+            if len != expected {
+                return Err(StoreError::Corrupt(format!(
+                    "{} is {len} bytes, expected {expected}",
+                    path.display()
+                )));
+            }
+            files.push(Mutex::new(f));
+        }
+        Ok(FileBackend {
+            dir,
+            unit_size,
+            units: units_per_disk,
+            files,
+            counters: Counters::new(disks),
+        })
+    }
+
+    /// The directory holding the disk files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// File recording the logical→physical disk mapping after rebuilds.
+    pub const MAPPING_FILE: &'static str = "mapping.json";
+}
+
+impl Backend for FileBackend {
+    fn disks(&self) -> usize {
+        self.files.len()
+    }
+
+    fn units_per_disk(&self) -> usize {
+        self.units
+    }
+
+    fn unit_size(&self) -> usize {
+        self.unit_size
+    }
+
+    fn read_unit(&self, disk: usize, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        check_geometry(self.files.len(), self.units, disk, offset, self.unit_size, buf.len())?;
+        let mut f = self.files[disk].lock().unwrap();
+        f.seek(SeekFrom::Start((offset * self.unit_size) as u64))?;
+        f.read_exact(buf)?;
+        self.counters.reads[disk].fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_unit(&self, disk: usize, offset: usize, buf: &[u8]) -> Result<(), StoreError> {
+        check_geometry(self.files.len(), self.units, disk, offset, self.unit_size, buf.len())?;
+        let mut f = self.files[disk].lock().unwrap();
+        f.seek(SeekFrom::Start((offset * self.unit_size) as u64))?;
+        f.write_all(buf)?;
+        self.counters.writes[disk].fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        for f in &self.files {
+            f.lock().unwrap().sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn read_count(&self, disk: usize) -> u64 {
+        self.counters.reads[disk].load(Ordering::Relaxed)
+    }
+
+    fn write_count(&self, disk: usize) -> u64 {
+        self.counters.writes[disk].load(Ordering::Relaxed)
+    }
+
+    fn reset_counters(&self) {
+        self.counters.reset();
+    }
+
+    fn persist_mapping(&self, redirect: &[usize]) -> Result<(), StoreError> {
+        let json = serde_json::to_string(&redirect.to_vec())
+            .map_err(|e| StoreError::Corrupt(format!("mapping encode: {e}")))?;
+        std::fs::write(self.dir.join(Self::MAPPING_FILE), json)?;
+        Ok(())
+    }
+
+    fn load_mapping(&self) -> Result<Option<Vec<usize>>, StoreError> {
+        let path = self.dir.join(Self::MAPPING_FILE);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let json = std::fs::read_to_string(path)?;
+        let redirect: Vec<usize> = serde_json::from_str(&json)
+            .map_err(|e| StoreError::Corrupt(format!("mapping decode: {e}")))?;
+        Ok(Some(redirect))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(backend: &dyn Backend) {
+        let us = backend.unit_size();
+        let pattern: Vec<u8> = (0..us).map(|i| (i % 251) as u8).collect();
+        backend.write_unit(1, 3, &pattern).unwrap();
+        let mut out = vec![0u8; us];
+        backend.read_unit(1, 3, &mut out).unwrap();
+        assert_eq!(out, pattern);
+        // untouched units read back as zeroes
+        backend.read_unit(0, 0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+        assert_eq!(backend.read_count(1), 1);
+        assert_eq!(backend.read_count(0), 1);
+        assert_eq!(backend.write_count(1), 1);
+        backend.reset_counters();
+        assert_eq!(backend.read_count(1), 0);
+    }
+
+    #[test]
+    fn mem_roundtrip_and_counters() {
+        let b = MemBackend::new(3, 8, 64);
+        roundtrip(&b);
+    }
+
+    #[test]
+    fn file_roundtrip_and_counters() {
+        let dir = std::env::temp_dir().join(format!("pdl-store-test-{}", std::process::id()));
+        let b = FileBackend::create(&dir, 3, 8, 64).unwrap();
+        roundtrip(&b);
+        b.flush().unwrap();
+        drop(b);
+        // reopen and confirm persistence
+        let b = FileBackend::open(&dir, 3, 8, 64).unwrap();
+        let mut out = vec![0u8; 64];
+        b.read_unit(1, 3, &mut out).unwrap();
+        assert_eq!(out[1], 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_discards_stale_mapping() {
+        let dir = std::env::temp_dir().join(format!("pdl-store-stalemap-{}", std::process::id()));
+        {
+            let b = FileBackend::create(&dir, 3, 4, 32).unwrap();
+            b.persist_mapping(&[0, 2, 1]).unwrap();
+            assert_eq!(b.load_mapping().unwrap(), Some(vec![0, 2, 1]));
+        }
+        // A fresh array in the same directory starts with no mapping.
+        let b = FileBackend::create(&dir, 3, 4, 32).unwrap();
+        assert_eq!(b.load_mapping().unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_bad_length() {
+        let dir = std::env::temp_dir().join(format!("pdl-store-badlen-{}", std::process::id()));
+        {
+            FileBackend::create(&dir, 2, 4, 32).unwrap();
+        }
+        assert!(matches!(FileBackend::open(&dir, 2, 8, 32), Err(StoreError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let b = MemBackend::new(2, 4, 16);
+        let mut buf = vec![0u8; 16];
+        assert!(matches!(b.read_unit(2, 0, &mut buf), Err(StoreError::OutOfRange { .. })));
+        assert!(matches!(b.read_unit(0, 4, &mut buf), Err(StoreError::OutOfRange { .. })));
+        let mut short = vec![0u8; 15];
+        assert!(matches!(b.read_unit(0, 0, &mut short), Err(StoreError::BadBufferSize { .. })));
+    }
+}

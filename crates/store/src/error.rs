@@ -1,0 +1,92 @@
+//! Error type shared across the store, backends, and rebuilder.
+
+use std::fmt;
+
+/// Everything that can go wrong in the block store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying IO failure (file backend).
+    Io(std::io::Error),
+    /// A `(disk, offset)` outside the backend geometry was addressed.
+    OutOfRange {
+        /// Offending disk index.
+        disk: usize,
+        /// Offending unit offset.
+        offset: usize,
+    },
+    /// A buffer of the wrong length was supplied for a unit transfer.
+    BadBufferSize {
+        /// Bytes the operation requires.
+        expected: usize,
+        /// Bytes actually supplied.
+        got: usize,
+    },
+    /// A logical block address beyond the store's capacity.
+    AddressOutOfRange {
+        /// Offending logical block address.
+        addr: usize,
+        /// The store's capacity in blocks.
+        blocks: usize,
+    },
+    /// The operation needs a disk that is currently failed.
+    DiskFailed(usize),
+    /// A second disk failure: XOR parity protects exactly one.
+    TooManyFailures {
+        /// The disk already failed.
+        already: usize,
+        /// The disk whose failure was requested.
+        requested: usize,
+    },
+    /// Rebuild was requested but no disk is failed.
+    NothingToRebuild,
+    /// The chosen spare is invalid (out of range or already mapped).
+    InvalidSpare(usize),
+    /// Backend geometry is incompatible with the layout.
+    Geometry(String),
+    /// Stored bytes or metadata do not match expectations.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::OutOfRange { disk, offset } => {
+                write!(f, "unit (disk {disk}, offset {offset}) outside backend geometry")
+            }
+            StoreError::BadBufferSize { expected, got } => {
+                write!(f, "buffer is {got} bytes, expected the {expected}-byte unit size (or a multiple for multi-block transfers)")
+            }
+            StoreError::AddressOutOfRange { addr, blocks } => {
+                write!(f, "logical block {addr} beyond store capacity {blocks}")
+            }
+            StoreError::DiskFailed(d) => write!(f, "disk {d} is failed"),
+            StoreError::TooManyFailures { already, requested } => write!(
+                f,
+                "cannot fail disk {requested}: disk {already} is already failed and single \
+                 parity tolerates one failure"
+            ),
+            StoreError::NothingToRebuild => write!(f, "no disk is failed"),
+            StoreError::InvalidSpare(s) => {
+                write!(f, "disk {s} is not available as a spare")
+            }
+            StoreError::Geometry(msg) => write!(f, "geometry mismatch: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,145 @@
+//! Array metadata persistence: a version-tagged JSON document
+//! (reusing `pdl-core`'s [`LayoutSpec`] codec for the layout itself)
+//! stored alongside a file-backed array so it can be reopened with the
+//! exact geometry it was created with. Rebuilds additionally persist
+//! the logical→physical disk mapping (`mapping.json`, written by the
+//! backend) so a reopened store reads spares, not stale failed disks.
+//!
+//! A *pending* failure is deliberately not persisted: if a process
+//! exits while degraded, the reopened store sees the array as healthy
+//! and the stale disk's bytes as live. Rebuild before closing, or call
+//! [`BlockStore::fail_disk`] again after reopening.
+
+use crate::backend::FileBackend;
+use crate::error::StoreError;
+use crate::store::BlockStore;
+use pdl_core::{Layout, LayoutSpec};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Everything needed to reopen an array: layout, unit size, copies,
+/// and spare count. Serialized as `store.json` in the array directory.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Metadata format version (currently 1).
+    pub version: u32,
+    /// Bytes per unit.
+    pub unit_size: usize,
+    /// Layout copies tiled per disk.
+    pub copies: usize,
+    /// Spare physical disks beyond the layout's `v`.
+    pub spares: usize,
+    /// The declustered layout, in its stable exchange format.
+    pub layout: LayoutSpec,
+}
+
+/// File name of the metadata document inside an array directory.
+pub const META_FILE: &str = "store.json";
+
+impl StoreMeta {
+    /// Captures the metadata of a store configuration.
+    pub fn new(layout: &Layout, unit_size: usize, copies: usize, spares: usize) -> Self {
+        StoreMeta { version: 1, unit_size, copies, spares, layout: LayoutSpec::from_layout(layout) }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("meta is always serializable")
+    }
+
+    /// Parses and validates a JSON document.
+    pub fn from_json(json: &str) -> Result<Self, StoreError> {
+        let meta: StoreMeta =
+            serde_json::from_str(json).map_err(|e| StoreError::Corrupt(format!("meta: {e}")))?;
+        if meta.version != 1 {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported store meta version {}",
+                meta.version
+            )));
+        }
+        if meta.unit_size == 0 || meta.copies == 0 {
+            return Err(StoreError::Corrupt("zero unit_size or copies".into()));
+        }
+        Ok(meta)
+    }
+
+    /// Reconstructs the layout (revalidating it).
+    pub fn layout(&self) -> Result<Layout, StoreError> {
+        self.layout.to_layout().map_err(|e| StoreError::Corrupt(format!("layout: {e}")))
+    }
+}
+
+/// Creates a new file-backed array under `dir`: per-disk files for
+/// `v + spares` physical disks plus a `store.json` metadata document.
+pub fn create_file_store(
+    dir: impl AsRef<Path>,
+    layout: Layout,
+    unit_size: usize,
+    copies: usize,
+    spares: usize,
+) -> Result<BlockStore<FileBackend>, StoreError> {
+    let dir = dir.as_ref();
+    let meta = StoreMeta::new(&layout, unit_size, copies, spares);
+    let backend = FileBackend::create(dir, layout.v() + spares, copies * layout.size(), unit_size)?;
+    std::fs::write(dir.join(META_FILE), meta.to_json())?;
+    BlockStore::new(layout, backend)
+}
+
+/// Reopens an array created by [`create_file_store`], reading the
+/// geometry from its metadata document.
+pub fn open_file_store(dir: impl AsRef<Path>) -> Result<BlockStore<FileBackend>, StoreError> {
+    let dir = dir.as_ref();
+    let json = std::fs::read_to_string(dir.join(META_FILE))?;
+    let meta = StoreMeta::from_json(&json)?;
+    let layout = meta.layout()?;
+    let backend = FileBackend::open(
+        dir,
+        layout.v() + meta.spares,
+        meta.copies * layout.size(),
+        meta.unit_size,
+    )?;
+    BlockStore::new(layout, backend)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::RingLayout;
+
+    #[test]
+    fn meta_roundtrips() {
+        let rl = RingLayout::for_v_k(5, 3);
+        let meta = StoreMeta::new(rl.layout(), 256, 2, 1);
+        let back = StoreMeta::from_json(&meta.to_json()).unwrap();
+        assert_eq!(meta, back);
+        assert_eq!(back.layout().unwrap().v(), 5);
+    }
+
+    #[test]
+    fn bad_meta_rejected() {
+        assert!(StoreMeta::from_json("not json").is_err());
+        let mut meta = StoreMeta::new(RingLayout::for_v_k(5, 2).layout(), 64, 1, 0);
+        meta.version = 9;
+        assert!(StoreMeta::from_json(&meta.to_json()).is_err());
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pdl-meta-test-{}", std::process::id()));
+        let rl = RingLayout::for_v_k(5, 3);
+        {
+            let mut store = create_file_store(&dir, rl.layout().clone(), 64, 1, 1).unwrap();
+            let data = vec![0xabu8; 64];
+            store.write_block(7, &data).unwrap();
+            store.flush().unwrap();
+        }
+        let store = open_file_store(&dir).unwrap();
+        assert_eq!(store.v(), 5);
+        assert_eq!(store.unit_size(), 64);
+        let mut out = vec![0u8; 64];
+        store.read_block(7, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0xab));
+        store.verify_parity().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,513 @@
+//! The block store: real bytes through a parity-declustered layout.
+//!
+//! A [`BlockStore`] couples a validated [`Layout`], its Condition-4
+//! [`AddressMapper`], and a [`Backend`] into a single-failure-tolerant
+//! array: every write maintains XOR parity (read-modify-write for small
+//! writes, a no-read fast path for full-stripe writes), reads of a
+//! failed disk reconstruct from the surviving stripe members, and a
+//! spare disk can take over a failed one after an online rebuild
+//! ([`crate::Rebuilder`]).
+
+use crate::backend::Backend;
+use crate::error::StoreError;
+use pdl_core::{AddressMapper, Layout, StripeUnit};
+use pdl_sim::{Trace, TraceOp};
+
+/// XORs `src` into `dst` byte-wise.
+pub(crate) fn xor_into(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    // Word-at-a-time: the hot loop of every parity and reconstruction
+    // path, worth the chunking boilerplate.
+    let (dc, dr) = dst.split_at_mut(dst.len() - dst.len() % 8);
+    let (sc, sr) = src.split_at(src.len() - src.len() % 8);
+    for (d8, s8) in dc.chunks_exact_mut(8).zip(sc.chunks_exact(8)) {
+        let d = u64::from_ne_bytes(d8.try_into().unwrap());
+        let s = u64::from_ne_bytes(s8.try_into().unwrap());
+        d8.copy_from_slice(&(d ^ s).to_ne_bytes());
+    }
+    for (d, s) in dr.iter_mut().zip(sr) {
+        *d ^= s;
+    }
+}
+
+/// Outcome counters from replaying a [`Trace`] against the store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Read operations executed.
+    pub reads: usize,
+    /// Write operations executed.
+    pub writes: usize,
+    /// Blocks transferred by reads.
+    pub blocks_read: usize,
+    /// Blocks transferred by writes.
+    pub blocks_written: usize,
+}
+
+/// A parity-declustered block store over any layout and backend.
+///
+/// Logical addresses are data blocks of `unit_size` bytes, enumerated
+/// in stripe order by the [`AddressMapper`] and tiled down the disks
+/// for arrays larger than one layout copy.
+#[derive(Debug)]
+pub struct BlockStore<B> {
+    layout: Layout,
+    mapper: AddressMapper,
+    backend: B,
+    unit_size: usize,
+    copies: usize,
+    /// Logical disk → physical backend disk (spares swap in here).
+    redirect: Vec<usize>,
+    failed: Option<usize>,
+}
+
+impl<B: Backend> BlockStore<B> {
+    /// Builds a store over `backend`. The backend must have at least
+    /// `layout.v()` disks (extras serve as spares) and a units-per-disk
+    /// that is a nonzero multiple of `layout.size()` (whole layout
+    /// copies).
+    pub fn new(layout: Layout, backend: B) -> Result<Self, StoreError> {
+        let v = layout.v();
+        if backend.disks() < v {
+            return Err(StoreError::Geometry(format!(
+                "layout spans {v} disks but backend has {}",
+                backend.disks()
+            )));
+        }
+        let per_disk = backend.units_per_disk();
+        if per_disk == 0 || !per_disk.is_multiple_of(layout.size()) {
+            return Err(StoreError::Geometry(format!(
+                "backend has {per_disk} units per disk, not a positive multiple of the layout \
+                 size {}",
+                layout.size()
+            )));
+        }
+        let copies = per_disk / layout.size();
+        let mapper = AddressMapper::new(&layout);
+        let unit_size = backend.unit_size();
+        if unit_size == 0 {
+            return Err(StoreError::Geometry("backend unit size is zero".into()));
+        }
+        // A durable backend may carry a logical→physical mapping from
+        // rebuilds in a previous process lifetime; honor it, or reads
+        // would hit the stale pre-rebuild disks.
+        let redirect = match backend.load_mapping()? {
+            Some(saved) => {
+                let mut seen = vec![false; backend.disks()];
+                if saved.len() != v {
+                    return Err(StoreError::Corrupt(format!(
+                        "persisted mapping covers {} disks, layout has {v}",
+                        saved.len()
+                    )));
+                }
+                for &p in &saved {
+                    if p >= backend.disks() || seen[p] {
+                        return Err(StoreError::Corrupt(format!(
+                            "persisted mapping entry {p} is out of range or duplicated"
+                        )));
+                    }
+                    seen[p] = true;
+                }
+                saved
+            }
+            None => (0..v).collect(),
+        };
+        Ok(BlockStore { mapper, backend, unit_size, copies, redirect, failed: None, layout })
+    }
+
+    /// The layout this store declusters over.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The Condition-4 address mapper.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// The backend (e.g. to inspect IO counters).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Bytes per logical block.
+    pub fn unit_size(&self) -> usize {
+        self.unit_size
+    }
+
+    /// Layout copies tiled down the disks.
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Store capacity in logical data blocks.
+    pub fn blocks(&self) -> usize {
+        self.copies * self.mapper.data_units_per_copy()
+    }
+
+    /// Number of logical disks (the layout's `v`).
+    pub fn v(&self) -> usize {
+        self.layout.v()
+    }
+
+    /// The currently failed logical disk, if any.
+    pub fn failed_disk(&self) -> Option<usize> {
+        self.failed
+    }
+
+    /// True when a disk is failed and not yet rebuilt.
+    pub fn is_degraded(&self) -> bool {
+        self.failed.is_some()
+    }
+
+    /// Physical backend disk currently serving logical disk `d`.
+    pub fn physical_disk(&self, d: usize) -> usize {
+        self.redirect[d]
+    }
+
+    pub(crate) fn complete_rebuild(
+        &mut self,
+        failed: usize,
+        spare: usize,
+    ) -> Result<(), StoreError> {
+        self.redirect[failed] = spare;
+        self.failed = None;
+        // Durable backends record the new mapping so a reopened store
+        // reads the spare, not the stale failed disk.
+        self.backend.persist_mapping(&self.redirect)
+    }
+
+    /// Marks a logical disk failed. Subsequent reads of its units are
+    /// served degraded (reconstructed from surviving stripe members);
+    /// writes keep parity consistent so no data is lost. At most one
+    /// disk may be failed at a time (XOR parity).
+    pub fn fail_disk(&mut self, disk: usize) -> Result<(), StoreError> {
+        if disk >= self.layout.v() {
+            return Err(StoreError::OutOfRange { disk, offset: 0 });
+        }
+        match self.failed {
+            Some(already) if already != disk => {
+                Err(StoreError::TooManyFailures { already, requested: disk })
+            }
+            _ => {
+                self.failed = Some(disk);
+                Ok(())
+            }
+        }
+    }
+
+    /// Per-logical-disk units read since the last counter reset.
+    pub fn read_counts(&self) -> Vec<u64> {
+        (0..self.layout.v()).map(|d| self.backend.read_count(self.redirect[d])).collect()
+    }
+
+    /// Per-logical-disk units written since the last counter reset.
+    pub fn write_counts(&self) -> Vec<u64> {
+        (0..self.layout.v()).map(|d| self.backend.write_count(self.redirect[d])).collect()
+    }
+
+    /// Zeroes the backend IO counters.
+    pub fn reset_counters(&self) {
+        self.backend.reset_counters();
+    }
+
+    /// Flushes the backend.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        self.backend.flush()
+    }
+
+    fn check_addr(&self, addr: usize) -> Result<(), StoreError> {
+        if addr >= self.blocks() {
+            return Err(StoreError::AddressOutOfRange { addr, blocks: self.blocks() });
+        }
+        Ok(())
+    }
+
+    fn check_block_buf(&self, len: usize) -> Result<(), StoreError> {
+        if len != self.unit_size {
+            return Err(StoreError::BadBufferSize { expected: self.unit_size, got: len });
+        }
+        Ok(())
+    }
+
+    fn read_phys(&self, u: StripeUnit, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.backend.read_unit(self.redirect[u.disk as usize], u.offset as usize, buf)
+    }
+
+    fn write_phys(&self, u: StripeUnit, buf: &[u8]) -> Result<(), StoreError> {
+        self.backend.write_unit(self.redirect[u.disk as usize], u.offset as usize, buf)
+    }
+
+    /// Stripe members (tiled into the unit's copy) of the stripe owning
+    /// physical position `(disk, offset)`.
+    fn stripe_members(&self, disk: usize, offset: usize) -> (Vec<StripeUnit>, usize) {
+        let size = self.layout.size();
+        let copy = offset / size;
+        let base = offset % size;
+        let r = self.layout.unit_ref(disk, base);
+        let stripe = &self.layout.stripes()[r.stripe as usize];
+        let shift = (copy * size) as u32;
+        let members = stripe
+            .units()
+            .iter()
+            .map(|u| StripeUnit { disk: u.disk, offset: u.offset + shift })
+            .collect();
+        (members, stripe.parity_slot())
+    }
+
+    /// Reconstructs the unit at `(disk, offset)` from the surviving
+    /// members of its stripe (disk may be failed or simply absent).
+    /// This is the degraded-read / rebuild primitive.
+    pub(crate) fn reconstruct_unit(
+        &self,
+        disk: usize,
+        offset: usize,
+        out: &mut [u8],
+    ) -> Result<(), StoreError> {
+        let mut tmp = vec![0u8; self.unit_size];
+        self.reconstruct_unit_into(disk, offset, out, &mut tmp)
+    }
+
+    /// Allocation-free variant for hot loops: the caller supplies the
+    /// `unit_size` scratch buffer (reused across calls by the rebuild
+    /// workers), and stripe members are walked without materializing.
+    pub(crate) fn reconstruct_unit_into(
+        &self,
+        disk: usize,
+        offset: usize,
+        out: &mut [u8],
+        tmp: &mut [u8],
+    ) -> Result<(), StoreError> {
+        self.check_block_buf(out.len())?;
+        self.check_block_buf(tmp.len())?;
+        out.fill(0);
+        let size = self.layout.size();
+        let copy = offset / size;
+        let base = offset % size;
+        let r = self.layout.unit_ref(disk, base);
+        let shift = (copy * size) as u32;
+        for u in self.layout.stripes()[r.stripe as usize].units() {
+            if u.disk as usize == disk {
+                continue;
+            }
+            if self.failed == Some(u.disk as usize) {
+                // Two failures in one stripe: unreconstructable.
+                return Err(StoreError::DiskFailed(u.disk as usize));
+            }
+            self.read_phys(StripeUnit { disk: u.disk, offset: u.offset + shift }, tmp)?;
+            xor_into(out, tmp);
+        }
+        Ok(())
+    }
+
+    /// Reads logical block `addr` into `buf` (`unit_size` bytes),
+    /// reconstructing from parity when the owning disk is failed.
+    pub fn read_block(&self, addr: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.check_addr(addr)?;
+        self.check_block_buf(buf.len())?;
+        let u = self.mapper.locate(addr);
+        if self.failed == Some(u.disk as usize) {
+            self.reconstruct_unit(u.disk as usize, u.offset as usize, buf)
+        } else {
+            self.read_phys(u, buf)
+        }
+    }
+
+    /// Writes logical block `addr` from `data` (`unit_size` bytes),
+    /// maintaining stripe parity. Small writes cost two reads + two
+    /// writes (read-modify-write); use [`BlockStore::write_blocks`] for
+    /// the full-stripe fast path.
+    pub fn write_block(&mut self, addr: usize, data: &[u8]) -> Result<(), StoreError> {
+        self.check_addr(addr)?;
+        self.check_block_buf(data.len())?;
+        let u = self.mapper.locate(addr);
+        let p = self.mapper.parity_of(addr, &self.layout);
+        let udisk = u.disk as usize;
+        let pdisk = p.disk as usize;
+        match self.failed {
+            Some(f) if f == udisk => {
+                // Lost data unit: fold the new value into parity so a
+                // degraded read (and the eventual rebuild) returns it.
+                // parity = new_data XOR (all other data units).
+                let (members, parity_slot) = self.stripe_members(udisk, u.offset as usize);
+                let mut parity = data.to_vec();
+                let mut tmp = vec![0u8; self.unit_size];
+                for (slot, m) in members.iter().enumerate() {
+                    if slot == parity_slot || *m == u {
+                        continue;
+                    }
+                    self.read_phys(*m, &mut tmp)?;
+                    xor_into(&mut parity, &tmp);
+                }
+                self.write_phys(p, &parity)
+            }
+            Some(f) if f == pdisk => {
+                // Lost parity: just write the data; parity is restored
+                // wholesale by rebuild.
+                self.write_phys(u, data)
+            }
+            _ => {
+                // Healthy small write: RMW parity update.
+                let mut old = vec![0u8; self.unit_size];
+                self.read_phys(u, &mut old)?;
+                let mut parity = vec![0u8; self.unit_size];
+                self.read_phys(p, &mut parity)?;
+                xor_into(&mut parity, &old);
+                xor_into(&mut parity, data);
+                self.write_phys(u, data)?;
+                self.write_phys(p, &parity)
+            }
+        }
+    }
+
+    /// Reads `buf.len() / unit_size` consecutive logical blocks
+    /// starting at `start` (buf length must be a block multiple).
+    pub fn read_blocks(&self, start: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        if !buf.len().is_multiple_of(self.unit_size) {
+            return Err(StoreError::BadBufferSize { expected: self.unit_size, got: buf.len() });
+        }
+        for (i, chunk) in buf.chunks_exact_mut(self.unit_size).enumerate() {
+            self.read_block(start + i, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Writes consecutive logical blocks starting at `start`,
+    /// recognizing runs that cover a whole stripe's data units and
+    /// writing those with freshly computed parity and **zero reads**
+    /// (the paper's Condition-5 large-write optimization); partial
+    /// stripes fall back to read-modify-write.
+    pub fn write_blocks(&mut self, start: usize, data: &[u8]) -> Result<(), StoreError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        if !data.len().is_multiple_of(self.unit_size) {
+            return Err(StoreError::BadBufferSize { expected: self.unit_size, got: data.len() });
+        }
+        let n = data.len() / self.unit_size;
+        self.check_addr(start)?;
+        self.check_addr(start + n - 1)?;
+        let per_copy = self.mapper.data_units_per_copy();
+        let mut i = 0usize;
+        while i < n {
+            let addr = start + i;
+            let stripe_idx = self.mapper.stripe_of(addr);
+            let k_data = self.layout.stripes()[stripe_idx].len() - 1;
+            // Runs never span copies: stripe_of works within one copy.
+            let within = addr % per_copy;
+            let is_stripe_head = within == 0 || self.mapper.stripe_of(addr - 1) != stripe_idx;
+            let run = (n - i).min(k_data);
+            let covers_stripe = is_stripe_head
+                && run == k_data
+                && (within + run <= per_copy)
+                && self.mapper.stripe_of(addr + run - 1) == stripe_idx;
+            if covers_stripe {
+                self.write_full_stripe(
+                    addr,
+                    &data[i * self.unit_size..(i + run) * self.unit_size],
+                )?;
+                i += run;
+            } else {
+                self.write_block(addr, &data[i * self.unit_size..(i + 1) * self.unit_size])?;
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes all `k−1` data blocks of one stripe (addresses
+    /// `start .. start + k−1`, which the caller has verified cover the
+    /// stripe) plus recomputed parity, without reading anything.
+    fn write_full_stripe(&mut self, start: usize, data: &[u8]) -> Result<(), StoreError> {
+        let k_data = data.len() / self.unit_size;
+        let mut parity = vec![0u8; self.unit_size];
+        for chunk in data.chunks_exact(self.unit_size) {
+            xor_into(&mut parity, chunk);
+        }
+        for (j, chunk) in data.chunks_exact(self.unit_size).enumerate() {
+            let u = self.mapper.locate(start + j);
+            if self.failed == Some(u.disk as usize) {
+                // The lost unit's content is encoded in the new parity;
+                // nothing to write on the failed disk.
+                continue;
+            }
+            self.write_phys(u, chunk)?;
+        }
+        let p = self.mapper.parity_of(start, &self.layout);
+        debug_assert_eq!(self.mapper.parity_of(start + k_data - 1, &self.layout), p);
+        if self.failed != Some(p.disk as usize) {
+            self.write_phys(p, &parity)?;
+        }
+        Ok(())
+    }
+
+    /// Replays a [`Trace`] (block-granular ops) against the store.
+    /// Write payloads are a deterministic function of `(addr, op
+    /// index)`, so two replays produce identical on-disk content.
+    pub fn replay(&mut self, trace: &Trace) -> Result<ReplayStats, StoreError> {
+        let mut stats = ReplayStats::default();
+        let mut buf = vec![0u8; self.unit_size];
+        for (i, op) in trace.ops.iter().enumerate() {
+            match *op {
+                TraceOp::Read { addr, len } => {
+                    for a in addr..addr + len {
+                        self.read_block(a, &mut buf)?;
+                    }
+                    stats.reads += 1;
+                    stats.blocks_read += len;
+                }
+                TraceOp::Write { addr, len } => {
+                    let mut data = vec![0u8; len * self.unit_size];
+                    for (j, chunk) in data.chunks_exact_mut(self.unit_size).enumerate() {
+                        fill_pattern(addr + j, i as u64, chunk);
+                    }
+                    self.write_blocks(addr, &data)?;
+                    stats.writes += 1;
+                    stats.blocks_written += len;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Scans every stripe and verifies its XOR invariant (the parity
+    /// unit equals the XOR of its data units). Failed disks make
+    /// verification impossible; call on a healthy array.
+    pub fn verify_parity(&self) -> Result<(), StoreError> {
+        if let Some(f) = self.failed {
+            return Err(StoreError::DiskFailed(f));
+        }
+        let size = self.layout.size();
+        let mut acc = vec![0u8; self.unit_size];
+        let mut tmp = vec![0u8; self.unit_size];
+        for copy in 0..self.copies {
+            let shift = (copy * size) as u32;
+            for (si, stripe) in self.layout.stripes().iter().enumerate() {
+                acc.fill(0);
+                for u in stripe.units() {
+                    let phys = StripeUnit { disk: u.disk, offset: u.offset + shift };
+                    self.read_phys(phys, &mut tmp)?;
+                    xor_into(&mut acc, &tmp);
+                }
+                if acc.iter().any(|&b| b != 0) {
+                    return Err(StoreError::Corrupt(format!(
+                        "stripe {si} (copy {copy}) fails its XOR parity invariant"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic block payload used by [`BlockStore::replay`].
+pub fn fill_pattern(addr: usize, salt: u64, buf: &mut [u8]) {
+    let mut x =
+        (addr as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ salt.wrapping_mul(0xd1b54a32d192ed03);
+    for chunk in buf.chunks_mut(8) {
+        x ^= x >> 32;
+        x = x.wrapping_mul(0xff51afd7ed558ccd);
+        x ^= x >> 29;
+        let b = x.to_le_bytes();
+        chunk.copy_from_slice(&b[..chunk.len()]);
+    }
+}

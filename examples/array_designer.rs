@@ -53,7 +53,9 @@ fn main() {
         let report = QualityReport::measure(&l);
         println!("{report}");
         let (olo, ohi) = params.parity_overhead_bounds(k);
-        println!("Theorem 12 overhead bounds: [{olo:.4}, {ohi:.4}] — holds: {}",
-            report.parity_overhead.0 >= olo - 1e-9 && report.parity_overhead.1 <= ohi + 1e-9);
+        println!(
+            "Theorem 12 overhead bounds: [{olo:.4}, {ohi:.4}] — holds: {}",
+            report.parity_overhead.0 >= olo - 1e-9 && report.parity_overhead.1 <= ohi + 1e-9
+        );
     }
 }

@@ -38,7 +38,11 @@ fn main() {
         "logical unit {addr} → disk {} offset {} (parity on disk {} offset {})",
         unit.disk, unit.offset, parity.disk, parity.offset
     );
-    println!("mapping table: {} entries, ~{} KiB resident", mapper.table_entries(), mapper.table_bytes() / 1024);
+    println!(
+        "mapping table: {} entries, ~{} KiB resident",
+        mapper.table_entries(),
+        mapper.table_bytes() / 1024
+    );
 
     // A peek at the first rows of the layout (stripe ids, * = parity).
     println!("\nfirst rows of the layout:");

@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example reconstruction_sim`
 
 use parity_decluster::core::{raid5_layout, RingLayout};
-use parity_decluster::sim::{
-    simulate, RebuildTarget, SimConfig, StopCondition, Workload,
-};
+use parity_decluster::sim::{simulate, RebuildTarget, SimConfig, StopCondition, Workload};
 
 fn main() {
     let v = 9;
@@ -40,10 +38,7 @@ fn main() {
             r.mean_response_us / 1e3,
             r.p95_response_us as f64 / 1e3
         );
-        println!(
-            "per-disk rebuild reads (survivors): {:?}",
-            &r.rebuild_reads[1..v]
-        );
+        println!("per-disk rebuild reads (survivors): {:?}", &r.rebuild_reads[1..v]);
         println!(
             "spare disk absorbed {} rebuild writes\n",
             r.rebuild_writes.last().copied().unwrap_or(0)

@@ -11,29 +11,14 @@ use parity_decluster::design::{complete_design, theorem4_design, theorem6_design
 fn all_layouts() -> Vec<(String, Layout)> {
     vec![
         ("raid5 v=6".into(), raid5_layout(6, 12)),
-        (
-            "hg complete v=5,k=3".into(),
-            holland_gibson_layout(&complete_design(5, 3, 1000)),
-        ),
-        (
-            "hg thm4 v=13,k=4".into(),
-            holland_gibson_layout(&theorem4_design(13, 4).design),
-        ),
+        ("hg complete v=5,k=3".into(), holland_gibson_layout(&complete_design(5, 3, 1000))),
+        ("hg thm4 v=13,k=4".into(), holland_gibson_layout(&theorem4_design(13, 4).design)),
         ("ring v=9,k=4".into(), RingLayout::for_v_k(9, 4).layout().clone()),
         ("ring v=15,k=3".into(), RingLayout::for_v_k(15, 3).layout().clone()),
         ("thm8 v=9→8,k=4".into(), RingLayout::for_v_k(9, 4).remove_disk(0)),
-        (
-            "thm9 v=13→11,k=5".into(),
-            RingLayout::for_v_k(13, 5).remove_disks(&[0, 6]).unwrap(),
-        ),
-        (
-            "stairway 8→10,k=3".into(),
-            stairway_layout(&RingDesign::for_v_k(8, 3), 10).unwrap(),
-        ),
-        (
-            "stairway 9→13,k=4".into(),
-            stairway_layout(&RingDesign::for_v_k(9, 4), 13).unwrap(),
-        ),
+        ("thm9 v=13→11,k=5".into(), RingLayout::for_v_k(13, 5).remove_disks(&[0, 6]).unwrap()),
+        ("stairway 8→10,k=3".into(), stairway_layout(&RingDesign::for_v_k(8, 3), 10).unwrap()),
+        ("stairway 9→13,k=4".into(), stairway_layout(&RingDesign::for_v_k(9, 4), 13).unwrap()),
         (
             "lcm-min thm6 v=9,k=3".into(),
             minimal_balanced_layout(&theorem6_design(9, 3).design).unwrap(),
@@ -79,11 +64,7 @@ fn condition1_reconstructability() {
 fn condition2_parity_distribution() {
     for (name, l) in all_layouts() {
         let q = QualityReport::measure(&l);
-        assert!(
-            q.parity_nearly_balanced(),
-            "{name}: parity counts {:?}",
-            q.parity_units
-        );
+        assert!(q.parity_nearly_balanced(), "{name}: parity counts {:?}", q.parity_units);
     }
 }
 

@@ -53,6 +53,7 @@ fn full_pipeline_composite_v() {
 /// The simulator's measured per-disk rebuild reads equal the analytic
 /// reconstruction workload matrix row, for every failed disk.
 #[test]
+#[allow(clippy::needless_range_loop)]
 fn simulator_matches_analytic_workloads() {
     let rl = RingLayout::for_v_k(8, 3);
     let layout = rl.layout();
@@ -64,10 +65,7 @@ fn simulator_matches_analytic_workloads() {
                 assert_eq!(res.rebuild_reads[d], 0);
             } else {
                 let measured = res.rebuild_reads[d] as f64 / layout.size() as f64;
-                assert!(
-                    (measured - workloads[failed][d]).abs() < 1e-12,
-                    "failed={failed} d={d}"
-                );
+                assert!((measured - workloads[failed][d]).abs() < 1e-12, "failed={failed} d={d}");
             }
         }
     }

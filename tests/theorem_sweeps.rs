@@ -109,7 +109,7 @@ fn theorem2_boundary_sweep() {
         assert!(ring_design_exists(v, m));
         assert!(!ring_design_exists(v, m + 1));
         // spot-build at the boundary
-        if m >= 2 && m <= 9 {
+        if (2..=9).contains(&m) {
             let d = RingDesign::for_v_k(v as usize, m as usize);
             d.to_block_design().verify_bibd().unwrap();
         }

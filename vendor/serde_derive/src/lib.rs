@@ -1,0 +1,123 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports the one shape this workspace serializes: non-generic
+//! structs with named fields. The macro hand-parses the token stream
+//! (no `syn`/`quote` available offline) and emits `Serialize`/
+//! `Deserialize` impls over `serde::Content`.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// Extracts `(struct_name, field_names)` from a struct definition, or
+/// panics with a readable message for unsupported shapes.
+fn parse_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes `#[...]`.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, found {other:?}"),
+                }
+                break;
+            }
+            // Skip visibility and anything else before `struct`.
+            _ => {}
+        }
+    }
+    let name = name.expect("derive target must be a struct");
+    // Find the brace-delimited field body (skipping generics would go
+    // here; generic structs are unsupported and fail loudly below).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive(Serialize/Deserialize) stub does not support generic structs")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("derive(Serialize/Deserialize) stub does not support tuple/unit structs")
+            }
+            Some(_) => {}
+            None => panic!("struct body not found"),
+        }
+    };
+
+    // Field names: an ident at angle-depth 0 immediately followed by a
+    // lone `:` (a path separator `::` has Joint spacing), not preceded
+    // by `:` (which would make it a path segment).
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut prev_was_colon = false;
+    let mut toks = body.into_iter().peekable();
+    while let Some(tt) = toks.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Ident(id) if angle_depth == 0 && !prev_was_colon => {
+                if let Some(TokenTree::Punct(p)) = toks.peek() {
+                    if p.as_char() == ':' && p.spacing() == Spacing::Alone {
+                        fields.push(id.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+        prev_was_colon = matches!(&tt, TokenTree::Punct(p) if p.as_char() == ':');
+    }
+    (name, fields)
+}
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let pushes: String = fields
+        .iter()
+        .map(|f| format!("map.push(({f:?}.to_string(), serde::Serialize::to_content(&self.{f})));"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> serde::Content {{\n\
+                 let mut map = Vec::new();\n\
+                 {pushes}\n\
+                 serde::Content::Map(map)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match map.iter().find(|(k, _)| k == {f:?}) {{\n\
+                     Some((_, v)) => serde::Deserialize::from_content(v)?,\n\
+                     None => return Err(serde::DeError(format!(\"missing field `{{}}`\", {f:?}))),\n\
+                 }},"
+            )
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {{\n\
+                 let map = match c {{\n\
+                     serde::Content::Map(m) => m,\n\
+                     other => return Err(serde::DeError(format!(\"expected map, found {{other:?}}\"))),\n\
+                 }};\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
