@@ -1,0 +1,344 @@
+//! `GF(2^8)` specialized for byte-granular erasure coding — the field
+//! behind the P+Q (RAID-6-style) double-parity scheme in `pdl-store`.
+//!
+//! [`FiniteField`](crate::FiniteField) is the general table-driven
+//! field used by the layout constructions; this module is its
+//! fixed-size sibling tuned for the data path: compile-time exp/log
+//! tables over the standard RAID-6 polynomial `x^8+x^4+x^3+x^2+1`
+//! (0x11d, for which `x` = 2 is primitive), branch-free per-byte
+//! multiply, and slice kernels (`mul_slice`, `mul_add_slice`) that
+//! amortize the table walk into one 256-entry row per call.
+//!
+//! ## The P+Q equations
+//!
+//! A stripe with data units `D_0..D_{n-1}` (indexed by their slot `j`)
+//! carries two parity units:
+//!
+//! ```text
+//! P = D_0 ^ D_1 ^ ... ^ D_{n-1}              (plain XOR)
+//! Q = g^{j_0}·D_0 ^ g^{j_1}·D_1 ^ ...        (g = GENERATOR = 2)
+//! ```
+//!
+//! Any two simultaneous erasures are solvable: with partial sums over
+//! the survivors, the two lost values satisfy a 2×2 linear system over
+//! `GF(2^8)` whose solution [`two_erasure_coeffs`] precomputes.
+
+/// The RAID-6 field polynomial `x^8 + x^4 + x^3 + x^2 + 1`.
+pub const GF256_POLY: u16 = 0x11d;
+
+/// The fixed generator (primitive element) `g = x = 2`.
+pub const GENERATOR: u8 = 2;
+
+/// `exp` doubled to 510 entries so `exp[log a + log b]` needs no modulo.
+const fn build_exp() -> [u8; 510] {
+    let mut exp = [0u8; 510];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        exp[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= GF256_POLY;
+        }
+        i += 1;
+    }
+    exp
+}
+
+const fn build_log(exp: &[u8; 510]) -> [u8; 256] {
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        log[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    log
+}
+
+const EXP: [u8; 510] = build_exp();
+const LOG: [u8; 256] = build_log(&EXP);
+
+/// Field multiplication `a · b`.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse; `None` for 0.
+#[inline]
+pub fn inv(a: u8) -> Option<u8> {
+    if a == 0 {
+        None
+    } else {
+        Some(EXP[255 - LOG[a as usize] as usize])
+    }
+}
+
+/// `g^e` for the fixed generator — the Q-parity coefficient of data
+/// slot `e` (reduced mod 255, so any slot index is valid).
+#[inline]
+pub fn gen_pow(e: usize) -> u8 {
+    EXP[e % 255]
+}
+
+/// `a / b`. Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b).expect("division by zero in GF(256)"))
+}
+
+/// The 256-entry multiplication row of `c`, built once per slice call
+/// so the per-byte work is a single table lookup.
+fn mul_row(c: u8) -> [u8; 256] {
+    let mut row = [0u8; 256];
+    if c == 0 {
+        return row;
+    }
+    let lc = LOG[c as usize] as usize;
+    let mut b = 1usize;
+    while b < 256 {
+        row[b] = EXP[lc + LOG[b] as usize];
+        b += 1;
+    }
+    row
+}
+
+/// Below this length the per-call row build costs more than it saves;
+/// fall back to the direct exp/log form (2 lookups per byte).
+const ROW_THRESHOLD: usize = 256;
+
+/// `dst[i] = c · dst[i]` for every byte.
+pub fn mul_slice(dst: &mut [u8], c: u8) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    if dst.len() < ROW_THRESHOLD {
+        let lc = LOG[c as usize] as usize;
+        for d in dst {
+            if *d != 0 {
+                *d = EXP[lc + LOG[*d as usize] as usize];
+            }
+        }
+        return;
+    }
+    let row = mul_row(c);
+    for d in dst {
+        *d = row[*d as usize];
+    }
+}
+
+/// `dst[i] ^= c · src[i]` — the fused kernel of Q-parity updates and
+/// syndrome accumulation.
+pub fn mul_add_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    if dst.len() < ROW_THRESHOLD {
+        let lc = LOG[c as usize] as usize;
+        for (d, s) in dst.iter_mut().zip(src) {
+            if *s != 0 {
+                *d ^= EXP[lc + LOG[*s as usize] as usize];
+            }
+        }
+        return;
+    }
+    let row = mul_row(c);
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// Solves the double-erasure system for two lost **data** units at
+/// Q-coefficients `gx` and `gy` (`gx ≠ gy`), given the syndromes
+///
+/// ```text
+/// S_p = D_x ^ D_y            (P-equation partial sum)
+/// S_q = gx·D_x ^ gy·D_y      (Q-equation partial sum)
+/// ```
+///
+/// Returns `(a, b)` such that `D_x = a·S_p ^ b·S_q` (and then
+/// `D_y = S_p ^ D_x`). Precomputing the coefficients keeps the
+/// per-byte reconstruction loop to two table lookups and an XOR.
+///
+/// # Panics
+/// Panics if `gx == gy` (the system is singular — two data units of
+/// one stripe must carry distinct Q coefficients).
+pub fn two_erasure_coeffs(gx: u8, gy: u8) -> (u8, u8) {
+    assert_ne!(gx, gy, "two-erasure solve needs distinct Q coefficients");
+    let denom = inv(gx ^ gy).expect("gx ^ gy is nonzero for gx != gy");
+    (mul(gy, denom), denom)
+}
+
+/// Applies [`two_erasure_coeffs`] to whole syndrome buffers: on return
+/// `sp` holds `D_x` and `sq` holds `D_y`.
+pub fn solve_two_erasures(sp: &mut [u8], sq: &mut [u8], gx: u8, gy: u8) {
+    debug_assert_eq!(sp.len(), sq.len());
+    let (a, b) = two_erasure_coeffs(gx, gy);
+    // D_x = a·S_p ^ b·S_q, computed into sq's buffer first so S_p
+    // survives for D_y = S_p ^ D_x.
+    mul_slice(sq, b);
+    mul_add_slice(sq, sp, a);
+    for (p, q) in sp.iter_mut().zip(sq.iter()) {
+        *p ^= q; // now: sp = S_p ^ D_x = D_y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_exhaustive() {
+        // Identity, zero, commutativity on the full 256×256 table.
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn associativity_and_distributivity_sampled() {
+        for i in 0..64u32 {
+            let a = (i * 37 + 11) as u8;
+            let b = (i * 91 + 5) as u8;
+            let c = (i * 53 + 101) as u8;
+            assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+            assert_eq!(mul(a, b ^ c), mul(a, b) ^ mul(a, c));
+        }
+    }
+
+    #[test]
+    fn inverses_roundtrip() {
+        assert_eq!(inv(0), None);
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a).unwrap()), 1, "a={a}");
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        for e in 0..255 {
+            let v = gen_pow(e);
+            assert!(!seen[v as usize], "g^{e} repeats");
+            seen[v as usize] = true;
+        }
+        assert_eq!(gen_pow(0), 1);
+        assert_eq!(gen_pow(1), GENERATOR);
+        assert_eq!(gen_pow(255), 1, "order divides 255");
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        // Carry-less schoolbook multiply reduced by the polynomial.
+        fn slow(a: u8, b: u8) -> u8 {
+            let mut acc: u16 = 0;
+            for bit in 0..8 {
+                if b & (1 << bit) != 0 {
+                    acc ^= (a as u16) << bit;
+                }
+            }
+            for bit in (8..16).rev() {
+                if acc & (1 << bit) != 0 {
+                    acc ^= GF256_POLY << (bit - 8);
+                }
+            }
+            acc as u8
+        }
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_kernels_match_scalar() {
+        let src: Vec<u8> = (0..256).map(|i| (i * 7 + 3) as u8).collect();
+        let mut dst: Vec<u8> = (0..256).map(|i| (i * 13 + 1) as u8).collect();
+        let snapshot = dst.clone();
+        mul_add_slice(&mut dst, &src, 0x1d);
+        for i in 0..256 {
+            assert_eq!(dst[i], snapshot[i] ^ mul(src[i], 0x1d));
+        }
+        mul_slice(&mut dst, 0x53);
+        for i in 0..256 {
+            assert_eq!(dst[i], mul(snapshot[i] ^ mul(src[i], 0x1d), 0x53));
+        }
+        mul_slice(&mut dst, 0);
+        assert!(dst.iter().all(|&b| b == 0));
+
+        // Short buffers take the direct (row-free) path; same result.
+        for len in [1usize, 33, 255] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 5) as u8).collect();
+            let mut dst: Vec<u8> = (0..len).map(|i| (i * 3 + 7) as u8).collect();
+            let snapshot = dst.clone();
+            mul_add_slice(&mut dst, &src, 0x8e);
+            for i in 0..len {
+                assert_eq!(dst[i], snapshot[i] ^ mul(src[i], 0x8e), "len {len}");
+            }
+            mul_slice(&mut dst, 0x02);
+            for i in 0..len {
+                assert_eq!(dst[i], mul(snapshot[i] ^ mul(src[i], 0x8e), 2), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_erasure_solve_recovers_both() {
+        // Encode two data bytes into syndromes, solve, compare.
+        for x in 0..16usize {
+            for y in 16..32usize {
+                let (gx, gy) = (gen_pow(x), gen_pow(y));
+                for dx in [0u8, 1, 0x47, 0xff] {
+                    for dy in [0u8, 9, 0x80, 0xfe] {
+                        let sp = dx ^ dy;
+                        let sq = mul(gx, dx) ^ mul(gy, dy);
+                        let (a, b) = two_erasure_coeffs(gx, gy);
+                        let got_x = mul(a, sp) ^ mul(b, sq);
+                        let got_y = sp ^ got_x;
+                        assert_eq!((got_x, got_y), (dx, dy), "x={x} y={y}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_two_erasures_buffers() {
+        let dx: Vec<u8> = (0..64).map(|i| (i * 11 + 2) as u8).collect();
+        let dy: Vec<u8> = (0..64).map(|i| (i * 29 + 7) as u8).collect();
+        let (gx, gy) = (gen_pow(3), gen_pow(9));
+        let mut sp: Vec<u8> = dx.iter().zip(&dy).map(|(a, b)| a ^ b).collect();
+        let mut sq: Vec<u8> = dx.iter().zip(&dy).map(|(a, b)| mul(gx, *a) ^ mul(gy, *b)).collect();
+        solve_two_erasures(&mut sp, &mut sq, gx, gy);
+        assert_eq!(sq, dx, "sq buffer holds D_x");
+        assert_eq!(sp, dy, "sp buffer holds D_y");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct Q coefficients")]
+    fn equal_coefficients_rejected() {
+        two_erasure_coeffs(5, 5);
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod gf;
+pub mod gf256;
 pub mod nt;
 pub mod poly;
 pub mod ring;

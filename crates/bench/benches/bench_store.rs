@@ -3,10 +3,13 @@
 //! random block reads, sequential stripe-aligned writes (the zero-read
 //! full-stripe path), random small writes (read-modify-write), and
 //! full-rebuild time. RAID5 and ring-declustered layouts side by side:
-//! the data path costs the same, the rebuild does not.
+//! the data path costs the same, the rebuild does not. A P+Q group
+//! prices double parity: the extra Q update on writes, the
+//! two-erasure decode on doubly-degraded reads, and the two-phase
+//! double rebuild.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pdl_core::{raid5_layout, Layout, RingLayout};
+use pdl_core::{raid5_layout, DoubleParityLayout, Layout, RingLayout};
 use pdl_store::{BlockStore, MemBackend, Rebuilder};
 use std::hint::black_box;
 
@@ -20,11 +23,29 @@ fn families() -> Vec<(&'static str, Layout)> {
     ]
 }
 
+fn pq_families() -> Vec<(&'static str, DoubleParityLayout)> {
+    vec![
+        (
+            "ring_v9_k4",
+            DoubleParityLayout::new(RingLayout::for_v_k(9, 4).layout().clone()).unwrap(),
+        ),
+        (
+            "ring_v13_k4",
+            DoubleParityLayout::new(RingLayout::for_v_k(13, 4).layout().clone()).unwrap(),
+        ),
+    ]
+}
+
 fn make_store(layout: &Layout) -> BlockStore<MemBackend> {
     // Enough layout copies that every family holds ≥ 256 blocks (the
     // per-iteration transfer size below).
     let backend = MemBackend::new(layout.v() + 1, 4 * layout.size(), UNIT);
     BlockStore::new(layout.clone(), backend).unwrap()
+}
+
+fn make_pq_store(dp: &DoubleParityLayout) -> BlockStore<MemBackend> {
+    let backend = MemBackend::new(dp.layout().v() + 2, 4 * dp.layout().size(), UNIT);
+    BlockStore::new_pq(dp.clone(), backend).unwrap()
 }
 
 fn bench_reads(c: &mut Criterion) {
@@ -115,6 +136,64 @@ fn bench_rebuild(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_pq(c: &mut Criterion) {
+    // Small-write RMW under double parity (3 reads + 3 writes).
+    let mut g = c.benchmark_group("store_pq_write");
+    for (name, dp) in pq_families() {
+        let mut store = make_pq_store(&dp);
+        let blocks = store.blocks();
+        let block = vec![0xcdu8; UNIT];
+        g.throughput(Throughput::Bytes((256 * UNIT) as u64));
+        g.bench_function(BenchmarkId::new("random_small_rmw", name), |b| {
+            b.iter(|| {
+                for i in 0..256usize {
+                    let addr = i.wrapping_mul(2654435761) % blocks;
+                    store.write_block(black_box(addr), &block).unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+
+    // Random reads while TWO disks are down: the two-erasure decode.
+    let mut g = c.benchmark_group("store_pq_double_degraded_read");
+    for (name, dp) in pq_families() {
+        let mut store = make_pq_store(&dp);
+        store.fail_disk(0).unwrap();
+        store.fail_disk(3).unwrap();
+        let blocks = store.blocks();
+        g.throughput(Throughput::Bytes((256 * UNIT) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &store, |b, s| {
+            let mut buf = vec![0u8; UNIT];
+            b.iter(|| {
+                for i in 0..256usize {
+                    let addr = i.wrapping_mul(2654435761) % blocks;
+                    s.read_block(black_box(addr), &mut buf).unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+
+    // Two-phase rebuild of both failed disks onto two spares.
+    let mut g = c.benchmark_group("store_pq_double_rebuild");
+    for (name, dp) in pq_families() {
+        let spares = [dp.layout().v(), dp.layout().v() + 1];
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                // Setup is part of the measured loop (criterion's
+                // stand-in has no iter_batched); rebuild dominates.
+                let mut store = make_pq_store(&dp);
+                store.fail_disk(1).unwrap();
+                store.fail_disk(5).unwrap();
+                let reports = Rebuilder::new(4).rebuild_all(&mut store, &spares).unwrap();
+                black_box(reports.len())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -124,6 +203,7 @@ criterion_group! {
     targets = bench_reads,
     bench_writes,
     bench_degraded_read,
-    bench_rebuild
+    bench_rebuild,
+    bench_pq
 }
 criterion_main!(benches);

@@ -47,6 +47,39 @@ impl DoubleParityLayout {
         Ok(DoubleParityLayout { layout, parity_slots })
     }
 
+    /// Rebuilds a double-parity layout from a previously chosen slot
+    /// assignment (e.g. one persisted by a store's metadata), validating
+    /// that every stripe gets two distinct slots on distinct disks.
+    /// Unlike [`DoubleParityLayout::new`] this does not re-run the flow
+    /// assignment, so the exact on-disk parity placement round-trips.
+    pub fn from_parts(
+        layout: Layout,
+        parity_slots: Vec<(usize, usize)>,
+    ) -> Result<Self, AssignError> {
+        if parity_slots.len() != layout.b() {
+            return Err(AssignError::InvalidLayout(format!(
+                "{} slot pairs for {} stripes",
+                parity_slots.len(),
+                layout.b()
+            )));
+        }
+        for (s, &(p, q)) in parity_slots.iter().enumerate() {
+            let units = layout.stripes()[s].units();
+            if p >= units.len() || q >= units.len() {
+                return Err(AssignError::InvalidLayout(format!(
+                    "stripe {s}: parity slot out of range ({p}, {q}) in a {}-unit stripe",
+                    units.len()
+                )));
+            }
+            if p == q || units[p].disk == units[q].disk {
+                return Err(AssignError::InvalidLayout(format!(
+                    "stripe {s}: P and Q must be distinct units on distinct disks"
+                )));
+            }
+        }
+        Ok(DoubleParityLayout { layout, parity_slots })
+    }
+
     /// The underlying layout geometry.
     pub fn layout(&self) -> &Layout {
         &self.layout
@@ -57,6 +90,18 @@ impl DoubleParityLayout {
         let (p, q) = self.parity_slots[s];
         let units = self.layout.stripes()[s].units();
         (units[p], units[q])
+    }
+
+    /// The `(P, Q)` slot indices of stripe `s` (into its unit list).
+    pub fn parity_slots(&self, s: usize) -> (usize, usize) {
+        self.parity_slots[s]
+    }
+
+    /// The `(P, Q)` slot pairs of every stripe, in stripe order — the
+    /// serializable form of the assignment (see
+    /// [`DoubleParityLayout::from_parts`]).
+    pub fn all_parity_slots(&self) -> &[(usize, usize)] {
+        &self.parity_slots
     }
 
     /// Role of a unit under double parity.
@@ -181,6 +226,31 @@ mod tests {
         let w = d.double_failure_workload(0, 1, 5);
         assert!(w < 1.0, "workload {w}");
         assert!(w > 0.0);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_assignment() {
+        let d = dp(9, 4);
+        let slots = d.all_parity_slots().to_vec();
+        let back = DoubleParityLayout::from_parts(d.layout().clone(), slots.clone()).unwrap();
+        assert_eq!(back.all_parity_slots(), &slots[..]);
+        for s in 0..d.layout().b() {
+            assert_eq!(back.parity_units(s), d.parity_units(s));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_slots() {
+        let d = dp(9, 4);
+        let layout = d.layout().clone();
+        // Wrong count.
+        assert!(DoubleParityLayout::from_parts(layout.clone(), vec![(0, 1)]).is_err());
+        // P == Q.
+        let bad: Vec<_> = (0..layout.b()).map(|_| (0usize, 0usize)).collect();
+        assert!(DoubleParityLayout::from_parts(layout.clone(), bad).is_err());
+        // Out of range.
+        let bad: Vec<_> = (0..layout.b()).map(|_| (0usize, 99usize)).collect();
+        assert!(DoubleParityLayout::from_parts(layout, bad).is_err());
     }
 
     #[test]

@@ -11,8 +11,11 @@ use crate::model::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// One block-level operation of a trace. Addresses and lengths are in
-/// logical data blocks (the simulator's "units"), not bytes.
+/// One operation of a trace: a block-level access (addresses and
+/// lengths in logical data blocks, the simulator's "units", not
+/// bytes) or a fault event (disk failure, transient recovery, rebuild
+/// onto a spare) — so a trace can script an entire failure/recovery
+/// scenario, not just its IO.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceOp {
     /// Read `len` blocks starting at logical block `addr`.
@@ -29,24 +32,43 @@ pub enum TraceOp {
         /// Number of blocks.
         len: usize,
     },
+    /// Fail a logical disk (subsequent IO runs degraded).
+    Fail {
+        /// The logical disk to fail.
+        disk: usize,
+    },
+    /// Clear a *transient* failure: the disk returns with its contents
+    /// intact (no rebuild).
+    Restore {
+        /// The logical disk to restore.
+        disk: usize,
+    },
+    /// Rebuild the lowest-numbered failed disk onto a spare.
+    Rebuild {
+        /// Physical disk to rebuild onto.
+        spare: usize,
+    },
 }
 
 impl TraceOp {
-    /// Starting address of the op.
+    /// Starting address of a block op; 0 for fault events.
     pub fn addr(&self) -> usize {
         match *self {
             TraceOp::Read { addr, .. } | TraceOp::Write { addr, .. } => addr,
+            _ => 0,
         }
     }
 
-    /// Length of the op in blocks.
+    /// Length in blocks of a block op; 0 for fault events.
     pub fn len(&self) -> usize {
         match *self {
             TraceOp::Read { len, .. } | TraceOp::Write { len, .. } => len,
+            _ => 0,
         }
     }
 
-    /// True for zero-length ops (never produced by the generator).
+    /// True for zero-length block ops (never produced by the
+    /// generator) and for fault events (which transfer no blocks).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -54,6 +76,11 @@ impl TraceOp {
     /// True if this is a write.
     pub fn is_write(&self) -> bool {
         matches!(self, TraceOp::Write { .. })
+    }
+
+    /// True for fault events (fail / restore / rebuild).
+    pub fn is_fault_event(&self) -> bool {
+        matches!(self, TraceOp::Fail { .. } | TraceOp::Restore { .. } | TraceOp::Rebuild { .. })
     }
 }
 
@@ -98,7 +125,8 @@ impl Trace {
         self.ops.is_empty()
     }
 
-    /// Total blocks touched by reads and by writes, respectively.
+    /// Total blocks touched by reads and by writes, respectively
+    /// (fault events transfer no blocks).
     pub fn volume(&self) -> (usize, usize) {
         let mut r = 0;
         let mut w = 0;
@@ -106,9 +134,22 @@ impl Trace {
             match op {
                 TraceOp::Read { len, .. } => r += len,
                 TraceOp::Write { len, .. } => w += len,
+                _ => {}
             }
         }
         (r, w)
+    }
+
+    /// Appends an operation (chainable; handy for scripting fault
+    /// scenarios onto a generated workload).
+    pub fn then(mut self, op: TraceOp) -> Trace {
+        self.ops.push(op);
+        self
+    }
+
+    /// Number of fault events (fail / restore / rebuild) in the trace.
+    pub fn fault_events(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_fault_event()).count()
     }
 }
 
@@ -166,5 +207,21 @@ mod tests {
             ops: vec![TraceOp::Read { addr: 0, len: 3 }, TraceOp::Write { addr: 1, len: 2 }],
         };
         assert_eq!(t.volume(), (3, 2));
+    }
+
+    #[test]
+    fn fault_events_script_onto_workloads() {
+        let t = Trace::from_workload(&Workload::default(), 100, 10, 3)
+            .then(TraceOp::Fail { disk: 2 })
+            .then(TraceOp::Read { addr: 0, len: 1 })
+            .then(TraceOp::Rebuild { spare: 9 });
+        assert_eq!(t.len(), 13);
+        assert_eq!(t.fault_events(), 2);
+        let fail = TraceOp::Fail { disk: 2 };
+        assert!(fail.is_fault_event() && !fail.is_write() && fail.is_empty());
+        assert_eq!(fail.addr(), 0);
+        // Volume counts block ops only.
+        let (r, w) = t.volume();
+        assert!(r >= 1 && r + w >= 11);
     }
 }

@@ -48,6 +48,12 @@ pub trait Backend: Send + Sync {
     /// Zeroes all IO counters.
     fn reset_counters(&self);
 
+    /// Overwrites a whole physical disk with zeroes — the fault
+    /// injector's "the medium is gone" primitive. A store must never
+    /// read a wiped disk while it is failed; tests wipe on failure so
+    /// any stale read surfaces as corruption instead of silent luck.
+    fn wipe_disk(&self, disk: usize) -> Result<(), StoreError>;
+
     /// Durably records the store's logical→physical disk mapping (the
     /// redirect table updated when a rebuild moves a logical disk onto
     /// a spare). Volatile backends keep the default no-op; durable
@@ -131,13 +137,6 @@ impl MemBackend {
             counters: Counters::new(disks),
         }
     }
-
-    /// Overwrites a whole disk with zeroes (simulates replacing the
-    /// physical medium; the store's rebuild then restores content).
-    pub fn wipe_disk(&self, disk: usize) {
-        let mut d = self.data[disk].write().unwrap();
-        d.fill(0);
-    }
 }
 
 impl Backend for MemBackend {
@@ -185,6 +184,14 @@ impl Backend for MemBackend {
 
     fn reset_counters(&self) {
         self.counters.reset();
+    }
+
+    fn wipe_disk(&self, disk: usize) -> Result<(), StoreError> {
+        if disk >= self.data.len() {
+            return Err(StoreError::OutOfRange { disk, offset: 0 });
+        }
+        self.data[disk].write().unwrap().fill(0);
+        Ok(())
     }
 }
 
@@ -339,6 +346,19 @@ impl Backend for FileBackend {
 
     fn reset_counters(&self) {
         self.counters.reset();
+    }
+
+    fn wipe_disk(&self, disk: usize) -> Result<(), StoreError> {
+        if disk >= self.files.len() {
+            return Err(StoreError::OutOfRange { disk, offset: 0 });
+        }
+        let zeros = vec![0u8; self.unit_size];
+        let mut f = self.files[disk].lock().unwrap();
+        f.seek(SeekFrom::Start(0))?;
+        for _ in 0..self.units {
+            f.write_all(&zeros)?;
+        }
+        Ok(())
     }
 
     fn persist_mapping(&self, redirect: &[usize]) -> Result<(), StoreError> {

@@ -30,15 +30,34 @@ pub enum StoreError {
     },
     /// The operation needs a disk that is currently failed.
     DiskFailed(usize),
-    /// A second disk failure: XOR parity protects exactly one.
+    /// More failures than the parity scheme tolerates (1 for XOR,
+    /// 2 for P+Q).
     TooManyFailures {
-        /// The disk already failed.
-        already: usize,
         /// The disk whose failure was requested.
         requested: usize,
+        /// The scheme's fault tolerance.
+        tolerance: usize,
     },
+    /// `fail_disk` on a disk that is already failed — the failure
+    /// state is never silently overwritten.
+    AlreadyFailed(usize),
+    /// `restore_disk` on a disk that is not failed.
+    NotFailed(usize),
+    /// `restore_disk` on a disk whose medium went stale while it was
+    /// failed (a write skipped one of its units): only a rebuild can
+    /// bring it back without corrupting parity.
+    RebuildRequired(usize),
     /// Rebuild was requested but no disk is failed.
     NothingToRebuild,
+    /// Rebuild of several disks was given too few spares (conflicting
+    /// or invalid spares are [`StoreError::InvalidSpare`], checked
+    /// before any phase runs).
+    SparesExhausted {
+        /// Disks awaiting rebuild.
+        failed: usize,
+        /// Spares supplied.
+        spares: usize,
+    },
     /// The chosen spare is invalid (out of range or already mapped).
     InvalidSpare(usize),
     /// Backend geometry is incompatible with the layout.
@@ -61,12 +80,24 @@ impl fmt::Display for StoreError {
                 write!(f, "logical block {addr} beyond store capacity {blocks}")
             }
             StoreError::DiskFailed(d) => write!(f, "disk {d} is failed"),
-            StoreError::TooManyFailures { already, requested } => write!(
+            StoreError::TooManyFailures { requested, tolerance } => write!(
                 f,
-                "cannot fail disk {requested}: disk {already} is already failed and single \
-                 parity tolerates one failure"
+                "cannot fail disk {requested}: the parity scheme tolerates at most {tolerance} \
+                 concurrent failure(s), all already in use"
+            ),
+            StoreError::AlreadyFailed(d) => {
+                write!(f, "disk {d} is already failed; failure state is not overwritten")
+            }
+            StoreError::NotFailed(d) => write!(f, "disk {d} is not failed"),
+            StoreError::RebuildRequired(d) => write!(
+                f,
+                "disk {d} was written around while failed; its medium is stale and only a \
+                 rebuild (not a transient restore) may bring it back"
             ),
             StoreError::NothingToRebuild => write!(f, "no disk is failed"),
+            StoreError::SparesExhausted { failed, spares } => {
+                write!(f, "{failed} disk(s) await rebuild but only {spares} spare(s) supplied")
+            }
             StoreError::InvalidSpare(s) => {
                 write!(f, "disk {s} is not available as a spare")
             }

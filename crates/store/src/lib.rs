@@ -1,51 +1,95 @@
 //! # pdl-store
 //!
 //! A byte-level parity-declustered block store: the paper's layouts
-//! ([`pdl_core::Layout`]) turned into an actual single-failure-tolerant
-//! array that reads and writes real bytes.
+//! ([`pdl_core::Layout`]) turned into an actual fault-tolerant array
+//! that reads and writes real bytes, with **configurable fault
+//! tolerance** — single-parity XOR or double-parity P+Q.
 //!
 //! * [`Backend`] — pluggable storage: [`MemBackend`] (reference, used
 //!   by tests and benches) and [`FileBackend`] (one file per disk,
-//!   IO at `offset * unit_size`);
-//! * [`BlockStore`] — the stripe-aware read/write path: XOR parity
+//!   IO at `offset * unit_size`), plus fault-injection hooks
+//!   ([`Backend::wipe_disk`]);
+//! * [`ParityScheme`] — the redundancy level: [`ParityScheme::Xor`]
+//!   (one parity unit per stripe, any single disk may fail) or
+//!   [`ParityScheme::PQ`] (two parity units per stripe, any **two**
+//!   disks may fail concurrently);
+//! * [`BlockStore`] — the stripe-aware read/write path: parity
 //!   maintained by small-write read-modify-write, a zero-read
-//!   full-stripe write fast path, logical→physical translation via the
-//!   Condition-4 [`pdl_core::AddressMapper`];
-//! * fault injection ([`BlockStore::fail_disk`]) and **degraded
-//!   reads** that reconstruct lost units from surviving stripe
-//!   members;
-//! * [`Rebuilder`] — online rebuild of a failed disk onto a spare,
-//!   stripe by stripe with bounded parallelism, reporting per-disk
-//!   read counts so the (k−1)/(v−1) rebuild-load claim is measurable
-//!   on real traffic;
+//!   full-stripe write fast path, logical→physical translation via
+//!   the scheme-aware Condition-4 [`StripeMap`];
+//! * fault injection ([`BlockStore::fail_disk`], capped by the
+//!   scheme's tolerance and tracked in a [`FailureSet`]) and
+//!   **degraded reads** that erasure-decode lost units from surviving
+//!   stripe members — one- and two-erasure solves;
+//! * [`Rebuilder`] — online rebuild of failed disks onto spares,
+//!   stripe by stripe with bounded parallelism; double failures
+//!   rebuild in two phases ([`Rebuilder::rebuild_all`]) with per-disk
+//!   read counts per phase, so the (k−1)/(v−1)-per-failure
+//!   rebuild-load claim is measurable on real traffic;
 //! * [`StoreMeta`] — array metadata persisted as JSON (reusing the
-//!   `pdl-core` [`pdl_core::LayoutSpec`] codec) so file-backed arrays
-//!   reopen with their exact geometry;
+//!   `pdl-core` [`pdl_core::LayoutSpec`] codec) including the parity
+//!   scheme and P+Q slot assignment, so file-backed arrays reopen
+//!   with their exact geometry;
 //! * trace replay ([`BlockStore::replay`]) of [`pdl_sim::Trace`]
-//!   workloads, so simulator access patterns run against real bytes.
+//!   workloads — block ops *and* fail/restore/rebuild fault events —
+//!   so simulator scenarios run against real bytes.
+//!
+//! ## Fault-tolerance levels
+//!
+//! | Scheme | Parity per stripe | Tolerates | Small write | Decode |
+//! |--------|-------------------|-----------|-------------|--------|
+//! | [`ParityScheme::Xor`] | 1 (P) | 1 failed disk | 2 reads + 2 writes | XOR of survivors |
+//! | [`ParityScheme::PQ`]  | 2 (P, Q) | 2 failed disks | 3 reads + 3 writes | `GF(2^8)` syndrome solve |
+//!
+//! ## The P+Q math
+//!
+//! Within a stripe whose data units sit at slots `j` (Q coefficients
+//! `g^j`, `g` the generator of `GF(2^8)` mod `x^8+x^4+x^3+x^2+1`):
+//!
+//! ```text
+//! P = Σ D_j            Q = Σ g^j · D_j
+//! ```
+//!
+//! Losing any two units leaves a solvable 2×2 linear system over
+//! `GF(2^8)` — see [`pdl_algebra::gf256`] for the kernels. P and Q
+//! slot placement per stripe comes from the paper's generalized
+//! Theorem 14 flow ([`pdl_core::DoubleParityLayout`]), so the
+//! combined parity population stays balanced within one unit per
+//! disk.
+//!
+//! ## The failure/rebuild state machine
+//!
+//! `fail_disk` moves a disk into the [`FailureSet`] (at most
+//! `fault_tolerance` at a time; re-failing a failed disk is
+//! [`StoreError::AlreadyFailed`]). While degraded, reads
+//! erasure-decode and writes keep every *surviving* parity unit
+//! consistent. A [`Rebuilder`] drains the set: each phase
+//! reconstructs one disk onto a spare, redirects the logical disk,
+//! and persists the mapping. [`BlockStore::restore_disk`] undoes a
+//! transient failure without a rebuild (contents must be intact).
 //!
 //! ```
-//! use pdl_core::RingLayout;
+//! use pdl_core::{DoubleParityLayout, RingLayout};
 //! use pdl_store::{BlockStore, MemBackend, Rebuilder};
 //!
-//! // A declustered store: 9 disks + 1 spare, stripes of 4, 64-byte blocks.
+//! // A double-parity declustered store: 9 disks + 2 spares.
 //! let rl = RingLayout::for_v_k(9, 4);
-//! let layout = rl.layout().clone();
-//! let backend = MemBackend::new(10, layout.size(), 64);
-//! let mut store = BlockStore::new(layout, backend).unwrap();
+//! let dp = DoubleParityLayout::new(rl.layout().clone()).unwrap();
+//! let backend = MemBackend::new(11, dp.layout().size(), 64);
+//! let mut store = BlockStore::new_pq(dp, backend).unwrap();
 //!
-//! // Write, fail a disk, read back degraded, rebuild onto the spare.
+//! // Write, fail TWO disks, read back degraded, rebuild onto spares.
 //! let block = vec![0x5a; 64];
-//! store.write_block(17, &block).unwrap();
+//! store.write_block(7, &block).unwrap();
 //! store.fail_disk(3).unwrap();
+//! store.fail_disk(6).unwrap();
 //! let mut out = vec![0; 64];
-//! store.read_block(17, &mut out).unwrap();   // reconstructs if needed
+//! store.read_block(7, &mut out).unwrap();   // two-erasure decode if needed
 //! assert_eq!(out, block);
 //!
-//! let report = Rebuilder::new(4).rebuild(&mut store, 9).unwrap();
+//! let reports = Rebuilder::new(4).rebuild_all(&mut store, &[9, 10]).unwrap();
+//! assert_eq!(reports.len(), 2);
 //! assert!(!store.is_degraded());
-//! // Declustering: each survivor read only ~(k-1)/(v-1) = 3/8 of a disk.
-//! assert!((report.mean_read_fraction() - 0.375).abs() < 1e-9);
 //! store.verify_parity().unwrap();
 //! ```
 
@@ -55,10 +99,12 @@ pub mod backend;
 pub mod error;
 pub mod meta;
 pub mod rebuild;
+pub mod scheme;
 pub mod store;
 
 pub use backend::{Backend, FileBackend, MemBackend};
 pub use error::StoreError;
-pub use meta::{create_file_store, open_file_store, StoreMeta, META_FILE};
+pub use meta::{create_file_store, create_file_store_pq, open_file_store, StoreMeta, META_FILE};
 pub use rebuild::{RebuildReport, Rebuilder};
+pub use scheme::{FailureSet, ParityScheme, StripeMap};
 pub use store::{fill_pattern, BlockStore, ReplayStats};

@@ -1,9 +1,16 @@
 //! Array metadata persistence: a version-tagged JSON document
 //! (reusing `pdl-core`'s [`LayoutSpec`] codec for the layout itself)
 //! stored alongside a file-backed array so it can be reopened with the
-//! exact geometry it was created with. Rebuilds additionally persist
-//! the logical→physical disk mapping (`mapping.json`, written by the
-//! backend) so a reopened store reads spares, not stale failed disks.
+//! exact geometry it was created with — including the parity scheme
+//! and, under P+Q, the per-stripe `(P, Q)` slot assignment, so a
+//! reopened store decodes with the same parity placement instead of
+//! re-running the (implementation-detail) flow assignment. Rebuilds
+//! additionally persist the logical→physical disk mapping
+//! (`mapping.json`, written by the backend) so a reopened store reads
+//! spares, not stale failed disks.
+//!
+//! Version 1 documents (written before double parity existed) carry no
+//! scheme field and reopen as XOR stores.
 //!
 //! A *pending* failure is deliberately not persisted: if a process
 //! exits while degraded, the reopened store sees the array as healthy
@@ -12,16 +19,18 @@
 
 use crate::backend::FileBackend;
 use crate::error::StoreError;
+use crate::scheme::ParityScheme;
 use crate::store::BlockStore;
-use pdl_core::{Layout, LayoutSpec};
+use pdl_core::{DoubleParityLayout, Layout, LayoutSpec};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// Everything needed to reopen an array: layout, unit size, copies,
-/// and spare count. Serialized as `store.json` in the array directory.
+/// spare count, and the parity scheme. Serialized as `store.json` in
+/// the array directory.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
 pub struct StoreMeta {
-    /// Metadata format version (currently 1).
+    /// Metadata format version (currently 2; 1 is read as XOR).
     pub version: u32,
     /// Bytes per unit.
     pub unit_size: usize,
@@ -29,17 +38,61 @@ pub struct StoreMeta {
     pub copies: usize,
     /// Spare physical disks beyond the layout's `v`.
     pub spares: usize,
+    /// Parity scheme name (see [`ParityScheme::name`]).
+    pub scheme: String,
+    /// Per-stripe `(P, Q)` slot pairs under P+Q; empty under XOR.
+    pub parity_slots: Vec<(u32, u32)>,
     /// The declustered layout, in its stable exchange format.
     pub layout: LayoutSpec,
+}
+
+/// The version-1 document shape, kept readable for arrays created
+/// before the scheme field existed.
+#[derive(Deserialize)]
+struct StoreMetaV1 {
+    version: u32,
+    unit_size: usize,
+    copies: usize,
+    spares: usize,
+    layout: LayoutSpec,
 }
 
 /// File name of the metadata document inside an array directory.
 pub const META_FILE: &str = "store.json";
 
 impl StoreMeta {
-    /// Captures the metadata of a store configuration.
+    /// Captures the metadata of an XOR store configuration. XOR
+    /// documents carry no version-2-only information (the scheme is
+    /// the v1 default and the slot list is empty), so they are stamped
+    /// version 1 and remain openable by pre-P+Q readers.
     pub fn new(layout: &Layout, unit_size: usize, copies: usize, spares: usize) -> Self {
-        StoreMeta { version: 1, unit_size, copies, spares, layout: LayoutSpec::from_layout(layout) }
+        StoreMeta {
+            version: 1,
+            unit_size,
+            copies,
+            spares,
+            scheme: ParityScheme::Xor.name().to_string(),
+            parity_slots: Vec::new(),
+            layout: LayoutSpec::from_layout(layout),
+        }
+    }
+
+    /// Captures the metadata of a P+Q store configuration, including
+    /// the exact parity-slot assignment.
+    pub fn new_pq(dp: &DoubleParityLayout, unit_size: usize, copies: usize, spares: usize) -> Self {
+        StoreMeta {
+            version: 2,
+            unit_size,
+            copies,
+            spares,
+            scheme: ParityScheme::PQ.name().to_string(),
+            parity_slots: dp
+                .all_parity_slots()
+                .iter()
+                .map(|&(p, q)| (p as u32, q as u32))
+                .collect(),
+            layout: LayoutSpec::from_layout(dp.layout()),
+        }
     }
 
     /// Serializes to JSON.
@@ -47,11 +100,32 @@ impl StoreMeta {
         serde_json::to_string(self).expect("meta is always serializable")
     }
 
-    /// Parses and validates a JSON document.
+    /// Parses and validates a JSON document (version 1 or 2).
     pub fn from_json(json: &str) -> Result<Self, StoreError> {
-        let meta: StoreMeta =
-            serde_json::from_str(json).map_err(|e| StoreError::Corrupt(format!("meta: {e}")))?;
-        if meta.version != 1 {
+        let meta: StoreMeta = match serde_json::from_str(json) {
+            Ok(meta) => meta,
+            Err(v2_err) => {
+                // Not a v2 document; accept the v1 shape (no scheme).
+                let v1: StoreMetaV1 = serde_json::from_str(json)
+                    .map_err(|_| StoreError::Corrupt(format!("meta: {v2_err}")))?;
+                if v1.version != 1 {
+                    return Err(StoreError::Corrupt(format!(
+                        "unsupported store meta version {}",
+                        v1.version
+                    )));
+                }
+                StoreMeta {
+                    version: 1,
+                    unit_size: v1.unit_size,
+                    copies: v1.copies,
+                    spares: v1.spares,
+                    scheme: ParityScheme::Xor.name().to_string(),
+                    parity_slots: Vec::new(),
+                    layout: v1.layout,
+                }
+            }
+        };
+        if !(1..=2).contains(&meta.version) {
             return Err(StoreError::Corrupt(format!(
                 "unsupported store meta version {}",
                 meta.version
@@ -60,17 +134,43 @@ impl StoreMeta {
         if meta.unit_size == 0 || meta.copies == 0 {
             return Err(StoreError::Corrupt("zero unit_size or copies".into()));
         }
+        let scheme = meta.parsed_scheme()?;
+        match scheme {
+            ParityScheme::Xor if !meta.parity_slots.is_empty() => {
+                return Err(StoreError::Corrupt("xor meta carries parity slots".into()));
+            }
+            ParityScheme::PQ if meta.parity_slots.is_empty() => {
+                return Err(StoreError::Corrupt("pq meta is missing parity slots".into()));
+            }
+            _ => {}
+        }
         Ok(meta)
+    }
+
+    /// The parity scheme this document describes.
+    pub fn parsed_scheme(&self) -> Result<ParityScheme, StoreError> {
+        ParityScheme::from_name(&self.scheme)
+            .ok_or_else(|| StoreError::Corrupt(format!("unknown parity scheme `{}`", self.scheme)))
     }
 
     /// Reconstructs the layout (revalidating it).
     pub fn layout(&self) -> Result<Layout, StoreError> {
         self.layout.to_layout().map_err(|e| StoreError::Corrupt(format!("layout: {e}")))
     }
+
+    /// Reconstructs the double-parity assignment (P+Q documents only).
+    pub fn double_parity_layout(&self) -> Result<DoubleParityLayout, StoreError> {
+        let layout = self.layout()?;
+        let slots: Vec<(usize, usize)> =
+            self.parity_slots.iter().map(|&(p, q)| (p as usize, q as usize)).collect();
+        DoubleParityLayout::from_parts(layout, slots)
+            .map_err(|e| StoreError::Corrupt(format!("parity slots: {e}")))
+    }
 }
 
-/// Creates a new file-backed array under `dir`: per-disk files for
-/// `v + spares` physical disks plus a `store.json` metadata document.
+/// Creates a new single-parity (XOR) file-backed array under `dir`:
+/// per-disk files for `v + spares` physical disks plus a `store.json`
+/// metadata document.
 pub fn create_file_store(
     dir: impl AsRef<Path>,
     layout: Layout,
@@ -85,8 +185,27 @@ pub fn create_file_store(
     BlockStore::new(layout, backend)
 }
 
-/// Reopens an array created by [`create_file_store`], reading the
-/// geometry from its metadata document.
+/// Creates a new double-parity (P+Q) file-backed array under `dir`.
+/// The metadata records the parity-slot assignment, so the reopened
+/// store decodes with the placement it was created with.
+pub fn create_file_store_pq(
+    dir: impl AsRef<Path>,
+    dp: DoubleParityLayout,
+    unit_size: usize,
+    copies: usize,
+    spares: usize,
+) -> Result<BlockStore<FileBackend>, StoreError> {
+    let dir = dir.as_ref();
+    let meta = StoreMeta::new_pq(&dp, unit_size, copies, spares);
+    let backend =
+        FileBackend::create(dir, dp.layout().v() + spares, copies * dp.layout().size(), unit_size)?;
+    std::fs::write(dir.join(META_FILE), meta.to_json())?;
+    BlockStore::new_pq(dp, backend)
+}
+
+/// Reopens an array created by [`create_file_store`] or
+/// [`create_file_store_pq`], reading the geometry **and scheme** from
+/// its metadata document.
 pub fn open_file_store(dir: impl AsRef<Path>) -> Result<BlockStore<FileBackend>, StoreError> {
     let dir = dir.as_ref();
     let json = std::fs::read_to_string(dir.join(META_FILE))?;
@@ -98,7 +217,10 @@ pub fn open_file_store(dir: impl AsRef<Path>) -> Result<BlockStore<FileBackend>,
         meta.copies * layout.size(),
         meta.unit_size,
     )?;
-    BlockStore::new(layout, backend)
+    match meta.parsed_scheme()? {
+        ParityScheme::Xor => BlockStore::new(layout, backend),
+        ParityScheme::PQ => BlockStore::new_pq(meta.double_parity_layout()?, backend),
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +235,34 @@ mod tests {
         let back = StoreMeta::from_json(&meta.to_json()).unwrap();
         assert_eq!(meta, back);
         assert_eq!(back.layout().unwrap().v(), 5);
+        assert_eq!(back.parsed_scheme().unwrap(), ParityScheme::Xor);
+    }
+
+    #[test]
+    fn pq_meta_roundtrips_slots() {
+        let rl = RingLayout::for_v_k(9, 4);
+        let dp = DoubleParityLayout::new(rl.layout().clone()).unwrap();
+        let meta = StoreMeta::new_pq(&dp, 128, 1, 2);
+        let back = StoreMeta::from_json(&meta.to_json()).unwrap();
+        assert_eq!(back.parsed_scheme().unwrap(), ParityScheme::PQ);
+        let dp2 = back.double_parity_layout().unwrap();
+        assert_eq!(dp2.all_parity_slots(), dp.all_parity_slots());
+    }
+
+    #[test]
+    fn v1_documents_reopen_as_xor() {
+        // A hand-built version-1 document: no scheme, no parity_slots.
+        let rl = RingLayout::for_v_k(5, 3);
+        let spec = pdl_core::LayoutSpec::from_layout(rl.layout());
+        let layout_json = serde_json::to_string(&spec).unwrap();
+        let v1 = format!(
+            "{{\"version\":1,\"unit_size\":64,\"copies\":2,\"spares\":1,\"layout\":{layout_json}}}"
+        );
+        let meta = StoreMeta::from_json(&v1).unwrap();
+        assert_eq!(meta.version, 1);
+        assert_eq!(meta.parsed_scheme().unwrap(), ParityScheme::Xor);
+        assert_eq!(meta.unit_size, 64);
+        assert_eq!(meta.copies, 2);
     }
 
     #[test]
@@ -120,6 +270,14 @@ mod tests {
         assert!(StoreMeta::from_json("not json").is_err());
         let mut meta = StoreMeta::new(RingLayout::for_v_k(5, 2).layout(), 64, 1, 0);
         meta.version = 9;
+        assert!(StoreMeta::from_json(&meta.to_json()).is_err());
+        // Unknown scheme name.
+        let mut meta = StoreMeta::new(RingLayout::for_v_k(5, 2).layout(), 64, 1, 0);
+        meta.scheme = "raid7".into();
+        assert!(StoreMeta::from_json(&meta.to_json()).is_err());
+        // PQ without slots.
+        let mut meta = StoreMeta::new(RingLayout::for_v_k(5, 3).layout(), 64, 1, 0);
+        meta.scheme = "pq".into();
         assert!(StoreMeta::from_json(&meta.to_json()).is_err());
     }
 
@@ -136,9 +294,34 @@ mod tests {
         let store = open_file_store(&dir).unwrap();
         assert_eq!(store.v(), 5);
         assert_eq!(store.unit_size(), 64);
+        assert_eq!(store.scheme(), ParityScheme::Xor);
         let mut out = vec![0u8; 64];
         store.read_block(7, &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 0xab));
+        store.verify_parity().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_open_roundtrip_pq() {
+        let dir = std::env::temp_dir().join(format!("pdl-meta-pq-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rl = RingLayout::for_v_k(9, 4);
+        let dp = DoubleParityLayout::new(rl.layout().clone()).unwrap();
+        let slots = dp.all_parity_slots().to_vec();
+        {
+            let mut store = create_file_store_pq(&dir, dp, 64, 1, 2).unwrap();
+            let data = vec![0x5cu8; 64];
+            store.write_block(3, &data).unwrap();
+            store.flush().unwrap();
+        }
+        let store = open_file_store(&dir).unwrap();
+        assert_eq!(store.scheme(), ParityScheme::PQ);
+        assert_eq!(store.fault_tolerance(), 2);
+        assert_eq!(store.pq_parity_slots().unwrap(), &slots[..]);
+        let mut out = vec![0u8; 64];
+        store.read_block(3, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0x5c));
         store.verify_parity().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }

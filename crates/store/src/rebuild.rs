@@ -1,26 +1,40 @@
-//! Online rebuild: restore a failed disk onto a spare, stripe by
+//! Online rebuild: restore failed disks onto spares, stripe by
 //! stripe, with bounded parallelism, and report the per-disk read
 //! traffic — the measurement that turns the paper's (k−1)/(v−1)
 //! declustering claim into an observable property of real bytes.
+//!
+//! A single failure rebuilds in one pass ([`Rebuilder::rebuild`]).
+//! A double failure (P+Q stores) rebuilds in **two phases**
+//! ([`Rebuilder::rebuild_all`]): phase one erasure-decodes the first
+//! disk while both are missing (two-erasure solve on stripes crossing
+//! both), phase two rebuilds the second against an array that already
+//! includes the first spare — so its decode degenerates to the cheap
+//! single-erasure path. Each phase gets its own [`RebuildReport`] with
+//! per-surviving-disk read counts.
 
 use crate::backend::Backend;
 use crate::error::StoreError;
-use crate::store::BlockStore;
+use crate::store::{BlockStore, Scratch};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// What a completed rebuild did, and to whom.
+/// What a completed rebuild phase did, and to whom.
 #[derive(Clone, Debug)]
 pub struct RebuildReport {
     /// The logical disk that was failed and has been restored.
     pub failed_disk: usize,
     /// The physical backend disk now serving it.
     pub spare_disk: usize,
+    /// Logical disks that were *also* failed during this phase (empty
+    /// for a single-failure rebuild; holds the not-yet-rebuilt disk
+    /// during phase one of a double rebuild).
+    pub also_failed: Vec<usize>,
     /// Units reconstructed and written to the spare.
     pub units_rebuilt: usize,
     /// Units read from each *logical* disk during the rebuild
-    /// (`per_disk_reads[failed_disk]` is 0: its medium is gone).
+    /// (entries for `failed_disk` and `also_failed` are 0: their
+    /// media are gone).
     pub per_disk_reads: Vec<u64>,
     /// Worker threads used.
     pub workers: usize,
@@ -29,13 +43,17 @@ pub struct RebuildReport {
 }
 
 impl RebuildReport {
+    fn is_survivor(&self, d: usize) -> bool {
+        d != self.failed_disk && !self.also_failed.contains(&d)
+    }
+
     /// Minimum and maximum units read across *surviving* disks.
     pub fn surviving_read_range(&self) -> (u64, u64) {
         let surv = self
             .per_disk_reads
             .iter()
             .enumerate()
-            .filter(|&(d, _)| d != self.failed_disk)
+            .filter(|&(d, _)| self.is_survivor(d))
             .map(|(_, &c)| c);
         (surv.clone().min().unwrap_or(0), surv.max().unwrap_or(0))
     }
@@ -52,21 +70,22 @@ impl RebuildReport {
     }
 
     /// Mean fraction of a surviving disk read during the rebuild —
-    /// declustering predicts (k−1)/(v−1), RAID5 reads 1.0.
+    /// declustering predicts (k−1)/(v−1) per failed disk, RAID5
+    /// reads 1.0.
     pub fn mean_read_fraction(&self) -> f64 {
-        let surviving = (self.per_disk_reads.len() - 1) as f64;
+        let surviving = (self.per_disk_reads.len() - 1 - self.also_failed.len()) as f64;
         let total: u64 = self
             .per_disk_reads
             .iter()
             .enumerate()
-            .filter(|&(d, _)| d != self.failed_disk)
+            .filter(|&(d, _)| self.is_survivor(d))
             .map(|(_, &c)| c)
             .sum();
         total as f64 / surviving / self.units_rebuilt.max(1) as f64
     }
 }
 
-/// Stripe-by-stripe reconstruction of a failed disk onto a spare.
+/// Stripe-by-stripe reconstruction of failed disks onto spares.
 #[derive(Clone, Copy, Debug)]
 pub struct Rebuilder {
     workers: usize,
@@ -93,21 +112,73 @@ impl Rebuilder {
         self
     }
 
-    /// Reconstructs every unit of the failed disk from surviving
-    /// stripe members and writes it to physical disk `spare`, then
-    /// redirects the logical disk onto the spare and clears the
-    /// failure. Degraded reads keep working throughout (workers only
-    /// read surviving disks and write the spare).
+    /// Rebuilds the **lowest-numbered** failed disk onto physical disk
+    /// `spare`: reconstructs every unit from surviving stripe members,
+    /// writes it to the spare, then redirects the logical disk onto the
+    /// spare and removes it from the failure set. Degraded reads keep
+    /// working throughout (workers only read surviving disks and write
+    /// the spare). Works while a second disk is failed too — the
+    /// decode just pays the two-erasure price on shared stripes.
     pub fn rebuild<B: Backend>(
         &self,
         store: &mut BlockStore<B>,
         spare: usize,
     ) -> Result<RebuildReport, StoreError> {
         let failed = store.failed_disk().ok_or(StoreError::NothingToRebuild)?;
+        self.rebuild_one(store, failed, spare)
+    }
+
+    /// Rebuilds every failed disk, in ascending disk order, onto the
+    /// given spares (`spares[i]` receives the i-th failed disk). This
+    /// is the two-phase double-failure rebuild when two disks are
+    /// down; each phase is reported separately.
+    pub fn rebuild_all<B: Backend>(
+        &self,
+        store: &mut BlockStore<B>,
+        spares: &[usize],
+    ) -> Result<Vec<RebuildReport>, StoreError> {
+        let failed: Vec<usize> = store.failed_disks().iter().collect();
+        if failed.is_empty() {
+            return Err(StoreError::NothingToRebuild);
+        }
+        if spares.len() < failed.len() {
+            return Err(StoreError::SparesExhausted { failed: failed.len(), spares: spares.len() });
+        }
+        // Validate every spare up front — a duplicate or invalid later
+        // spare must not abort after phase one has already mutated and
+        // persisted the store.
+        let used = &spares[..failed.len()];
+        for (i, &s) in used.iter().enumerate() {
+            if s >= store.backend().disks()
+                || (0..store.v()).any(|d| store.physical_disk(d) == s)
+                || used[..i].contains(&s)
+            {
+                return Err(StoreError::InvalidSpare(s));
+            }
+        }
+        let mut reports = Vec::with_capacity(failed.len());
+        for (&disk, &spare) in failed.iter().zip(spares) {
+            reports.push(self.rebuild_one(store, disk, spare)?);
+        }
+        Ok(reports)
+    }
+
+    /// One rebuild phase: a specific failed disk onto a specific spare.
+    fn rebuild_one<B: Backend>(
+        &self,
+        store: &mut BlockStore<B>,
+        failed: usize,
+        spare: usize,
+    ) -> Result<RebuildReport, StoreError> {
+        if !store.failed_disks().contains(failed) {
+            return Err(StoreError::NotFailed(failed));
+        }
         let backend = store.backend();
         if spare >= backend.disks() || (0..store.v()).any(|d| store.physical_disk(d) == spare) {
             return Err(StoreError::InvalidSpare(spare));
         }
+        let also_failed: Vec<usize> =
+            store.failed_disks().iter().filter(|&d| d != failed).collect();
         let units = backend.units_per_disk();
         let before: Vec<u64> =
             (0..store.v()).map(|d| backend.read_count(store.physical_disk(d))).collect();
@@ -120,7 +191,7 @@ impl Rebuilder {
             for _ in 0..self.workers {
                 s.spawn(|| {
                     let mut buf = vec![0u8; shared.unit_size()];
-                    let mut tmp = vec![0u8; shared.unit_size()];
+                    let mut scratch = Scratch::new(shared.unit_size());
                     loop {
                         let at = next.fetch_add(self.chunk, Ordering::Relaxed);
                         if at >= units || first_error.lock().unwrap().is_some() {
@@ -128,7 +199,7 @@ impl Rebuilder {
                         }
                         for offset in at..(at + self.chunk).min(units) {
                             let res = shared
-                                .reconstruct_unit_into(failed, offset, &mut buf, &mut tmp)
+                                .reconstruct_unit_into(failed, offset, &mut buf, &mut scratch)
                                 .and_then(|()| shared.backend().write_unit(spare, offset, &buf));
                             if let Err(e) = res {
                                 first_error.lock().unwrap().get_or_insert(e);
@@ -146,7 +217,7 @@ impl Rebuilder {
         let backend = store.backend();
         let per_disk_reads: Vec<u64> = (0..store.v())
             .map(|d| {
-                if d == failed {
+                if d == failed || also_failed.contains(&d) {
                     0
                 } else {
                     backend.read_count(store.physical_disk(d)) - before[d]
@@ -158,6 +229,7 @@ impl Rebuilder {
         Ok(RebuildReport {
             failed_disk: failed,
             spare_disk: spare,
+            also_failed,
             units_rebuilt: units,
             per_disk_reads,
             workers: self.workers,

@@ -1,0 +1,300 @@
+//! Configurable fault tolerance: the parity scheme, the failure set,
+//! and the scheme-aware stripe map.
+//!
+//! The paper's Section 5 extension — "selecting some number of
+//! distinguished units (perhaps more than one) from each stripe" —
+//! becomes concrete here: a [`ParityScheme`] names how many
+//! distinguished (parity) units each stripe carries and what code they
+//! hold, a [`FailureSet`] tracks up to that many concurrently failed
+//! disks, and a [`StripeMap`] generalizes the Condition-4 address
+//! table to stripes with one *or two* parity slots.
+//!
+//! ## Schemes
+//!
+//! * [`ParityScheme::Xor`] — one parity unit per stripe, plain XOR;
+//!   tolerates any single disk failure (the paper's base model).
+//! * [`ParityScheme::PQ`] — two parity units per stripe, P (XOR) and
+//!   Q (Reed–Solomon over `GF(2^8)`, see [`pdl_algebra::gf256`]);
+//!   tolerates any two simultaneous disk failures. Q-slot placement
+//!   comes from [`pdl_core::DoubleParityLayout`], the generalized
+//!   Theorem 14 flow that balances the combined P+Q population.
+
+use pdl_core::{Layout, StripeUnit};
+
+/// Which erasure code protects each stripe, and therefore how many
+/// simultaneous disk failures the store survives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParityScheme {
+    /// Single parity (XOR): one distinguished unit per stripe,
+    /// tolerates one failed disk.
+    Xor,
+    /// Double parity (P+Q, RAID-6 style): two distinguished units per
+    /// stripe, tolerates two concurrently failed disks.
+    PQ,
+}
+
+impl ParityScheme {
+    /// Maximum number of concurrently failed disks the scheme decodes.
+    pub fn fault_tolerance(self) -> usize {
+        match self {
+            ParityScheme::Xor => 1,
+            ParityScheme::PQ => 2,
+        }
+    }
+
+    /// Parity units per stripe (`1` for XOR, `2` for P+Q).
+    pub fn parity_per_stripe(self) -> usize {
+        self.fault_tolerance()
+    }
+
+    /// Stable lowercase name used by persisted metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParityScheme::Xor => "xor",
+            ParityScheme::PQ => "pq",
+        }
+    }
+
+    /// Parses [`ParityScheme::name`] back; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "xor" => Some(ParityScheme::Xor),
+            "pq" => Some(ParityScheme::PQ),
+            _ => None,
+        }
+    }
+}
+
+/// The set of currently failed logical disks, capped by the scheme's
+/// fault tolerance. Kept sorted; iteration order is ascending.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureSet {
+    disks: Vec<usize>,
+}
+
+impl FailureSet {
+    /// No failures.
+    pub fn new() -> Self {
+        FailureSet::default()
+    }
+
+    /// True when no disk is failed.
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    /// Number of concurrently failed disks.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// True when `disk` is currently failed.
+    pub fn contains(&self, disk: usize) -> bool {
+        self.disks.binary_search(&disk).is_ok()
+    }
+
+    /// The failed disks, ascending.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.disks
+    }
+
+    /// Iterates the failed disks, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.disks.iter().copied()
+    }
+
+    /// The lowest-numbered failed disk, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.disks.first().copied()
+    }
+
+    /// Adds a disk; returns `false` if it was already present.
+    pub(crate) fn insert(&mut self, disk: usize) -> bool {
+        match self.disks.binary_search(&disk) {
+            Ok(_) => false,
+            Err(at) => {
+                self.disks.insert(at, disk);
+                true
+            }
+        }
+    }
+
+    /// Removes a disk; returns `false` if it was not present.
+    pub(crate) fn remove(&mut self, disk: usize) -> bool {
+        match self.disks.binary_search(&disk) {
+            Ok(at) => {
+                self.disks.remove(at);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// Sentinel for "no Q slot" (XOR stripes).
+const NO_Q: u32 = u32::MAX;
+
+/// Scheme-aware logical→physical address table: the Condition-4 mapper
+/// generalized to stripes whose parity occupies one or two slots.
+///
+/// Logical data addresses enumerate non-parity units in stripe order
+/// (keeping a stripe's data contiguous for the large-write fast path)
+/// and tile down the disks for arrays holding several layout copies,
+/// exactly like [`pdl_core::AddressMapper`] — which this supersedes
+/// inside the store, because the core mapper derives "data" from the
+/// layout's single parity slot and would misclassify Q units.
+#[derive(Clone, Debug)]
+pub struct StripeMap {
+    size: usize,
+    /// Data units of one copy, in stripe order.
+    table: Vec<StripeUnit>,
+    /// Owning stripe of each logical data unit.
+    stripe_of: Vec<u32>,
+    /// Slot (within the stripe's unit list) of each logical data unit —
+    /// the Q-coefficient exponent under P+Q.
+    slot_of: Vec<u32>,
+    /// Per stripe: `(p_slot, q_slot)`, `q_slot == NO_Q` for XOR.
+    parity: Vec<(u32, u32)>,
+}
+
+impl StripeMap {
+    /// Builds the map. `pq_slots` carries the per-stripe `(P, Q)` slot
+    /// pairs for [`ParityScheme::PQ`] (e.g. from
+    /// [`pdl_core::DoubleParityLayout::all_parity_slots`]) and must be
+    /// `None` for [`ParityScheme::Xor`], which uses the layout's own
+    /// parity slots.
+    pub(crate) fn new(layout: &Layout, pq_slots: Option<&[(usize, usize)]>) -> StripeMap {
+        let size = layout.size();
+        let parity: Vec<(u32, u32)> = match pq_slots {
+            Some(slots) => {
+                assert_eq!(slots.len(), layout.b(), "one (P, Q) pair per stripe");
+                slots.iter().map(|&(p, q)| (p as u32, q as u32)).collect()
+            }
+            None => layout.stripes().iter().map(|s| (s.parity_slot() as u32, NO_Q)).collect(),
+        };
+        let mut table = Vec::new();
+        let mut stripe_of = Vec::new();
+        let mut slot_of = Vec::new();
+        for (si, stripe) in layout.stripes().iter().enumerate() {
+            let (p, q) = parity[si];
+            for (slot, &u) in stripe.units().iter().enumerate() {
+                if slot as u32 == p || slot as u32 == q {
+                    continue;
+                }
+                table.push(u);
+                stripe_of.push(si as u32);
+                slot_of.push(slot as u32);
+            }
+        }
+        StripeMap { size, table, stripe_of, slot_of, parity }
+    }
+
+    /// Data units per layout copy.
+    pub fn data_units_per_copy(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Physical location of logical data unit `addr`, tiling copies.
+    pub fn locate(&self, addr: usize) -> StripeUnit {
+        let copy = addr / self.table.len();
+        let base = self.table[addr % self.table.len()];
+        StripeUnit { disk: base.disk, offset: base.offset + (copy * self.size) as u32 }
+    }
+
+    /// Stripe (within the copy) owning logical address `addr`.
+    pub fn stripe_of(&self, addr: usize) -> usize {
+        self.stripe_of[addr % self.table.len()] as usize
+    }
+
+    /// Slot within its stripe of logical address `addr` — the exponent
+    /// of the unit's Q coefficient.
+    pub fn slot_of(&self, addr: usize) -> usize {
+        self.slot_of[addr % self.table.len()] as usize
+    }
+
+    /// Layout copy containing logical address `addr`.
+    pub fn copy_of(&self, addr: usize) -> usize {
+        addr / self.table.len()
+    }
+
+    /// `(p_slot, q_slot)` of a stripe; `q_slot` is `None` under XOR.
+    pub fn parity_slots(&self, stripe: usize) -> (usize, Option<usize>) {
+        let (p, q) = self.parity[stripe];
+        (p as usize, (q != NO_Q).then_some(q as usize))
+    }
+
+    /// True when `slot` is a parity slot of `stripe`.
+    pub fn is_parity_slot(&self, stripe: usize, slot: usize) -> bool {
+        let (p, q) = self.parity[stripe];
+        slot as u32 == p || slot as u32 == q
+    }
+
+    /// Resident bytes of the tables (Condition-4 footprint measure).
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<StripeUnit>()
+            + (self.stripe_of.len() + self.slot_of.len()) * 4
+            + self.parity.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::{DoubleParityLayout, RingLayout, UnitRole};
+
+    #[test]
+    fn scheme_properties() {
+        assert_eq!(ParityScheme::Xor.fault_tolerance(), 1);
+        assert_eq!(ParityScheme::PQ.fault_tolerance(), 2);
+        assert_eq!(ParityScheme::from_name("xor"), Some(ParityScheme::Xor));
+        assert_eq!(ParityScheme::from_name("pq"), Some(ParityScheme::PQ));
+        assert_eq!(ParityScheme::from_name("raid7"), None);
+        assert_eq!(ParityScheme::from_name(ParityScheme::PQ.name()), Some(ParityScheme::PQ));
+    }
+
+    #[test]
+    fn failure_set_basics() {
+        let mut f = FailureSet::new();
+        assert!(f.is_empty());
+        assert!(f.insert(5));
+        assert!(f.insert(2));
+        assert!(!f.insert(5), "duplicate insert rejected");
+        assert_eq!(f.as_slice(), &[2, 5], "kept sorted");
+        assert_eq!(f.first(), Some(2));
+        assert!(f.contains(5) && !f.contains(3));
+        assert!(f.remove(2));
+        assert!(!f.remove(2));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn xor_map_matches_core_mapper() {
+        let rl = RingLayout::for_v_k(9, 4);
+        let layout = rl.layout();
+        let sm = StripeMap::new(layout, None);
+        let am = pdl_core::AddressMapper::new(layout);
+        assert_eq!(sm.data_units_per_copy(), am.data_units_per_copy());
+        for addr in 0..sm.data_units_per_copy() * 2 {
+            assert_eq!(sm.locate(addr), am.locate(addr), "addr {addr}");
+            assert_eq!(sm.stripe_of(addr), am.stripe_of(addr));
+        }
+    }
+
+    #[test]
+    fn pq_map_excludes_both_parities() {
+        let rl = RingLayout::for_v_k(9, 4);
+        let dp = DoubleParityLayout::new(rl.layout().clone()).unwrap();
+        let sm = StripeMap::new(dp.layout(), Some(dp.all_parity_slots()));
+        // Each k=4 stripe keeps k-2 = 2 data units.
+        assert_eq!(sm.data_units_per_copy(), dp.layout().b() * 2);
+        for addr in 0..sm.data_units_per_copy() {
+            let u = sm.locate(addr);
+            assert_eq!(dp.role(u.disk as usize, u.offset as usize), UnitRole::Data);
+            let s = sm.stripe_of(addr);
+            assert!(!sm.is_parity_slot(s, sm.slot_of(addr)));
+            let (p, q) = sm.parity_slots(s);
+            assert_eq!((p, q.unwrap()), dp.parity_slots(s));
+        }
+        assert!(sm.table_bytes() > 0);
+    }
+}

@@ -1,17 +1,68 @@
 //! The block store: real bytes through a parity-declustered layout.
 //!
-//! A [`BlockStore`] couples a validated [`Layout`], its Condition-4
-//! [`AddressMapper`], and a [`Backend`] into a single-failure-tolerant
-//! array: every write maintains XOR parity (read-modify-write for small
-//! writes, a no-read fast path for full-stripe writes), reads of a
-//! failed disk reconstruct from the surviving stripe members, and a
-//! spare disk can take over a failed one after an online rebuild
-//! ([`crate::Rebuilder`]).
+//! A [`BlockStore`] couples a validated [`Layout`], a scheme-aware
+//! [`StripeMap`], and a [`Backend`] into a fault-tolerant array whose
+//! redundancy level is set by its [`ParityScheme`]:
+//!
+//! * **XOR** (single parity) — every write maintains the stripe XOR
+//!   invariant; any one disk may fail.
+//! * **P+Q** (double parity) — every write additionally maintains a
+//!   Reed–Solomon Q unit over `GF(2^8)`; any two disks may fail
+//!   concurrently.
+//!
+//! Reads of failed disks reconstruct from the surviving stripe
+//! members (one- or two-erasure decode); writes keep all surviving
+//! parity consistent so no acknowledged data is ever lost while the
+//! array is degraded; and spare disks take over failed ones after an
+//! online rebuild ([`crate::Rebuilder`]).
+//!
+//! ## The failure/rebuild state machine
+//!
+//! ```text
+//!            fail_disk(d)                fail_disk(d')     (P+Q only)
+//! Healthy ───────────────▶ Degraded(1) ───────────────▶ Degraded(2)
+//!    ▲                      │      ▲                        │
+//!    │   rebuild → spare    │      │   rebuild → spare      │
+//!    └──────────────────────┘      └────────────────────────┘
+//! ```
+//!
+//! `fail_disk` on an already-failed disk is an error
+//! ([`StoreError::AlreadyFailed`]); exceeding the scheme's tolerance is
+//! [`StoreError::TooManyFailures`]. [`BlockStore::restore_disk`] undoes
+//! a *transient* failure (contents intact); a rebuild
+//! ([`crate::Rebuilder`]) redirects the logical disk onto a spare and
+//! removes it from the failure set.
+//!
+//! ## Decode policy
+//!
+//! Reconstruction always reads **every** surviving member of the
+//! stripe — under P+Q this occasionally includes a parity unit the
+//! erasure count does not strictly require. The extra unit buys an
+//! exactly uniform rebuild load: every stripe crossing the failed disk
+//! charges one read to each of its surviving disks, so a declustered
+//! rebuild reads `(k−1)/(v−1)` of every survivor per failed disk — the
+//! paper's ratio — with zero spread (see the rebuild-balance tests).
 
 use crate::backend::Backend;
 use crate::error::StoreError;
-use pdl_core::{AddressMapper, Layout, StripeUnit};
+use crate::scheme::{FailureSet, ParityScheme, StripeMap};
+use pdl_algebra::gf256;
+use pdl_core::{DoubleParityLayout, Layout, StripeUnit};
 use pdl_sim::{Trace, TraceOp};
+
+/// A decode result: up to two `(lost slot, reconstructed value)`
+/// pairs, the values referencing the caller's [`Scratch`] buffers.
+type Decoded<'a> = [Option<(usize, &'a [u8])>; 2];
+
+/// Records that a write skipped a unit on failed disk `disk`: its
+/// medium no longer matches the parity equations, so a transient
+/// restore would corrupt the array (free function so the disjoint
+/// field borrow composes with live layout borrows at the call sites).
+fn note_stale(stale: &mut Vec<usize>, disk: usize) {
+    if !stale.contains(&disk) {
+        stale.push(disk);
+    }
+}
 
 /// XORs `src` into `dst` byte-wise.
 pub(crate) fn xor_into(dst: &mut [u8], src: &[u8]) {
@@ -30,6 +81,25 @@ pub(crate) fn xor_into(dst: &mut [u8], src: &[u8]) {
     }
 }
 
+/// Reusable decode buffers: one P accumulator, one Q accumulator, one
+/// transfer buffer. Rebuild workers hold one per thread.
+#[derive(Debug)]
+pub(crate) struct Scratch {
+    acc_p: Vec<u8>,
+    acc_q: Vec<u8>,
+    tmp: Vec<u8>,
+}
+
+impl Scratch {
+    pub(crate) fn new(unit_size: usize) -> Scratch {
+        Scratch {
+            acc_p: vec![0u8; unit_size],
+            acc_q: vec![0u8; unit_size],
+            tmp: vec![0u8; unit_size],
+        }
+    }
+}
+
 /// Outcome counters from replaying a [`Trace`] against the store.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ReplayStats {
@@ -41,31 +111,64 @@ pub struct ReplayStats {
     pub blocks_read: usize,
     /// Blocks transferred by writes.
     pub blocks_written: usize,
+    /// Disks failed by `Fail` events.
+    pub disks_failed: usize,
+    /// Disks restored by `Restore` events.
+    pub disks_restored: usize,
+    /// Rebuilds completed by `Rebuild` events.
+    pub rebuilds: usize,
 }
 
 /// A parity-declustered block store over any layout and backend.
 ///
 /// Logical addresses are data blocks of `unit_size` bytes, enumerated
-/// in stripe order by the [`AddressMapper`] and tiled down the disks
-/// for arrays larger than one layout copy.
+/// in stripe order by the [`StripeMap`] and tiled down the disks for
+/// arrays larger than one layout copy.
 #[derive(Debug)]
 pub struct BlockStore<B> {
     layout: Layout,
-    mapper: AddressMapper,
+    scheme: ParityScheme,
+    smap: StripeMap,
     backend: B,
     unit_size: usize,
     copies: usize,
     /// Logical disk → physical backend disk (spares swap in here).
     redirect: Vec<usize>,
-    failed: Option<usize>,
+    failed: FailureSet,
+    /// Failed disks whose media have gone *stale*: a write skipped a
+    /// unit on them, so their bytes no longer match the parity
+    /// equations and only a rebuild (never [`BlockStore::restore_disk`])
+    /// may bring them back.
+    stale: Vec<usize>,
+    /// `(P, Q)` slot pairs per stripe when `scheme == PQ` (the
+    /// serializable assignment; see [`BlockStore::pq_parity_slots`]).
+    pq_slots: Option<Vec<(usize, usize)>>,
 }
 
 impl<B: Backend> BlockStore<B> {
-    /// Builds a store over `backend`. The backend must have at least
+    /// Builds a single-parity (XOR) store over `backend`, using the
+    /// layout's own parity units. The backend must have at least
     /// `layout.v()` disks (extras serve as spares) and a units-per-disk
     /// that is a nonzero multiple of `layout.size()` (whole layout
     /// copies).
     pub fn new(layout: Layout, backend: B) -> Result<Self, StoreError> {
+        Self::build(layout, None, backend)
+    }
+
+    /// Builds a double-parity (P+Q) store over `backend`: every stripe
+    /// carries the XOR parity P and the `GF(2^8)` Reed–Solomon parity Q
+    /// at the slots chosen by `dp` (the generalized Theorem 14 flow),
+    /// and the array tolerates any two concurrent disk failures.
+    pub fn new_pq(dp: DoubleParityLayout, backend: B) -> Result<Self, StoreError> {
+        let slots = dp.all_parity_slots().to_vec();
+        Self::build(dp.layout().clone(), Some(slots), backend)
+    }
+
+    fn build(
+        layout: Layout,
+        pq_slots: Option<Vec<(usize, usize)>>,
+        backend: B,
+    ) -> Result<Self, StoreError> {
         let v = layout.v();
         if backend.disks() < v {
             return Err(StoreError::Geometry(format!(
@@ -81,8 +184,20 @@ impl<B: Backend> BlockStore<B> {
                 layout.size()
             )));
         }
+        if pq_slots.is_some() {
+            // The Q coefficient of data slot j is g^j; slots must stay
+            // below the generator's order for the coefficients (and the
+            // two-erasure solve) to remain distinct.
+            if let Some(bad) = layout.stripes().iter().position(|s| s.len() > 255) {
+                return Err(StoreError::Geometry(format!(
+                    "stripe {bad} has {} units; P+Q supports at most 255",
+                    layout.stripes()[bad].len()
+                )));
+            }
+        }
         let copies = per_disk / layout.size();
-        let mapper = AddressMapper::new(&layout);
+        let scheme = if pq_slots.is_some() { ParityScheme::PQ } else { ParityScheme::Xor };
+        let smap = StripeMap::new(&layout, pq_slots.as_deref());
         let unit_size = backend.unit_size();
         if unit_size == 0 {
             return Err(StoreError::Geometry("backend unit size is zero".into()));
@@ -111,7 +226,18 @@ impl<B: Backend> BlockStore<B> {
             }
             None => (0..v).collect(),
         };
-        Ok(BlockStore { mapper, backend, unit_size, copies, redirect, failed: None, layout })
+        Ok(BlockStore {
+            scheme,
+            smap,
+            backend,
+            unit_size,
+            copies,
+            redirect,
+            failed: FailureSet::new(),
+            stale: Vec::new(),
+            pq_slots,
+            layout,
+        })
     }
 
     /// The layout this store declusters over.
@@ -119,9 +245,27 @@ impl<B: Backend> BlockStore<B> {
         &self.layout
     }
 
-    /// The Condition-4 address mapper.
-    pub fn mapper(&self) -> &AddressMapper {
-        &self.mapper
+    /// The parity scheme (and therefore the fault tolerance).
+    pub fn scheme(&self) -> ParityScheme {
+        self.scheme
+    }
+
+    /// Maximum number of concurrently failed disks the store survives.
+    pub fn fault_tolerance(&self) -> usize {
+        self.scheme.fault_tolerance()
+    }
+
+    /// The scheme-aware Condition-4 address map.
+    pub fn stripe_map(&self) -> &StripeMap {
+        &self.smap
+    }
+
+    /// The per-stripe `(P, Q)` slot pairs under [`ParityScheme::PQ`],
+    /// `None` under XOR. This is the assignment persisted by
+    /// [`crate::StoreMeta`] so a reopened store decodes with the exact
+    /// parity placement it was created with.
+    pub fn pq_parity_slots(&self) -> Option<&[(usize, usize)]> {
+        self.pq_slots.as_deref()
     }
 
     /// The backend (e.g. to inspect IO counters).
@@ -141,7 +285,7 @@ impl<B: Backend> BlockStore<B> {
 
     /// Store capacity in logical data blocks.
     pub fn blocks(&self) -> usize {
-        self.copies * self.mapper.data_units_per_copy()
+        self.copies * self.smap.data_units_per_copy()
     }
 
     /// Number of logical disks (the layout's `v`).
@@ -149,14 +293,19 @@ impl<B: Backend> BlockStore<B> {
         self.layout.v()
     }
 
-    /// The currently failed logical disk, if any.
-    pub fn failed_disk(&self) -> Option<usize> {
-        self.failed
+    /// The currently failed logical disks, ascending.
+    pub fn failed_disks(&self) -> &FailureSet {
+        &self.failed
     }
 
-    /// True when a disk is failed and not yet rebuilt.
+    /// The lowest-numbered currently failed logical disk, if any.
+    pub fn failed_disk(&self) -> Option<usize> {
+        self.failed.first()
+    }
+
+    /// True when at least one disk is failed and not yet rebuilt.
     pub fn is_degraded(&self) -> bool {
-        self.failed.is_some()
+        !self.failed.is_empty()
     }
 
     /// Physical backend disk currently serving logical disk `d`.
@@ -170,7 +319,8 @@ impl<B: Backend> BlockStore<B> {
         spare: usize,
     ) -> Result<(), StoreError> {
         self.redirect[failed] = spare;
-        self.failed = None;
+        self.failed.remove(failed);
+        self.stale.retain(|&d| d != failed);
         // Durable backends record the new mapping so a reopened store
         // reads the spare, not the stale failed disk.
         self.backend.persist_mapping(&self.redirect)
@@ -178,21 +328,44 @@ impl<B: Backend> BlockStore<B> {
 
     /// Marks a logical disk failed. Subsequent reads of its units are
     /// served degraded (reconstructed from surviving stripe members);
-    /// writes keep parity consistent so no data is lost. At most one
-    /// disk may be failed at a time (XOR parity).
+    /// writes keep all surviving parity consistent so no data is lost.
+    /// At most [`BlockStore::fault_tolerance`] disks may be failed at a
+    /// time; re-failing an already-failed disk is
+    /// [`StoreError::AlreadyFailed`].
     pub fn fail_disk(&mut self, disk: usize) -> Result<(), StoreError> {
         if disk >= self.layout.v() {
             return Err(StoreError::OutOfRange { disk, offset: 0 });
         }
-        match self.failed {
-            Some(already) if already != disk => {
-                Err(StoreError::TooManyFailures { already, requested: disk })
-            }
-            _ => {
-                self.failed = Some(disk);
-                Ok(())
-            }
+        if self.failed.contains(disk) {
+            return Err(StoreError::AlreadyFailed(disk));
         }
+        let tolerance = self.scheme.fault_tolerance();
+        if self.failed.len() >= tolerance {
+            return Err(StoreError::TooManyFailures { requested: disk, tolerance });
+        }
+        self.failed.insert(disk);
+        Ok(())
+    }
+
+    /// Clears a *transient* failure: marks `disk` healthy again without
+    /// a rebuild. The disk's stored bytes must be exactly as they were
+    /// at the moment of failure (nothing is re-synced) — use a
+    /// [`crate::Rebuilder`] if the medium was lost or wiped. If any
+    /// write skipped a unit on the disk while it was failed, its
+    /// medium is stale relative to the parity equations and restoring
+    /// it is refused ([`StoreError::RebuildRequired`]).
+    pub fn restore_disk(&mut self, disk: usize) -> Result<(), StoreError> {
+        if disk >= self.layout.v() {
+            return Err(StoreError::OutOfRange { disk, offset: 0 });
+        }
+        if !self.failed.contains(disk) {
+            return Err(StoreError::NotFailed(disk));
+        }
+        if self.stale.contains(&disk) {
+            return Err(StoreError::RebuildRequired(disk));
+        }
+        self.failed.remove(disk);
+        Ok(())
     }
 
     /// Per-logical-disk units read since the last counter reset.
@@ -237,23 +410,6 @@ impl<B: Backend> BlockStore<B> {
         self.backend.write_unit(self.redirect[u.disk as usize], u.offset as usize, buf)
     }
 
-    /// Stripe members (tiled into the unit's copy) of the stripe owning
-    /// physical position `(disk, offset)`.
-    fn stripe_members(&self, disk: usize, offset: usize) -> (Vec<StripeUnit>, usize) {
-        let size = self.layout.size();
-        let copy = offset / size;
-        let base = offset % size;
-        let r = self.layout.unit_ref(disk, base);
-        let stripe = &self.layout.stripes()[r.stripe as usize];
-        let shift = (copy * size) as u32;
-        let members = stripe
-            .units()
-            .iter()
-            .map(|u| StripeUnit { disk: u.disk, offset: u.offset + shift })
-            .collect();
-        (members, stripe.parity_slot())
-    }
-
     /// Reconstructs the unit at `(disk, offset)` from the surviving
     /// members of its stripe (disk may be failed or simply absent).
     /// This is the degraded-read / rebuild primitive.
@@ -263,40 +419,139 @@ impl<B: Backend> BlockStore<B> {
         offset: usize,
         out: &mut [u8],
     ) -> Result<(), StoreError> {
-        let mut tmp = vec![0u8; self.unit_size];
-        self.reconstruct_unit_into(disk, offset, out, &mut tmp)
+        let mut scratch = Scratch::new(self.unit_size);
+        self.reconstruct_unit_into(disk, offset, out, &mut scratch)
     }
 
     /// Allocation-free variant for hot loops: the caller supplies the
-    /// `unit_size` scratch buffer (reused across calls by the rebuild
-    /// workers), and stripe members are walked without materializing.
+    /// [`Scratch`] buffers (reused across calls by the rebuild
+    /// workers).
     pub(crate) fn reconstruct_unit_into(
         &self,
         disk: usize,
         offset: usize,
         out: &mut [u8],
-        tmp: &mut [u8],
+        scratch: &mut Scratch,
     ) -> Result<(), StoreError> {
         self.check_block_buf(out.len())?;
-        self.check_block_buf(tmp.len())?;
-        out.fill(0);
         let size = self.layout.size();
-        let copy = offset / size;
-        let base = offset % size;
-        let r = self.layout.unit_ref(disk, base);
-        let shift = (copy * size) as u32;
-        for u in self.layout.stripes()[r.stripe as usize].units() {
-            if u.disk as usize == disk {
+        let shift = (offset / size * size) as u32;
+        let r = self.layout.unit_ref(disk, offset % size);
+        let si = r.stripe as usize;
+        let solved = self.decode_stripe(si, shift, Some(r.slot as usize), scratch)?;
+        for (slot, value) in solved.into_iter().flatten() {
+            if slot == r.slot as usize {
+                out.copy_from_slice(value);
+                return Ok(());
+            }
+        }
+        // Unreachable: the requested slot is always in the lost set.
+        Err(StoreError::Corrupt(format!("decode of stripe {si} skipped slot {}", r.slot)))
+    }
+
+    /// Erasure-decodes one stripe (at copy offset `shift`): reads every
+    /// surviving member exactly once, accumulates the P/Q syndromes,
+    /// and solves for the lost units. `extra_lost` forces one more slot
+    /// into the lost set (a unit being rebuilt whose disk may not be in
+    /// the failure set). Returns up to two `(slot, value)` pairs
+    /// referencing the scratch buffers; no heap allocation (this sits
+    /// in the rebuild workers' per-unit loop).
+    fn decode_stripe<'a>(
+        &self,
+        si: usize,
+        shift: u32,
+        extra_lost: Option<usize>,
+        scratch: &'a mut Scratch,
+    ) -> Result<Decoded<'a>, StoreError> {
+        let stripe = &self.layout.stripes()[si];
+        let (p_slot, q_slot) = self.smap.parity_slots(si);
+        // Collect the lost slots (ascending; at most tolerance + 1
+        // with the forced extra, and anything past the redundancy is
+        // an error anyway).
+        let mut lost = [usize::MAX; 3];
+        let mut nlost = 0usize;
+        for (slot, u) in stripe.units().iter().enumerate() {
+            if self.failed.contains(u.disk as usize) || Some(slot) == extra_lost {
+                if nlost < lost.len() {
+                    lost[nlost] = slot;
+                }
+                nlost += 1;
+            }
+        }
+        let redundancy = self.scheme.parity_per_stripe();
+        if nlost > redundancy {
+            // More erasures than parity units: unreconstructable. Name
+            // a failed disk of the stripe for the error.
+            let d = stripe.units()[lost[0]].disk as usize;
+            return Err(StoreError::DiskFailed(d));
+        }
+        let Scratch { acc_p, acc_q, tmp } = scratch;
+        acc_p.fill(0);
+        acc_q.fill(0);
+        for (slot, u) in stripe.units().iter().enumerate() {
+            if lost[..nlost].contains(&slot) {
                 continue;
             }
-            if self.failed == Some(u.disk as usize) {
-                // Two failures in one stripe: unreconstructable.
-                return Err(StoreError::DiskFailed(u.disk as usize));
-            }
             self.read_phys(StripeUnit { disk: u.disk, offset: u.offset + shift }, tmp)?;
-            xor_into(out, tmp);
+            if slot == p_slot {
+                xor_into(acc_p, tmp);
+            } else if Some(slot) == q_slot {
+                xor_into(acc_q, tmp);
+            } else {
+                xor_into(acc_p, tmp);
+                if self.scheme == ParityScheme::PQ {
+                    gf256::mul_add_slice(acc_q, tmp, gf256::gen_pow(slot));
+                }
+            }
         }
-        Ok(())
+        // Solve. Every equation below is the stripe invariant
+        // `P ^ Σ D = 0` (and `Q ^ Σ g^j·D_j = 0`) restricted to the
+        // surviving members: the accumulator equals the XOR of the
+        // *missing* participants.
+        match lost[..nlost] {
+            [] => Ok([None, None]),
+            [a] => {
+                // Single erasure: whichever unit is missing, the P
+                // accumulator already equals it — except a missing Q,
+                // which the Q accumulator holds.
+                if Some(a) == q_slot {
+                    Ok([Some((a, &acc_q[..])), None])
+                } else {
+                    Ok([Some((a, &acc_p[..])), None])
+                }
+            }
+            [a, b] => {
+                debug_assert_eq!(self.scheme, ParityScheme::PQ);
+                let (qa, qb) = (Some(a) == q_slot, Some(b) == q_slot);
+                let (pa, pb) = (a == p_slot, b == p_slot);
+                if (pa && qb) || (pb && qa) {
+                    // Lost P and Q: each accumulator is its parity.
+                    let (p_lost, q_lost) = if pa { (a, b) } else { (b, a) };
+                    Ok([Some((p_lost, &acc_p[..])), Some((q_lost, &acc_q[..]))])
+                } else if pa || pb {
+                    // Lost P and a data unit j: the Q equation is
+                    // missing only g^j·D_j, so D_j = acc_q / g^j; then
+                    // P = acc_p ^ D_j.
+                    let (p_lost, j) = if pa { (a, b) } else { (b, a) };
+                    let c = gf256::inv(gf256::gen_pow(j)).expect("g^j is nonzero");
+                    gf256::mul_slice(acc_q, c);
+                    xor_into(acc_p, acc_q);
+                    Ok([Some((j, &acc_q[..])), Some((p_lost, &acc_p[..]))])
+                } else if qa || qb {
+                    // Lost Q and a data unit j: D_j = acc_p; then
+                    // Q = acc_q ^ g^j·D_j.
+                    let (q_lost, j) = if qa { (a, b) } else { (b, a) };
+                    gf256::mul_add_slice(acc_q, acc_p, gf256::gen_pow(j));
+                    Ok([Some((j, &acc_p[..])), Some((q_lost, &acc_q[..]))])
+                } else {
+                    // Two lost data units: the classic RAID-6 solve.
+                    gf256::solve_two_erasures(acc_p, acc_q, gf256::gen_pow(a), gf256::gen_pow(b));
+                    // acc_q now holds D_a, acc_p holds D_b.
+                    Ok([Some((a, &acc_q[..])), Some((b, &acc_p[..]))])
+                }
+            }
+            _ => unreachable!("lost.len() bounded by redundancy above"),
+        }
     }
 
     /// Reads logical block `addr` into `buf` (`unit_size` bytes),
@@ -304,8 +559,8 @@ impl<B: Backend> BlockStore<B> {
     pub fn read_block(&self, addr: usize, buf: &mut [u8]) -> Result<(), StoreError> {
         self.check_addr(addr)?;
         self.check_block_buf(buf.len())?;
-        let u = self.mapper.locate(addr);
-        if self.failed == Some(u.disk as usize) {
+        let u = self.smap.locate(addr);
+        if self.failed.contains(u.disk as usize) {
             self.reconstruct_unit(u.disk as usize, u.offset as usize, buf)
         } else {
             self.read_phys(u, buf)
@@ -313,50 +568,115 @@ impl<B: Backend> BlockStore<B> {
     }
 
     /// Writes logical block `addr` from `data` (`unit_size` bytes),
-    /// maintaining stripe parity. Small writes cost two reads + two
-    /// writes (read-modify-write); use [`BlockStore::write_blocks`] for
-    /// the full-stripe fast path.
+    /// maintaining every surviving parity unit of the stripe. Small
+    /// writes are read-modify-write (2 reads + 2 writes under XOR,
+    /// 3 + 3 under P+Q); use [`BlockStore::write_blocks`] for the
+    /// zero-read full-stripe path.
     pub fn write_block(&mut self, addr: usize, data: &[u8]) -> Result<(), StoreError> {
         self.check_addr(addr)?;
         self.check_block_buf(data.len())?;
-        let u = self.mapper.locate(addr);
-        let p = self.mapper.parity_of(addr, &self.layout);
-        let udisk = u.disk as usize;
-        let pdisk = p.disk as usize;
-        match self.failed {
-            Some(f) if f == udisk => {
-                // Lost data unit: fold the new value into parity so a
-                // degraded read (and the eventual rebuild) returns it.
-                // parity = new_data XOR (all other data units).
-                let (members, parity_slot) = self.stripe_members(udisk, u.offset as usize);
-                let mut parity = data.to_vec();
-                let mut tmp = vec![0u8; self.unit_size];
-                for (slot, m) in members.iter().enumerate() {
-                    if slot == parity_slot || *m == u {
-                        continue;
-                    }
-                    self.read_phys(*m, &mut tmp)?;
-                    xor_into(&mut parity, &tmp);
-                }
-                self.write_phys(p, &parity)
+        let u = self.smap.locate(addr);
+        let si = self.smap.stripe_of(addr);
+        let t_slot = self.smap.slot_of(addr);
+        let shift = (self.smap.copy_of(addr) * self.layout.size()) as u32;
+        let units = self.layout.stripes()[si].units();
+        let (p_slot, q_slot) = self.smap.parity_slots(si);
+        let p_unit = units[p_slot];
+        let p_alive = !self.failed.contains(p_unit.disk as usize);
+        let q = q_slot.map(|qs| {
+            let qu = units[qs];
+            (qu, !self.failed.contains(qu.disk as usize))
+        });
+        let shifted = |u: StripeUnit| StripeUnit { disk: u.disk, offset: u.offset + shift };
+
+        // A parity (or the target, below) this write cannot place on
+        // its failed disk leaves that disk's medium stale: restoring
+        // it transiently is no longer safe, only a rebuild is.
+        if !p_alive {
+            note_stale(&mut self.stale, p_unit.disk as usize);
+        }
+        if let Some((q_unit, false)) = q {
+            note_stale(&mut self.stale, q_unit.disk as usize);
+        }
+
+        if !self.failed.contains(u.disk as usize) {
+            // Target disk alive: delta-update every surviving parity.
+            // Valid even when *another* stripe member is failed — the
+            // invariants stay linear in the deltas.
+            let mut delta = vec![0u8; self.unit_size];
+            self.read_phys(u, &mut delta)?;
+            xor_into(&mut delta, data); // delta = old ^ new
+            let mut par = vec![0u8; self.unit_size];
+            if p_alive {
+                let pu = shifted(p_unit);
+                self.read_phys(pu, &mut par)?;
+                xor_into(&mut par, &delta);
+                self.write_phys(pu, &par)?;
             }
-            Some(f) if f == pdisk => {
-                // Lost parity: just write the data; parity is restored
-                // wholesale by rebuild.
-                self.write_phys(u, data)
+            if let Some((q_unit, true)) = q {
+                let qu = shifted(q_unit);
+                self.read_phys(qu, &mut par)?;
+                gf256::mul_add_slice(&mut par, &delta, gf256::gen_pow(t_slot));
+                self.write_phys(qu, &par)?;
             }
-            _ => {
-                // Healthy small write: RMW parity update.
-                let mut old = vec![0u8; self.unit_size];
-                self.read_phys(u, &mut old)?;
-                let mut parity = vec![0u8; self.unit_size];
-                self.read_phys(p, &mut parity)?;
-                xor_into(&mut parity, &old);
-                xor_into(&mut parity, data);
-                self.write_phys(u, data)?;
-                self.write_phys(p, &parity)
+            return self.write_phys(u, data);
+        }
+        note_stale(&mut self.stale, u.disk as usize);
+
+        // Target disk failed: the new value exists only through the
+        // surviving parity, so recompute P (and Q) over the full data
+        // vector — surviving data units read directly, a second lost
+        // data unit (P+Q only) erasure-decoded first.
+        let lost_other_data: Option<usize> = units.iter().enumerate().find_map(|(slot, mu)| {
+            (slot != t_slot
+                && slot != p_slot
+                && Some(slot) != q_slot
+                && self.failed.contains(mu.disk as usize))
+            .then_some(slot)
+        });
+        let mut other_val: Option<(usize, Vec<u8>)> = None;
+        if let Some(o) = lost_other_data {
+            let mut scratch = Scratch::new(self.unit_size);
+            let solved = self.decode_stripe(si, shift, None, &mut scratch)?;
+            let v = solved
+                .iter()
+                .flatten()
+                .find(|(slot, _)| *slot == o)
+                .map(|(_, val)| val.to_vec())
+                .ok_or_else(|| {
+                    StoreError::Corrupt(format!("decode of stripe {si} skipped slot {o}"))
+                })?;
+            other_val = Some((o, v));
+        }
+        let mut acc_p = data.to_vec();
+        let mut acc_q = vec![0u8; self.unit_size];
+        let is_pq = self.scheme == ParityScheme::PQ;
+        if is_pq {
+            gf256::mul_add_slice(&mut acc_q, data, gf256::gen_pow(t_slot));
+        }
+        let mut tmp = vec![0u8; self.unit_size];
+        for (slot, mu) in units.iter().enumerate() {
+            if slot == t_slot || slot == p_slot || Some(slot) == q_slot {
+                continue;
+            }
+            let val: &[u8] = if Some(slot) == lost_other_data {
+                &other_val.as_ref().expect("decoded above").1
+            } else {
+                self.read_phys(shifted(*mu), &mut tmp)?;
+                &tmp
+            };
+            xor_into(&mut acc_p, val);
+            if is_pq {
+                gf256::mul_add_slice(&mut acc_q, val, gf256::gen_pow(slot));
             }
         }
+        if p_alive {
+            self.write_phys(shifted(p_unit), &acc_p)?;
+        }
+        if let Some((q_unit, true)) = q {
+            self.write_phys(shifted(q_unit), &acc_q)?;
+        }
+        Ok(())
     }
 
     /// Reads `buf.len() / unit_size` consecutive logical blocks
@@ -386,20 +706,21 @@ impl<B: Backend> BlockStore<B> {
         let n = data.len() / self.unit_size;
         self.check_addr(start)?;
         self.check_addr(start + n - 1)?;
-        let per_copy = self.mapper.data_units_per_copy();
+        let per_copy = self.smap.data_units_per_copy();
+        let parity_per_stripe = self.scheme.parity_per_stripe();
         let mut i = 0usize;
         while i < n {
             let addr = start + i;
-            let stripe_idx = self.mapper.stripe_of(addr);
-            let k_data = self.layout.stripes()[stripe_idx].len() - 1;
+            let stripe_idx = self.smap.stripe_of(addr);
+            let k_data = self.layout.stripes()[stripe_idx].len() - parity_per_stripe;
             // Runs never span copies: stripe_of works within one copy.
             let within = addr % per_copy;
-            let is_stripe_head = within == 0 || self.mapper.stripe_of(addr - 1) != stripe_idx;
+            let is_stripe_head = within == 0 || self.smap.stripe_of(addr - 1) != stripe_idx;
             let run = (n - i).min(k_data);
             let covers_stripe = is_stripe_head
                 && run == k_data
                 && (within + run <= per_copy)
-                && self.mapper.stripe_of(addr + run - 1) == stripe_idx;
+                && self.smap.stripe_of(addr + run - 1) == stripe_idx;
             if covers_stripe {
                 self.write_full_stripe(
                     addr,
@@ -414,35 +735,61 @@ impl<B: Backend> BlockStore<B> {
         Ok(())
     }
 
-    /// Writes all `k−1` data blocks of one stripe (addresses
-    /// `start .. start + k−1`, which the caller has verified cover the
-    /// stripe) plus recomputed parity, without reading anything.
+    /// Writes all data blocks of one stripe (addresses `start ..
+    /// start + k_data`, which the caller has verified cover the stripe)
+    /// plus recomputed parity, without reading anything.
     fn write_full_stripe(&mut self, start: usize, data: &[u8]) -> Result<(), StoreError> {
-        let k_data = data.len() / self.unit_size;
-        let mut parity = vec![0u8; self.unit_size];
-        for chunk in data.chunks_exact(self.unit_size) {
-            xor_into(&mut parity, chunk);
-        }
+        let si = self.smap.stripe_of(start);
+        let shift = (self.smap.copy_of(start) * self.layout.size()) as u32;
+        let units = self.layout.stripes()[si].units();
+        let (p_slot, q_slot) = self.smap.parity_slots(si);
+        let is_pq = self.scheme == ParityScheme::PQ;
+        let mut acc_p = vec![0u8; self.unit_size];
+        let mut acc_q = vec![0u8; self.unit_size];
         for (j, chunk) in data.chunks_exact(self.unit_size).enumerate() {
-            let u = self.mapper.locate(start + j);
-            if self.failed == Some(u.disk as usize) {
+            let addr = start + j;
+            debug_assert_eq!(self.smap.stripe_of(addr), si);
+            xor_into(&mut acc_p, chunk);
+            if is_pq {
+                gf256::mul_add_slice(&mut acc_q, chunk, gf256::gen_pow(self.smap.slot_of(addr)));
+            }
+            let u = self.smap.locate(addr);
+            if self.failed.contains(u.disk as usize) {
                 // The lost unit's content is encoded in the new parity;
-                // nothing to write on the failed disk.
+                // nothing to write on the failed disk, whose medium is
+                // now stale (rebuild-only).
+                note_stale(&mut self.stale, u.disk as usize);
                 continue;
             }
             self.write_phys(u, chunk)?;
         }
-        let p = self.mapper.parity_of(start, &self.layout);
-        debug_assert_eq!(self.mapper.parity_of(start + k_data - 1, &self.layout), p);
-        if self.failed != Some(p.disk as usize) {
-            self.write_phys(p, &parity)?;
+        let p_unit = units[p_slot];
+        if self.failed.contains(p_unit.disk as usize) {
+            note_stale(&mut self.stale, p_unit.disk as usize);
+        } else {
+            self.write_phys(
+                StripeUnit { disk: p_unit.disk, offset: p_unit.offset + shift },
+                &acc_p,
+            )?;
+        }
+        if let Some(qs) = q_slot {
+            let q_unit = units[qs];
+            if self.failed.contains(q_unit.disk as usize) {
+                note_stale(&mut self.stale, q_unit.disk as usize);
+            } else {
+                self.write_phys(
+                    StripeUnit { disk: q_unit.disk, offset: q_unit.offset + shift },
+                    &acc_q,
+                )?;
+            }
         }
         Ok(())
     }
 
-    /// Replays a [`Trace`] (block-granular ops) against the store.
-    /// Write payloads are a deterministic function of `(addr, op
-    /// index)`, so two replays produce identical on-disk content.
+    /// Replays a [`Trace`] (block-granular ops plus fail/restore/
+    /// rebuild fault events) against the store. Write payloads are a
+    /// deterministic function of `(addr, op index)`, so two replays
+    /// produce identical on-disk content.
     pub fn replay(&mut self, trace: &Trace) -> Result<ReplayStats, StoreError> {
         let mut stats = ReplayStats::default();
         let mut buf = vec![0u8; self.unit_size];
@@ -464,33 +811,62 @@ impl<B: Backend> BlockStore<B> {
                     stats.writes += 1;
                     stats.blocks_written += len;
                 }
+                TraceOp::Fail { disk } => {
+                    self.fail_disk(disk)?;
+                    stats.disks_failed += 1;
+                }
+                TraceOp::Restore { disk } => {
+                    self.restore_disk(disk)?;
+                    stats.disks_restored += 1;
+                }
+                TraceOp::Rebuild { spare } => {
+                    crate::Rebuilder::default().rebuild(self, spare)?;
+                    stats.rebuilds += 1;
+                }
             }
         }
         Ok(stats)
     }
 
-    /// Scans every stripe and verifies its XOR invariant (the parity
-    /// unit equals the XOR of its data units). Failed disks make
+    /// Scans every stripe and verifies its parity invariants — the P
+    /// unit equals the XOR of the data units, and under P+Q the Q unit
+    /// equals the `GF(2^8)` weighted sum. Failed disks make
     /// verification impossible; call on a healthy array.
     pub fn verify_parity(&self) -> Result<(), StoreError> {
-        if let Some(f) = self.failed {
+        if let Some(f) = self.failed.first() {
             return Err(StoreError::DiskFailed(f));
         }
         let size = self.layout.size();
-        let mut acc = vec![0u8; self.unit_size];
+        let is_pq = self.scheme == ParityScheme::PQ;
+        let mut acc_p = vec![0u8; self.unit_size];
+        let mut acc_q = vec![0u8; self.unit_size];
         let mut tmp = vec![0u8; self.unit_size];
         for copy in 0..self.copies {
             let shift = (copy * size) as u32;
             for (si, stripe) in self.layout.stripes().iter().enumerate() {
-                acc.fill(0);
-                for u in stripe.units() {
+                let (p_slot, q_slot) = self.smap.parity_slots(si);
+                acc_p.fill(0);
+                acc_q.fill(0);
+                for (slot, u) in stripe.units().iter().enumerate() {
                     let phys = StripeUnit { disk: u.disk, offset: u.offset + shift };
                     self.read_phys(phys, &mut tmp)?;
-                    xor_into(&mut acc, &tmp);
+                    if Some(slot) == q_slot {
+                        xor_into(&mut acc_q, &tmp);
+                    } else {
+                        xor_into(&mut acc_p, &tmp);
+                        if is_pq && slot != p_slot {
+                            gf256::mul_add_slice(&mut acc_q, &tmp, gf256::gen_pow(slot));
+                        }
+                    }
                 }
-                if acc.iter().any(|&b| b != 0) {
+                if acc_p.iter().any(|&b| b != 0) {
                     return Err(StoreError::Corrupt(format!(
-                        "stripe {si} (copy {copy}) fails its XOR parity invariant"
+                        "stripe {si} (copy {copy}) fails its P (XOR) parity invariant"
+                    )));
+                }
+                if is_pq && acc_q.iter().any(|&b| b != 0) {
+                    return Err(StoreError::Corrupt(format!(
+                        "stripe {si} (copy {copy}) fails its Q (GF(2^8)) parity invariant"
                     )));
                 }
             }

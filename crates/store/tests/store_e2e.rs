@@ -5,9 +5,9 @@
 //! ring-declustered rebuild balances its per-surviving-disk reads
 //! within 1% at the predicted (k−1)/(v−1) fraction.
 
-use pdl_core::{raid5_layout, Layout, RingLayout};
+use pdl_core::{raid5_layout, DoubleParityLayout, Layout, RingLayout};
 use pdl_sim::{Trace, Workload};
-use pdl_store::{Backend, BlockStore, FileBackend, MemBackend, Rebuilder};
+use pdl_store::{Backend, BlockStore, FileBackend, MemBackend, Rebuilder, StoreError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -234,16 +234,25 @@ fn trace_replay_healthy_and_degraded() {
     store.verify_parity().unwrap();
 }
 
-/// Error paths: double failure rejected, bad spare rejected, address
-/// bounds enforced.
+/// Error paths: tolerance-exceeding failure rejected, re-failing an
+/// already-failed disk rejected (regression: it used to be silently
+/// accepted), bad spare rejected, address bounds enforced.
 #[test]
 fn error_paths() {
     let layout = ring_layout(5, 2);
     let backend = MemBackend::new(6, layout.size(), UNIT);
     let mut store = BlockStore::new(layout, backend).unwrap();
     store.fail_disk(1).unwrap();
-    assert!(store.fail_disk(2).is_err());
-    assert!(store.fail_disk(1).is_ok(), "re-failing the same disk is idempotent");
+    assert!(
+        matches!(store.fail_disk(2), Err(StoreError::TooManyFailures { tolerance: 1, .. })),
+        "XOR tolerates exactly one failure"
+    );
+    // Regression: failing an already-failed disk must be a dedicated
+    // error, not a silent overwrite of the failure state.
+    assert!(matches!(store.fail_disk(1), Err(StoreError::AlreadyFailed(1))));
+    assert_eq!(store.failed_disks().as_slice(), &[1], "failure state unchanged");
+    // Restoring a healthy disk is an error too.
+    assert!(matches!(store.restore_disk(0), Err(StoreError::NotFailed(0))));
     // spare index already mapped
     assert!(Rebuilder::new(2).rebuild(&mut store, 4).is_err());
     // out-of-range spare
@@ -251,10 +260,191 @@ fn error_paths() {
     // valid spare works
     Rebuilder::new(2).rebuild(&mut store, 5).unwrap();
     assert!(Rebuilder::new(2).rebuild(&mut store, 5).is_err(), "nothing to rebuild");
+    // After the rebuild the disk is healthy again and may re-fail.
+    store.fail_disk(1).unwrap();
+    store.restore_disk(1).unwrap();
 
     let blocks = store.blocks();
     let mut buf = vec![0u8; UNIT];
     assert!(store.read_block(blocks, &mut buf).is_err());
     let mut short = vec![0u8; UNIT - 1];
     assert!(store.read_block(0, &mut short).is_err());
+}
+
+/// Regression: a degraded write that skips a unit on the failed disk
+/// leaves its medium stale, so `restore_disk` must refuse (restoring
+/// used to silently resurrect pre-failure bytes, losing the
+/// acknowledged write and corrupting parity). A rebuild still works
+/// and re-synchronizes everything.
+#[test]
+fn restore_after_degraded_write_requires_rebuild() {
+    let layout = ring_layout(7, 3);
+    let backend = MemBackend::new(8, layout.size(), UNIT);
+    let mut store = BlockStore::new(layout, backend).unwrap();
+    let image = random_image(store.blocks(), 51);
+    fill_store(&mut store, &image);
+
+    // Find a block living on disk 2, then fail that disk and
+    // overwrite the block while degraded.
+    let addr = (0..store.blocks())
+        .find(|&a| store.stripe_map().locate(a).disk == 2)
+        .expect("some block lives on disk 2");
+    store.fail_disk(2).unwrap();
+    let fresh = vec![0x3cu8; UNIT];
+    store.write_block(addr, &fresh).unwrap();
+    let mut out = vec![0u8; UNIT];
+    store.read_block(addr, &mut out).unwrap();
+    assert_eq!(out, fresh, "degraded read returns the acknowledged write");
+
+    // The transient restore is refused: disk 2's medium still holds
+    // the pre-failure value.
+    assert!(matches!(store.restore_disk(2), Err(StoreError::RebuildRequired(2))));
+    assert!(store.is_degraded(), "failure state unchanged by the refused restore");
+
+    // A rebuild re-synchronizes and the write survives.
+    Rebuilder::new(2).rebuild(&mut store, 7).unwrap();
+    store.verify_parity().unwrap();
+    store.read_block(addr, &mut out).unwrap();
+    assert_eq!(out, fresh);
+
+    // After the rebuild, fail/restore without intervening writes is
+    // transient again.
+    store.fail_disk(2).unwrap();
+    store.restore_disk(2).unwrap();
+    store.verify_parity().unwrap();
+}
+
+/// P+Q error paths: a third failure is rejected, a double rebuild
+/// needs two spares.
+#[test]
+fn pq_error_paths() {
+    let dp = DoubleParityLayout::new(ring_layout(9, 4)).unwrap();
+    let backend = MemBackend::new(12, dp.layout().size(), UNIT);
+    let mut store = BlockStore::new_pq(dp, backend).unwrap();
+    assert_eq!(store.fault_tolerance(), 2);
+    store.fail_disk(2).unwrap();
+    store.fail_disk(7).unwrap();
+    assert!(matches!(
+        store.fail_disk(0),
+        Err(StoreError::TooManyFailures { requested: 0, tolerance: 2 })
+    ));
+    assert!(matches!(store.fail_disk(2), Err(StoreError::AlreadyFailed(2))));
+    assert!(matches!(
+        Rebuilder::new(2).rebuild_all(&mut store, &[9]),
+        Err(StoreError::SparesExhausted { failed: 2, spares: 1 })
+    ));
+    // Duplicate or invalid spares are rejected before any phase
+    // mutates the store.
+    assert!(matches!(
+        Rebuilder::new(2).rebuild_all(&mut store, &[9, 9]),
+        Err(StoreError::InvalidSpare(9))
+    ));
+    assert!(matches!(
+        Rebuilder::new(2).rebuild_all(&mut store, &[9, 99]),
+        Err(StoreError::InvalidSpare(99))
+    ));
+    assert_eq!(store.failed_disks().as_slice(), &[2, 7], "no phase ran on rejected spares");
+    let reports = Rebuilder::new(2).rebuild_all(&mut store, &[9, 10]).unwrap();
+    assert_eq!(reports.len(), 2);
+    assert!(!store.is_degraded());
+    store.verify_parity().unwrap();
+}
+
+/// The acceptance-criteria scenario end to end, on the file backend:
+/// fail two disks (wiping their media), serve degraded reads
+/// correctly, write while doubly degraded, rebuild both onto spares
+/// in two phases, reopen the store from its persisted metadata, and
+/// read back bit-identical data.
+#[test]
+fn file_pq_double_failure_rebuild_reopen() {
+    let dir = std::env::temp_dir().join(format!("pdl-e2e-pq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dp = DoubleParityLayout::new(ring_layout(9, 4)).unwrap();
+    let mut store = pdl_store::create_file_store_pq(&dir, dp, UNIT, COPIES, 2).unwrap();
+    let blocks = store.blocks();
+    let mut image = random_image(blocks, 31);
+    fill_store(&mut store, &image);
+    store.verify_parity().unwrap();
+
+    // Two concurrent failures; wipe the dead media so any read that
+    // sneaks through to them shows up as corruption, not luck.
+    store.fail_disk(1).unwrap();
+    store.fail_disk(6).unwrap();
+    store.backend().wipe_disk(store.physical_disk(1)).unwrap();
+    store.backend().wipe_disk(store.physical_disk(6)).unwrap();
+    assert!(store.is_degraded());
+    assert_eq!(store.failed_disks().as_slice(), &[1, 6]);
+
+    // Every logical block remains readable through the two-erasure
+    // decode.
+    assert_image_matches(&store, &image, "doubly degraded");
+
+    // Writes while doubly degraded keep data recoverable.
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    for _ in 0..blocks / 4 {
+        let addr = rng.random_range(0..blocks);
+        let fresh: Vec<u8> = (0..UNIT).map(|_| rng.random_range(0u64..256) as u8).collect();
+        store.write_block(addr, &fresh).unwrap();
+        image[addr] = fresh;
+    }
+    assert_image_matches(&store, &image, "doubly degraded after writes");
+
+    // Two-phase rebuild onto the two spares.
+    let reports = Rebuilder::new(4).rebuild_all(&mut store, &[9, 10]).unwrap();
+    assert_eq!(reports.len(), 2);
+    assert_eq!(reports[0].failed_disk, 1);
+    assert_eq!(reports[0].also_failed, vec![6], "phase one ran with disk 6 still down");
+    assert_eq!(reports[1].failed_disk, 6);
+    assert!(reports[1].also_failed.is_empty(), "phase two ran against a repaired array");
+    assert!(!store.is_degraded());
+    assert_image_matches(&store, &image, "after double rebuild");
+    store.verify_parity().unwrap();
+    drop(store); // simulate process exit
+
+    // Reopen purely from persisted metadata: scheme, slots, and the
+    // logical→physical mapping all come back.
+    let store = pdl_store::open_file_store(&dir).unwrap();
+    assert_eq!(store.scheme(), pdl_store::ParityScheme::PQ);
+    assert_eq!(store.physical_disk(1), 9);
+    assert_eq!(store.physical_disk(6), 10);
+    assert_image_matches(&store, &image, "reopened after double rebuild");
+    store.verify_parity().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The declustering claim under a **double** failure: every rebuild
+/// phase reads the same number of units from every surviving disk
+/// (the uniform-decode policy makes this exact, not approximate), and
+/// that number is (k−1)/(v−1) of a disk per failed disk — so a full
+/// double rebuild costs each survivor about 2(k−1)/(v−1).
+#[test]
+fn double_rebuild_load_matches_declustering_claim() {
+    for (v, k) in [(9usize, 4usize), (13, 4)] {
+        let dp = DoubleParityLayout::new(ring_layout(v, k)).unwrap();
+        let size = dp.layout().size();
+        let backend = MemBackend::new(v + 2, COPIES * size, UNIT);
+        let mut store = BlockStore::new_pq(dp, backend).unwrap();
+        let image = random_image(store.blocks(), 17);
+        fill_store(&mut store, &image);
+        store.fail_disk(2).unwrap();
+        store.fail_disk(5).unwrap();
+        store.reset_counters();
+        let reports = Rebuilder::new(4).rebuild_all(&mut store, &[v, v + 1]).unwrap();
+
+        let expect = (k - 1) as f64 / (v - 1) as f64;
+        for (phase, report) in reports.iter().enumerate() {
+            assert!(
+                report.read_imbalance() <= 0.01,
+                "v={v} k={k} phase {phase}: reads not balanced within 1%: {:?}",
+                report.per_disk_reads
+            );
+            let fraction = report.mean_read_fraction();
+            assert!(
+                (fraction - expect).abs() <= 0.01 * expect,
+                "v={v} k={k} phase {phase}: expected (k-1)/(v-1) = {expect}, measured {fraction}"
+            );
+        }
+        assert_image_matches(&store, &image, "after measured double rebuild");
+        store.verify_parity().unwrap();
+    }
 }

@@ -37,10 +37,11 @@
 //! ## Real bytes: the block store
 //!
 //! The [`store`] subsystem turns any layout into an actual
-//! single-failure-tolerant array — XOR parity maintained on every
-//! write, degraded reads reconstructing lost units, and an online
-//! rebuild whose measured per-disk read load verifies the claim above
-//! on real traffic:
+//! fault-tolerant array with a configurable parity scheme — XOR
+//! (single failure) or P+Q over `GF(2^8)` (any **two** concurrent
+//! failures) — parity maintained on every write, degraded reads
+//! erasure-decoding lost units, and an online rebuild whose measured
+//! per-disk read load verifies the claim above on real traffic:
 //!
 //! ```
 //! use parity_decluster::core::RingLayout;
@@ -58,6 +59,31 @@
 //!
 //! let report = Rebuilder::default().rebuild(&mut store, 13).unwrap();
 //! assert!((report.mean_read_fraction() - 0.25).abs() < 1e-9); // (k-1)/(v-1)
+//! ```
+//!
+//! Double-fault tolerance is one constructor away — Section 5's
+//! "more than one distinguished unit per stripe" extension, with the
+//! P+Q placement balanced by the generalized Theorem 14 flow:
+//!
+//! ```
+//! use parity_decluster::core::{DoubleParityLayout, RingLayout};
+//! use parity_decluster::store::{BlockStore, MemBackend, Rebuilder};
+//!
+//! let dp = DoubleParityLayout::new(RingLayout::for_v_k(13, 4).layout().clone()).unwrap();
+//! let backend = MemBackend::new(15, dp.layout().size(), 512); // 13 disks + 2 spares
+//! let mut store = BlockStore::new_pq(dp, backend).unwrap();
+//!
+//! store.write_block(0, &[9u8; 512]).unwrap();
+//! store.fail_disk(5).unwrap();
+//! store.fail_disk(11).unwrap();                 // second concurrent failure
+//! let mut buf = [0u8; 512];
+//! store.read_block(0, &mut buf).unwrap();       // two-erasure decode
+//! assert_eq!(buf[0], 9);
+//!
+//! // Two-phase rebuild; each phase reads (k-1)/(v-1) of every survivor.
+//! let reports = Rebuilder::default().rebuild_all(&mut store, &[13, 14]).unwrap();
+//! assert_eq!(reports.len(), 2);
+//! assert!(!store.is_degraded());
 //! ```
 
 #![warn(missing_docs)]
