@@ -6,8 +6,12 @@
 //! fixed-size sibling tuned for the data path: compile-time exp/log
 //! tables over the standard RAID-6 polynomial `x^8+x^4+x^3+x^2+1`
 //! (0x11d, for which `x` = 2 is primitive), branch-free per-byte
-//! multiply, and slice kernels (`mul_slice`, `mul_add_slice`) that
-//! amortize the table walk into one 256-entry row per call.
+//! multiply, and word-wide slice kernels ([`xor_slice`],
+//! [`mul_slice`], [`mul_add_slice`]) that process eight bytes per
+//! step: XOR over `u64` lanes, multiplication via 4-bit split (nibble)
+//! product tables — 32 bytes of lookup state per coefficient, so the
+//! tables live in L1 for the whole slice walk. Every wide kernel keeps
+//! a byte-at-a-time `*_scalar` twin as the property-test oracle.
 //!
 //! ## The P+Q equations
 //!
@@ -92,27 +96,89 @@ pub fn div(a: u8, b: u8) -> u8 {
     mul(a, inv(b).expect("division by zero in GF(256)"))
 }
 
-/// The 256-entry multiplication row of `c`, built once per slice call
-/// so the per-byte work is a single table lookup.
-fn mul_row(c: u8) -> [u8; 256] {
-    let mut row = [0u8; 256];
-    if c == 0 {
-        return row;
+/// The two 16-entry nibble product tables of `c`: `lo[n] = c·n` and
+/// `hi[n] = c·(n << 4)`, so `c·b = lo[b & 0xf] ^ hi[b >> 4]` — the
+/// 4-bit split that keeps the whole lookup state in 32 bytes (two L1
+/// cache lines at worst) instead of a 256-byte row rebuilt per call.
+fn nibble_tables(c: u8) -> ([u8; 16], [u8; 16]) {
+    let mut lo = [0u8; 16];
+    let mut hi = [0u8; 16];
+    for n in 1..16u8 {
+        lo[n as usize] = mul(c, n);
+        hi[n as usize] = mul(c, n << 4);
     }
-    let lc = LOG[c as usize] as usize;
-    let mut b = 1usize;
-    while b < 256 {
-        row[b] = EXP[lc + LOG[b] as usize];
-        b += 1;
-    }
-    row
+    (lo, hi)
 }
 
-/// Below this length the per-call row build costs more than it saves;
-/// fall back to the direct exp/log form (2 lookups per byte).
-const ROW_THRESHOLD: usize = 256;
+/// Below this length building the nibble tables costs more than it
+/// saves; fall back to the direct exp/log form (2 lookups per byte).
+const WIDE_THRESHOLD: usize = 32;
 
-/// `dst[i] = c · dst[i]` for every byte.
+/// XORs `src` into `dst`, eight bytes per step over `u64` lanes — the
+/// P-parity and syndrome-accumulation kernel of every read, write,
+/// degraded and rebuild path.
+pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let split = dst.len() - dst.len() % 8;
+    let (dc, dr) = dst.split_at_mut(split);
+    let (sc, sr) = src.split_at(split);
+    for (d8, s8) in dc.chunks_exact_mut(8).zip(sc.chunks_exact(8)) {
+        let d = u64::from_ne_bytes(d8.try_into().unwrap());
+        let s = u64::from_ne_bytes(s8.try_into().unwrap());
+        d8.copy_from_slice(&(d ^ s).to_ne_bytes());
+    }
+    for (d, s) in dr.iter_mut().zip(sr) {
+        *d ^= s;
+    }
+}
+
+/// Byte-at-a-time reference for [`xor_slice`] (property-test oracle).
+pub fn xor_slice_scalar(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Byte-at-a-time reference for [`mul_slice`] (property-test oracle
+/// and short-slice fallback): two exp/log lookups per nonzero byte.
+pub fn mul_slice_scalar(dst: &mut [u8], c: u8) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    let lc = LOG[c as usize] as usize;
+    for d in dst {
+        if *d != 0 {
+            *d = EXP[lc + LOG[*d as usize] as usize];
+        }
+    }
+}
+
+/// Byte-at-a-time reference for [`mul_add_slice`] (property-test
+/// oracle and short-slice fallback).
+pub fn mul_add_slice_scalar(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        xor_slice_scalar(dst, src);
+        return;
+    }
+    let lc = LOG[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= EXP[lc + LOG[*s as usize] as usize];
+        }
+    }
+}
+
+/// `dst[i] = c · dst[i]` for every byte: nibble-table lookups, eight
+/// bytes per load/store step.
 pub fn mul_slice(dst: &mut [u8], c: u8) {
     if c == 1 {
         return;
@@ -121,46 +187,55 @@ pub fn mul_slice(dst: &mut [u8], c: u8) {
         dst.fill(0);
         return;
     }
-    if dst.len() < ROW_THRESHOLD {
-        let lc = LOG[c as usize] as usize;
-        for d in dst {
-            if *d != 0 {
-                *d = EXP[lc + LOG[*d as usize] as usize];
-            }
-        }
+    if dst.len() < WIDE_THRESHOLD {
+        mul_slice_scalar(dst, c);
         return;
     }
-    let row = mul_row(c);
-    for d in dst {
-        *d = row[*d as usize];
+    let (lo, hi) = nibble_tables(c);
+    let split = dst.len() - dst.len() % 8;
+    let (dc, dr) = dst.split_at_mut(split);
+    for d8 in dc.chunks_exact_mut(8) {
+        let mut prod = [0u8; 8];
+        for (p, &b) in prod.iter_mut().zip(d8.iter()) {
+            *p = lo[(b & 0xf) as usize] ^ hi[(b >> 4) as usize];
+        }
+        d8.copy_from_slice(&prod);
+    }
+    for d in dr {
+        *d = lo[(*d & 0xf) as usize] ^ hi[(*d >> 4) as usize];
     }
 }
 
 /// `dst[i] ^= c · src[i]` — the fused kernel of Q-parity updates and
-/// syndrome accumulation.
+/// syndrome accumulation: nibble-table lookups with the accumulate
+/// done as one `u64` XOR per eight bytes.
 pub fn mul_add_slice(dst: &mut [u8], src: &[u8], c: u8) {
     debug_assert_eq!(dst.len(), src.len());
     if c == 0 {
         return;
     }
     if c == 1 {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= s;
-        }
+        xor_slice(dst, src);
         return;
     }
-    if dst.len() < ROW_THRESHOLD {
-        let lc = LOG[c as usize] as usize;
-        for (d, s) in dst.iter_mut().zip(src) {
-            if *s != 0 {
-                *d ^= EXP[lc + LOG[*s as usize] as usize];
-            }
-        }
+    if dst.len() < WIDE_THRESHOLD {
+        mul_add_slice_scalar(dst, src, c);
         return;
     }
-    let row = mul_row(c);
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= row[*s as usize];
+    let (lo, hi) = nibble_tables(c);
+    let split = dst.len() - dst.len() % 8;
+    let (dc, dr) = dst.split_at_mut(split);
+    let (sc, sr) = src.split_at(split);
+    for (d8, s8) in dc.chunks_exact_mut(8).zip(sc.chunks_exact(8)) {
+        let mut prod = [0u8; 8];
+        for (p, &b) in prod.iter_mut().zip(s8.iter()) {
+            *p = lo[(b & 0xf) as usize] ^ hi[(b >> 4) as usize];
+        }
+        let d = u64::from_ne_bytes(d8.try_into().unwrap()) ^ u64::from_ne_bytes(prod);
+        d8.copy_from_slice(&d.to_ne_bytes());
+    }
+    for (d, s) in dr.iter_mut().zip(sr) {
+        *d ^= lo[(*s & 0xf) as usize] ^ hi[(*s >> 4) as usize];
     }
 }
 

@@ -62,6 +62,13 @@ fn bench_reads(c: &mut Criterion) {
                 }
             })
         });
+        // The coalesced multi-block path: same bytes, one vectored
+        // backend call per per-disk run instead of one per block.
+        g.bench_with_input(BenchmarkId::new("sequential_vectored", name), &store, |b, s| {
+            let span = 256usize.min(blocks);
+            let mut buf = vec![0u8; span * UNIT];
+            b.iter(|| s.read_blocks(black_box(0), &mut buf).unwrap())
+        });
         g.bench_with_input(BenchmarkId::new("random", name), &store, |b, s| {
             let mut buf = vec![0u8; UNIT];
             b.iter(|| {

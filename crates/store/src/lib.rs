@@ -5,10 +5,15 @@
 //! that reads and writes real bytes, with **configurable fault
 //! tolerance** — single-parity XOR or double-parity P+Q.
 //!
-//! * [`Backend`] — pluggable storage: [`MemBackend`] (reference, used
-//!   by tests and benches) and [`FileBackend`] (one file per disk,
-//!   IO at `offset * unit_size`), plus fault-injection hooks
-//!   ([`Backend::wipe_disk`]);
+//! * [`Backend`] — pluggable storage with a **vectored IO engine**:
+//!   unit-granular and multi-unit span transfers
+//!   ([`Backend::read_units`]/[`Backend::write_units`]) plus
+//!   `readv`/`writev`-style scatter/gather
+//!   ([`Backend::read_units_scatter`]/[`Backend::write_units_gather`]),
+//!   per-disk unit *and* call counters, and fault-injection hooks
+//!   ([`Backend::wipe_disk`]). [`MemBackend`] (reference, span
+//!   memcpys) and [`FileBackend`] (one file per disk, positional
+//!   `pread`/`pwrite` + vectored syscalls at `offset * unit_size`);
 //! * [`ParityScheme`] — the redundancy level: [`ParityScheme::Xor`]
 //!   (one parity unit per stripe, any single disk may fail) or
 //!   [`ParityScheme::PQ`] (two parity units per stripe, any **two**
@@ -16,7 +21,12 @@
 //! * [`BlockStore`] — the stripe-aware read/write path: parity
 //!   maintained by small-write read-modify-write, a zero-read
 //!   full-stripe write fast path, logical→physical translation via
-//!   the scheme-aware Condition-4 [`StripeMap`];
+//!   the scheme-aware Condition-4 [`StripeMap`]. Multi-block
+//!   transfers ([`BlockStore::read_blocks`]/
+//!   [`BlockStore::write_blocks`]) coalesce per-disk contiguous runs
+//!   into single vectored backend calls, degraded batch reads decode
+//!   each lost stripe once, and a per-store scratch pool keeps the
+//!   steady state allocation-free;
 //! * fault injection ([`BlockStore::fail_disk`], capped by the
 //!   scheme's tolerance and tracked in a [`FailureSet`]) and
 //!   **degraded reads** that erasure-decode lost units from surviving

@@ -3,6 +3,15 @@
 //! traffic — the measurement that turns the paper's (k−1)/(v−1)
 //! declustering claim into an observable property of real bytes.
 //!
+//! Workers operate on *chunks* of consecutive spare offsets: each
+//! chunk's surviving stripe members are prefetched per disk in
+//! coalesced runs (one vectored backend call per run) and the
+//! reconstructed units land on the spare in one vectored write, so
+//! the backend call count scales with chunks and disks, not units.
+//! The per-disk *unit* counts are identical to a unit-at-a-time
+//! rebuild — batching changes how reads are issued, never which units
+//! are read — so the declustering measurement is unchanged.
+//!
 //! A single failure rebuilds in one pass ([`Rebuilder::rebuild`]).
 //! A double failure (P+Q stores) rebuilds in **two phases**
 //! ([`Rebuilder::rebuild_all`]): phase one erasure-decodes the first
@@ -14,7 +23,7 @@
 
 use crate::backend::Backend;
 use crate::error::StoreError;
-use crate::store::{BlockStore, Scratch};
+use crate::store::{BlockStore, Scratch, UnitCache};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -190,21 +199,28 @@ impl Rebuilder {
         std::thread::scope(|s| {
             for _ in 0..self.workers {
                 s.spawn(|| {
-                    let mut buf = vec![0u8; shared.unit_size()];
+                    // Each worker claims a chunk of consecutive spare
+                    // offsets, prefetches every surviving stripe member
+                    // the chunk's decodes need in coalesced per-disk
+                    // runs (one vectored read per run), decodes from
+                    // memory, and lands the chunk on the spare with one
+                    // vectored write.
+                    let mut buf = vec![0u8; self.chunk * shared.unit_size()];
                     let mut scratch = Scratch::new(shared.unit_size());
+                    let mut cache = UnitCache::new();
                     loop {
                         let at = next.fetch_add(self.chunk, Ordering::Relaxed);
                         if at >= units || first_error.lock().unwrap().is_some() {
                             return;
                         }
-                        for offset in at..(at + self.chunk).min(units) {
-                            let res = shared
-                                .reconstruct_unit_into(failed, offset, &mut buf, &mut scratch)
-                                .and_then(|()| shared.backend().write_unit(spare, offset, &buf));
-                            if let Err(e) = res {
-                                first_error.lock().unwrap().get_or_insert(e);
-                                return;
-                            }
+                        let end = (at + self.chunk).min(units);
+                        let out = &mut buf[..(end - at) * shared.unit_size()];
+                        let res = shared
+                            .reconstruct_run_into(failed, at, out, &mut scratch, &mut cache)
+                            .and_then(|()| shared.backend().write_units(spare, at, out));
+                        if let Err(e) = res {
+                            first_error.lock().unwrap().get_or_insert(e);
+                            return;
                         }
                     }
                 });

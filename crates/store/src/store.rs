@@ -46,13 +46,58 @@
 use crate::backend::Backend;
 use crate::error::StoreError;
 use crate::scheme::{FailureSet, ParityScheme, StripeMap};
-use pdl_algebra::gf256;
+use pdl_algebra::gf256::{self, xor_slice};
 use pdl_core::{DoubleParityLayout, Layout, StripeUnit};
 use pdl_sim::{Trace, TraceOp};
+use std::sync::Mutex;
 
-/// A decode result: up to two `(lost slot, reconstructed value)`
-/// pairs, the values referencing the caller's [`Scratch`] buffers.
-type Decoded<'a> = [Option<(usize, &'a [u8])>; 2];
+/// Names which [`Scratch`] buffer holds a decoded value, so decode
+/// results carry no borrow and callers can keep using the scratch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DecodedBuf {
+    /// The P (XOR syndrome) accumulator.
+    P,
+    /// The Q (`GF(2^8)` syndrome) accumulator.
+    Q,
+}
+
+/// A decode result: up to two `(lost slot, holding buffer)` pairs; the
+/// values live in the caller's [`Scratch`] until its next decode.
+type Decoded = [Option<(usize, DecodedBuf)>; 2];
+
+/// Largest hole (in units) a coalesced read run will bridge — units
+/// in a bridged gap are read into a discard buffer so the run stays
+/// one backend call. Small single-parity holes merge; larger holes
+/// (e.g. a layout's clustered parity region) split the run instead,
+/// because reading a wide hole through the page cache costs more in
+/// moved bytes than the saved backend call is worth.
+const READ_GAP_BRIDGE: usize = 2;
+
+/// Where a deferred full-stripe unit write takes its bytes from: the
+/// caller's data buffer or the plan's parity staging area, both
+/// indexed in whole units.
+#[derive(Clone, Copy, Debug)]
+enum WriteSrc {
+    Data(usize),
+    Parity(usize),
+}
+
+/// The deferred full-stripe write plan: per-physical-disk buckets of
+/// `(offset, source)` unit writes plus the parity staging buffer the
+/// stripe accumulators live in. Sequential writes push offsets in
+/// increasing order per disk, so flushing usually skips the sort.
+#[derive(Debug)]
+struct WritePlan {
+    by_disk: Vec<Vec<(u32, WriteSrc)>>,
+    parity: Vec<u8>,
+    unsorted: bool,
+}
+
+impl WritePlan {
+    fn new(disks: usize) -> WritePlan {
+        WritePlan { by_disk: vec![Vec::new(); disks], parity: Vec::new(), unsorted: false }
+    }
+}
 
 /// Records that a write skipped a unit on failed disk `disk`: its
 /// medium no longer matches the parity equations, so a transient
@@ -64,25 +109,9 @@ fn note_stale(stale: &mut Vec<usize>, disk: usize) {
     }
 }
 
-/// XORs `src` into `dst` byte-wise.
-pub(crate) fn xor_into(dst: &mut [u8], src: &[u8]) {
-    debug_assert_eq!(dst.len(), src.len());
-    // Word-at-a-time: the hot loop of every parity and reconstruction
-    // path, worth the chunking boilerplate.
-    let (dc, dr) = dst.split_at_mut(dst.len() - dst.len() % 8);
-    let (sc, sr) = src.split_at(src.len() - src.len() % 8);
-    for (d8, s8) in dc.chunks_exact_mut(8).zip(sc.chunks_exact(8)) {
-        let d = u64::from_ne_bytes(d8.try_into().unwrap());
-        let s = u64::from_ne_bytes(s8.try_into().unwrap());
-        d8.copy_from_slice(&(d ^ s).to_ne_bytes());
-    }
-    for (d, s) in dr.iter_mut().zip(sr) {
-        *d ^= s;
-    }
-}
-
 /// Reusable decode buffers: one P accumulator, one Q accumulator, one
-/// transfer buffer. Rebuild workers hold one per thread.
+/// transfer buffer. Rebuild workers hold one per thread; the store's
+/// data paths borrow them from a [`ScratchPool`].
 #[derive(Debug)]
 pub(crate) struct Scratch {
     acc_p: Vec<u8>,
@@ -97,6 +126,104 @@ impl Scratch {
             acc_q: vec![0u8; unit_size],
             tmp: vec![0u8; unit_size],
         }
+    }
+
+    /// The buffer a decode left a value in.
+    fn decoded(&self, which: DecodedBuf) -> &[u8] {
+        match which {
+            DecodedBuf::P => &self.acc_p,
+            DecodedBuf::Q => &self.acc_q,
+        }
+    }
+}
+
+/// A lock-free-enough pool of [`Scratch`] sets: steady-state reads and
+/// writes check one out, use it, and return it, so no data-path
+/// operation allocates after warm-up. Capped so a burst of concurrent
+/// readers cannot pin unbounded memory.
+#[derive(Debug)]
+pub(crate) struct ScratchPool {
+    unit_size: usize,
+    pool: Mutex<Vec<Scratch>>,
+}
+
+impl ScratchPool {
+    const CAP: usize = 16;
+
+    fn new(unit_size: usize) -> ScratchPool {
+        ScratchPool { unit_size, pool: Mutex::new(Vec::new()) }
+    }
+
+    fn get(&self) -> Scratch {
+        self.pool.lock().unwrap().pop().unwrap_or_else(|| Scratch::new(self.unit_size))
+    }
+
+    fn put(&self, scratch: Scratch) {
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < Self::CAP {
+            pool.push(scratch);
+        }
+    }
+}
+
+/// A prefetched set of physical units: the rebuild workers list every
+/// surviving stripe member a chunk of decodes will need, read each
+/// disk's units in coalesced runs (one vectored backend call per run),
+/// and then decode entirely from memory. Reused across chunks so the
+/// steady-state rebuild loop is allocation-free.
+#[derive(Debug, Default)]
+pub(crate) struct UnitCache {
+    /// `(physical disk, offset)` wanted keys; sorted by [`UnitCache::fill`].
+    wants: Vec<(u32, u32)>,
+    /// Unit payloads, index-aligned with `wants` after `fill`.
+    data: Vec<u8>,
+    unit_size: usize,
+}
+
+impl UnitCache {
+    pub(crate) fn new() -> UnitCache {
+        UnitCache::default()
+    }
+
+    fn push_want(&mut self, disk: u32, offset: u32) {
+        self.wants.push((disk, offset));
+    }
+
+    /// Sorts the want-list and reads it in per-disk coalesced runs.
+    fn fill<B: Backend>(&mut self, backend: &B, unit_size: usize) -> Result<(), StoreError> {
+        self.unit_size = unit_size;
+        self.wants.sort_unstable();
+        debug_assert!(
+            self.wants.windows(2).all(|w| w[0] != w[1]),
+            "stripes never share units, so the want-list has no duplicates"
+        );
+        self.data.resize(self.wants.len() * unit_size, 0);
+        let mut i = 0;
+        while i < self.wants.len() {
+            let (disk, offset) = self.wants[i];
+            let mut j = i + 1;
+            while j < self.wants.len() && self.wants[j] == (disk, offset + (j - i) as u32) {
+                j += 1;
+            }
+            backend.read_units(
+                disk as usize,
+                offset as usize,
+                &mut self.data[i * unit_size..j * unit_size],
+            )?;
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Copies the cached unit `(disk, offset)` into `out`.
+    fn copy_to(&self, disk: u32, offset: u32, out: &mut [u8]) -> Result<(), StoreError> {
+        let i = self.wants.binary_search(&(disk, offset)).map_err(|_| {
+            StoreError::Corrupt(format!(
+                "unit (disk {disk}, offset {offset}) missing from the rebuild read cache"
+            ))
+        })?;
+        out.copy_from_slice(&self.data[i * self.unit_size..(i + 1) * self.unit_size]);
+        Ok(())
     }
 }
 
@@ -143,6 +270,9 @@ pub struct BlockStore<B> {
     /// `(P, Q)` slot pairs per stripe when `scheme == PQ` (the
     /// serializable assignment; see [`BlockStore::pq_parity_slots`]).
     pq_slots: Option<Vec<(usize, usize)>>,
+    /// Reusable decode/accumulator buffers: steady-state reads and
+    /// writes are allocation-free.
+    scratch: ScratchPool,
 }
 
 impl<B: Backend> BlockStore<B> {
@@ -237,6 +367,7 @@ impl<B: Backend> BlockStore<B> {
             stale: Vec::new(),
             pq_slots,
             layout,
+            scratch: ScratchPool::new(unit_size),
         })
     }
 
@@ -419,8 +550,10 @@ impl<B: Backend> BlockStore<B> {
         offset: usize,
         out: &mut [u8],
     ) -> Result<(), StoreError> {
-        let mut scratch = Scratch::new(self.unit_size);
-        self.reconstruct_unit_into(disk, offset, out, &mut scratch)
+        let mut scratch = self.scratch.get();
+        let res = self.reconstruct_unit_into(disk, offset, out, &mut scratch);
+        self.scratch.put(scratch);
+        res
     }
 
     /// Allocation-free variant for hot loops: the caller supplies the
@@ -439,9 +572,9 @@ impl<B: Backend> BlockStore<B> {
         let r = self.layout.unit_ref(disk, offset % size);
         let si = r.stripe as usize;
         let solved = self.decode_stripe(si, shift, Some(r.slot as usize), scratch)?;
-        for (slot, value) in solved.into_iter().flatten() {
+        for (slot, which) in solved.into_iter().flatten() {
             if slot == r.slot as usize {
-                out.copy_from_slice(value);
+                out.copy_from_slice(scratch.decoded(which));
                 return Ok(());
             }
         }
@@ -449,20 +582,103 @@ impl<B: Backend> BlockStore<B> {
         Err(StoreError::Corrupt(format!("decode of stripe {si} skipped slot {}", r.slot)))
     }
 
-    /// Erasure-decodes one stripe (at copy offset `shift`): reads every
-    /// surviving member exactly once, accumulates the P/Q syndromes,
-    /// and solves for the lost units. `extra_lost` forces one more slot
-    /// into the lost set (a unit being rebuilt whose disk may not be in
-    /// the failure set). Returns up to two `(slot, value)` pairs
-    /// referencing the scratch buffers; no heap allocation (this sits
-    /// in the rebuild workers' per-unit loop).
-    fn decode_stripe<'a>(
+    /// Batched rebuild primitive: reconstructs the `out.len() /
+    /// unit_size` consecutive units of `disk` starting at `start`,
+    /// reading each surviving disk in coalesced runs (one vectored
+    /// backend call per run) instead of one call per stripe member.
+    /// `cache` and `wants` are caller-owned so worker threads reuse
+    /// their capacity across chunks.
+    pub(crate) fn reconstruct_run_into(
+        &self,
+        disk: usize,
+        start: usize,
+        out: &mut [u8],
+        scratch: &mut Scratch,
+        cache: &mut UnitCache,
+    ) -> Result<(), StoreError> {
+        if out.is_empty() || !out.len().is_multiple_of(self.unit_size) {
+            return Err(StoreError::BadBufferSize { expected: self.unit_size, got: out.len() });
+        }
+        let n = out.len() / self.unit_size;
+        let size = self.layout.size();
+        // Gather every surviving stripe member the decodes below will
+        // touch. Distinct target offsets live in distinct stripes, and
+        // stripes never share units, so the want-list is duplicate-free
+        // and the per-disk unit counts stay identical to the per-unit
+        // path — only the call count drops.
+        cache.wants.clear();
+        for i in 0..n {
+            let offset = start + i;
+            let shift = (offset / size * size) as u32;
+            let r = self.layout.unit_ref(disk, offset % size);
+            for u in self.layout.stripes()[r.stripe as usize].units() {
+                if u.disk as usize == disk || self.failed.contains(u.disk as usize) {
+                    continue;
+                }
+                cache.push_want(self.redirect[u.disk as usize] as u32, u.offset + shift);
+            }
+        }
+        cache.fill(&self.backend, self.unit_size)?;
+        for (i, chunk) in out.chunks_exact_mut(self.unit_size).enumerate() {
+            let offset = start + i;
+            let shift = (offset / size * size) as u32;
+            let r = self.layout.unit_ref(disk, offset % size);
+            let si = r.stripe as usize;
+            let solved = self.decode_stripe_with(si, shift, Some(r.slot as usize), scratch, {
+                let cache = &*cache;
+                let redirect = &self.redirect;
+                move |u: StripeUnit, buf: &mut [u8]| {
+                    cache.copy_to(redirect[u.disk as usize] as u32, u.offset, buf)
+                }
+            })?;
+            let mut found = false;
+            for (slot, which) in solved.into_iter().flatten() {
+                if slot == r.slot as usize {
+                    chunk.copy_from_slice(scratch.decoded(which));
+                    found = true;
+                }
+            }
+            if !found {
+                return Err(StoreError::Corrupt(format!(
+                    "decode of stripe {si} skipped slot {}",
+                    r.slot
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`BlockStore::decode_stripe_with`] reading straight from the
+    /// backend — the common, unbatched decode.
+    fn decode_stripe(
         &self,
         si: usize,
         shift: u32,
         extra_lost: Option<usize>,
-        scratch: &'a mut Scratch,
-    ) -> Result<Decoded<'a>, StoreError> {
+        scratch: &mut Scratch,
+    ) -> Result<Decoded, StoreError> {
+        self.decode_stripe_with(si, shift, extra_lost, scratch, |u, buf| self.read_phys(u, buf))
+    }
+
+    /// Erasure-decodes one stripe (at copy offset `shift`): reads every
+    /// surviving member exactly once through `read` (the backend, or a
+    /// prefetched [`UnitCache`]), accumulates the P/Q syndromes, and
+    /// solves for the lost units. `extra_lost` forces one more slot
+    /// into the lost set (a unit being rebuilt whose disk may not be in
+    /// the failure set). Returns up to two `(slot, buffer)` pairs; the
+    /// values live in `scratch` until its next decode. No heap
+    /// allocation (this sits in the rebuild workers' per-unit loop).
+    fn decode_stripe_with<F>(
+        &self,
+        si: usize,
+        shift: u32,
+        extra_lost: Option<usize>,
+        scratch: &mut Scratch,
+        mut read: F,
+    ) -> Result<Decoded, StoreError>
+    where
+        F: FnMut(StripeUnit, &mut [u8]) -> Result<(), StoreError>,
+    {
         let stripe = &self.layout.stripes()[si];
         let (p_slot, q_slot) = self.smap.parity_slots(si);
         // Collect the lost slots (ascending; at most tolerance + 1
@@ -492,13 +708,13 @@ impl<B: Backend> BlockStore<B> {
             if lost[..nlost].contains(&slot) {
                 continue;
             }
-            self.read_phys(StripeUnit { disk: u.disk, offset: u.offset + shift }, tmp)?;
+            read(StripeUnit { disk: u.disk, offset: u.offset + shift }, tmp)?;
             if slot == p_slot {
-                xor_into(acc_p, tmp);
+                xor_slice(acc_p, tmp);
             } else if Some(slot) == q_slot {
-                xor_into(acc_q, tmp);
+                xor_slice(acc_q, tmp);
             } else {
-                xor_into(acc_p, tmp);
+                xor_slice(acc_p, tmp);
                 if self.scheme == ParityScheme::PQ {
                     gf256::mul_add_slice(acc_q, tmp, gf256::gen_pow(slot));
                 }
@@ -515,9 +731,9 @@ impl<B: Backend> BlockStore<B> {
                 // accumulator already equals it — except a missing Q,
                 // which the Q accumulator holds.
                 if Some(a) == q_slot {
-                    Ok([Some((a, &acc_q[..])), None])
+                    Ok([Some((a, DecodedBuf::Q)), None])
                 } else {
-                    Ok([Some((a, &acc_p[..])), None])
+                    Ok([Some((a, DecodedBuf::P)), None])
                 }
             }
             [a, b] => {
@@ -527,7 +743,7 @@ impl<B: Backend> BlockStore<B> {
                 if (pa && qb) || (pb && qa) {
                     // Lost P and Q: each accumulator is its parity.
                     let (p_lost, q_lost) = if pa { (a, b) } else { (b, a) };
-                    Ok([Some((p_lost, &acc_p[..])), Some((q_lost, &acc_q[..]))])
+                    Ok([Some((p_lost, DecodedBuf::P)), Some((q_lost, DecodedBuf::Q))])
                 } else if pa || pb {
                     // Lost P and a data unit j: the Q equation is
                     // missing only g^j·D_j, so D_j = acc_q / g^j; then
@@ -535,19 +751,19 @@ impl<B: Backend> BlockStore<B> {
                     let (p_lost, j) = if pa { (a, b) } else { (b, a) };
                     let c = gf256::inv(gf256::gen_pow(j)).expect("g^j is nonzero");
                     gf256::mul_slice(acc_q, c);
-                    xor_into(acc_p, acc_q);
-                    Ok([Some((j, &acc_q[..])), Some((p_lost, &acc_p[..]))])
+                    xor_slice(acc_p, acc_q);
+                    Ok([Some((j, DecodedBuf::Q)), Some((p_lost, DecodedBuf::P))])
                 } else if qa || qb {
                     // Lost Q and a data unit j: D_j = acc_p; then
                     // Q = acc_q ^ g^j·D_j.
                     let (q_lost, j) = if qa { (a, b) } else { (b, a) };
                     gf256::mul_add_slice(acc_q, acc_p, gf256::gen_pow(j));
-                    Ok([Some((j, &acc_p[..])), Some((q_lost, &acc_q[..]))])
+                    Ok([Some((j, DecodedBuf::P)), Some((q_lost, DecodedBuf::Q))])
                 } else {
                     // Two lost data units: the classic RAID-6 solve.
                     gf256::solve_two_erasures(acc_p, acc_q, gf256::gen_pow(a), gf256::gen_pow(b));
                     // acc_q now holds D_a, acc_p holds D_b.
-                    Ok([Some((a, &acc_q[..])), Some((b, &acc_p[..]))])
+                    Ok([Some((a, DecodedBuf::Q)), Some((b, DecodedBuf::P))])
                 }
             }
             _ => unreachable!("lost.len() bounded by redundancy above"),
@@ -602,31 +818,38 @@ impl<B: Backend> BlockStore<B> {
         if !self.failed.contains(u.disk as usize) {
             // Target disk alive: delta-update every surviving parity.
             // Valid even when *another* stripe member is failed — the
-            // invariants stay linear in the deltas.
-            let mut delta = vec![0u8; self.unit_size];
-            self.read_phys(u, &mut delta)?;
-            xor_into(&mut delta, data); // delta = old ^ new
-            let mut par = vec![0u8; self.unit_size];
-            if p_alive {
-                let pu = shifted(p_unit);
-                self.read_phys(pu, &mut par)?;
-                xor_into(&mut par, &delta);
-                self.write_phys(pu, &par)?;
-            }
-            if let Some((q_unit, true)) = q {
-                let qu = shifted(q_unit);
-                self.read_phys(qu, &mut par)?;
-                gf256::mul_add_slice(&mut par, &delta, gf256::gen_pow(t_slot));
-                self.write_phys(qu, &par)?;
-            }
-            return self.write_phys(u, data);
+            // invariants stay linear in the deltas. Scratch buffers
+            // stand in for delta/parity staging: zero allocations.
+            let mut s = self.scratch.get();
+            let res = (|| {
+                let Scratch { acc_p: delta, acc_q: par, .. } = &mut s;
+                self.read_phys(u, delta)?;
+                xor_slice(delta, data); // delta = old ^ new
+                if p_alive {
+                    let pu = shifted(p_unit);
+                    self.read_phys(pu, par)?;
+                    xor_slice(par, delta);
+                    self.write_phys(pu, par)?;
+                }
+                if let Some((q_unit, true)) = q {
+                    let qu = shifted(q_unit);
+                    self.read_phys(qu, par)?;
+                    gf256::mul_add_slice(par, delta, gf256::gen_pow(t_slot));
+                    self.write_phys(qu, par)?;
+                }
+                self.write_phys(u, data)
+            })();
+            self.scratch.put(s);
+            return res;
         }
         note_stale(&mut self.stale, u.disk as usize);
 
         // Target disk failed: the new value exists only through the
         // surviving parity, so recompute P (and Q) over the full data
         // vector — surviving data units read directly, a second lost
-        // data unit (P+Q only) erasure-decoded first.
+        // data unit (P+Q only) erasure-decoded first (into its own
+        // scratch, which keeps the value live while a second scratch
+        // accumulates the new parity).
         let lost_other_data: Option<usize> = units.iter().enumerate().find_map(|(slot, mu)| {
             (slot != t_slot
                 && slot != p_slot
@@ -634,59 +857,193 @@ impl<B: Backend> BlockStore<B> {
                 && self.failed.contains(mu.disk as usize))
             .then_some(slot)
         });
-        let mut other_val: Option<(usize, Vec<u8>)> = None;
-        if let Some(o) = lost_other_data {
-            let mut scratch = Scratch::new(self.unit_size);
-            let solved = self.decode_stripe(si, shift, None, &mut scratch)?;
-            let v = solved
-                .iter()
-                .flatten()
-                .find(|(slot, _)| *slot == o)
-                .map(|(_, val)| val.to_vec())
-                .ok_or_else(|| {
-                    StoreError::Corrupt(format!("decode of stripe {si} skipped slot {o}"))
-                })?;
-            other_val = Some((o, v));
-        }
-        let mut acc_p = data.to_vec();
-        let mut acc_q = vec![0u8; self.unit_size];
-        let is_pq = self.scheme == ParityScheme::PQ;
-        if is_pq {
-            gf256::mul_add_slice(&mut acc_q, data, gf256::gen_pow(t_slot));
-        }
-        let mut tmp = vec![0u8; self.unit_size];
-        for (slot, mu) in units.iter().enumerate() {
-            if slot == t_slot || slot == p_slot || Some(slot) == q_slot {
-                continue;
+        let mut dec_scratch = self.scratch.get();
+        let mut acc_scratch = self.scratch.get();
+        let res = (|| {
+            let mut other_buf: Option<DecodedBuf> = None;
+            if let Some(o) = lost_other_data {
+                let solved = self.decode_stripe(si, shift, None, &mut dec_scratch)?;
+                other_buf = Some(
+                    solved
+                        .iter()
+                        .flatten()
+                        .find(|(slot, _)| *slot == o)
+                        .map(|&(_, w)| w)
+                        .ok_or_else(|| {
+                            StoreError::Corrupt(format!("decode of stripe {si} skipped slot {o}"))
+                        })?,
+                );
             }
-            let val: &[u8] = if Some(slot) == lost_other_data {
-                &other_val.as_ref().expect("decoded above").1
-            } else {
-                self.read_phys(shifted(*mu), &mut tmp)?;
-                &tmp
-            };
-            xor_into(&mut acc_p, val);
+            let Scratch { acc_p, acc_q, tmp } = &mut acc_scratch;
+            acc_p.copy_from_slice(data);
+            acc_q.fill(0);
+            let is_pq = self.scheme == ParityScheme::PQ;
             if is_pq {
-                gf256::mul_add_slice(&mut acc_q, val, gf256::gen_pow(slot));
+                gf256::mul_add_slice(acc_q, data, gf256::gen_pow(t_slot));
             }
-        }
-        if p_alive {
-            self.write_phys(shifted(p_unit), &acc_p)?;
-        }
-        if let Some((q_unit, true)) = q {
-            self.write_phys(shifted(q_unit), &acc_q)?;
-        }
-        Ok(())
+            for (slot, mu) in units.iter().enumerate() {
+                if slot == t_slot || slot == p_slot || Some(slot) == q_slot {
+                    continue;
+                }
+                let val: &[u8] = if Some(slot) == lost_other_data {
+                    dec_scratch.decoded(other_buf.expect("decoded above"))
+                } else {
+                    self.read_phys(shifted(*mu), tmp)?;
+                    tmp
+                };
+                xor_slice(acc_p, val);
+                if is_pq {
+                    gf256::mul_add_slice(acc_q, val, gf256::gen_pow(slot));
+                }
+            }
+            if p_alive {
+                self.write_phys(shifted(p_unit), acc_p)?;
+            }
+            if let Some((q_unit, true)) = q {
+                self.write_phys(shifted(q_unit), acc_q)?;
+            }
+            Ok(())
+        })();
+        self.scratch.put(dec_scratch);
+        self.scratch.put(acc_scratch);
+        res
     }
 
     /// Reads `buf.len() / unit_size` consecutive logical blocks
     /// starting at `start` (buf length must be a block multiple).
+    ///
+    /// Blocks on healthy disks are gathered into per-disk contiguous
+    /// runs and fetched with one vectored backend call per run — a
+    /// sequential scan costs one call per touched disk, not one per
+    /// block. Blocks on failed disks are erasure-decoded with **one**
+    /// decode per degraded stripe, however many of its lost units the
+    /// request covers.
     pub fn read_blocks(&self, start: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        if buf.is_empty() {
+            return Ok(());
+        }
         if !buf.len().is_multiple_of(self.unit_size) {
             return Err(StoreError::BadBufferSize { expected: self.unit_size, got: buf.len() });
         }
-        for (i, chunk) in buf.chunks_exact_mut(self.unit_size).enumerate() {
-            self.read_block(start + i, chunk)?;
+        let us = self.unit_size;
+        let n = buf.len() / us;
+        self.check_addr(start)?;
+        self.check_addr(start + n - 1)?;
+        if n == 1 {
+            return self.read_block(start, buf);
+        }
+
+        // Partition the request into per-physical-disk buckets of
+        // `(offset, block index)`; degraded blocks queue for stripe
+        // decode. Sequential scans produce already-sorted buckets
+        // (offsets grow with the address within each disk), so the
+        // sort below is a no-op check in the common case.
+        let mut by_disk: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.backend.disks()];
+        let mut unsorted = false;
+        let mut degraded: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            let addr = start + i;
+            let u = self.smap.locate(addr);
+            if self.failed.contains(u.disk as usize) {
+                degraded.push((i, addr));
+            } else {
+                let bucket = &mut by_disk[self.redirect[u.disk as usize]];
+                if bucket.last().is_some_and(|&(last, _)| u.offset < last) {
+                    unsorted = true;
+                }
+                bucket.push((u.offset, i as u32));
+            }
+        }
+
+        // Coalesce each bucket into runs, *bridging* the small
+        // parity-unit holes a data scan never wants (the hole is read
+        // into a discard buffer so the run stays one backend call).
+        // Each run is one scatter read delivered straight into the
+        // caller's buffer — no staging copy.
+        // Disjoint per-block views of `buf`, consumed as runs claim them.
+        let mut chunks: Vec<Option<&mut [u8]>> = buf.chunks_mut(us).map(Some).collect();
+        let mut holes: Vec<u8> = Vec::new();
+        let bridge = if self.backend.prefers_gap_bridging() { READ_GAP_BRIDGE } else { 0 };
+        for (disk, bucket) in by_disk.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            if unsorted {
+                bucket.sort_unstable();
+            }
+            let mut s = 0;
+            while s < bucket.len() {
+                let mut e = s + 1;
+                while e < bucket.len() && (bucket[e].0 - bucket[e - 1].0 - 1) as usize <= bridge {
+                    e += 1;
+                }
+                let first = bucket[s].0;
+                if e - s == 1 {
+                    let chunk = chunks[bucket[s].1 as usize].take().expect("block read once");
+                    self.backend.read_unit(disk, first as usize, chunk)?;
+                } else {
+                    let span = (bucket[e - 1].0 - first + 1) as usize;
+                    holes.resize((span - (e - s)) * us, 0);
+                    let mut hole_rest = holes.as_mut_slice();
+                    // Per-run Vec by necessity: its elements borrow
+                    // `holes`, whose next-iteration resize forbids a
+                    // hoisted, reused vector. One small alloc per run
+                    // (not per block).
+                    let mut bufs: Vec<&mut [u8]> = Vec::with_capacity(2 * (e - s));
+                    let mut at = first;
+                    for entry in &bucket[s..e] {
+                        if entry.0 > at {
+                            let gap = (entry.0 - at) as usize * us;
+                            let (hole, rest) = std::mem::take(&mut hole_rest).split_at_mut(gap);
+                            hole_rest = rest;
+                            bufs.push(hole);
+                        }
+                        bufs.push(chunks[entry.1 as usize].take().expect("block read once"));
+                        at = entry.0 + 1;
+                    }
+                    self.backend.read_units_scatter(disk, first as usize, &mut bufs)?;
+                }
+                s = e;
+            }
+        }
+
+        // Degraded blocks, grouped by (copy, stripe): consecutive lost
+        // addresses of one stripe are adjacent in address order, so a
+        // one-entry memo of the last decode suffices to decode each
+        // degraded stripe exactly once.
+        if !degraded.is_empty() {
+            let mut scratch = self.scratch.get();
+            let res: Result<(), StoreError> = (|| {
+                let mut decoded_key: Option<(usize, usize)> = None;
+                let mut solved: Decoded = [None, None];
+                for &(bi, addr) in &degraded {
+                    let si = self.smap.stripe_of(addr);
+                    let copy = self.smap.copy_of(addr);
+                    if decoded_key != Some((copy, si)) {
+                        let shift = (copy * self.layout.size()) as u32;
+                        solved = self.decode_stripe(si, shift, None, &mut scratch)?;
+                        decoded_key = Some((copy, si));
+                    }
+                    let slot = self.smap.slot_of(addr);
+                    let which = solved
+                        .iter()
+                        .flatten()
+                        .find(|(s, _)| *s == slot)
+                        .map(|&(_, w)| w)
+                        .ok_or_else(|| {
+                            StoreError::Corrupt(format!(
+                                "decode of stripe {si} skipped slot {slot}"
+                            ))
+                        })?;
+                    chunks[bi]
+                        .take()
+                        .expect("block decoded once")
+                        .copy_from_slice(scratch.decoded(which));
+                }
+                Ok(())
+            })();
+            self.scratch.put(scratch);
+            res?;
         }
         Ok(())
     }
@@ -696,6 +1053,12 @@ impl<B: Backend> BlockStore<B> {
     /// writing those with freshly computed parity and **zero reads**
     /// (the paper's Condition-5 large-write optimization); partial
     /// stripes fall back to read-modify-write.
+    ///
+    /// Full-stripe units (data and parity alike) are not written one
+    /// by one: they accumulate in a write plan that is sorted into
+    /// per-disk contiguous runs and issued as one vectored backend
+    /// call per run, so a sequential bulk write costs one call per
+    /// touched disk.
     pub fn write_blocks(&mut self, start: usize, data: &[u8]) -> Result<(), StoreError> {
         if data.is_empty() {
             return Ok(());
@@ -708,6 +1071,14 @@ impl<B: Backend> BlockStore<B> {
         self.check_addr(start + n - 1)?;
         let per_copy = self.smap.data_units_per_copy();
         let parity_per_stripe = self.scheme.parity_per_stripe();
+        // The deferred full-stripe plan: per-physical-disk buckets of
+        // `(offset, source)` unit writes, where a source indexes
+        // either the caller's data or the appended parity staging
+        // below. Safe to defer past the interleaved RMW writes because
+        // every planned unit belongs to a fully-covered stripe, which
+        // no RMW of this call (always a *partially*-covered stripe)
+        // can touch.
+        let mut plan = WritePlan::new(self.backend.disks());
         let mut i = 0usize;
         while i < n {
             let addr = start + i;
@@ -722,9 +1093,11 @@ impl<B: Backend> BlockStore<B> {
                 && (within + run <= per_copy)
                 && self.smap.stripe_of(addr + run - 1) == stripe_idx;
             if covers_stripe {
-                self.write_full_stripe(
+                self.plan_full_stripe(
                     addr,
                     &data[i * self.unit_size..(i + run) * self.unit_size],
+                    i,
+                    &mut plan,
                 )?;
                 i += run;
             } else {
@@ -732,26 +1105,46 @@ impl<B: Backend> BlockStore<B> {
                 i += 1;
             }
         }
-        Ok(())
+        self.flush_write_plan(&mut plan, data)
     }
 
-    /// Writes all data blocks of one stripe (addresses `start ..
-    /// start + k_data`, which the caller has verified cover the stripe)
-    /// plus recomputed parity, without reading anything.
-    fn write_full_stripe(&mut self, start: usize, data: &[u8]) -> Result<(), StoreError> {
+    /// Computes parity for one fully-covered stripe (addresses `start
+    /// .. start + k_data`, verified by the caller) and appends its
+    /// unit writes — no reads — to the deferred plan. `base` is the
+    /// block index of `stripe_data` within the caller's full buffer.
+    fn plan_full_stripe(
+        &mut self,
+        start: usize,
+        stripe_data: &[u8],
+        base: usize,
+        plan: &mut WritePlan,
+    ) -> Result<(), StoreError> {
+        let us = self.unit_size;
         let si = self.smap.stripe_of(start);
         let shift = (self.smap.copy_of(start) * self.layout.size()) as u32;
         let units = self.layout.stripes()[si].units();
         let (p_slot, q_slot) = self.smap.parity_slots(si);
         let is_pq = self.scheme == ParityScheme::PQ;
-        let mut acc_p = vec![0u8; self.unit_size];
-        let mut acc_q = vec![0u8; self.unit_size];
-        for (j, chunk) in data.chunks_exact(self.unit_size).enumerate() {
+        // Parity accumulates directly in the plan's staging area — no
+        // scratch round trip, no copy. Destructured so the parity
+        // borrow and the bucket pushes coexist.
+        let WritePlan { by_disk, parity, unsorted } = plan;
+        let p_idx = parity.len() / us;
+        parity.resize((p_idx + 1 + is_pq as usize) * us, 0);
+        let (acc_p, acc_q) = parity[p_idx * us..].split_at_mut(us);
+        let mut push = |disk: usize, offset: u32, src: WriteSrc| {
+            let bucket = &mut by_disk[disk];
+            if bucket.last().is_some_and(|&(last, _)| offset < last) {
+                *unsorted = true;
+            }
+            bucket.push((offset, src));
+        };
+        for (j, chunk) in stripe_data.chunks_exact(us).enumerate() {
             let addr = start + j;
             debug_assert_eq!(self.smap.stripe_of(addr), si);
-            xor_into(&mut acc_p, chunk);
+            xor_slice(acc_p, chunk);
             if is_pq {
-                gf256::mul_add_slice(&mut acc_q, chunk, gf256::gen_pow(self.smap.slot_of(addr)));
+                gf256::mul_add_slice(acc_q, chunk, gf256::gen_pow(self.smap.slot_of(addr)));
             }
             let u = self.smap.locate(addr);
             if self.failed.contains(u.disk as usize) {
@@ -761,26 +1154,70 @@ impl<B: Backend> BlockStore<B> {
                 note_stale(&mut self.stale, u.disk as usize);
                 continue;
             }
-            self.write_phys(u, chunk)?;
+            push(self.redirect[u.disk as usize], u.offset, WriteSrc::Data(base + j));
         }
         let p_unit = units[p_slot];
         if self.failed.contains(p_unit.disk as usize) {
             note_stale(&mut self.stale, p_unit.disk as usize);
         } else {
-            self.write_phys(
-                StripeUnit { disk: p_unit.disk, offset: p_unit.offset + shift },
-                &acc_p,
-            )?;
+            push(
+                self.redirect[p_unit.disk as usize],
+                p_unit.offset + shift,
+                WriteSrc::Parity(p_idx),
+            );
         }
         if let Some(qs) = q_slot {
             let q_unit = units[qs];
             if self.failed.contains(q_unit.disk as usize) {
                 note_stale(&mut self.stale, q_unit.disk as usize);
             } else {
-                self.write_phys(
-                    StripeUnit { disk: q_unit.disk, offset: q_unit.offset + shift },
-                    &acc_q,
-                )?;
+                push(
+                    self.redirect[q_unit.disk as usize],
+                    q_unit.offset + shift,
+                    WriteSrc::Parity(p_idx + 1),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Walks the deferred unit writes disk by disk, coalescing
+    /// contiguous offsets into one gather (vectored) backend call per
+    /// run straight from the source slices — no staging copy. Write
+    /// runs never bridge holes: writing a unit nobody asked for would
+    /// corrupt it.
+    fn flush_write_plan(&self, plan: &mut WritePlan, data: &[u8]) -> Result<(), StoreError> {
+        let us = self.unit_size;
+        let WritePlan { by_disk, parity, unsorted } = plan;
+        let parity: &[u8] = parity;
+        let unsorted = *unsorted;
+        let src = |s: WriteSrc| match s {
+            WriteSrc::Data(i) => &data[i * us..(i + 1) * us],
+            WriteSrc::Parity(i) => &parity[i * us..(i + 1) * us],
+        };
+        let mut srcs: Vec<&[u8]> = Vec::new();
+        for (disk, bucket) in by_disk.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            if unsorted {
+                bucket.sort_unstable_by_key(|&(offset, _)| offset);
+            }
+            let mut i = 0;
+            while i < bucket.len() {
+                let offset = bucket[i].0;
+                let mut j = i + 1;
+                while j < bucket.len() && bucket[j].0 == offset + (j - i) as u32 {
+                    j += 1;
+                }
+                if j - i == 1 {
+                    self.backend.write_unit(disk, offset as usize, src(bucket[i].1))?;
+                } else {
+                    srcs.clear();
+                    srcs.extend(bucket[i..j].iter().map(|e| src(e.1)));
+                    self.backend.write_units_gather(disk, offset as usize, &srcs)?;
+                }
+                i = j;
             }
         }
         Ok(())
@@ -796,9 +1233,8 @@ impl<B: Backend> BlockStore<B> {
         for (i, op) in trace.ops.iter().enumerate() {
             match *op {
                 TraceOp::Read { addr, len } => {
-                    for a in addr..addr + len {
-                        self.read_block(a, &mut buf)?;
-                    }
+                    buf.resize(len * self.unit_size, 0);
+                    self.read_blocks(addr, &mut buf)?;
                     stats.reads += 1;
                     stats.blocks_read += len;
                 }
@@ -851,9 +1287,9 @@ impl<B: Backend> BlockStore<B> {
                     let phys = StripeUnit { disk: u.disk, offset: u.offset + shift };
                     self.read_phys(phys, &mut tmp)?;
                     if Some(slot) == q_slot {
-                        xor_into(&mut acc_q, &tmp);
+                        xor_slice(&mut acc_q, &tmp);
                     } else {
-                        xor_into(&mut acc_p, &tmp);
+                        xor_slice(&mut acc_p, &tmp);
                         if is_pq && slot != p_slot {
                             gf256::mul_add_slice(&mut acc_q, &tmp, gf256::gen_pow(slot));
                         }
