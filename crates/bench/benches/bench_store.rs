@@ -85,7 +85,7 @@ fn bench_reads(c: &mut Criterion) {
 fn bench_writes(c: &mut Criterion) {
     let mut g = c.benchmark_group("store_write");
     for (name, layout) in families() {
-        let mut store = make_store(&layout);
+        let store = make_store(&layout);
         let blocks = store.blocks();
         let bulk = vec![0xabu8; 256 * UNIT];
         g.throughput(Throughput::Bytes((256 * UNIT) as u64));
@@ -108,7 +108,7 @@ fn bench_writes(c: &mut Criterion) {
 fn bench_degraded_read(c: &mut Criterion) {
     let mut g = c.benchmark_group("store_degraded_read");
     for (name, layout) in families() {
-        let mut store = make_store(&layout);
+        let store = make_store(&layout);
         store.fail_disk(0).unwrap();
         let blocks = store.blocks();
         g.throughput(Throughput::Bytes((256 * UNIT) as u64));
@@ -133,9 +133,9 @@ fn bench_rebuild(c: &mut Criterion) {
             b.iter(|| {
                 // Setup is part of the measured loop (criterion's
                 // stand-in has no iter_batched); rebuild dominates.
-                let mut store = make_store(&layout);
+                let store = make_store(&layout);
                 store.fail_disk(1).unwrap();
-                let report = Rebuilder::new(4).rebuild(&mut store, spare).unwrap();
+                let report = Rebuilder::new(4).rebuild(&store, spare).unwrap();
                 black_box(report.units_rebuilt)
             })
         });
@@ -147,7 +147,7 @@ fn bench_pq(c: &mut Criterion) {
     // Small-write RMW under double parity (3 reads + 3 writes).
     let mut g = c.benchmark_group("store_pq_write");
     for (name, dp) in pq_families() {
-        let mut store = make_pq_store(&dp);
+        let store = make_pq_store(&dp);
         let blocks = store.blocks();
         let block = vec![0xcdu8; UNIT];
         g.throughput(Throughput::Bytes((256 * UNIT) as u64));
@@ -165,7 +165,7 @@ fn bench_pq(c: &mut Criterion) {
     // Random reads while TWO disks are down: the two-erasure decode.
     let mut g = c.benchmark_group("store_pq_double_degraded_read");
     for (name, dp) in pq_families() {
-        let mut store = make_pq_store(&dp);
+        let store = make_pq_store(&dp);
         store.fail_disk(0).unwrap();
         store.fail_disk(3).unwrap();
         let blocks = store.blocks();
@@ -190,10 +190,10 @@ fn bench_pq(c: &mut Criterion) {
             b.iter(|| {
                 // Setup is part of the measured loop (criterion's
                 // stand-in has no iter_batched); rebuild dominates.
-                let mut store = make_pq_store(&dp);
+                let store = make_pq_store(&dp);
                 store.fail_disk(1).unwrap();
                 store.fail_disk(5).unwrap();
-                let reports = Rebuilder::new(4).rebuild_all(&mut store, &spares).unwrap();
+                let reports = Rebuilder::new(4).rebuild_all(&store, &spares).unwrap();
                 black_box(reports.len())
             })
         });

@@ -1,0 +1,136 @@
+//! Bench regression gate: compares a freshly produced
+//! `BENCH_store.json` against the committed baseline and exits
+//! nonzero when any single-thread workload regressed by more than
+//! the tolerance.
+//!
+//! CI runners and the machines that produced the committed baseline
+//! differ wildly in absolute MB/s, so a raw comparison would gate on
+//! hardware, not code. The default mode therefore **normalizes**: it
+//! computes `current / baseline` per workload, takes the median ratio
+//! as the machine-speed constant, and flags workloads whose ratio
+//! falls more than the tolerance below that median — i.e. paths that
+//! got slower *relative to the rest of the store* on the same pair of
+//! runs. A uniform slowdown moves the median, not the spread, so a
+//! genuinely global regression should be caught where it is
+//! introduced: run with `--raw` on one machine (same host for both
+//! files) to compare absolute numbers.
+//!
+//! Usage:
+//!   bench_gate --baseline BENCH_store.json --current new.json \
+//!              [--tolerance 0.25] [--raw]
+//!
+//! Only the single-thread `results` rows participate; the
+//! `thread_scaling` section has its own gate
+//! (`bench_store_concurrent --require-scaling`).
+
+use pdl_bench::{median, parse_bench_rows, BenchRow};
+
+struct Args {
+    baseline: String,
+    current: String,
+    tolerance: f64,
+    raw: bool,
+}
+
+fn parse_args() -> Args {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = 0.25;
+    let mut raw = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--current" => current = Some(args.next().expect("--current needs a path")),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a fraction")
+                    .parse()
+                    .expect("--tolerance needs a number")
+            }
+            "--raw" => raw = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_gate --baseline <json> --current <json> \
+                     [--tolerance 0.25] [--raw]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    Args {
+        baseline: baseline.expect("--baseline is required"),
+        current: current.expect("--current is required"),
+        tolerance,
+        raw,
+    }
+}
+
+/// Single-thread rows only, keyed `backend/workload`.
+fn single_thread_rows(json: &str) -> Vec<BenchRow> {
+    parse_bench_rows(json).into_iter().filter(|r| r.threads.is_none()).collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let base_rows = single_thread_rows(&read(&args.baseline));
+    let cur_rows = single_thread_rows(&read(&args.current));
+    assert!(!base_rows.is_empty(), "{}: no result rows found", args.baseline);
+    assert!(!cur_rows.is_empty(), "{}: no result rows found", args.current);
+
+    // Workloads present in both files, with their current/baseline
+    // throughput ratio.
+    let mut pairs: Vec<(String, f64, f64, f64)> = Vec::new(); // (key, base, cur, ratio)
+    for b in &base_rows {
+        let key = format!("{}/{}", b.backend, b.workload);
+        if let Some(c) =
+            cur_rows.iter().find(|c| c.backend == b.backend && c.workload == b.workload)
+        {
+            pairs.push((key, b.mb_per_s, c.mb_per_s, c.mb_per_s / b.mb_per_s));
+        } else {
+            eprintln!("note: {key} missing from current run (skipped)");
+        }
+    }
+    assert!(!pairs.is_empty(), "no overlapping workloads between baseline and current");
+
+    let mut ratios: Vec<f64> = pairs.iter().map(|p| p.3).collect();
+    let norm = if args.raw { 1.0 } else { median(&mut ratios).unwrap() };
+    let floor = norm * (1.0 - args.tolerance);
+    if !args.raw {
+        eprintln!(
+            "machine-speed constant (median current/baseline ratio): {norm:.3}; \
+             flagging workloads below {floor:.3}"
+        );
+    }
+
+    println!(
+        "{:<32} {:>12} {:>12} {:>8} {:>8}",
+        "workload", "baseline", "current", "ratio", "verdict"
+    );
+    let mut regressed = Vec::new();
+    for (key, base, cur, ratio) in &pairs {
+        let ok = *ratio >= floor;
+        println!(
+            "{key:<32} {base:>12.1} {cur:>12.1} {ratio:>8.3} {:>8}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            regressed.push(key.clone());
+        }
+    }
+    if !regressed.is_empty() {
+        eprintln!(
+            "FAIL: {} workload(s) regressed more than {:.0}% vs the baseline: {}",
+            regressed.len(),
+            args.tolerance * 100.0,
+            regressed.join(", ")
+        );
+        std::process::exit(1);
+    }
+    eprintln!("bench gate ok: {} workloads within tolerance", pairs.len());
+}

@@ -151,7 +151,7 @@ fn timed(
 fn run_suite<A: Backend, B: Backend>(
     name: &'static str,
     base: BlockStore<A>,
-    mut store: BlockStore<B>,
+    store: BlockStore<B>,
     cfg: &Config,
     samples: &mut Vec<Sample>,
 ) {
@@ -224,20 +224,30 @@ fn run_suite<A: Backend, B: Backend>(
         }
     }));
 
-    // Rebuild the failed disk onto the spare (single timed pass; the
-    // rebuild mutates redirect state, so it cannot repeat).
-    let spare = store.v();
+    // Rebuild the failed disk onto the spare, best of `passes` like
+    // every other workload: each rebuild frees the physical disk the
+    // logical disk vacated, which serves as the next pass's spare, so
+    // the measurement repeats without extra backend disks.
     let rebuilt_bytes = store.backend().units_per_disk() * UNIT;
-    let t = Instant::now();
-    let report = Rebuilder::default().rebuild(&mut store, spare).unwrap();
-    let secs = t.elapsed().as_secs_f64();
-    assert_eq!(report.read_imbalance(), 0.0, "declustered rebuild stays balanced");
+    let mut spare = store.v();
+    let mut freed = store.physical_disk(0);
+    let mut best = f64::INFINITY;
+    for pass in 0..cfg.passes {
+        if pass > 0 {
+            store.fail_disk(0).unwrap();
+        }
+        let t = Instant::now();
+        let report = Rebuilder::default().rebuild(&store, spare).unwrap();
+        best = best.min(t.elapsed().as_secs_f64());
+        assert_eq!(report.read_imbalance(), 0.0, "declustered rebuild stays balanced");
+        std::mem::swap(&mut spare, &mut freed);
+    }
     samples.push(Sample {
         backend: name,
         workload: "rebuild",
-        mb_per_s: rebuilt_bytes as f64 / secs / 1e6,
+        mb_per_s: rebuilt_bytes as f64 / best / 1e6,
         bytes: rebuilt_bytes,
-        seconds: secs,
+        seconds: best,
     });
 }
 

@@ -42,9 +42,133 @@ pub fn bound_check(measured: (f64, f64), expected: (f64, f64)) -> &'static str {
     }
 }
 
+/// One `results` row of a `BENCH_store.json` artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    /// Backend label (`mem`, `mem_raw`, `file`, …).
+    pub backend: String,
+    /// Workload label (`seq_read_vectored`, `concurrent_read`, …).
+    pub workload: String,
+    /// Measured throughput.
+    pub mb_per_s: f64,
+    /// Client threads, when the row came from the thread-scaling
+    /// section (`None` for the single-thread results array).
+    pub threads: Option<usize>,
+}
+
+/// Extracts one `"key": value` field from a JSON result line. The
+/// BENCH artifacts are machine-written one-object-per-line, so this
+/// stays a deliberate line-oriented parser (the vendored serde_json
+/// stand-in has no dynamic `Value` to lean on).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": ");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parses every result row (main results *and* thread-scaling) out of
+/// a `BENCH_store.json` artifact.
+pub fn parse_bench_rows(json: &str) -> Vec<BenchRow> {
+    json.lines()
+        .filter_map(|line| {
+            let backend = field(line, "backend")?.to_string();
+            let workload = field(line, "workload")?.to_string();
+            let mb_per_s = field(line, "mb_per_s")?.parse().ok()?;
+            let threads = field(line, "threads").and_then(|t| t.parse().ok());
+            Some(BenchRow { backend, workload, mb_per_s, threads })
+        })
+        .collect()
+}
+
+/// Marker introducing the thread-scaling section — always the *last*
+/// top-level key of `BENCH_store.json`, which keeps replacement a
+/// truncate-and-append.
+const THREAD_SCALING_MARKER: &str = ",\n  \"thread_scaling\":";
+
+/// Splices `section` (the full `"thread_scaling": {…}` object body,
+/// **without** a leading comma) into a `BENCH_store.json` document as
+/// its last top-level key, replacing any previous thread-scaling
+/// section, and returns the new document.
+pub fn merge_thread_scaling(json: &str, section: &str) -> String {
+    let trimmed = json.trim_end();
+    let body = match trimmed.find(THREAD_SCALING_MARKER) {
+        Some(at) => &trimmed[..at],
+        None => trimmed.strip_suffix('}').expect("BENCH json ends with a closing brace").trim_end(),
+    };
+    format!("{body},\n  {section}\n}}\n")
+}
+
+/// The median of a ratio list (lower-middle for even counts); `None`
+/// when empty. Used by the bench regression gate to factor out the
+/// machine-speed constant between a committed baseline and a fresh
+/// run.
+pub fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Some(values[(values.len() - 1) / 2])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "pdl-bench-store/v1",
+  "results": [
+    {"backend": "mem", "workload": "seq_read_vectored", "mb_per_s": 7624.791, "bytes": 56623104, "seconds": 0.007426},
+    {"backend": "file", "workload": "rebuild", "mb_per_s": 36.612, "bytes": 8388608, "seconds": 0.229124}
+  ],
+  "ratios": {
+    "file_seq_write_vectored_over_per_unit": 2.642
+  }
+}
+"#;
+
+    #[test]
+    fn parses_result_rows() {
+        let rows = parse_bench_rows(SAMPLE);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].backend, "mem");
+        assert_eq!(rows[0].workload, "seq_read_vectored");
+        assert!((rows[0].mb_per_s - 7624.791).abs() < 1e-9);
+        assert_eq!(rows[0].threads, None);
+        assert_eq!(rows[1].backend, "file");
+    }
+
+    #[test]
+    fn parses_threaded_rows() {
+        let rows = parse_bench_rows(
+            r#"{"backend": "mem", "workload": "concurrent_read", "threads": 4, "mb_per_s": 19.5}"#,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].threads, Some(4));
+    }
+
+    #[test]
+    fn thread_scaling_merge_inserts_and_replaces() {
+        let section = "\"thread_scaling\": {\n    \"x\": 1\n  }";
+        let once = merge_thread_scaling(SAMPLE, section);
+        assert!(once.contains("\"thread_scaling\""));
+        assert!(once.trim_end().ends_with('}'), "document still closes");
+        assert_eq!(parse_bench_rows(&once).len(), 2, "original rows survive");
+        // Idempotent under replacement: merging a new section drops
+        // the old one instead of stacking.
+        let twice = merge_thread_scaling(&once, "\"thread_scaling\": {\n    \"x\": 2\n  }");
+        assert_eq!(twice.matches("thread_scaling").count(), 1);
+        assert!(twice.contains("\"x\": 2") && !twice.contains("\"x\": 1"));
+    }
+
+    #[test]
+    fn median_picks_lower_middle() {
+        assert_eq!(median(&mut []), None);
+        assert_eq!(median(&mut [3.0]), Some(3.0));
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), Some(2.0));
+        assert_eq!(median(&mut [4.0, 1.0, 3.0]), Some(3.0));
+    }
 
     #[test]
     fn row_formats_fixed_width() {

@@ -16,8 +16,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
 /// Positional read: no seek, no cursor state, so one brief lock
-/// suffices per transfer (the lock only models per-disk serialization,
-/// it no longer protects a shared file cursor).
+/// suffices per transfer. Note the per-disk mutex is NOT merely a
+/// contention model: the vectored scatter/gather paths below
+/// ([`read_scatter_at`]/[`write_gather_at`]) still seek the shared
+/// file cursor (there is no stable `preadv` in std), so the mutex
+/// remains load-bearing for their correctness.
 #[cfg(unix)]
 fn read_at(f: &File, buf: &mut [u8], at: u64) -> std::io::Result<()> {
     use std::os::unix::fs::FileExt;

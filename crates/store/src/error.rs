@@ -47,6 +47,10 @@ pub enum StoreError {
     /// failed (a write skipped one of its units): only a rebuild can
     /// bring it back without corrupting parity.
     RebuildRequired(usize),
+    /// The disk is being rebuilt right now: a second rebuild cannot
+    /// start and the disk cannot be transiently restored until the
+    /// running rebuild completes (or aborts).
+    RebuildInProgress(usize),
     /// Rebuild was requested but no disk is failed.
     NothingToRebuild,
     /// Rebuild of several disks was given too few spares (conflicting
@@ -94,6 +98,9 @@ impl fmt::Display for StoreError {
                 "disk {d} was written around while failed; its medium is stale and only a \
                  rebuild (not a transient restore) may bring it back"
             ),
+            StoreError::RebuildInProgress(d) => {
+                write!(f, "disk {d} is being rebuilt; wait for the running rebuild to finish")
+            }
             StoreError::NothingToRebuild => write!(f, "no disk is failed"),
             StoreError::SparesExhausted { failed, spares } => {
                 write!(f, "{failed} disk(s) await rebuild but only {spares} spare(s) supplied")

@@ -42,7 +42,18 @@
 //!   with their exact geometry;
 //! * trace replay ([`BlockStore::replay`]) of [`pdl_sim::Trace`]
 //!   workloads — block ops *and* fail/restore/rebuild fault events —
-//!   so simulator scenarios run against real bytes.
+//!   so simulator scenarios run against real bytes;
+//! * **concurrency** — every operation (writes included) takes
+//!   `&self`: a stripe-sharded lock table serializes parity updates
+//!   per stripe with deadlock-free ordered acquisition, the failure
+//!   state sits behind an `RwLock` epoch so `fail_disk`/
+//!   `restore_disk`/rebuilds coordinate with in-flight I/O, and a
+//!   rebuild can race live writes (write-through to the spare). See
+//!   the [`store`] module docs for the full model;
+//! * a seeded multi-threaded **stress harness** ([`stress`]) driving
+//!   N verified client threads of mixed traffic — optionally degraded
+//!   or racing a live rebuild — used by the concurrency tests, the CI
+//!   matrix, and the thread-scaling benchmark.
 //!
 //! ## Fault-tolerance levels
 //!
@@ -86,7 +97,7 @@
 //! let rl = RingLayout::for_v_k(9, 4);
 //! let dp = DoubleParityLayout::new(rl.layout().clone()).unwrap();
 //! let backend = MemBackend::new(11, dp.layout().size(), 64);
-//! let mut store = BlockStore::new_pq(dp, backend).unwrap();
+//! let store = BlockStore::new_pq(dp, backend).unwrap(); // no `mut`: writes take &self
 //!
 //! // Write, fail TWO disks, read back degraded, rebuild onto spares.
 //! let block = vec![0x5a; 64];
@@ -97,7 +108,7 @@
 //! store.read_block(7, &mut out).unwrap();   // two-erasure decode if needed
 //! assert_eq!(out, block);
 //!
-//! let reports = Rebuilder::new(4).rebuild_all(&mut store, &[9, 10]).unwrap();
+//! let reports = Rebuilder::new(4).rebuild_all(&store, &[9, 10]).unwrap();
 //! assert_eq!(reports.len(), 2);
 //! assert!(!store.is_degraded());
 //! store.verify_parity().unwrap();
@@ -111,6 +122,7 @@ pub mod meta;
 pub mod rebuild;
 pub mod scheme;
 pub mod store;
+pub mod stress;
 
 pub use backend::{Backend, FileBackend, MemBackend};
 pub use error::StoreError;
@@ -118,3 +130,4 @@ pub use meta::{create_file_store, create_file_store_pq, open_file_store, StoreMe
 pub use rebuild::{RebuildReport, Rebuilder};
 pub use scheme::{FailureSet, ParityScheme, StripeMap};
 pub use store::{fill_pattern, BlockStore, ReplayStats};
+pub use stress::{RebuildMode, StressConfig, StressReport};

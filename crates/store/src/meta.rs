@@ -286,7 +286,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pdl-meta-test-{}", std::process::id()));
         let rl = RingLayout::for_v_k(5, 3);
         {
-            let mut store = create_file_store(&dir, rl.layout().clone(), 64, 1, 1).unwrap();
+            let store = create_file_store(&dir, rl.layout().clone(), 64, 1, 1).unwrap();
             let data = vec![0xabu8; 64];
             store.write_block(7, &data).unwrap();
             store.flush().unwrap();
@@ -310,7 +310,7 @@ mod tests {
         let dp = DoubleParityLayout::new(rl.layout().clone()).unwrap();
         let slots = dp.all_parity_slots().to_vec();
         {
-            let mut store = create_file_store_pq(&dir, dp, 64, 1, 2).unwrap();
+            let store = create_file_store_pq(&dir, dp, 64, 1, 2).unwrap();
             let data = vec![0x5cu8; 64];
             store.write_block(3, &data).unwrap();
             store.flush().unwrap();

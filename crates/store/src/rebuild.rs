@@ -12,6 +12,15 @@
 //! rebuild — batching changes how reads are issued, never which units
 //! are read — so the declustering measurement is unchanged.
 //!
+//! Rebuilds take `&BlockStore` and may run **concurrently with live
+//! client traffic**: the rebuild registers itself in the store's
+//! failure-epoch state, each chunk holds its stripes' shard locks
+//! (shared) across prefetch → decode → spare write, and writes that
+//! race the rebuild are written through to the spare (see the store
+//! module docs), so the spare is bit-exact when the redirect flips.
+//! Only one rebuild may run at a time
+//! ([`crate::StoreError::RebuildInProgress`]).
+//!
 //! A single failure rebuilds in one pass ([`Rebuilder::rebuild`]).
 //! A double failure (P+Q stores) rebuilds in **two phases**
 //! ([`Rebuilder::rebuild_all`]): phase one erasure-decodes the first
@@ -101,17 +110,24 @@ pub struct Rebuilder {
     chunk: usize,
 }
 
+/// Default units per rebuild chunk. Each chunk pays one state-guard
+/// acquisition plus one shard-lock acquisition per distinct stripe it
+/// covers, so larger chunks amortize the concurrency machinery (the
+/// shard count caps the locks per chunk at 64 however large the chunk
+/// grows) on top of the vectored-IO batching.
+const DEFAULT_CHUNK: usize = 128;
+
 impl Default for Rebuilder {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
-        Rebuilder { workers, chunk: 32 }
+        Rebuilder { workers, chunk: DEFAULT_CHUNK }
     }
 }
 
 impl Rebuilder {
     /// A rebuilder with a fixed worker count (`0` is clamped to 1).
     pub fn new(workers: usize) -> Self {
-        Rebuilder { workers: workers.max(1), chunk: 32 }
+        Rebuilder { workers: workers.max(1), chunk: DEFAULT_CHUNK }
     }
 
     /// Units reconstructed per claimed work item; tune for backend
@@ -124,13 +140,14 @@ impl Rebuilder {
     /// Rebuilds the **lowest-numbered** failed disk onto physical disk
     /// `spare`: reconstructs every unit from surviving stripe members,
     /// writes it to the spare, then redirects the logical disk onto the
-    /// spare and removes it from the failure set. Degraded reads keep
-    /// working throughout (workers only read surviving disks and write
-    /// the spare). Works while a second disk is failed too — the
-    /// decode just pays the two-erasure price on shared stripes.
+    /// spare and removes it from the failure set. Client reads *and
+    /// writes* keep working throughout — the store write-throughs
+    /// racing writes to the spare, so no quiescing is needed. Works
+    /// while a second disk is failed too — the decode just pays the
+    /// two-erasure price on shared stripes.
     pub fn rebuild<B: Backend>(
         &self,
-        store: &mut BlockStore<B>,
+        store: &BlockStore<B>,
         spare: usize,
     ) -> Result<RebuildReport, StoreError> {
         let failed = store.failed_disk().ok_or(StoreError::NothingToRebuild)?;
@@ -143,7 +160,7 @@ impl Rebuilder {
     /// down; each phase is reported separately.
     pub fn rebuild_all<B: Backend>(
         &self,
-        store: &mut BlockStore<B>,
+        store: &BlockStore<B>,
         spares: &[usize],
     ) -> Result<Vec<RebuildReport>, StoreError> {
         let failed: Vec<usize> = store.failed_disks().iter().collect();
@@ -175,19 +192,17 @@ impl Rebuilder {
     /// One rebuild phase: a specific failed disk onto a specific spare.
     fn rebuild_one<B: Backend>(
         &self,
-        store: &mut BlockStore<B>,
+        store: &BlockStore<B>,
         failed: usize,
         spare: usize,
     ) -> Result<RebuildReport, StoreError> {
-        if !store.failed_disks().contains(failed) {
-            return Err(StoreError::NotFailed(failed));
-        }
-        let backend = store.backend();
-        if spare >= backend.disks() || (0..store.v()).any(|d| store.physical_disk(d) == spare) {
-            return Err(StoreError::InvalidSpare(spare));
-        }
+        // Registers the rebuild (validating the disk and spare under
+        // the exclusive state guard): from here until completion or
+        // abort, racing writes are written through to the spare.
+        store.begin_rebuild(failed, spare)?;
         let also_failed: Vec<usize> =
             store.failed_disks().iter().filter(|&d| d != failed).collect();
+        let backend = store.backend();
         let units = backend.units_per_disk();
         let before: Vec<u64> =
             (0..store.v()).map(|d| backend.read_count(store.physical_disk(d))).collect();
@@ -200,11 +215,13 @@ impl Rebuilder {
             for _ in 0..self.workers {
                 s.spawn(|| {
                     // Each worker claims a chunk of consecutive spare
-                    // offsets, prefetches every surviving stripe member
-                    // the chunk's decodes need in coalesced per-disk
-                    // runs (one vectored read per run), decodes from
-                    // memory, and lands the chunk on the spare with one
-                    // vectored write.
+                    // offsets; `rebuild_chunk` prefetches every
+                    // surviving stripe member the chunk's decodes need
+                    // in coalesced per-disk runs (one vectored read
+                    // per run), decodes from memory, and lands the
+                    // chunk on the spare with one vectored write —
+                    // all under the chunk's stripe shard locks, so
+                    // racing client writes serialize per stripe.
                     let mut buf = vec![0u8; self.chunk * shared.unit_size()];
                     let mut scratch = Scratch::new(shared.unit_size());
                     let mut cache = UnitCache::new();
@@ -215,9 +232,8 @@ impl Rebuilder {
                         }
                         let end = (at + self.chunk).min(units);
                         let out = &mut buf[..(end - at) * shared.unit_size()];
-                        let res = shared
-                            .reconstruct_run_into(failed, at, out, &mut scratch, &mut cache)
-                            .and_then(|()| shared.backend().write_units(spare, at, out));
+                        let res =
+                            shared.rebuild_chunk(failed, spare, at, out, &mut scratch, &mut cache);
                         if let Err(e) = res {
                             first_error.lock().unwrap().get_or_insert(e);
                             return;
@@ -227,6 +243,7 @@ impl Rebuilder {
             }
         });
         if let Some(e) = first_error.into_inner().unwrap() {
+            store.abort_rebuild();
             return Err(e);
         }
 

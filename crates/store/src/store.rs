@@ -16,6 +16,40 @@
 //! array is degraded; and spare disks take over failed ones after an
 //! online rebuild ([`crate::Rebuilder`]).
 //!
+//! ## Concurrency model
+//!
+//! Every data-path operation — reads, writes, degraded decodes,
+//! rebuild chunks — takes `&self`, so one store serves many client
+//! threads at once (`BlockStore<B>: Sync` whenever `B: Backend`).
+//! Three mechanisms make that safe:
+//!
+//! 1. **A stripe-sharded lock table** ([`StripeLockTable`]). Parity
+//!    maintenance is a multi-unit read-modify-write over one stripe,
+//!    so each `(copy, stripe)` hashes to one of a fixed number of
+//!    shard `RwLock`s. Writers (and rebuild workers) lock every shard
+//!    their stripes hash to *before touching any byte*, always in
+//!    ascending shard order — two-phase ordered acquisition, so
+//!    multi-stripe batches cannot deadlock. Degraded reads take the
+//!    same shards *shared*, which lets concurrent decodes overlap
+//!    while still excluding writers mid-update.
+//! 2. **An `RwLock` epoch around the failure state**
+//!    ([`BlockStore::epoch`]). The logical→physical redirect table,
+//!    the [`FailureSet`], and the active-rebuild registration live in
+//!    one `RwLock`: every data-path op pins a read guard (a stable
+//!    snapshot) for its whole duration, while `fail_disk`,
+//!    `restore_disk`, and rebuild begin/complete take the write lock —
+//!    so a failure transition waits for in-flight I/O to drain and is
+//!    never observed half-applied.
+//! 3. **Per-disk atomic I/O counters** (see [`Backend`]): counting
+//!    never serializes the data path, and counters stay monotonic
+//!    across failure events — `fail_disk`/`restore_disk` error paths
+//!    touch no counter.
+//!
+//! Healthy single-unit reads skip the stripe locks entirely: the
+//! backend guarantees unit-granular atomicity, and a read that races
+//! a write may see the old or the new unit, never a torn one. A
+//! multi-block call is atomic per block, not across blocks.
+//!
 //! ## The failure/rebuild state machine
 //!
 //! ```text
@@ -31,7 +65,11 @@
 //! [`StoreError::TooManyFailures`]. [`BlockStore::restore_disk`] undoes
 //! a *transient* failure (contents intact); a rebuild
 //! ([`crate::Rebuilder`]) redirects the logical disk onto a spare and
-//! removes it from the failure set.
+//! removes it from the failure set. A rebuild may run **concurrently
+//! with live traffic**: while it is registered, writes that would
+//! have to skip a unit on the rebuilding disk are *written through*
+//! to its spare (see `spare_for`), so the spare is bit-exact when the
+//! redirect flips.
 //!
 //! ## Decode policy
 //!
@@ -49,7 +87,8 @@ use crate::scheme::{FailureSet, ParityScheme, StripeMap};
 use pdl_algebra::gf256::{self, xor_slice};
 use pdl_core::{DoubleParityLayout, Layout, StripeUnit};
 use pdl_sim::{Trace, TraceOp};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Names which [`Scratch`] buffer holds a decoded value, so decode
 /// results carry no borrow and callers can keep using the scratch.
@@ -72,6 +111,97 @@ type Decoded = [Option<(usize, DecodedBuf)>; 2];
 /// because reading a wide hole through the page cache costs more in
 /// moved bytes than the saved backend call is worth.
 const READ_GAP_BRIDGE: usize = 2;
+
+/// The stripe-sharded lock table: parity updates are multi-unit
+/// read-modify-writes over one stripe, so each `(copy, stripe)` pair
+/// hashes to one of [`StripeLockTable::SHARDS`] `RwLock` shards.
+///
+/// Locking discipline (deadlock freedom by construction):
+///
+/// * an operation computes the full shard set of every stripe it will
+///   touch **up front**, sorts and dedups it, and acquires the shards
+///   in ascending index order (two-phase: acquire all, then operate,
+///   then release all);
+/// * writers and the parity-consistency scan take shards *exclusive*;
+///   degraded decodes and rebuild prefetches take them *shared* —
+///   readers never mutate stripe bytes, so they may overlap freely
+///   while any writer still excludes them;
+/// * shard locks nest strictly inside the store's state read guard
+///   and strictly outside the backend's per-disk locks, and no path
+///   acquires them in any other order.
+///
+/// Two distinct stripes may hash to one shard; that only coarsens the
+/// exclusion (false sharing of a lock), never breaks it.
+#[derive(Debug)]
+pub(crate) struct StripeLockTable {
+    shards: Box<[RwLock<()>]>,
+}
+
+impl StripeLockTable {
+    /// Shard count — a power of two so the hash reduces with a shift.
+    /// 64 shards keep the table at one cache line per lock word while
+    /// making same-shard collisions of independent stripes rare for
+    /// the thread counts a single store realistically serves.
+    const SHARDS: usize = 64;
+
+    fn new() -> StripeLockTable {
+        StripeLockTable { shards: (0..Self::SHARDS).map(|_| RwLock::new(())).collect() }
+    }
+
+    /// Shard of a `(copy, stripe)` pair (Fibonacci hash, top bits).
+    fn shard_of(&self, copy: usize, stripe: usize) -> usize {
+        const { assert!(StripeLockTable::SHARDS.is_power_of_two()) };
+        let key = ((copy as u64) << 32) | stripe as u64;
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (64 - Self::SHARDS.trailing_zeros())) as usize
+    }
+
+    fn lock_one(&self, shard: usize) -> RwLockWriteGuard<'_, ()> {
+        self.shards[shard].write().unwrap()
+    }
+
+    fn lock_one_shared(&self, shard: usize) -> RwLockReadGuard<'_, ()> {
+        self.shards[shard].read().unwrap()
+    }
+
+    /// Exclusive guards over a **sorted, deduplicated** shard set (the
+    /// ordered-acquisition phase of a multi-stripe write).
+    fn lock_sorted(&self, shards: &[usize]) -> Vec<RwLockWriteGuard<'_, ()>> {
+        debug_assert!(shards.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        shards.iter().map(|&s| self.shards[s].write().unwrap()).collect()
+    }
+
+    /// Shared guards over a sorted, deduplicated shard set (degraded
+    /// batch decodes, rebuild chunk prefetches).
+    fn lock_sorted_shared(&self, shards: &[usize]) -> Vec<RwLockReadGuard<'_, ()>> {
+        debug_assert!(shards.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        shards.iter().map(|&s| self.shards[s].read().unwrap()).collect()
+    }
+}
+
+/// Sorts and dedups a shard id list in place (the "compute the lock
+/// set up front" phase of two-phase acquisition).
+fn sort_shard_set(shards: &mut Vec<usize>) {
+    shards.sort_unstable();
+    shards.dedup();
+}
+
+/// The store's failure-epoch state: everything a failure transition
+/// mutates, behind one `RwLock` so data-path operations pin a
+/// consistent snapshot and transitions wait for in-flight I/O.
+#[derive(Debug)]
+struct ArrayState {
+    /// Logical disk → physical backend disk (spares swap in here).
+    redirect: Vec<usize>,
+    failed: FailureSet,
+    /// An online rebuild in progress: `(logical disk, physical
+    /// spare)`. While registered, writes that cannot land on the
+    /// failed disk are written through to the spare.
+    rebuilding: Option<(usize, usize)>,
+    /// Bumped on every failure-state transition (fail, restore,
+    /// rebuild begin/complete/abort) — an observable generation
+    /// number for tests and monitoring.
+    epoch: u64,
+}
 
 /// Where a deferred full-stripe unit write takes its bytes from: the
 /// caller's data buffer or the plan's parity staging area, both
@@ -96,16 +226,6 @@ struct WritePlan {
 impl WritePlan {
     fn new(disks: usize) -> WritePlan {
         WritePlan { by_disk: vec![Vec::new(); disks], parity: Vec::new(), unsorted: false }
-    }
-}
-
-/// Records that a write skipped a unit on failed disk `disk`: its
-/// medium no longer matches the parity equations, so a transient
-/// restore would corrupt the array (free function so the disjoint
-/// field borrow composes with live layout borrows at the call sites).
-fn note_stale(stale: &mut Vec<usize>, disk: usize) {
-    if !stale.contains(&disk) {
-        stale.push(disk);
     }
 }
 
@@ -251,6 +371,11 @@ pub struct ReplayStats {
 /// Logical addresses are data blocks of `unit_size` bytes, enumerated
 /// in stripe order by the [`StripeMap`] and tiled down the disks for
 /// arrays larger than one layout copy.
+///
+/// All operations — including writes — take `&self`: share a store
+/// across threads with `std::thread::scope` or an `Arc` and issue
+/// traffic from every thread at once. Synchronization is internal
+/// (see the [module docs](self) for the locking model).
 #[derive(Debug)]
 pub struct BlockStore<B> {
     layout: Layout,
@@ -259,14 +384,19 @@ pub struct BlockStore<B> {
     backend: B,
     unit_size: usize,
     copies: usize,
-    /// Logical disk → physical backend disk (spares swap in here).
-    redirect: Vec<usize>,
-    failed: FailureSet,
-    /// Failed disks whose media have gone *stale*: a write skipped a
-    /// unit on them, so their bytes no longer match the parity
-    /// equations and only a rebuild (never [`BlockStore::restore_disk`])
-    /// may bring them back.
-    stale: Vec<usize>,
+    /// Redirect table + failure set + active rebuild, behind the
+    /// epoch `RwLock` (see module docs).
+    state: RwLock<ArrayState>,
+    /// Per-logical-disk *stale medium* flags: a write skipped (or
+    /// wrote through past) a unit on the disk while it was failed, so
+    /// its bytes no longer match the parity equations and only a
+    /// rebuild (never [`BlockStore::restore_disk`]) may bring it
+    /// back. Atomic so the write path can set a flag under the shared
+    /// state guard; flags are only *read and cleared* under the
+    /// exclusive state guard, which orders them against transitions.
+    stale: Vec<AtomicBool>,
+    /// The stripe-sharded write lock table.
+    locks: StripeLockTable,
     /// `(P, Q)` slot pairs per stripe when `scheme == PQ` (the
     /// serializable assignment; see [`BlockStore::pq_parity_slots`]).
     pq_slots: Option<Vec<(usize, usize)>>,
@@ -362,9 +492,14 @@ impl<B: Backend> BlockStore<B> {
             backend,
             unit_size,
             copies,
-            redirect,
-            failed: FailureSet::new(),
-            stale: Vec::new(),
+            state: RwLock::new(ArrayState {
+                redirect,
+                failed: FailureSet::new(),
+                rebuilding: None,
+                epoch: 0,
+            }),
+            stale: (0..v).map(|_| AtomicBool::new(false)).collect(),
+            locks: StripeLockTable::new(),
             pq_slots,
             layout,
             scratch: ScratchPool::new(unit_size),
@@ -424,37 +559,113 @@ impl<B: Backend> BlockStore<B> {
         self.layout.v()
     }
 
-    /// The currently failed logical disks, ascending.
-    pub fn failed_disks(&self) -> &FailureSet {
-        &self.failed
+    fn state_read(&self) -> RwLockReadGuard<'_, ArrayState> {
+        self.state.read().unwrap()
+    }
+
+    fn state_write(&self) -> RwLockWriteGuard<'_, ArrayState> {
+        self.state.write().unwrap()
+    }
+
+    /// The currently failed logical disks, ascending (a snapshot; the
+    /// set may change the moment this returns if other threads fail
+    /// or rebuild disks).
+    pub fn failed_disks(&self) -> FailureSet {
+        self.state_read().failed.clone()
     }
 
     /// The lowest-numbered currently failed logical disk, if any.
     pub fn failed_disk(&self) -> Option<usize> {
-        self.failed.first()
+        self.state_read().failed.first()
     }
 
     /// True when at least one disk is failed and not yet rebuilt.
     pub fn is_degraded(&self) -> bool {
-        !self.failed.is_empty()
+        !self.state_read().failed.is_empty()
     }
 
     /// Physical backend disk currently serving logical disk `d`.
     pub fn physical_disk(&self, d: usize) -> usize {
-        self.redirect[d]
+        self.state_read().redirect[d]
     }
 
-    pub(crate) fn complete_rebuild(
-        &mut self,
-        failed: usize,
-        spare: usize,
-    ) -> Result<(), StoreError> {
-        self.redirect[failed] = spare;
-        self.failed.remove(failed);
-        self.stale.retain(|&d| d != failed);
+    /// The failure-state generation: bumped by every `fail_disk`,
+    /// `restore_disk`, and rebuild begin/complete/abort. Two equal
+    /// observations bracket a window with no failure transition.
+    pub fn epoch(&self) -> u64 {
+        self.state_read().epoch
+    }
+
+    /// The rebuild currently registered against live traffic, as
+    /// `(logical disk, physical spare)` — `None` when no rebuild is
+    /// running.
+    pub fn rebuilding(&self) -> Option<(usize, usize)> {
+        self.state_read().rebuilding
+    }
+
+    /// Marks `disk`'s medium stale: a write skipped (or wrote through
+    /// past) one of its units while it was failed. Set under the
+    /// shared state guard; read/cleared only under the exclusive one.
+    fn mark_stale(&self, disk: usize) {
+        self.stale[disk].store(true, Ordering::Release);
+    }
+
+    /// The physical spare that writes to failed disk `disk` must be
+    /// written through to — `Some` only while a rebuild of exactly
+    /// that disk is registered. Values written through are either
+    /// overwritten later by the rebuild's own decode of the stripe
+    /// (not-yet-rebuilt region: both produce the same post-write
+    /// bytes, serialized by the stripe lock) or land on an
+    /// already-reconstructed unit (keeping it fresh) — so the spare
+    /// is bit-exact at completion either way.
+    fn spare_for(st: &ArrayState, disk: usize) -> Option<usize> {
+        st.rebuilding.and_then(|(d, spare)| (d == disk).then_some(spare))
+    }
+
+    /// Registers a rebuild of `failed` onto physical `spare`,
+    /// validating both under the exclusive state guard (so two
+    /// rebuilds cannot race each other, and the spare cannot be
+    /// concurrently mapped). Pairs with `complete_rebuild` or
+    /// `abort_rebuild`.
+    pub(crate) fn begin_rebuild(&self, failed: usize, spare: usize) -> Result<(), StoreError> {
+        let mut st = self.state_write();
+        if let Some((d, _)) = st.rebuilding {
+            return Err(StoreError::RebuildInProgress(d));
+        }
+        if !st.failed.contains(failed) {
+            return Err(StoreError::NotFailed(failed));
+        }
+        if spare >= self.backend.disks() || st.redirect.contains(&spare) {
+            return Err(StoreError::InvalidSpare(spare));
+        }
+        st.rebuilding = Some((failed, spare));
+        st.epoch += 1;
+        Ok(())
+    }
+
+    /// Unregisters a failed rebuild attempt; the store stays degraded.
+    pub(crate) fn abort_rebuild(&self) {
+        let mut st = self.state_write();
+        st.rebuilding = None;
+        st.epoch += 1;
+    }
+
+    pub(crate) fn complete_rebuild(&self, failed: usize, spare: usize) -> Result<(), StoreError> {
+        let mut st = self.state_write();
+        debug_assert_eq!(st.rebuilding, Some((failed, spare)), "completion matches registration");
+        st.redirect[failed] = spare;
+        st.failed.remove(failed);
+        st.rebuilding = None;
+        st.epoch += 1;
+        // The spare carries a full reconstruction (plus any writes
+        // written through while it raced traffic): the medium is
+        // fresh again.
+        self.stale[failed].store(false, Ordering::Release);
         // Durable backends record the new mapping so a reopened store
-        // reads the spare, not the stale failed disk.
-        self.backend.persist_mapping(&self.redirect)
+        // reads the spare, not the stale failed disk. Persisted under
+        // the exclusive guard: no in-flight op can observe the new
+        // redirect before it is durable.
+        self.backend.persist_mapping(&st.redirect)
     }
 
     /// Marks a logical disk failed. Subsequent reads of its units are
@@ -463,18 +674,27 @@ impl<B: Backend> BlockStore<B> {
     /// At most [`BlockStore::fault_tolerance`] disks may be failed at a
     /// time; re-failing an already-failed disk is
     /// [`StoreError::AlreadyFailed`].
-    pub fn fail_disk(&mut self, disk: usize) -> Result<(), StoreError> {
+    ///
+    /// Takes the exclusive state guard, so it **waits for in-flight
+    /// I/O to drain** and no operation ever observes a half-applied
+    /// failure. Error paths mutate nothing: in particular the
+    /// per-disk I/O counters ([`BlockStore::read_counts`]/
+    /// [`BlockStore::write_counts`]) are untouched by failure events,
+    /// successful or not — counters only move when units move.
+    pub fn fail_disk(&self, disk: usize) -> Result<(), StoreError> {
         if disk >= self.layout.v() {
             return Err(StoreError::OutOfRange { disk, offset: 0 });
         }
-        if self.failed.contains(disk) {
+        let mut st = self.state_write();
+        if st.failed.contains(disk) {
             return Err(StoreError::AlreadyFailed(disk));
         }
         let tolerance = self.scheme.fault_tolerance();
-        if self.failed.len() >= tolerance {
+        if st.failed.len() >= tolerance {
             return Err(StoreError::TooManyFailures { requested: disk, tolerance });
         }
-        self.failed.insert(disk);
+        st.failed.insert(disk);
+        st.epoch += 1;
         Ok(())
     }
 
@@ -484,32 +704,57 @@ impl<B: Backend> BlockStore<B> {
     /// [`crate::Rebuilder`] if the medium was lost or wiped. If any
     /// write skipped a unit on the disk while it was failed, its
     /// medium is stale relative to the parity equations and restoring
-    /// it is refused ([`StoreError::RebuildRequired`]).
-    pub fn restore_disk(&mut self, disk: usize) -> Result<(), StoreError> {
+    /// it is refused ([`StoreError::RebuildRequired`]); while a
+    /// rebuild of the disk is running, restoring is refused too
+    /// ([`StoreError::RebuildInProgress`]). Error paths leave the
+    /// failure state and the I/O counters untouched.
+    pub fn restore_disk(&self, disk: usize) -> Result<(), StoreError> {
         if disk >= self.layout.v() {
             return Err(StoreError::OutOfRange { disk, offset: 0 });
         }
-        if !self.failed.contains(disk) {
+        let mut st = self.state_write();
+        if !st.failed.contains(disk) {
             return Err(StoreError::NotFailed(disk));
         }
-        if self.stale.contains(&disk) {
+        if let Some((d, _)) = st.rebuilding {
+            if d == disk {
+                return Err(StoreError::RebuildInProgress(disk));
+            }
+        }
+        // Stale flags are only read under the exclusive guard, which
+        // orders this load after every write that could have set it.
+        if self.stale[disk].load(Ordering::Acquire) {
             return Err(StoreError::RebuildRequired(disk));
         }
-        self.failed.remove(disk);
+        st.failed.remove(disk);
+        st.epoch += 1;
         Ok(())
     }
 
     /// Per-logical-disk units read since the last counter reset.
+    ///
+    /// Counters are per-disk atomics maintained by the backend: they
+    /// increase monotonically under concurrent traffic and across
+    /// failure events (`fail_disk`/`restore_disk` never touch them),
+    /// and only [`BlockStore::reset_counters`] moves them down.
     pub fn read_counts(&self) -> Vec<u64> {
-        (0..self.layout.v()).map(|d| self.backend.read_count(self.redirect[d])).collect()
+        let st = self.state_read();
+        (0..self.layout.v()).map(|d| self.backend.read_count(st.redirect[d])).collect()
     }
 
-    /// Per-logical-disk units written since the last counter reset.
+    /// Per-logical-disk units written since the last counter reset
+    /// (same monotonicity contract as [`BlockStore::read_counts`]).
     pub fn write_counts(&self) -> Vec<u64> {
-        (0..self.layout.v()).map(|d| self.backend.write_count(self.redirect[d])).collect()
+        let st = self.state_read();
+        (0..self.layout.v()).map(|d| self.backend.write_count(st.redirect[d])).collect()
     }
 
-    /// Zeroes the backend IO counters.
+    /// Zeroes the backend IO counters. Each per-disk counter is an
+    /// atomic store, so a reset concurrent with live traffic is safe;
+    /// it is **not** a single linearization point across disks —
+    /// in-flight operations may land increments on some disks after
+    /// their reset and before others'. Quiesce traffic first when an
+    /// exact all-zero snapshot matters (as the accounting tests do).
     pub fn reset_counters(&self) {
         self.backend.reset_counters();
     }
@@ -533,34 +778,36 @@ impl<B: Backend> BlockStore<B> {
         Ok(())
     }
 
-    fn read_phys(&self, u: StripeUnit, buf: &mut [u8]) -> Result<(), StoreError> {
-        self.backend.read_unit(self.redirect[u.disk as usize], u.offset as usize, buf)
+    fn read_phys(&self, st: &ArrayState, u: StripeUnit, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.backend.read_unit(st.redirect[u.disk as usize], u.offset as usize, buf)
     }
 
-    fn write_phys(&self, u: StripeUnit, buf: &[u8]) -> Result<(), StoreError> {
-        self.backend.write_unit(self.redirect[u.disk as usize], u.offset as usize, buf)
+    fn write_phys(&self, st: &ArrayState, u: StripeUnit, buf: &[u8]) -> Result<(), StoreError> {
+        self.backend.write_unit(st.redirect[u.disk as usize], u.offset as usize, buf)
     }
 
     /// Reconstructs the unit at `(disk, offset)` from the surviving
     /// members of its stripe (disk may be failed or simply absent).
-    /// This is the degraded-read / rebuild primitive.
-    pub(crate) fn reconstruct_unit(
+    /// This is the degraded-read primitive; the caller holds the
+    /// stripe's shard lock (shared suffices) and the state guard.
+    fn reconstruct_unit(
         &self,
+        st: &ArrayState,
         disk: usize,
         offset: usize,
         out: &mut [u8],
     ) -> Result<(), StoreError> {
         let mut scratch = self.scratch.get();
-        let res = self.reconstruct_unit_into(disk, offset, out, &mut scratch);
+        let res = self.reconstruct_unit_into(st, disk, offset, out, &mut scratch);
         self.scratch.put(scratch);
         res
     }
 
     /// Allocation-free variant for hot loops: the caller supplies the
-    /// [`Scratch`] buffers (reused across calls by the rebuild
-    /// workers).
-    pub(crate) fn reconstruct_unit_into(
+    /// [`Scratch`] buffers.
+    fn reconstruct_unit_into(
         &self,
+        st: &ArrayState,
         disk: usize,
         offset: usize,
         out: &mut [u8],
@@ -571,7 +818,7 @@ impl<B: Backend> BlockStore<B> {
         let shift = (offset / size * size) as u32;
         let r = self.layout.unit_ref(disk, offset % size);
         let si = r.stripe as usize;
-        let solved = self.decode_stripe(si, shift, Some(r.slot as usize), scratch)?;
+        let solved = self.decode_stripe(st, si, shift, Some(r.slot as usize), scratch)?;
         for (slot, which) in solved.into_iter().flatten() {
             if slot == r.slot as usize {
                 out.copy_from_slice(scratch.decoded(which));
@@ -583,14 +830,20 @@ impl<B: Backend> BlockStore<B> {
     }
 
     /// Batched rebuild primitive: reconstructs the `out.len() /
-    /// unit_size` consecutive units of `disk` starting at `start`,
-    /// reading each surviving disk in coalesced runs (one vectored
-    /// backend call per run) instead of one call per stripe member.
-    /// `cache` and `wants` are caller-owned so worker threads reuse
-    /// their capacity across chunks.
-    pub(crate) fn reconstruct_run_into(
+    /// unit_size` consecutive units of `disk` starting at `start` and
+    /// lands them on physical disk `spare` with one vectored write.
+    /// Surviving members are prefetched in coalesced per-disk runs
+    /// (one vectored backend call per run) instead of one call per
+    /// stripe member. The chunk's stripe shards are held *shared* for
+    /// the whole prefetch→decode→spare-write sequence, so concurrent
+    /// writers (exclusive) are excluded stripe by stripe and the
+    /// spare write cannot clobber a write-through that happened after
+    /// the decode. `scratch` and `cache` are caller-owned so worker
+    /// threads reuse their capacity across chunks.
+    pub(crate) fn rebuild_chunk(
         &self,
         disk: usize,
+        spare: usize,
         start: usize,
         out: &mut [u8],
         scratch: &mut Scratch,
@@ -601,6 +854,18 @@ impl<B: Backend> BlockStore<B> {
         }
         let n = out.len() / self.unit_size;
         let size = self.layout.size();
+        let st = self.state_read();
+        // Two-phase acquisition: every stripe this chunk decodes,
+        // sorted by shard, locked shared before any byte is read.
+        let mut shards: Vec<usize> = (0..n)
+            .map(|i| {
+                let offset = start + i;
+                let r = self.layout.unit_ref(disk, offset % size);
+                self.locks.shard_of(offset / size, r.stripe as usize)
+            })
+            .collect();
+        sort_shard_set(&mut shards);
+        let _guards = self.locks.lock_sorted_shared(&shards);
         // Gather every surviving stripe member the decodes below will
         // touch. Distinct target offsets live in distinct stripes, and
         // stripes never share units, so the want-list is duplicate-free
@@ -612,10 +877,10 @@ impl<B: Backend> BlockStore<B> {
             let shift = (offset / size * size) as u32;
             let r = self.layout.unit_ref(disk, offset % size);
             for u in self.layout.stripes()[r.stripe as usize].units() {
-                if u.disk as usize == disk || self.failed.contains(u.disk as usize) {
+                if u.disk as usize == disk || st.failed.contains(u.disk as usize) {
                     continue;
                 }
-                cache.push_want(self.redirect[u.disk as usize] as u32, u.offset + shift);
+                cache.push_want(st.redirect[u.disk as usize] as u32, u.offset + shift);
             }
         }
         cache.fill(&self.backend, self.unit_size)?;
@@ -624,13 +889,14 @@ impl<B: Backend> BlockStore<B> {
             let shift = (offset / size * size) as u32;
             let r = self.layout.unit_ref(disk, offset % size);
             let si = r.stripe as usize;
-            let solved = self.decode_stripe_with(si, shift, Some(r.slot as usize), scratch, {
-                let cache = &*cache;
-                let redirect = &self.redirect;
-                move |u: StripeUnit, buf: &mut [u8]| {
-                    cache.copy_to(redirect[u.disk as usize] as u32, u.offset, buf)
-                }
-            })?;
+            let solved =
+                self.decode_stripe_with(&st, si, shift, Some(r.slot as usize), scratch, {
+                    let cache = &*cache;
+                    let redirect = &st.redirect;
+                    move |u: StripeUnit, buf: &mut [u8]| {
+                        cache.copy_to(redirect[u.disk as usize] as u32, u.offset, buf)
+                    }
+                })?;
             let mut found = false;
             for (slot, which) in solved.into_iter().flatten() {
                 if slot == r.slot as usize {
@@ -645,19 +911,22 @@ impl<B: Backend> BlockStore<B> {
                 )));
             }
         }
-        Ok(())
+        self.backend.write_units(spare, start, out)
     }
 
     /// [`BlockStore::decode_stripe_with`] reading straight from the
     /// backend — the common, unbatched decode.
     fn decode_stripe(
         &self,
+        st: &ArrayState,
         si: usize,
         shift: u32,
         extra_lost: Option<usize>,
         scratch: &mut Scratch,
     ) -> Result<Decoded, StoreError> {
-        self.decode_stripe_with(si, shift, extra_lost, scratch, |u, buf| self.read_phys(u, buf))
+        self.decode_stripe_with(st, si, shift, extra_lost, scratch, |u, buf| {
+            self.read_phys(st, u, buf)
+        })
     }
 
     /// Erasure-decodes one stripe (at copy offset `shift`): reads every
@@ -670,6 +939,7 @@ impl<B: Backend> BlockStore<B> {
     /// allocation (this sits in the rebuild workers' per-unit loop).
     fn decode_stripe_with<F>(
         &self,
+        st: &ArrayState,
         si: usize,
         shift: u32,
         extra_lost: Option<usize>,
@@ -687,7 +957,7 @@ impl<B: Backend> BlockStore<B> {
         let mut lost = [usize::MAX; 3];
         let mut nlost = 0usize;
         for (slot, u) in stripe.units().iter().enumerate() {
-            if self.failed.contains(u.disk as usize) || Some(slot) == extra_lost {
+            if st.failed.contains(u.disk as usize) || Some(slot) == extra_lost {
                 if nlost < lost.len() {
                     lost[nlost] = slot;
                 }
@@ -772,14 +1042,22 @@ impl<B: Backend> BlockStore<B> {
 
     /// Reads logical block `addr` into `buf` (`unit_size` bytes),
     /// reconstructing from parity when the owning disk is failed.
+    ///
+    /// Healthy reads take no stripe lock (unit reads are atomic at
+    /// the backend); degraded reads hold the stripe's shard lock
+    /// shared, so concurrent decodes overlap but a concurrent writer
+    /// to the stripe is excluded mid-update.
     pub fn read_block(&self, addr: usize, buf: &mut [u8]) -> Result<(), StoreError> {
         self.check_addr(addr)?;
         self.check_block_buf(buf.len())?;
+        let st = self.state_read();
         let u = self.smap.locate(addr);
-        if self.failed.contains(u.disk as usize) {
-            self.reconstruct_unit(u.disk as usize, u.offset as usize, buf)
+        if st.failed.contains(u.disk as usize) {
+            let shard = self.locks.shard_of(self.smap.copy_of(addr), self.smap.stripe_of(addr));
+            let _g = self.locks.lock_one_shared(shard);
+            self.reconstruct_unit(&st, u.disk as usize, u.offset as usize, buf)
         } else {
-            self.read_phys(u, buf)
+            self.read_phys(&st, u, buf)
         }
     }
 
@@ -788,9 +1066,27 @@ impl<B: Backend> BlockStore<B> {
     /// writes are read-modify-write (2 reads + 2 writes under XOR,
     /// 3 + 3 under P+Q); use [`BlockStore::write_blocks`] for the
     /// zero-read full-stripe path.
-    pub fn write_block(&mut self, addr: usize, data: &[u8]) -> Result<(), StoreError> {
+    ///
+    /// Takes `&self`: the stripe's shard lock serializes the RMW
+    /// against concurrent writers (and degraded readers) of the same
+    /// stripe, while writes to other stripes proceed in parallel.
+    pub fn write_block(&self, addr: usize, data: &[u8]) -> Result<(), StoreError> {
         self.check_addr(addr)?;
         self.check_block_buf(data.len())?;
+        let st = self.state_read();
+        let shard = self.locks.shard_of(self.smap.copy_of(addr), self.smap.stripe_of(addr));
+        let _g = self.locks.lock_one(shard);
+        self.write_block_locked(&st, addr, data)
+    }
+
+    /// The single-block write body; the caller holds the stripe's
+    /// shard lock exclusive and the state read guard.
+    fn write_block_locked(
+        &self,
+        st: &ArrayState,
+        addr: usize,
+        data: &[u8],
+    ) -> Result<(), StoreError> {
         let u = self.smap.locate(addr);
         let si = self.smap.stripe_of(addr);
         let t_slot = self.smap.slot_of(addr);
@@ -798,24 +1094,26 @@ impl<B: Backend> BlockStore<B> {
         let units = self.layout.stripes()[si].units();
         let (p_slot, q_slot) = self.smap.parity_slots(si);
         let p_unit = units[p_slot];
-        let p_alive = !self.failed.contains(p_unit.disk as usize);
+        let p_alive = !st.failed.contains(p_unit.disk as usize);
         let q = q_slot.map(|qs| {
             let qu = units[qs];
-            (qu, !self.failed.contains(qu.disk as usize))
+            (qu, !st.failed.contains(qu.disk as usize))
         });
         let shifted = |u: StripeUnit| StripeUnit { disk: u.disk, offset: u.offset + shift };
 
         // A parity (or the target, below) this write cannot place on
         // its failed disk leaves that disk's medium stale: restoring
-        // it transiently is no longer safe, only a rebuild is.
+        // it transiently is no longer safe, only a rebuild is. (With
+        // a rebuild racing, the value is *also* written through to
+        // the spare — the true medium is stale either way.)
         if !p_alive {
-            note_stale(&mut self.stale, p_unit.disk as usize);
+            self.mark_stale(p_unit.disk as usize);
         }
         if let Some((q_unit, false)) = q {
-            note_stale(&mut self.stale, q_unit.disk as usize);
+            self.mark_stale(q_unit.disk as usize);
         }
 
-        if !self.failed.contains(u.disk as usize) {
+        if !st.failed.contains(u.disk as usize) {
             // Target disk alive: delta-update every surviving parity.
             // Valid even when *another* stripe member is failed — the
             // invariants stay linear in the deltas. Scratch buffers
@@ -823,26 +1121,43 @@ impl<B: Backend> BlockStore<B> {
             let mut s = self.scratch.get();
             let res = (|| {
                 let Scratch { acc_p: delta, acc_q: par, .. } = &mut s;
-                self.read_phys(u, delta)?;
+                self.read_phys(st, u, delta)?;
                 xor_slice(delta, data); // delta = old ^ new
                 if p_alive {
                     let pu = shifted(p_unit);
-                    self.read_phys(pu, par)?;
+                    self.read_phys(st, pu, par)?;
                     xor_slice(par, delta);
-                    self.write_phys(pu, par)?;
+                    self.write_phys(st, pu, par)?;
+                } else if let Some(spare) = Self::spare_for(st, p_unit.disk as usize) {
+                    // P lives on the disk being rebuilt: delta-update
+                    // its spare copy. Pre-rebuild the spare holds
+                    // arbitrary bytes and this write is harmless (the
+                    // rebuild's decode overwrites it, serialized by
+                    // the stripe lock); post-rebuild it holds the
+                    // true old P and the delta lands correctly.
+                    let pu = shifted(p_unit);
+                    self.backend.read_unit(spare, pu.offset as usize, par)?;
+                    xor_slice(par, delta);
+                    self.backend.write_unit(spare, pu.offset as usize, par)?;
                 }
-                if let Some((q_unit, true)) = q {
+                if let Some((q_unit, q_alive)) = q {
                     let qu = shifted(q_unit);
-                    self.read_phys(qu, par)?;
-                    gf256::mul_add_slice(par, delta, gf256::gen_pow(t_slot));
-                    self.write_phys(qu, par)?;
+                    if q_alive {
+                        self.read_phys(st, qu, par)?;
+                        gf256::mul_add_slice(par, delta, gf256::gen_pow(t_slot));
+                        self.write_phys(st, qu, par)?;
+                    } else if let Some(spare) = Self::spare_for(st, q_unit.disk as usize) {
+                        self.backend.read_unit(spare, qu.offset as usize, par)?;
+                        gf256::mul_add_slice(par, delta, gf256::gen_pow(t_slot));
+                        self.backend.write_unit(spare, qu.offset as usize, par)?;
+                    }
                 }
-                self.write_phys(u, data)
+                self.write_phys(st, u, data)
             })();
             self.scratch.put(s);
             return res;
         }
-        note_stale(&mut self.stale, u.disk as usize);
+        self.mark_stale(u.disk as usize);
 
         // Target disk failed: the new value exists only through the
         // surviving parity, so recompute P (and Q) over the full data
@@ -854,7 +1169,7 @@ impl<B: Backend> BlockStore<B> {
             (slot != t_slot
                 && slot != p_slot
                 && Some(slot) != q_slot
-                && self.failed.contains(mu.disk as usize))
+                && st.failed.contains(mu.disk as usize))
             .then_some(slot)
         });
         let mut dec_scratch = self.scratch.get();
@@ -862,7 +1177,7 @@ impl<B: Backend> BlockStore<B> {
         let res = (|| {
             let mut other_buf: Option<DecodedBuf> = None;
             if let Some(o) = lost_other_data {
-                let solved = self.decode_stripe(si, shift, None, &mut dec_scratch)?;
+                let solved = self.decode_stripe(st, si, shift, None, &mut dec_scratch)?;
                 other_buf = Some(
                     solved
                         .iter()
@@ -888,7 +1203,7 @@ impl<B: Backend> BlockStore<B> {
                 let val: &[u8] = if Some(slot) == lost_other_data {
                     dec_scratch.decoded(other_buf.expect("decoded above"))
                 } else {
-                    self.read_phys(shifted(*mu), tmp)?;
+                    self.read_phys(st, shifted(*mu), tmp)?;
                     tmp
                 };
                 xor_slice(acc_p, val);
@@ -897,10 +1212,24 @@ impl<B: Backend> BlockStore<B> {
                 }
             }
             if p_alive {
-                self.write_phys(shifted(p_unit), acc_p)?;
+                self.write_phys(st, shifted(p_unit), acc_p)?;
+            } else if let Some(spare) = Self::spare_for(st, p_unit.disk as usize) {
+                self.backend.write_unit(spare, shifted(p_unit).offset as usize, acc_p)?;
             }
-            if let Some((q_unit, true)) = q {
-                self.write_phys(shifted(q_unit), acc_q)?;
+            if let Some((q_unit, q_alive)) = q {
+                if q_alive {
+                    self.write_phys(st, shifted(q_unit), acc_q)?;
+                } else if let Some(spare) = Self::spare_for(st, q_unit.disk as usize) {
+                    self.backend.write_unit(spare, shifted(q_unit).offset as usize, acc_q)?;
+                }
+            }
+            // The target's new value exists only through parity — and
+            // on the spare, when a rebuild of the target is racing:
+            // write it through so an already-reconstructed unit stays
+            // fresh (a not-yet-reconstructed one is re-decoded to
+            // these exact bytes later).
+            if let Some(spare) = Self::spare_for(st, u.disk as usize) {
+                self.backend.write_unit(spare, u.offset as usize, data)?;
             }
             Ok(())
         })();
@@ -918,6 +1247,9 @@ impl<B: Backend> BlockStore<B> {
     /// block. Blocks on failed disks are erasure-decoded with **one**
     /// decode per degraded stripe, however many of its lost units the
     /// request covers.
+    ///
+    /// Each block is read atomically; the call as a whole is not one
+    /// atomic snapshot — blocks may interleave with concurrent writes.
     pub fn read_blocks(&self, start: usize, buf: &mut [u8]) -> Result<(), StoreError> {
         if buf.is_empty() {
             return Ok(());
@@ -932,6 +1264,7 @@ impl<B: Backend> BlockStore<B> {
         if n == 1 {
             return self.read_block(start, buf);
         }
+        let st = self.state_read();
 
         // Partition the request into per-physical-disk buckets of
         // `(offset, block index)`; degraded blocks queue for stripe
@@ -944,10 +1277,10 @@ impl<B: Backend> BlockStore<B> {
         for i in 0..n {
             let addr = start + i;
             let u = self.smap.locate(addr);
-            if self.failed.contains(u.disk as usize) {
+            if st.failed.contains(u.disk as usize) {
                 degraded.push((i, addr));
             } else {
-                let bucket = &mut by_disk[self.redirect[u.disk as usize]];
+                let bucket = &mut by_disk[st.redirect[u.disk as usize]];
                 if bucket.last().is_some_and(|&(last, _)| u.offset < last) {
                     unsorted = true;
                 }
@@ -1010,8 +1343,18 @@ impl<B: Backend> BlockStore<B> {
         // Degraded blocks, grouped by (copy, stripe): consecutive lost
         // addresses of one stripe are adjacent in address order, so a
         // one-entry memo of the last decode suffices to decode each
-        // degraded stripe exactly once.
+        // degraded stripe exactly once. The degraded stripes' shards
+        // are held shared for the whole decode loop (two-phase, sorted
+        // — same discipline as the writers' exclusive acquisition).
         if !degraded.is_empty() {
+            let mut shards: Vec<usize> = degraded
+                .iter()
+                .map(|&(_, addr)| {
+                    self.locks.shard_of(self.smap.copy_of(addr), self.smap.stripe_of(addr))
+                })
+                .collect();
+            sort_shard_set(&mut shards);
+            let _guards = self.locks.lock_sorted_shared(&shards);
             let mut scratch = self.scratch.get();
             let res: Result<(), StoreError> = (|| {
                 let mut decoded_key: Option<(usize, usize)> = None;
@@ -1021,7 +1364,7 @@ impl<B: Backend> BlockStore<B> {
                     let copy = self.smap.copy_of(addr);
                     if decoded_key != Some((copy, si)) {
                         let shift = (copy * self.layout.size()) as u32;
-                        solved = self.decode_stripe(si, shift, None, &mut scratch)?;
+                        solved = self.decode_stripe(&st, si, shift, None, &mut scratch)?;
                         decoded_key = Some((copy, si));
                     }
                     let slot = self.smap.slot_of(addr);
@@ -1059,7 +1402,13 @@ impl<B: Backend> BlockStore<B> {
     /// per-disk contiguous runs and issued as one vectored backend
     /// call per run, so a sequential bulk write costs one call per
     /// touched disk.
-    pub fn write_blocks(&mut self, start: usize, data: &[u8]) -> Result<(), StoreError> {
+    ///
+    /// Takes `&self`: every stripe the batch touches is locked up
+    /// front, in ascending shard order (two-phase ordered
+    /// acquisition), so concurrent batches — even overlapping ones —
+    /// cannot deadlock and each touched stripe's parity update is
+    /// serialized.
+    pub fn write_blocks(&self, start: usize, data: &[u8]) -> Result<(), StoreError> {
         if data.is_empty() {
             return Ok(());
         }
@@ -1069,6 +1418,19 @@ impl<B: Backend> BlockStore<B> {
         let n = data.len() / self.unit_size;
         self.check_addr(start)?;
         self.check_addr(start + n - 1)?;
+        let st = self.state_read();
+        // Phase one of two-phase locking: the full shard set of every
+        // stripe the batch will touch, ascending, before any byte
+        // moves. (Consecutive addresses repeat stripes, so the raw
+        // list is tiny after dedup.)
+        let mut shards: Vec<usize> = (0..n)
+            .map(|i| {
+                let addr = start + i;
+                self.locks.shard_of(self.smap.copy_of(addr), self.smap.stripe_of(addr))
+            })
+            .collect();
+        sort_shard_set(&mut shards);
+        let _guards = self.locks.lock_sorted(&shards);
         let per_copy = self.smap.data_units_per_copy();
         let parity_per_stripe = self.scheme.parity_per_stripe();
         // The deferred full-stripe plan: per-physical-disk buckets of
@@ -1094,6 +1456,7 @@ impl<B: Backend> BlockStore<B> {
                 && self.smap.stripe_of(addr + run - 1) == stripe_idx;
             if covers_stripe {
                 self.plan_full_stripe(
+                    &st,
                     addr,
                     &data[i * self.unit_size..(i + run) * self.unit_size],
                     i,
@@ -1101,7 +1464,11 @@ impl<B: Backend> BlockStore<B> {
                 )?;
                 i += run;
             } else {
-                self.write_block(addr, &data[i * self.unit_size..(i + 1) * self.unit_size])?;
+                self.write_block_locked(
+                    &st,
+                    addr,
+                    &data[i * self.unit_size..(i + 1) * self.unit_size],
+                )?;
                 i += 1;
             }
         }
@@ -1113,7 +1480,8 @@ impl<B: Backend> BlockStore<B> {
     /// unit writes — no reads — to the deferred plan. `base` is the
     /// block index of `stripe_data` within the caller's full buffer.
     fn plan_full_stripe(
-        &mut self,
+        &self,
+        st: &ArrayState,
         start: usize,
         stripe_data: &[u8],
         base: usize,
@@ -1147,32 +1515,38 @@ impl<B: Backend> BlockStore<B> {
                 gf256::mul_add_slice(acc_q, chunk, gf256::gen_pow(self.smap.slot_of(addr)));
             }
             let u = self.smap.locate(addr);
-            if self.failed.contains(u.disk as usize) {
+            if st.failed.contains(u.disk as usize) {
                 // The lost unit's content is encoded in the new parity;
                 // nothing to write on the failed disk, whose medium is
-                // now stale (rebuild-only).
-                note_stale(&mut self.stale, u.disk as usize);
+                // now stale (rebuild-only). With a rebuild racing, the
+                // fresh value goes to the spare instead.
+                self.mark_stale(u.disk as usize);
+                if let Some(spare) = Self::spare_for(st, u.disk as usize) {
+                    push(spare, u.offset, WriteSrc::Data(base + j));
+                }
                 continue;
             }
-            push(self.redirect[u.disk as usize], u.offset, WriteSrc::Data(base + j));
+            push(st.redirect[u.disk as usize], u.offset, WriteSrc::Data(base + j));
         }
         let p_unit = units[p_slot];
-        if self.failed.contains(p_unit.disk as usize) {
-            note_stale(&mut self.stale, p_unit.disk as usize);
+        if st.failed.contains(p_unit.disk as usize) {
+            self.mark_stale(p_unit.disk as usize);
+            if let Some(spare) = Self::spare_for(st, p_unit.disk as usize) {
+                push(spare, p_unit.offset + shift, WriteSrc::Parity(p_idx));
+            }
         } else {
-            push(
-                self.redirect[p_unit.disk as usize],
-                p_unit.offset + shift,
-                WriteSrc::Parity(p_idx),
-            );
+            push(st.redirect[p_unit.disk as usize], p_unit.offset + shift, WriteSrc::Parity(p_idx));
         }
         if let Some(qs) = q_slot {
             let q_unit = units[qs];
-            if self.failed.contains(q_unit.disk as usize) {
-                note_stale(&mut self.stale, q_unit.disk as usize);
+            if st.failed.contains(q_unit.disk as usize) {
+                self.mark_stale(q_unit.disk as usize);
+                if let Some(spare) = Self::spare_for(st, q_unit.disk as usize) {
+                    push(spare, q_unit.offset + shift, WriteSrc::Parity(p_idx + 1));
+                }
             } else {
                 push(
-                    self.redirect[q_unit.disk as usize],
+                    st.redirect[q_unit.disk as usize],
                     q_unit.offset + shift,
                     WriteSrc::Parity(p_idx + 1),
                 );
@@ -1227,7 +1601,7 @@ impl<B: Backend> BlockStore<B> {
     /// rebuild fault events) against the store. Write payloads are a
     /// deterministic function of `(addr, op index)`, so two replays
     /// produce identical on-disk content.
-    pub fn replay(&mut self, trace: &Trace) -> Result<ReplayStats, StoreError> {
+    pub fn replay(&self, trace: &Trace) -> Result<ReplayStats, StoreError> {
         let mut stats = ReplayStats::default();
         let mut buf = vec![0u8; self.unit_size];
         for (i, op) in trace.ops.iter().enumerate() {
@@ -1267,9 +1641,13 @@ impl<B: Backend> BlockStore<B> {
     /// Scans every stripe and verifies its parity invariants — the P
     /// unit equals the XOR of the data units, and under P+Q the Q unit
     /// equals the `GF(2^8)` weighted sum. Failed disks make
-    /// verification impossible; call on a healthy array.
+    /// verification impossible; call on a healthy array. Each stripe
+    /// is scanned under its shard lock, so the scan may run against
+    /// live traffic — every stripe is checked at some consistent
+    /// point, not all at the same one.
     pub fn verify_parity(&self) -> Result<(), StoreError> {
-        if let Some(f) = self.failed.first() {
+        let st = self.state_read();
+        if let Some(f) = st.failed.first() {
             return Err(StoreError::DiskFailed(f));
         }
         let size = self.layout.size();
@@ -1280,12 +1658,13 @@ impl<B: Backend> BlockStore<B> {
         for copy in 0..self.copies {
             let shift = (copy * size) as u32;
             for (si, stripe) in self.layout.stripes().iter().enumerate() {
+                let _g = self.locks.lock_one_shared(self.locks.shard_of(copy, si));
                 let (p_slot, q_slot) = self.smap.parity_slots(si);
                 acc_p.fill(0);
                 acc_q.fill(0);
                 for (slot, u) in stripe.units().iter().enumerate() {
                     let phys = StripeUnit { disk: u.disk, offset: u.offset + shift };
-                    self.read_phys(phys, &mut tmp)?;
+                    self.read_phys(&st, phys, &mut tmp)?;
                     if Some(slot) == q_slot {
                         xor_slice(&mut acc_q, &tmp);
                     } else {
@@ -1321,5 +1700,35 @@ pub fn fill_pattern(addr: usize, salt: u64, buf: &mut [u8]) {
         x ^= x >> 29;
         let b = x.to_le_bytes();
         chunk.copy_from_slice(&b[..chunk.len()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let t = StripeLockTable::new();
+        for copy in 0..8 {
+            for stripe in 0..100 {
+                let s = t.shard_of(copy, stripe);
+                assert!(s < StripeLockTable::SHARDS);
+                assert_eq!(s, t.shard_of(copy, stripe), "deterministic");
+            }
+        }
+        // Distinct (copy, stripe) keys spread over many shards.
+        let mut hit = [false; StripeLockTable::SHARDS];
+        for stripe in 0..256 {
+            hit[t.shard_of(0, stripe)] = true;
+        }
+        assert!(hit.iter().filter(|&&h| h).count() > StripeLockTable::SHARDS / 2);
+    }
+
+    #[test]
+    fn sort_shard_set_dedups() {
+        let mut s = vec![5, 1, 5, 3, 1];
+        sort_shard_set(&mut s);
+        assert_eq!(s, [1, 3, 5]);
     }
 }

@@ -1,0 +1,350 @@
+//! Multi-threaded stress harness: N client threads of mixed
+//! read/write traffic against one [`BlockStore`], with bit-exact
+//! verification — optionally degraded, optionally racing a live
+//! rebuild.
+//!
+//! The harness partitions the logical address space into one
+//! contiguous region per thread. Each thread hammers its own region
+//! with a seeded-random mix of single-block and batched reads and
+//! writes; because regions are block-disjoint, every read can be
+//! checked bit-for-bit against the expected pattern *while other
+//! threads mutate neighboring blocks of the very same stripes* —
+//! region boundaries (and every stripe's parity units) are shared, so
+//! parity maintenance races exactly where the stripe-sharded lock
+//! table has to serialize it.
+//!
+//! Expected content is a pure function of `(addr, salt)`
+//! ([`crate::fill_pattern`]) with one salt slot per block, so the
+//! shadow image costs 8 bytes per block instead of a full copy and
+//! the final sweep re-derives every byte.
+//!
+//! Reproducibility follows the fault-injection harness: every run
+//! derives from one seed, `PDL_STRESS_SEED=<n>` replays exactly one
+//! seed, `PDL_STRESS_THREADS`/`PDL_STRESS_OPS` override the shape,
+//! and every panic message carries the seed.
+
+use crate::backend::Backend;
+use crate::error::StoreError;
+use crate::rebuild::{RebuildReport, Rebuilder};
+use crate::store::{fill_pattern, BlockStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How (and whether) a rebuild participates in a stress run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebuildMode {
+    /// No rebuild: a degraded store stays degraded.
+    None,
+    /// Rebuild the failed disk onto the given physical spare *while*
+    /// the client threads run — the write-through race this PR's
+    /// locking exists to win.
+    Racing {
+        /// Physical backend disk receiving the reconstruction.
+        spare: usize,
+    },
+    /// Rebuild after the client threads join (so the final
+    /// [`BlockStore::verify_parity`] can run on a healthy array).
+    AtEnd {
+        /// Physical backend disk receiving the reconstruction.
+        spare: usize,
+    },
+}
+
+/// Shape of a stress run.
+#[derive(Clone, Copy, Debug)]
+pub struct StressConfig {
+    /// Client threads (each owns one contiguous block region).
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Master seed; thread `t` derives its RNG from `seed ^ t`.
+    pub seed: u64,
+    /// Largest batched read/write, in blocks.
+    pub batch_max: usize,
+    /// Fraction of operations that are reads (the rest write).
+    pub read_fraction: f64,
+    /// Fail this logical disk (and wipe its physical medium) before
+    /// the threads start, so traffic runs degraded.
+    pub fail_disk: Option<usize>,
+    /// Whether a rebuild races the traffic, follows it, or is absent.
+    pub rebuild: RebuildMode,
+    /// Verify contents bit-for-bit: every read during the run, plus a
+    /// whole-store sweep at the end. Disabling turns the harness into
+    /// a pure traffic generator for throughput timing (the sweep
+    /// assumes a store the harness wrote from scratch, which a reused
+    /// bench store is not); the parity-invariant check still runs.
+    pub verify_reads: bool,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            threads: 4,
+            ops_per_thread: 400,
+            seed: 0xdecaf,
+            batch_max: 8,
+            read_fraction: 0.5,
+            fail_disk: None,
+            rebuild: RebuildMode::None,
+            verify_reads: true,
+        }
+    }
+}
+
+impl StressConfig {
+    /// Applies the `PDL_STRESS_SEED` / `PDL_STRESS_THREADS` /
+    /// `PDL_STRESS_OPS` environment overrides (the CI concurrency
+    /// matrix sets the thread count; a failure replays with the seed).
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Ok(s) = std::env::var("PDL_STRESS_SEED") {
+            self.seed = s.parse().expect("PDL_STRESS_SEED must be a u64");
+        }
+        if let Ok(s) = std::env::var("PDL_STRESS_THREADS") {
+            self.threads = s.parse().expect("PDL_STRESS_THREADS must be a usize");
+        }
+        if let Ok(s) = std::env::var("PDL_STRESS_OPS") {
+            self.ops_per_thread = s.parse().expect("PDL_STRESS_OPS must be a usize");
+        }
+        self
+    }
+}
+
+/// What a stress run did and how fast it went.
+#[derive(Clone, Debug)]
+pub struct StressReport {
+    /// Client threads that ran.
+    pub threads: usize,
+    /// Read operations issued (single + batched).
+    pub reads: usize,
+    /// Write operations issued (single + batched).
+    pub writes: usize,
+    /// Blocks transferred by reads.
+    pub blocks_read: usize,
+    /// Blocks transferred by writes.
+    pub blocks_written: usize,
+    /// Bytes per block (for throughput math).
+    pub unit_size: usize,
+    /// Wall-clock time of the client phase (excludes setup and the
+    /// final verification sweep; includes a racing rebuild, which
+    /// overlaps the traffic by design).
+    pub elapsed: Duration,
+    /// The rebuild's report, when one ran.
+    pub rebuild: Option<RebuildReport>,
+}
+
+impl StressReport {
+    /// Aggregate read throughput across all threads, MB/s.
+    pub fn read_mb_per_s(&self) -> f64 {
+        (self.blocks_read * self.unit_size) as f64 / self.elapsed.as_secs_f64().max(1e-9) / 1e6
+    }
+
+    /// Aggregate write throughput across all threads, MB/s.
+    pub fn write_mb_per_s(&self) -> f64 {
+        (self.blocks_written * self.unit_size) as f64 / self.elapsed.as_secs_f64().max(1e-9) / 1e6
+    }
+}
+
+/// Per-thread traffic counters, merged into the [`StressReport`].
+#[derive(Clone, Copy, Debug, Default)]
+struct ThreadTally {
+    reads: usize,
+    writes: usize,
+    blocks_read: usize,
+    blocks_written: usize,
+}
+
+/// Drives `cfg.threads` client threads of seeded mixed traffic
+/// against `store`, then sweeps the whole store verifying every block
+/// bit-for-bit and (on a healthy array) the parity invariants.
+///
+/// # Panics
+///
+/// Panics — with the seed in the message — on any content mismatch,
+/// so test and CI failures are replayable via `PDL_STRESS_SEED`.
+pub fn run<B: Backend>(
+    store: &BlockStore<B>,
+    cfg: &StressConfig,
+) -> Result<StressReport, StoreError> {
+    let blocks = store.blocks();
+    let unit = store.unit_size();
+    let threads = cfg.threads.max(1).min(blocks);
+    let per_region = blocks / threads;
+    assert!(per_region > 0, "store too small for {threads} threads");
+
+    // One salt slot per block: 0 = untouched, else the block reads
+    // back as fill_pattern(addr, salt). Only a block's owning thread
+    // stores to its slot, so relaxed atomics are plain ownership
+    // hand-off, not synchronization.
+    let salts: Vec<AtomicU64> = (0..blocks).map(|_| AtomicU64::new(0)).collect();
+
+    // Verification demands known content, and the store may arrive
+    // with any (a reopened array, a previous run): prefill every
+    // block with the seed pattern — batched full-stripe writes, off
+    // the clock — so the harness is self-contained.
+    if cfg.verify_reads {
+        let span = 256.min(blocks);
+        let mut data = vec![0u8; span * unit];
+        let mut at = 0;
+        while at < blocks {
+            let n = span.min(blocks - at);
+            for (j, chunk) in data[..n * unit].chunks_exact_mut(unit).enumerate() {
+                fill_pattern(at + j, PREFILL_SALT, chunk);
+            }
+            store.write_blocks(at, &data[..n * unit])?;
+            at += n;
+        }
+        for s in &salts {
+            s.store(PREFILL_SALT, Ordering::Relaxed);
+        }
+    }
+
+    if let Some(disk) = cfg.fail_disk {
+        // Kill the medium first: every correct byte of this disk must
+        // come from the erasure decode from here on.
+        store.backend().wipe_disk(store.physical_disk(disk))?;
+        store.fail_disk(disk)?;
+    }
+
+    let rebuild_result: Mutex<Option<Result<RebuildReport, StoreError>>> = Mutex::new(None);
+    let start = Instant::now();
+    let tallies: Vec<ThreadTally> = std::thread::scope(|s| {
+        if let RebuildMode::Racing { spare } = cfg.rebuild {
+            let rebuild_result = &rebuild_result;
+            s.spawn(move || {
+                // Let the traffic threads take the field first so the
+                // rebuild genuinely races in-flight writes.
+                std::thread::sleep(Duration::from_millis(2));
+                *rebuild_result.lock().unwrap() = Some(Rebuilder::default().rebuild(store, spare));
+            });
+        }
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let salts = &salts;
+                let lo = t * per_region;
+                // The last region absorbs the remainder.
+                let hi = if t + 1 == threads { blocks } else { lo + per_region };
+                s.spawn(move || client_thread(store, cfg, t, lo, hi, salts))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let rebuild = match cfg.rebuild {
+        RebuildMode::None => None,
+        RebuildMode::Racing { .. } => {
+            let r = rebuild_result.lock().unwrap().take().expect("racing rebuild ran");
+            Some(r?)
+        }
+        RebuildMode::AtEnd { spare } => Some(Rebuilder::default().rebuild(store, spare)?),
+    };
+
+    // Final sweep: every block, bit for bit, against the pattern its
+    // salt implies — then the parity invariants when the array is
+    // healthy enough to check them.
+    if cfg.verify_reads {
+        let mut got = vec![0u8; unit];
+        let mut want = vec![0u8; unit];
+        for (addr, salt) in salts.iter().enumerate() {
+            store.read_block(addr, &mut got)?;
+            expected_block(addr, salt.load(Ordering::Relaxed), &mut want);
+            assert_eq!(
+                got, want,
+                "[stress seed {} threads {threads}] final sweep: block {addr} corrupted",
+                cfg.seed
+            );
+        }
+    }
+    // Pure-traffic (bench) mode skips this too: a DelayBackend pays
+    // the emulated service time for every verification read, and the
+    // bench verifies once per curve instead of once per sample.
+    if cfg.verify_reads && !store.is_degraded() {
+        store.verify_parity()?;
+    }
+
+    let mut report = StressReport {
+        threads,
+        reads: 0,
+        writes: 0,
+        blocks_read: 0,
+        blocks_written: 0,
+        unit_size: unit,
+        elapsed,
+        rebuild,
+    };
+    for t in tallies {
+        report.reads += t.reads;
+        report.writes += t.writes;
+        report.blocks_read += t.blocks_read;
+        report.blocks_written += t.blocks_written;
+    }
+    Ok(report)
+}
+
+/// Salt of the prefill pass — below every client salt (those carry
+/// the thread id in bits 40+ and the op index in bits 16+).
+const PREFILL_SALT: u64 = 1;
+
+/// The expected content of `addr` given its salt slot (0 = untouched
+/// by this run; only possible with verification off).
+fn expected_block(addr: usize, salt: u64, out: &mut [u8]) {
+    if salt == 0 {
+        out.fill(0);
+    } else {
+        fill_pattern(addr, salt, out);
+    }
+}
+
+/// One client thread: seeded mixed traffic over its own block region
+/// `[lo, hi)`, verifying every read when `cfg.verify_reads`.
+fn client_thread<B: Backend>(
+    store: &BlockStore<B>,
+    cfg: &StressConfig,
+    t: usize,
+    lo: usize,
+    hi: usize,
+    salts: &[AtomicU64],
+) -> ThreadTally {
+    let unit = store.unit_size();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    let mut tally = ThreadTally::default();
+    let batch_max = cfg.batch_max.clamp(1, hi - lo);
+    let mut buf = vec![0u8; batch_max * unit];
+    let mut want = vec![0u8; unit];
+    let ctx = |op: usize| format!("[stress seed {} thread {t} op {op}]", cfg.seed);
+    for op in 0..cfg.ops_per_thread {
+        let batched = rng.random_bool(0.3);
+        let len = if batched { rng.random_range(1..=batch_max) } else { 1 };
+        let addr = rng.random_range(lo..=hi - len);
+        if rng.random_bool(cfg.read_fraction) {
+            let out = &mut buf[..len * unit];
+            store.read_blocks(addr, out).unwrap_or_else(|e| panic!("{} read: {e}", ctx(op)));
+            if cfg.verify_reads {
+                for (j, chunk) in out.chunks_exact(unit).enumerate() {
+                    expected_block(addr + j, salts[addr + j].load(Ordering::Relaxed), &mut want);
+                    assert_eq!(chunk, &want[..], "{} block {} corrupted", ctx(op), addr + j);
+                }
+            }
+            tally.reads += 1;
+            tally.blocks_read += len;
+        } else {
+            // Unique nonzero salts: thread in the high bits, op and
+            // batch position below (batch_max is well under 2^16).
+            let salt_base = ((t as u64 + 1) << 40) | ((op as u64 + 1) << 16);
+            let data = &mut buf[..len * unit];
+            for (j, chunk) in data.chunks_exact_mut(unit).enumerate() {
+                fill_pattern(addr + j, salt_base + j as u64, chunk);
+            }
+            store.write_blocks(addr, data).unwrap_or_else(|e| panic!("{} write: {e}", ctx(op)));
+            for j in 0..len {
+                salts[addr + j].store(salt_base + j as u64, Ordering::Relaxed);
+            }
+            tally.writes += 1;
+            tally.blocks_written += len;
+        }
+    }
+    tally
+}

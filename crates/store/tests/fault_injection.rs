@@ -143,7 +143,7 @@ impl<B: Backend> Harness<B> {
         let failed = self.store.failed_disk().unwrap();
         let freed = self.store.physical_disk(failed);
         let report = Rebuilder::new(2)
-            .rebuild(&mut self.store, spare)
+            .rebuild(&self.store, spare)
             .unwrap_or_else(|e| panic!("{} rebuild onto {spare}: {e}", self.ctx()));
         assert_eq!(report.failed_disk, failed);
         // The replaced physical disk is stale but rewritable: it may
@@ -251,7 +251,7 @@ fn fault_schedule_xor_file() {
 /// replay deterministically against real bytes.
 #[test]
 fn fault_events_replay_from_trace_mem() {
-    let mut store = pq_store_mem();
+    let store = pq_store_mem();
     let blocks = store.blocks();
     let workload = Workload { request_units: (1, 4), read_fraction: 0.4, ..Workload::default() };
     let trace = Trace::from_workload(&workload, blocks, 120, 5)
@@ -275,7 +275,7 @@ fn fault_events_replay_from_trace_mem() {
 
     // Determinism: the same trace on a fresh store produces the same
     // stats and identical content.
-    let mut other = pq_store_mem();
+    let other = pq_store_mem();
     let stats2 = other.replay(&trace).unwrap();
     assert_eq!(stats, stats2);
     let mut a = vec![0u8; UNIT];

@@ -37,7 +37,7 @@ fn totals<B: Backend>(store: &BlockStore<B>) -> (u64, u64, u64, u64) {
 /// zero reads — the paper's Condition-5 large-write optimization.
 #[test]
 fn full_stripe_write_is_k_writes_zero_reads() {
-    let mut store = ring_store(7, 4, 1);
+    let store = ring_store(7, 4, 1);
     let k_data = 3; // k - 1 data units per XOR stripe
     let data = vec![0x5au8; k_data * UNIT];
     store.reset_counters();
@@ -52,7 +52,7 @@ fn full_stripe_write_is_k_writes_zero_reads() {
 /// still exactly `k` unit writes and zero reads.
 #[test]
 fn pq_full_stripe_write_is_k_writes_zero_reads() {
-    let mut store = pq_store(9, 4, 1);
+    let store = pq_store(9, 4, 1);
     let k_data = 2; // k - 2 data units per P+Q stripe
     let data = vec![0xa5u8; k_data * UNIT];
     store.reset_counters();
@@ -69,7 +69,7 @@ fn pq_full_stripe_write_is_k_writes_zero_reads() {
 /// occupy offsets 0.. on every disk they touch).
 #[test]
 fn sequential_stripe_read_is_one_call_per_disk() {
-    let mut store = ring_store(7, 4, 1);
+    let store = ring_store(7, 4, 1);
     let k_data = 3;
     let stripes = 6;
     let data: Vec<u8> = (0..stripes * k_data * UNIT).map(|i| (i % 251) as u8).collect();
@@ -101,7 +101,7 @@ fn sequential_stripe_read_is_one_call_per_disk() {
 /// hole costs more bytes than the saved call).
 #[test]
 fn sequential_copy_read_coalesces_per_disk() {
-    let mut store = ring_store(7, 4, 1);
+    let store = ring_store(7, 4, 1);
     let blocks = store.blocks();
     let data: Vec<u8> = (0..blocks * UNIT).map(|i| (i % 251) as u8).collect();
     store.write_blocks(0, &data).unwrap();
@@ -128,7 +128,7 @@ fn sequential_copy_read_coalesces_per_disk() {
 /// vectored backend call per touched disk, covering data and parity.
 #[test]
 fn sequential_write_is_one_call_per_disk() {
-    let mut store = ring_store(7, 4, 1);
+    let store = ring_store(7, 4, 1);
     let blocks = store.blocks();
     let data: Vec<u8> = (0..blocks * UNIT).map(|i| (i % 241) as u8).collect();
     store.reset_counters();
@@ -145,7 +145,7 @@ fn sequential_write_is_one_call_per_disk() {
 /// parity) + 2 unit writes, in 2 + 2 backend calls.
 #[test]
 fn small_xor_write_is_2_plus_2() {
-    let mut store = ring_store(7, 4, 2);
+    let store = ring_store(7, 4, 2);
     let data: Vec<u8> = (0..store.blocks() * UNIT).map(|i| (i % 239) as u8).collect();
     store.write_blocks(0, &data).unwrap();
     store.reset_counters();
@@ -159,7 +159,7 @@ fn small_xor_write_is_2_plus_2() {
 /// A small P+Q write is 3 reads (target, P, Q) + 3 writes.
 #[test]
 fn small_pq_write_is_3_plus_3() {
-    let mut store = pq_store(9, 4, 2);
+    let store = pq_store(9, 4, 2);
     let data: Vec<u8> = (0..store.blocks() * UNIT).map(|i| (i % 233) as u8).collect();
     store.write_blocks(0, &data).unwrap();
     store.reset_counters();
@@ -174,7 +174,7 @@ fn small_pq_write_is_3_plus_3() {
 /// reads its survivors one time, not once per lost block.
 #[test]
 fn degraded_batch_read_decodes_each_stripe_once() {
-    let mut store = pq_store(9, 4, 1);
+    let store = pq_store(9, 4, 1);
     let blocks = store.blocks();
     let data: Vec<u8> = (0..blocks * UNIT).map(|i| (i % 229) as u8).collect();
     store.write_blocks(0, &data).unwrap();
@@ -210,13 +210,13 @@ fn degraded_batch_read_decodes_each_stripe_once() {
 /// counts collapse by the chunking factor.
 #[test]
 fn rebuild_batches_reads_without_changing_unit_counts() {
-    let mut store = ring_store(9, 4, 4);
+    let store = ring_store(9, 4, 4);
     let blocks = store.blocks();
     let data: Vec<u8> = (0..blocks * UNIT).map(|i| (i % 227) as u8).collect();
     store.write_blocks(0, &data).unwrap();
     store.fail_disk(2).unwrap();
     store.reset_counters();
-    let report = Rebuilder::new(2).chunk_size(16).rebuild(&mut store, 9).unwrap();
+    let report = Rebuilder::new(2).chunk_size(16).rebuild(&store, 9).unwrap();
     let expected = 3.0 / 8.0; // (k-1)/(v-1) for v=9, k=4
     assert!(
         (report.mean_read_fraction() - expected).abs() < 1e-9,

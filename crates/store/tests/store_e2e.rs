@@ -63,7 +63,7 @@ fn exercise<B: Backend>(mut store: BlockStore<B>, spare: usize, seed: u64) {
     assert_image_matches(&store, &image, "degraded after writes");
 
     // Rebuild onto the spare: bit-identical content, healthy parity.
-    let report = Rebuilder::new(4).rebuild(&mut store, spare).unwrap();
+    let report = Rebuilder::new(4).rebuild(&store, spare).unwrap();
     assert!(!store.is_degraded());
     assert_eq!(report.failed_disk, failed);
     assert_eq!(report.units_rebuilt, store.backend().units_per_disk());
@@ -124,7 +124,7 @@ fn file_store_reopen_after_rebuild_reads_spare() {
         store.write_block(addr, &block).unwrap();
         image[addr] = block;
     }
-    Rebuilder::new(2).rebuild(&mut store, 7).unwrap();
+    Rebuilder::new(2).rebuild(&store, 7).unwrap();
     drop(store); // simulate process exit
 
     let store = pdl_store::open_file_store(&dir).unwrap();
@@ -159,7 +159,7 @@ fn rebuild_load_matches_declustering_claim() {
     fill_store(&mut store, &image);
     store.fail_disk(2).unwrap();
     store.reset_counters();
-    let report = Rebuilder::new(4).rebuild(&mut store, 9).unwrap();
+    let report = Rebuilder::new(4).rebuild(&store, 9).unwrap();
 
     assert!(
         report.read_imbalance() <= 0.01,
@@ -181,7 +181,7 @@ fn rebuild_load_matches_declustering_claim() {
     fill_store(&mut store, &image);
     store.fail_disk(0).unwrap();
     store.reset_counters();
-    let report = Rebuilder::new(4).rebuild(&mut store, 6).unwrap();
+    let report = Rebuilder::new(4).rebuild(&store, 6).unwrap();
     assert!((report.mean_read_fraction() - 1.0).abs() < 1e-9);
     assert_eq!(report.read_imbalance(), 0.0);
 }
@@ -196,7 +196,7 @@ fn full_stripe_writes_skip_reads() {
         m.data_units_per_copy()
     };
     let backend = MemBackend::new(7, layout.size(), UNIT);
-    let mut store = BlockStore::new(layout, backend).unwrap();
+    let store = BlockStore::new(layout, backend).unwrap();
     // One whole copy, written stripe-aligned.
     let data = vec![0x77u8; per_copy_data * UNIT];
     store.write_blocks(0, &data).unwrap();
@@ -218,7 +218,7 @@ fn full_stripe_writes_skip_reads() {
 fn trace_replay_healthy_and_degraded() {
     let layout = ring_layout(7, 3);
     let backend = MemBackend::new(8, COPIES * layout.size(), UNIT);
-    let mut store = BlockStore::new(layout, backend).unwrap();
+    let store = BlockStore::new(layout, backend).unwrap();
     let workload = Workload { request_units: (1, 4), read_fraction: 0.5, ..Workload::default() };
     let trace = Trace::from_workload(&workload, store.blocks(), 300, 42);
 
@@ -230,7 +230,7 @@ fn trace_replay_healthy_and_degraded() {
     // confirm parity self-consistency end to end.
     store.fail_disk(3).unwrap();
     store.replay(&trace).unwrap();
-    Rebuilder::default().rebuild(&mut store, 7).unwrap();
+    Rebuilder::default().rebuild(&store, 7).unwrap();
     store.verify_parity().unwrap();
 }
 
@@ -241,7 +241,7 @@ fn trace_replay_healthy_and_degraded() {
 fn error_paths() {
     let layout = ring_layout(5, 2);
     let backend = MemBackend::new(6, layout.size(), UNIT);
-    let mut store = BlockStore::new(layout, backend).unwrap();
+    let store = BlockStore::new(layout, backend).unwrap();
     store.fail_disk(1).unwrap();
     assert!(
         matches!(store.fail_disk(2), Err(StoreError::TooManyFailures { tolerance: 1, .. })),
@@ -254,12 +254,12 @@ fn error_paths() {
     // Restoring a healthy disk is an error too.
     assert!(matches!(store.restore_disk(0), Err(StoreError::NotFailed(0))));
     // spare index already mapped
-    assert!(Rebuilder::new(2).rebuild(&mut store, 4).is_err());
+    assert!(Rebuilder::new(2).rebuild(&store, 4).is_err());
     // out-of-range spare
-    assert!(Rebuilder::new(2).rebuild(&mut store, 6).is_err());
+    assert!(Rebuilder::new(2).rebuild(&store, 6).is_err());
     // valid spare works
-    Rebuilder::new(2).rebuild(&mut store, 5).unwrap();
-    assert!(Rebuilder::new(2).rebuild(&mut store, 5).is_err(), "nothing to rebuild");
+    Rebuilder::new(2).rebuild(&store, 5).unwrap();
+    assert!(Rebuilder::new(2).rebuild(&store, 5).is_err(), "nothing to rebuild");
     // After the rebuild the disk is healthy again and may re-fail.
     store.fail_disk(1).unwrap();
     store.restore_disk(1).unwrap();
@@ -302,7 +302,7 @@ fn restore_after_degraded_write_requires_rebuild() {
     assert!(store.is_degraded(), "failure state unchanged by the refused restore");
 
     // A rebuild re-synchronizes and the write survives.
-    Rebuilder::new(2).rebuild(&mut store, 7).unwrap();
+    Rebuilder::new(2).rebuild(&store, 7).unwrap();
     store.verify_parity().unwrap();
     store.read_block(addr, &mut out).unwrap();
     assert_eq!(out, fresh);
@@ -320,7 +320,7 @@ fn restore_after_degraded_write_requires_rebuild() {
 fn pq_error_paths() {
     let dp = DoubleParityLayout::new(ring_layout(9, 4)).unwrap();
     let backend = MemBackend::new(12, dp.layout().size(), UNIT);
-    let mut store = BlockStore::new_pq(dp, backend).unwrap();
+    let store = BlockStore::new_pq(dp, backend).unwrap();
     assert_eq!(store.fault_tolerance(), 2);
     store.fail_disk(2).unwrap();
     store.fail_disk(7).unwrap();
@@ -330,21 +330,21 @@ fn pq_error_paths() {
     ));
     assert!(matches!(store.fail_disk(2), Err(StoreError::AlreadyFailed(2))));
     assert!(matches!(
-        Rebuilder::new(2).rebuild_all(&mut store, &[9]),
+        Rebuilder::new(2).rebuild_all(&store, &[9]),
         Err(StoreError::SparesExhausted { failed: 2, spares: 1 })
     ));
     // Duplicate or invalid spares are rejected before any phase
     // mutates the store.
     assert!(matches!(
-        Rebuilder::new(2).rebuild_all(&mut store, &[9, 9]),
+        Rebuilder::new(2).rebuild_all(&store, &[9, 9]),
         Err(StoreError::InvalidSpare(9))
     ));
     assert!(matches!(
-        Rebuilder::new(2).rebuild_all(&mut store, &[9, 99]),
+        Rebuilder::new(2).rebuild_all(&store, &[9, 99]),
         Err(StoreError::InvalidSpare(99))
     ));
     assert_eq!(store.failed_disks().as_slice(), &[2, 7], "no phase ran on rejected spares");
-    let reports = Rebuilder::new(2).rebuild_all(&mut store, &[9, 10]).unwrap();
+    let reports = Rebuilder::new(2).rebuild_all(&store, &[9, 10]).unwrap();
     assert_eq!(reports.len(), 2);
     assert!(!store.is_degraded());
     store.verify_parity().unwrap();
@@ -390,7 +390,7 @@ fn file_pq_double_failure_rebuild_reopen() {
     assert_image_matches(&store, &image, "doubly degraded after writes");
 
     // Two-phase rebuild onto the two spares.
-    let reports = Rebuilder::new(4).rebuild_all(&mut store, &[9, 10]).unwrap();
+    let reports = Rebuilder::new(4).rebuild_all(&store, &[9, 10]).unwrap();
     assert_eq!(reports.len(), 2);
     assert_eq!(reports[0].failed_disk, 1);
     assert_eq!(reports[0].also_failed, vec![6], "phase one ran with disk 6 still down");
@@ -429,7 +429,7 @@ fn double_rebuild_load_matches_declustering_claim() {
         store.fail_disk(2).unwrap();
         store.fail_disk(5).unwrap();
         store.reset_counters();
-        let reports = Rebuilder::new(4).rebuild_all(&mut store, &[v, v + 1]).unwrap();
+        let reports = Rebuilder::new(4).rebuild_all(&store, &[v, v + 1]).unwrap();
 
         let expect = (k - 1) as f64 / (v - 1) as f64;
         for (phase, report) in reports.iter().enumerate() {

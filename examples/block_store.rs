@@ -20,7 +20,7 @@ fn main() {
 
     // Backend: v disks plus one spare, `copies` layout copies deep.
     let backend = MemBackend::new(v + 1, copies * layout.size(), unit_size);
-    let mut store = BlockStore::new(layout, backend).expect("geometry fits");
+    let store = BlockStore::new(layout, backend).expect("geometry fits");
     println!(
         "block store: v={v} k={k}, {} blocks × {unit_size} B = {:.1} MiB data",
         store.blocks(),
@@ -43,7 +43,7 @@ fn main() {
 
     // Online rebuild onto the spare (physical disk v).
     store.reset_counters();
-    let report = Rebuilder::default().rebuild(&mut store, v).expect("rebuild");
+    let report = Rebuilder::default().rebuild(&store, v).expect("rebuild");
     store.verify_parity().expect("parity restored");
 
     println!(
@@ -70,7 +70,7 @@ fn main() {
     println!("\n=== P+Q double parity ===");
     let dp = DoubleParityLayout::new(rl.layout().clone()).expect("k >= 3");
     let backend = MemBackend::new(v + 2, copies * dp.layout().size(), unit_size);
-    let mut store = BlockStore::new_pq(dp, backend).expect("geometry fits");
+    let store = BlockStore::new_pq(dp, backend).expect("geometry fits");
     println!(
         "pq store: tolerance {} failures, {} blocks (overhead 2/k = {:.0}%)",
         store.fault_tolerance(),
@@ -88,8 +88,7 @@ fn main() {
     println!("disks 2 and 6 failed — doubly-degraded reads OK");
 
     store.reset_counters();
-    let reports =
-        Rebuilder::default().rebuild_all(&mut store, &[v, v + 1]).expect("double rebuild");
+    let reports = Rebuilder::default().rebuild_all(&store, &[v, v + 1]).expect("double rebuild");
     store.verify_parity().expect("parity restored");
     for (phase, r) in reports.iter().enumerate() {
         println!(
