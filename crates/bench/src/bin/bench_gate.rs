@@ -15,21 +15,31 @@
 //! introduced: run with `--raw` on one machine (same host for both
 //! files) to compare absolute numbers.
 //!
+//! Beyond the relative regression check, `--require-ratio name:min`
+//! (repeatable) gates **within-run** ratios of the current artifact —
+//! e.g. `mem_seq_read_vectored_over_per_unit:0.9` demands the
+//! vectored read path stay at least 0.9× the per-unit path, and
+//! `file_random_small_write_cached_over_uncached:2.0` demands the
+//! write-back cache keep its 2× small-write win. Within-run ratios
+//! compare two measurements from the same process on the same
+//! machine, so they need no normalization.
+//!
 //! Usage:
 //!   bench_gate --baseline BENCH_store.json --current new.json \
-//!              [--tolerance 0.25] [--raw]
+//!              [--tolerance 0.25] [--raw] [--require-ratio name:min]...
 //!
-//! Only the single-thread `results` rows participate; the
-//! `thread_scaling` section has its own gate
+//! Only the single-thread `results` rows participate in the
+//! regression check; the `thread_scaling` section has its own gate
 //! (`bench_store_concurrent --require-scaling`).
 
-use pdl_bench::{median, parse_bench_rows, BenchRow};
+use pdl_bench::{median, parse_bench_rows, parse_named_numbers, BenchRow};
 
 struct Args {
     baseline: String,
     current: String,
     tolerance: f64,
     raw: bool,
+    require_ratios: Vec<(String, f64)>,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +47,7 @@ fn parse_args() -> Args {
     let mut current = None;
     let mut tolerance = 0.25;
     let mut raw = false;
+    let mut require_ratios = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -50,11 +61,21 @@ fn parse_args() -> Args {
                     .expect("--tolerance needs a number")
             }
             "--raw" => raw = true,
+            "--require-ratio" => {
+                let spec = args.next().expect("--require-ratio needs name:min");
+                let (name, min) = spec
+                    .rsplit_once(':')
+                    .expect("--require-ratio takes name:min (e.g. mem_x_over_y:0.9)");
+                require_ratios.push((
+                    name.to_string(),
+                    min.parse().expect("--require-ratio minimum must be a number"),
+                ));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench_gate --baseline <json> --current <json> \
-                     [--tolerance 0.25] [--raw]"
+                     [--tolerance 0.25] [--raw] [--require-ratio name:min]..."
                 );
                 std::process::exit(2);
             }
@@ -65,6 +86,7 @@ fn parse_args() -> Args {
         current: current.expect("--current is required"),
         tolerance,
         raw,
+        require_ratios,
     }
 }
 
@@ -123,14 +145,37 @@ fn main() {
             regressed.push(key.clone());
         }
     }
+    // Within-run ratio floors on the current artifact (no
+    // normalization: both sides of each ratio came from one run).
+    let current_ratios = parse_named_numbers(&read(&args.current));
+    for (name, min) in &args.require_ratios {
+        match current_ratios.iter().find(|(n, _)| n == name) {
+            Some((_, value)) if value >= min => {
+                println!("{name:<48} {value:>8.3} >= {min:<6.3} {:>8}", "ok");
+            }
+            Some((_, value)) => {
+                println!("{name:<48} {value:>8.3} <  {min:<6.3} {:>8}", "FAILED");
+                regressed.push(format!("{name} ({value:.3} < {min:.3})"));
+            }
+            None => {
+                println!("{name:<48} {:>8} >= {min:<6.3} {:>8}", "missing", "FAILED");
+                regressed.push(format!("{name} (missing)"));
+            }
+        }
+    }
+
     if !regressed.is_empty() {
         eprintln!(
-            "FAIL: {} workload(s) regressed more than {:.0}% vs the baseline: {}",
+            "FAIL: {} workload(s)/ratio(s) out of bounds (tolerance {:.0}%): {}",
             regressed.len(),
             args.tolerance * 100.0,
             regressed.join(", ")
         );
         std::process::exit(1);
     }
-    eprintln!("bench gate ok: {} workloads within tolerance", pairs.len());
+    eprintln!(
+        "bench gate ok: {} workloads within tolerance, {} ratio floors held",
+        pairs.len(),
+        args.require_ratios.len()
+    );
 }

@@ -292,6 +292,7 @@ fn run_curve<B: Backend>(
                 fail_disk: None,
                 rebuild: RebuildMode::None,
                 verify_reads: false,
+                cache: pdl_store::CachePolicy::WriteThrough,
             };
             let report = stress::run(store, &stress_cfg).unwrap();
             let blocks = report.blocks_read + report.blocks_written;

@@ -82,6 +82,23 @@ pub fn parse_bench_rows(json: &str) -> Vec<BenchRow> {
         .collect()
 }
 
+/// Parses every scalar `"name": <number>` line of a BENCH artifact —
+/// the shape of the `ratios` sections — into `(name, value)` pairs.
+/// Result-row lines carry several fields per line and never match.
+pub fn parse_named_numbers(json: &str) -> Vec<(String, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            let rest = line.strip_prefix('"')?;
+            let (name, value) = rest.split_once("\": ")?;
+            if name.contains('"') || value.contains('"') || value.contains('{') {
+                return None;
+            }
+            Some((name.to_string(), value.trim().parse().ok()?))
+        })
+        .collect()
+}
+
 /// Marker introducing the thread-scaling section — always the *last*
 /// top-level key of `BENCH_store.json`, which keeps replacement a
 /// truncate-and-append.
@@ -146,6 +163,19 @@ mod tests {
         );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].threads, Some(4));
+    }
+
+    #[test]
+    fn parses_named_numbers_from_ratio_sections() {
+        let pairs = parse_named_numbers(SAMPLE);
+        assert!(
+            pairs
+                .iter()
+                .any(|(n, v)| n == "file_seq_write_vectored_over_per_unit"
+                    && (v - 2.642).abs() < 1e-9)
+        );
+        // Result-row lines (several fields per line) never match.
+        assert!(!pairs.iter().any(|(n, _)| n == "backend" || n == "mb_per_s"));
     }
 
     #[test]

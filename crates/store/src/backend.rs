@@ -282,7 +282,9 @@ fn check_scatter<'a>(
 ) -> Result<usize, StoreError> {
     let mut total = 0usize;
     for len in lens {
-        total += span_units(unit_size, len)?;
+        // Single-unit buffers — the common shape the store's write
+        // plans and scatter reads produce — skip the division.
+        total += if len == unit_size { 1 } else { span_units(unit_size, len)? };
     }
     if total == 0 {
         return Err(StoreError::BadBufferSize { expected: unit_size, got: 0 });

@@ -21,12 +21,20 @@
 //! * [`BlockStore`] — the stripe-aware read/write path: parity
 //!   maintained by small-write read-modify-write, a zero-read
 //!   full-stripe write fast path, logical→physical translation via
-//!   the scheme-aware Condition-4 [`StripeMap`]. Multi-block
+//!   the scheme-aware Condition-4 [`StripeMap`] (a precomputed
+//!   per-rotation lookup table: [`StripeMap::locate_full`] resolves
+//!   an address in one branch-free index, no divides). Multi-block
 //!   transfers ([`BlockStore::read_blocks`]/
 //!   [`BlockStore::write_blocks`]) coalesce per-disk contiguous runs
 //!   into single vectored backend calls, degraded batch reads decode
 //!   each lost stripe once, and a per-store scratch pool keeps the
 //!   steady state allocation-free;
+//! * a **write-back stripe cache** ([`cache`], opt-in via
+//!   [`CachePolicy`]) that combines small writes per stripe: dirty
+//!   units accumulate with zero backend I/O and flush as one
+//!   combined parity update (fully dirty stripes take the zero-read
+//!   full-stripe path), with flush-before-transition ordering around
+//!   failures and rebuilds and the policy persisted in [`StoreMeta`];
 //! * fault injection ([`BlockStore::fail_disk`], capped by the
 //!   scheme's tolerance and tracked in a [`FailureSet`]) and
 //!   **degraded reads** that erasure-decode lost units from surviving
@@ -117,6 +125,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cache;
 pub mod error;
 pub mod meta;
 pub mod rebuild;
@@ -125,9 +134,13 @@ pub mod store;
 pub mod stress;
 
 pub use backend::{Backend, FileBackend, MemBackend};
+pub use cache::CachePolicy;
 pub use error::StoreError;
-pub use meta::{create_file_store, create_file_store_pq, open_file_store, StoreMeta, META_FILE};
+pub use meta::{
+    create_file_store, create_file_store_pq, open_file_store, update_cache_policy, StoreMeta,
+    META_FILE,
+};
 pub use rebuild::{RebuildReport, Rebuilder};
-pub use scheme::{FailureSet, ParityScheme, StripeMap};
+pub use scheme::{AddrRef, FailureSet, ParityScheme, StripeMap};
 pub use store::{fill_pattern, BlockStore, ReplayStats};
 pub use stress::{RebuildMode, StressConfig, StressReport};

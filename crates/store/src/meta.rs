@@ -18,6 +18,7 @@
 //! [`BlockStore::fail_disk`] again after reopening.
 
 use crate::backend::FileBackend;
+use crate::cache::CachePolicy;
 use crate::error::StoreError;
 use crate::scheme::ParityScheme;
 use crate::store::BlockStore;
@@ -42,6 +43,10 @@ pub struct StoreMeta {
     pub scheme: String,
     /// Per-stripe `(P, Q)` slot pairs under P+Q; empty under XOR.
     pub parity_slots: Vec<(u32, u32)>,
+    /// Cache policy name (see [`CachePolicy::encode`]); documents
+    /// written before the write-back cache existed reopen as
+    /// `writethrough`.
+    pub cache_policy: String,
     /// The declustered layout, in its stable exchange format.
     pub layout: LayoutSpec,
 }
@@ -54,6 +59,20 @@ struct StoreMetaV1 {
     unit_size: usize,
     copies: usize,
     spares: usize,
+    layout: LayoutSpec,
+}
+
+/// The pre-cache document shape (versions 1–2 written before the
+/// cache-policy field existed), kept readable so existing arrays
+/// reopen as write-through.
+#[derive(Deserialize)]
+struct StoreMetaPreCache {
+    version: u32,
+    unit_size: usize,
+    copies: usize,
+    spares: usize,
+    scheme: String,
+    parity_slots: Vec<(u32, u32)>,
     layout: LayoutSpec,
 }
 
@@ -73,6 +92,7 @@ impl StoreMeta {
             spares,
             scheme: ParityScheme::Xor.name().to_string(),
             parity_slots: Vec::new(),
+            cache_policy: CachePolicy::WriteThrough.encode(),
             layout: LayoutSpec::from_layout(layout),
         }
     }
@@ -91,8 +111,23 @@ impl StoreMeta {
                 .iter()
                 .map(|&(p, q)| (p as u32, q as u32))
                 .collect(),
+            cache_policy: CachePolicy::WriteThrough.encode(),
             layout: LayoutSpec::from_layout(dp.layout()),
         }
+    }
+
+    /// Sets the persisted cache policy (builder style): a reopened
+    /// store installs it automatically.
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy.encode();
+        self
+    }
+
+    /// The cache policy this document describes.
+    pub fn parsed_cache_policy(&self) -> Result<CachePolicy, StoreError> {
+        CachePolicy::decode(&self.cache_policy).ok_or_else(|| {
+            StoreError::Corrupt(format!("unknown cache policy `{}`", self.cache_policy))
+        })
     }
 
     /// Serializes to JSON.
@@ -100,28 +135,45 @@ impl StoreMeta {
         serde_json::to_string(self).expect("meta is always serializable")
     }
 
-    /// Parses and validates a JSON document (version 1 or 2).
+    /// Parses and validates a JSON document (version 1 or 2, with or
+    /// without the cache-policy field).
     pub fn from_json(json: &str) -> Result<Self, StoreError> {
         let meta: StoreMeta = match serde_json::from_str(json) {
             Ok(meta) => meta,
-            Err(v2_err) => {
-                // Not a v2 document; accept the v1 shape (no scheme).
-                let v1: StoreMetaV1 = serde_json::from_str(json)
-                    .map_err(|_| StoreError::Corrupt(format!("meta: {v2_err}")))?;
-                if v1.version != 1 {
-                    return Err(StoreError::Corrupt(format!(
-                        "unsupported store meta version {}",
-                        v1.version
-                    )));
-                }
-                StoreMeta {
-                    version: 1,
-                    unit_size: v1.unit_size,
-                    copies: v1.copies,
-                    spares: v1.spares,
-                    scheme: ParityScheme::Xor.name().to_string(),
-                    parity_slots: Vec::new(),
-                    layout: v1.layout,
+            Err(full_err) => {
+                // Not a current-shape document; accept the pre-cache
+                // shape (scheme but no cache policy) and then the v1
+                // shape (neither).
+                if let Ok(pre) = serde_json::from_str::<StoreMetaPreCache>(json) {
+                    StoreMeta {
+                        version: pre.version,
+                        unit_size: pre.unit_size,
+                        copies: pre.copies,
+                        spares: pre.spares,
+                        scheme: pre.scheme,
+                        parity_slots: pre.parity_slots,
+                        cache_policy: CachePolicy::WriteThrough.encode(),
+                        layout: pre.layout,
+                    }
+                } else {
+                    let v1: StoreMetaV1 = serde_json::from_str(json)
+                        .map_err(|_| StoreError::Corrupt(format!("meta: {full_err}")))?;
+                    if v1.version != 1 {
+                        return Err(StoreError::Corrupt(format!(
+                            "unsupported store meta version {}",
+                            v1.version
+                        )));
+                    }
+                    StoreMeta {
+                        version: 1,
+                        unit_size: v1.unit_size,
+                        copies: v1.copies,
+                        spares: v1.spares,
+                        scheme: ParityScheme::Xor.name().to_string(),
+                        parity_slots: Vec::new(),
+                        cache_policy: CachePolicy::WriteThrough.encode(),
+                        layout: v1.layout,
+                    }
                 }
             }
         };
@@ -144,6 +196,7 @@ impl StoreMeta {
             }
             _ => {}
         }
+        meta.parsed_cache_policy()?;
         Ok(meta)
     }
 
@@ -217,10 +270,24 @@ pub fn open_file_store(dir: impl AsRef<Path>) -> Result<BlockStore<FileBackend>,
         meta.copies * layout.size(),
         meta.unit_size,
     )?;
-    match meta.parsed_scheme()? {
+    let store = match meta.parsed_scheme()? {
         ParityScheme::Xor => BlockStore::new(layout, backend),
         ParityScheme::PQ => BlockStore::new_pq(meta.double_parity_layout()?, backend),
-    }
+    }?;
+    store.set_cache_policy(meta.parsed_cache_policy()?)?;
+    Ok(store)
+}
+
+/// Durably changes the cache policy of an existing file-backed array
+/// (rewriting its `store.json`); the next [`open_file_store`] installs
+/// it. Does not affect stores already open — call
+/// [`BlockStore::set_cache_policy`] on those directly.
+pub fn update_cache_policy(dir: impl AsRef<Path>, policy: CachePolicy) -> Result<(), StoreError> {
+    let dir = dir.as_ref();
+    let json = std::fs::read_to_string(dir.join(META_FILE))?;
+    let meta = StoreMeta::from_json(&json)?.with_cache_policy(policy);
+    std::fs::write(dir.join(META_FILE), meta.to_json())?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -236,6 +303,36 @@ mod tests {
         assert_eq!(meta, back);
         assert_eq!(back.layout().unwrap().v(), 5);
         assert_eq!(back.parsed_scheme().unwrap(), ParityScheme::Xor);
+        assert_eq!(back.parsed_cache_policy().unwrap(), CachePolicy::WriteThrough);
+    }
+
+    #[test]
+    fn cache_policy_roundtrips_and_validates() {
+        let rl = RingLayout::for_v_k(5, 3);
+        let meta = StoreMeta::new(rl.layout(), 256, 2, 1)
+            .with_cache_policy(CachePolicy::WriteBack { max_dirty: 32 });
+        let back = StoreMeta::from_json(&meta.to_json()).unwrap();
+        assert_eq!(back.parsed_cache_policy().unwrap(), CachePolicy::WriteBack { max_dirty: 32 });
+        // An unknown policy name is rejected at parse time.
+        let mut bad = meta;
+        bad.cache_policy = "battery-backed".into();
+        assert!(StoreMeta::from_json(&bad.to_json()).is_err());
+    }
+
+    #[test]
+    fn pre_cache_documents_reopen_as_writethrough() {
+        // A document with scheme + parity_slots but no cache_policy —
+        // the shape every pre-cache store wrote.
+        let rl = RingLayout::for_v_k(5, 3);
+        let spec = pdl_core::LayoutSpec::from_layout(rl.layout());
+        let layout_json = serde_json::to_string(&spec).unwrap();
+        let pre = format!(
+            "{{\"version\":1,\"unit_size\":64,\"copies\":2,\"spares\":1,\"scheme\":\"xor\",\
+             \"parity_slots\":[],\"layout\":{layout_json}}}"
+        );
+        let meta = StoreMeta::from_json(&pre).unwrap();
+        assert_eq!(meta.parsed_cache_policy().unwrap(), CachePolicy::WriteThrough);
+        assert_eq!(meta.parsed_scheme().unwrap(), ParityScheme::Xor);
     }
 
     #[test]
@@ -279,6 +376,34 @@ mod tests {
         let mut meta = StoreMeta::new(RingLayout::for_v_k(5, 3).layout(), 64, 1, 0);
         meta.scheme = "pq".into();
         assert!(StoreMeta::from_json(&meta.to_json()).is_err());
+    }
+
+    #[test]
+    fn persisted_cache_policy_applies_on_open() {
+        let dir = std::env::temp_dir().join(format!("pdl-meta-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rl = RingLayout::for_v_k(5, 3);
+        {
+            let store = create_file_store(&dir, rl.layout().clone(), 64, 1, 1).unwrap();
+            assert_eq!(store.cache_policy(), CachePolicy::WriteThrough);
+            store.write_block(3, &[0x3cu8; 64]).unwrap();
+            store.flush().unwrap();
+        }
+        update_cache_policy(&dir, CachePolicy::WriteBack { max_dirty: 16 }).unwrap();
+        let store = open_file_store(&dir).unwrap();
+        assert_eq!(store.cache_policy(), CachePolicy::WriteBack { max_dirty: 16 });
+        // Writes combine in the cache; flush makes them durable.
+        store.write_block(4, &[0x77u8; 64]).unwrap();
+        assert_eq!(store.dirty_cache_stripes(), 1);
+        store.flush().unwrap();
+        assert_eq!(store.dirty_cache_stripes(), 0);
+        let mut out = vec![0u8; 64];
+        store.read_block(3, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0x3c));
+        store.read_block(4, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0x77));
+        store.verify_parity().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

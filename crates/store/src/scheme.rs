@@ -134,6 +134,71 @@ impl FailureSet {
 /// Sentinel for "no Q slot" (XOR stripes).
 const NO_Q: u32 = u32::MAX;
 
+/// Strength-reduced division by a runtime-constant divisor: the
+/// classic multiply-high reciprocal (Granlund–Montgomery / Lemire),
+/// precomputed once at map-build time so the per-request address→copy
+/// split never executes a hardware divide.
+///
+/// With `m = ⌊2⁶⁴/d⌋ + 1`, `q = ⌊m·n / 2⁶⁴⌋` is the exact quotient
+/// for every `n < 2³²` when `d < 2³²` — the range the store's
+/// geometry checks guarantee for per-copy addresses. Larger inputs
+/// (arrays past 2³² blocks) fall back to the hardware divide.
+#[derive(Clone, Copy, Debug)]
+struct Reciprocal {
+    d: u64,
+    m: u64,
+}
+
+impl Reciprocal {
+    fn new(d: usize) -> Reciprocal {
+        let d = d as u64;
+        assert!(d > 0, "reciprocal of zero divisor");
+        Reciprocal { d, m: (u64::MAX / d).wrapping_add(1) }
+    }
+
+    /// `(n / d, n % d)` without a divide instruction on the hot range.
+    #[inline]
+    fn div_rem(&self, n: usize) -> (usize, usize) {
+        let n64 = n as u64;
+        if self.d == 1 {
+            (n, 0)
+        } else if n64 <= u32::MAX as u64 && self.d <= u32::MAX as u64 {
+            let q = (((self.m as u128) * (n64 as u128)) >> 64) as u64;
+            (q as usize, (n64 - q * self.d) as usize)
+        } else {
+            ((n64 / self.d) as usize, (n64 % self.d) as usize)
+        }
+    }
+}
+
+/// One row of the precomputed per-rotation lookup table: everything
+/// the data path needs to know about a logical data address within
+/// one layout copy, resolved by a single array index.
+#[derive(Clone, Copy, Debug)]
+struct MapEntry {
+    disk: u32,
+    offset: u32,
+    stripe: u32,
+    slot: u32,
+}
+
+/// A fully resolved logical address: the physical unit plus its
+/// stripe coordinates, returned by [`StripeMap::locate_full`] so hot
+/// paths pay one table lookup instead of four separate accessor
+/// calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddrRef {
+    /// Physical `(disk, offset)` of the unit (copy shift applied).
+    pub unit: StripeUnit,
+    /// Stripe (within the copy) owning the address.
+    pub stripe: usize,
+    /// Slot within the stripe's unit list — the Q-coefficient
+    /// exponent under P+Q.
+    pub slot: usize,
+    /// Layout copy containing the address.
+    pub copy: usize,
+}
+
 /// Scheme-aware logical→physical address table: the Condition-4 mapper
 /// generalized to stripes whose parity occupies one or two slots.
 ///
@@ -143,18 +208,27 @@ const NO_Q: u32 = u32::MAX;
 /// exactly like [`pdl_core::AddressMapper`] — which this supersedes
 /// inside the store, because the core mapper derives "data" from the
 /// layout's single parity slot and would misclassify Q units.
+///
+/// The map is one precomputed per-rotation table built once at open
+/// time: each row carries the physical unit *and* its stripe/slot
+/// coordinates, so [`StripeMap::locate_full`] resolves an address
+/// with a single branch-free array index (plus one multiply-shift
+/// reciprocal to split off the copy — no divide instruction on the
+/// data path).
 #[derive(Clone, Debug)]
 pub struct StripeMap {
     size: usize,
-    /// Data units of one copy, in stripe order.
-    table: Vec<StripeUnit>,
-    /// Owning stripe of each logical data unit.
-    stripe_of: Vec<u32>,
-    /// Slot (within the stripe's unit list) of each logical data unit —
-    /// the Q-coefficient exponent under P+Q.
-    slot_of: Vec<u32>,
+    /// Data units of one copy, in stripe (= address) order: the
+    /// per-rotation LUT.
+    entries: Vec<MapEntry>,
     /// Per stripe: `(p_slot, q_slot)`, `q_slot == NO_Q` for XOR.
     parity: Vec<(u32, u32)>,
+    /// First logical data address (within the copy) of each stripe,
+    /// plus an end sentinel: `stripe_base[si]..stripe_base[si + 1]`
+    /// is stripe `si`'s contiguous data-address range.
+    stripe_base: Vec<u32>,
+    /// Precomputed reciprocal of `entries.len()` for the copy split.
+    recip: Reciprocal,
 }
 
 impl StripeMap {
@@ -172,49 +246,81 @@ impl StripeMap {
             }
             None => layout.stripes().iter().map(|s| (s.parity_slot() as u32, NO_Q)).collect(),
         };
-        let mut table = Vec::new();
-        let mut stripe_of = Vec::new();
-        let mut slot_of = Vec::new();
+        let mut entries = Vec::new();
+        let mut stripe_base = Vec::with_capacity(layout.b() + 1);
         for (si, stripe) in layout.stripes().iter().enumerate() {
             let (p, q) = parity[si];
+            stripe_base.push(entries.len() as u32);
             for (slot, &u) in stripe.units().iter().enumerate() {
                 if slot as u32 == p || slot as u32 == q {
                     continue;
                 }
-                table.push(u);
-                stripe_of.push(si as u32);
-                slot_of.push(slot as u32);
+                entries.push(MapEntry {
+                    disk: u.disk,
+                    offset: u.offset,
+                    stripe: si as u32,
+                    slot: slot as u32,
+                });
             }
         }
-        StripeMap { size, table, stripe_of, slot_of, parity }
+        stripe_base.push(entries.len() as u32);
+        let recip = Reciprocal::new(entries.len());
+        StripeMap { size, entries, parity, stripe_base, recip }
     }
 
     /// Data units per layout copy.
     pub fn data_units_per_copy(&self) -> usize {
-        self.table.len()
+        self.entries.len()
+    }
+
+    /// Resolves logical address `addr` completely — physical unit,
+    /// stripe, slot, and copy — with one reciprocal multiply and one
+    /// table index. This is the data path's mapping primitive; the
+    /// single-field accessors below are conveniences over it.
+    #[inline]
+    pub fn locate_full(&self, addr: usize) -> AddrRef {
+        let (copy, rem) = self.recip.div_rem(addr);
+        let e = self.entries[rem];
+        AddrRef {
+            unit: StripeUnit { disk: e.disk, offset: e.offset + (copy * self.size) as u32 },
+            stripe: e.stripe as usize,
+            slot: e.slot as usize,
+            copy,
+        }
     }
 
     /// Physical location of logical data unit `addr`, tiling copies.
     pub fn locate(&self, addr: usize) -> StripeUnit {
-        let copy = addr / self.table.len();
-        let base = self.table[addr % self.table.len()];
-        StripeUnit { disk: base.disk, offset: base.offset + (copy * self.size) as u32 }
+        self.locate_full(addr).unit
     }
 
     /// Stripe (within the copy) owning logical address `addr`.
     pub fn stripe_of(&self, addr: usize) -> usize {
-        self.stripe_of[addr % self.table.len()] as usize
+        let (_, rem) = self.recip.div_rem(addr);
+        self.entries[rem].stripe as usize
     }
 
     /// Slot within its stripe of logical address `addr` — the exponent
     /// of the unit's Q coefficient.
     pub fn slot_of(&self, addr: usize) -> usize {
-        self.slot_of[addr % self.table.len()] as usize
+        let (_, rem) = self.recip.div_rem(addr);
+        self.entries[rem].slot as usize
     }
 
     /// Layout copy containing logical address `addr`.
     pub fn copy_of(&self, addr: usize) -> usize {
-        addr / self.table.len()
+        self.recip.div_rem(addr).0
+    }
+
+    /// The contiguous data-address range of `stripe` within one copy,
+    /// as `(first address, data-unit count)`. Addresses enumerate
+    /// non-parity units in stripe order, so a stripe's data is always
+    /// one contiguous run — the invariant behind both the full-stripe
+    /// write fast path and the write-back cache's slot indexing.
+    pub fn stripe_data_range(&self, stripe: usize) -> (usize, usize) {
+        let lo = self.stripe_base[stripe] as usize;
+        let hi = self.stripe_base[stripe + 1] as usize;
+        (lo, hi - lo)
     }
 
     /// `(p_slot, q_slot)` of a stripe; `q_slot` is `None` under XOR.
@@ -231,9 +337,9 @@ impl StripeMap {
 
     /// Resident bytes of the tables (Condition-4 footprint measure).
     pub fn table_bytes(&self) -> usize {
-        self.table.len() * std::mem::size_of::<StripeUnit>()
-            + (self.stripe_of.len() + self.slot_of.len()) * 4
+        self.entries.len() * std::mem::size_of::<MapEntry>()
             + self.parity.len() * 8
+            + self.stripe_base.len() * 4
     }
 }
 
@@ -265,6 +371,68 @@ mod tests {
         assert!(f.remove(2));
         assert!(!f.remove(2));
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn reciprocal_matches_hardware_division() {
+        for d in [1usize, 2, 3, 7, 24, 54, 255, 1000, 4096, (1 << 32) - 1] {
+            let r = Reciprocal::new(d);
+            let probes = [
+                0usize,
+                1,
+                d - 1,
+                d,
+                d + 1,
+                7 * d + 3,
+                u32::MAX as usize,
+                u32::MAX as usize + 1,
+                usize::MAX / 2,
+                usize::MAX,
+            ];
+            for &n in &probes {
+                assert_eq!(r.div_rem(n), (n / d, n % d), "n = {n}, d = {d}");
+            }
+            // A pseudo-random sweep across the fast (< 2^32) range.
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for _ in 0..1000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let n = (x as u32) as usize;
+                assert_eq!(r.div_rem(n), (n / d, n % d), "n = {n}, d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn locate_full_agrees_with_field_accessors() {
+        let rl = RingLayout::for_v_k(9, 4);
+        let sm = StripeMap::new(rl.layout(), None);
+        for addr in 0..sm.data_units_per_copy() * 3 {
+            let r = sm.locate_full(addr);
+            assert_eq!(r.unit, sm.locate(addr));
+            assert_eq!(r.stripe, sm.stripe_of(addr));
+            assert_eq!(r.slot, sm.slot_of(addr));
+            assert_eq!(r.copy, sm.copy_of(addr));
+        }
+    }
+
+    #[test]
+    fn stripe_data_ranges_tile_the_copy() {
+        let rl = RingLayout::for_v_k(9, 4);
+        let layout = rl.layout();
+        let sm = StripeMap::new(layout, None);
+        let mut next = 0usize;
+        for si in 0..layout.b() {
+            let (lo, len) = sm.stripe_data_range(si);
+            assert_eq!(lo, next, "stripe {si} starts where stripe {} ended", si.wrapping_sub(1));
+            assert!(len > 0);
+            for addr in lo..lo + len {
+                assert_eq!(sm.stripe_of(addr), si);
+            }
+            next = lo + len;
+        }
+        assert_eq!(next, sm.data_units_per_copy(), "ranges cover every data address");
     }
 
     #[test]

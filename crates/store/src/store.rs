@@ -44,6 +44,13 @@
 //!    never serializes the data path, and counters stay monotonic
 //!    across failure events — `fail_disk`/`restore_disk` error paths
 //!    touch no counter.
+//! 4. **The write-back stripe cache** ([`crate::cache`]) is sharded
+//!    by the same `(copy, stripe)` key as the lock table: entries
+//!    mutate only under their stripe's exclusive shard lock, reads
+//!    probe them lock-free (one atomic when clean), flushes hold the
+//!    shard lock and remove the entry only after the backend writes
+//!    land, and every failure-state transition drains the cache
+//!    under the exclusive state guard before changing anything.
 //!
 //! Healthy single-unit reads skip the stripe locks entirely: the
 //! backend guarantees unit-granular atomicity, and a read that races
@@ -82,8 +89,9 @@
 //! paper's ratio — with zero spread (see the rebuild-balance tests).
 
 use crate::backend::Backend;
+use crate::cache::{key_parts, stripe_key, CachePolicy, FlushSnapshot, StripeCache};
 use crate::error::StoreError;
-use crate::scheme::{FailureSet, ParityScheme, StripeMap};
+use crate::scheme::{AddrRef, FailureSet, ParityScheme, StripeMap};
 use pdl_algebra::gf256::{self, xor_slice};
 use pdl_core::{DoubleParityLayout, Layout, StripeUnit};
 use pdl_sim::{Trace, TraceOp};
@@ -205,11 +213,25 @@ struct ArrayState {
 
 /// Where a deferred full-stripe unit write takes its bytes from: the
 /// caller's data buffer or the plan's parity staging area, both
-/// indexed in whole units.
+/// indexed in whole units. Packed into one word (high bit = parity)
+/// so a plan bucket entry is 8 bytes, not 24 — the buckets are
+/// written, scanned, and resolved once per planned unit, so their
+/// footprint is hot-path memory traffic.
 #[derive(Clone, Copy, Debug)]
-enum WriteSrc {
-    Data(usize),
-    Parity(usize),
+struct WriteSrc(u32);
+
+impl WriteSrc {
+    const PARITY: u32 = 1 << 31;
+
+    fn data(i: usize) -> WriteSrc {
+        debug_assert!((i as u32) < Self::PARITY);
+        WriteSrc(i as u32)
+    }
+
+    fn parity(i: usize) -> WriteSrc {
+        debug_assert!((i as u32) < Self::PARITY);
+        WriteSrc(i as u32 | Self::PARITY)
+    }
 }
 
 /// The deferred full-stripe write plan: per-physical-disk buckets of
@@ -226,6 +248,31 @@ struct WritePlan {
 impl WritePlan {
     fn new(disks: usize) -> WritePlan {
         WritePlan { by_disk: vec![Vec::new(); disks], parity: Vec::new(), unsorted: false }
+    }
+
+    /// A plan pre-sized for `stripes` full stripes of `units` total
+    /// unit writes: the parity staging and the per-disk buckets are
+    /// reserved up front, so planning a large batch never reallocates
+    /// (the staging area in particular would otherwise regrow — and
+    /// recopy — once per stripe).
+    fn with_capacity(disks: usize, stripes: usize, units: usize, parity_unit_bytes: usize) -> Self {
+        let per_disk = (units / disks.max(1)) + 2;
+        WritePlan {
+            by_disk: (0..disks).map(|_| Vec::with_capacity(per_disk)).collect(),
+            parity: Vec::with_capacity(stripes * parity_unit_bytes),
+            unsorted: false,
+        }
+    }
+
+    /// Empties the plan, keeping its buckets' and staging area's
+    /// capacity — cache flush loops plan one stripe at a time and
+    /// reuse one plan across all of them.
+    fn reset(&mut self) {
+        for bucket in &mut self.by_disk {
+            bucket.clear();
+        }
+        self.parity.clear();
+        self.unsorted = false;
     }
 }
 
@@ -403,6 +450,11 @@ pub struct BlockStore<B> {
     /// Reusable decode/accumulator buffers: steady-state reads and
     /// writes are allocation-free.
     scratch: ScratchPool,
+    /// The write-back stripe cache (write-combining of small writes;
+    /// inert under the default [`CachePolicy::WriteThrough`]). Shares
+    /// the lock table's shard indexing, so a cache entry is only ever
+    /// mutated under its stripe's exclusive shard lock.
+    cache: StripeCache,
 }
 
 impl<B: Backend> BlockStore<B> {
@@ -503,6 +555,7 @@ impl<B: Backend> BlockStore<B> {
             pq_slots,
             layout,
             scratch: ScratchPool::new(unit_size),
+            cache: StripeCache::new(unit_size, StripeLockTable::SHARDS),
         })
     }
 
@@ -638,6 +691,12 @@ impl<B: Backend> BlockStore<B> {
         if spare >= self.backend.disks() || st.redirect.contains(&spare) {
             return Err(StoreError::InvalidSpare(spare));
         }
+        // Flush-before-transition: the rebuild's chunk decodes assume
+        // the backend holds every acknowledged write of the pre-
+        // registration era; writes issued *after* registration are
+        // either flushed through the write-through path or reconciled
+        // by the post-completion flush.
+        self.flush_cache_locked(&st)?;
         st.rebuilding = Some((failed, spare));
         st.epoch += 1;
         Ok(())
@@ -693,6 +752,11 @@ impl<B: Backend> BlockStore<B> {
         if st.failed.len() >= tolerance {
             return Err(StoreError::TooManyFailures { requested: disk, tolerance });
         }
+        // Flush-before-transition: every write acknowledged before
+        // this failure becomes durable on the still-current media,
+        // under the exclusive guard (no client I/O in flight). Error
+        // paths above flush nothing.
+        self.flush_cache_locked(&st)?;
         st.failed.insert(disk);
         st.epoch += 1;
         Ok(())
@@ -721,6 +785,11 @@ impl<B: Backend> BlockStore<B> {
                 return Err(StoreError::RebuildInProgress(disk));
             }
         }
+        // Flush-before-transition, and *before* the stale check: a
+        // deferred write whose stripe crosses this disk must skip it
+        // (marking the medium stale) exactly as a write-through write
+        // would have — so restore is refused for the same histories.
+        self.flush_cache_locked(&st)?;
         // Stale flags are only read under the exclusive guard, which
         // orders this load after every write that could have set it.
         if self.stale[disk].load(Ordering::Acquire) {
@@ -759,9 +828,272 @@ impl<B: Backend> BlockStore<B> {
         self.backend.reset_counters();
     }
 
-    /// Flushes the backend.
+    /// Flushes the write-back stripe cache (combined parity updates,
+    /// see [`crate::cache`]) and then the backend, so every
+    /// acknowledged write is durable on return.
     pub fn flush(&self) -> Result<(), StoreError> {
+        {
+            let st = self.state_read();
+            self.flush_cache_locked(&st)?;
+        }
         self.backend.flush()
+    }
+
+    /// The installed [`CachePolicy`].
+    pub fn cache_policy(&self) -> CachePolicy {
+        self.cache.policy()
+    }
+
+    /// Installs a [`CachePolicy`]. Switching write-back **off**
+    /// flushes every dirty stripe first, so no cached write is
+    /// stranded; switching it on takes effect immediately.
+    pub fn set_cache_policy(&self, policy: CachePolicy) -> Result<(), StoreError> {
+        self.cache.set_policy(policy);
+        if !policy.is_write_back() {
+            let st = self.state_read();
+            self.flush_cache_locked(&st)?;
+        }
+        Ok(())
+    }
+
+    /// Stripes currently dirty in the write-back cache (0 under
+    /// write-through).
+    pub fn dirty_cache_stripes(&self) -> usize {
+        self.cache.dirty_stripes()
+    }
+
+    /// The cache coordinates of a resolved address: `(shard, packed
+    /// key, data-slot index within the stripe's cache entry, data
+    /// units in the stripe)`. Shard ids are the lock table's, so the
+    /// cache is sharded by the same `(copy, stripe)` key as the
+    /// stripe locks.
+    fn cache_coords(&self, m: &AddrRef, addr: usize) -> (usize, u64, usize, usize) {
+        let (lo, k_data) = self.smap.stripe_data_range(m.stripe);
+        let j = addr - m.copy * self.smap.data_units_per_copy() - lo;
+        (self.locks.shard_of(m.copy, m.stripe), stripe_key(m.copy, m.stripe), j, k_data)
+    }
+
+    /// Stripes a full cache drain flushes under one ordered shard
+    /// acquisition (and one combined write plan).
+    const FLUSH_BATCH: usize = 128;
+
+    /// Drains every stripe that was dirty **when the flush began**,
+    /// in batches of [`Self::FLUSH_BATCH`] **address-sorted**
+    /// stripes: fully dirty stripes accumulate into one combined
+    /// write plan, so adjacent hot stripes coalesce into per-disk
+    /// gather writes instead of one backend call per unit. The drain
+    /// is bounded by the queue length at entry — stripes dirtied by
+    /// writers racing the flush stay queued for the next one, so a
+    /// flush under sustained write-back traffic terminates. The
+    /// caller holds a state guard — shared for explicit flushes,
+    /// **exclusive** inside failure-state transitions, where no
+    /// client I/O is in flight (and the drain is therefore complete,
+    /// not just a snapshot).
+    fn flush_cache_locked(&self, st: &ArrayState) -> Result<(), StoreError> {
+        if !self.cache.maybe_dirty() {
+            return Ok(());
+        }
+        let mut budget = self.cache.queue_len();
+        let mut snap = FlushSnapshot::default();
+        let mut plan = WritePlan::new(self.backend.disks());
+        let mut staged: Vec<u8> = Vec::new();
+        let mut keys: Vec<u64> = Vec::with_capacity(Self::FLUSH_BATCH);
+        while budget > 0 {
+            keys.clear();
+            while keys.len() < Self::FLUSH_BATCH.min(budget) {
+                match self.cache.pop_dirty() {
+                    Some(k) => keys.push(k),
+                    None => break,
+                }
+            }
+            if keys.is_empty() {
+                return Ok(());
+            }
+            budget -= keys.len();
+            // Address order: the packed key sorts by (copy, stripe),
+            // which is physical-offset order per disk — the flush
+            // walks the media sequentially.
+            keys.sort_unstable();
+            keys.dedup();
+            self.flush_batch(st, &keys, &mut snap, &mut plan, &mut staged)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes one sorted batch of cached stripes under a single
+    /// two-phase ordered shard acquisition. Fully dirty stripes plan
+    /// into one combined gather plan (flushed at the end, entries
+    /// removed after the backend writes land); partially dirty and
+    /// degraded stripes take their per-stripe paths inline. On error
+    /// every key of the batch is re-queued — already-flushed entries
+    /// are gone and skip harmlessly on the retry.
+    fn flush_batch(
+        &self,
+        st: &ArrayState,
+        keys: &[u64],
+        snap: &mut FlushSnapshot,
+        plan: &mut WritePlan,
+        staged: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        let mut shards: Vec<usize> = keys
+            .iter()
+            .map(|&k| {
+                let (copy, si) = key_parts(k);
+                self.locks.shard_of(copy, si)
+            })
+            .collect();
+        sort_shard_set(&mut shards);
+        let _guards = self.locks.lock_sorted(&shards);
+        plan.reset();
+        staged.clear();
+        let us = self.unit_size;
+        let mut planned: Vec<u64> = Vec::new();
+        let res = (|| -> Result<(), StoreError> {
+            for &key in keys {
+                let (copy, si) = key_parts(key);
+                let shard = self.locks.shard_of(copy, si);
+                // The entry's data units land in `staged` at `base`
+                // (one copy, entry left in place for readers); the
+                // plan records indices into `staged`, so later
+                // appends never invalidate earlier planning.
+                let base = staged.len() / us;
+                if !self.cache.snapshot_append(shard, key, snap, staged) {
+                    continue; // discarded by a full-stripe overwrite
+                }
+                let (lo, k_data) = self.smap.stripe_data_range(si);
+                let start = copy * self.smap.data_units_per_copy() + lo;
+                let stripe_bytes = &staged[base * us..(base + k_data) * us];
+                if snap.ndirty == k_data {
+                    // Fully dirty: zero-read full-stripe planning into
+                    // the combined plan.
+                    self.plan_full_stripe(st, start, stripe_bytes, base, plan)?;
+                    planned.push(key);
+                } else if self.layout.stripes()[si]
+                    .units()
+                    .iter()
+                    .any(|u| st.failed.contains(u.disk as usize))
+                {
+                    // Degraded stripe: the per-unit path keeps every
+                    // surviving parity consistent, marks stale media,
+                    // and writes through to a racing rebuild's spare.
+                    // Units flush in ascending address order, so a
+                    // second lost unit decoded by a later iteration
+                    // sees the values earlier iterations already
+                    // folded into parity.
+                    (0..k_data).filter(|&j| snap.dirty[j]).try_for_each(|j| {
+                        self.write_block_locked(st, start + j, &stripe_bytes[j * us..(j + 1) * us])
+                    })?;
+                    self.cache.remove_flushed(shard, key);
+                } else {
+                    self.flush_partial_stripe(st, si, copy, start, snap, stripe_bytes)?;
+                    self.cache.remove_flushed(shard, key);
+                }
+            }
+            self.flush_write_plan(plan, staged)?;
+            for &key in &planned {
+                let (copy, si) = key_parts(key);
+                self.cache.remove_flushed(self.locks.shard_of(copy, si), key);
+            }
+            Ok(())
+        })();
+        if res.is_err() {
+            for &key in keys {
+                self.cache.requeue(key);
+            }
+        }
+        res
+    }
+
+    /// Most victim stripes one write evicts — enough to outpace the
+    /// single stripe a write can dirty, while bounding any one
+    /// caller's eviction work when many writers push the cache over
+    /// budget at once.
+    const EVICT_MAX: usize = 8;
+
+    /// Oldest-first eviction until the dirty count is back under the
+    /// write-back budget (or this call's [`Self::EVICT_MAX`] work
+    /// bound is spent — backpressure is shared across writers, not
+    /// absorbed by whoever shows up first). Runs on the write path
+    /// **after** the triggering stripe's shard lock is released —
+    /// one victim stripe is flushed at a time, so eviction never
+    /// holds two shard locks and cannot deadlock with concurrent
+    /// writers.
+    fn evict_over_limit(&self, st: &ArrayState) -> Result<(), StoreError> {
+        if !self.cache.over_limit() {
+            return Ok(());
+        }
+        let mut snap = FlushSnapshot::default();
+        let mut plan = WritePlan::new(self.backend.disks());
+        let mut staged: Vec<u8> = Vec::new();
+        let mut evicted = 0usize;
+        while evicted < Self::EVICT_MAX && self.cache.over_limit() {
+            let Some(key) = self.cache.pop_dirty() else { break };
+            self.flush_batch(st, &[key], &mut snap, &mut plan, &mut staged)?;
+            evicted += 1;
+        }
+        Ok(())
+    }
+
+    /// Combined flush of a **healthy**, partially dirty stripe —
+    /// **idempotent by construction**, so an errored flush simply
+    /// retries: parity is recomputed *fresh* over the stripe's
+    /// current data vector (clean units read from the backend once,
+    /// dirty units taken from the cache snapshot) and never depends
+    /// on the previous on-disk parity. A retry after any partial
+    /// failure therefore converges to the same final state — a
+    /// parity-delta RMW would instead cancel its own half-applied
+    /// update on the second pass. It is also cheaper for the stripe
+    /// shapes in play: `k_data − ndirty` reads instead of
+    /// `ndirty + parity_count`, still at most one backend call per
+    /// touched disk, however many client writes the entry absorbed.
+    fn flush_partial_stripe(
+        &self,
+        st: &ArrayState,
+        si: usize,
+        copy: usize,
+        start: usize,
+        snap: &FlushSnapshot,
+        data: &[u8],
+    ) -> Result<(), StoreError> {
+        let us = self.unit_size;
+        let is_pq = self.scheme == ParityScheme::PQ;
+        let units = self.layout.stripes()[si].units();
+        let (p_slot, q_slot) = self.smap.parity_slots(si);
+        let shift = (copy * self.layout.size()) as u32;
+        let shifted = |u: StripeUnit| StripeUnit { disk: u.disk, offset: u.offset + shift };
+        let mut acc = self.scratch.get();
+        let res = (|| {
+            let Scratch { acc_p, acc_q, tmp } = &mut acc;
+            acc_p.fill(0);
+            acc_q.fill(0);
+            for (j, &dirty) in snap.dirty.iter().enumerate() {
+                let m = self.smap.locate_full(start + j);
+                let val: &[u8] = if dirty {
+                    &data[j * us..(j + 1) * us]
+                } else {
+                    self.read_phys(st, m.unit, tmp)?;
+                    tmp
+                };
+                xor_slice(acc_p, val);
+                if is_pq {
+                    gf256::mul_add_slice(acc_q, val, gf256::gen_pow(m.slot));
+                }
+            }
+            self.write_phys(st, shifted(units[p_slot]), acc_p)?;
+            if let Some(qs) = q_slot {
+                self.write_phys(st, shifted(units[qs]), acc_q)?;
+            }
+            for (j, &dirty) in snap.dirty.iter().enumerate() {
+                if !dirty {
+                    continue;
+                }
+                let m = self.smap.locate_full(start + j);
+                self.write_phys(st, m.unit, &data[j * us..(j + 1) * us])?;
+            }
+            Ok(())
+        })();
+        self.scratch.put(acc);
+        res
     }
 
     fn check_addr(&self, addr: usize) -> Result<(), StoreError> {
@@ -1051,13 +1383,25 @@ impl<B: Backend> BlockStore<B> {
         self.check_addr(addr)?;
         self.check_block_buf(buf.len())?;
         let st = self.state_read();
-        let u = self.smap.locate(addr);
-        if st.failed.contains(u.disk as usize) {
-            let shard = self.locks.shard_of(self.smap.copy_of(addr), self.smap.stripe_of(addr));
+        let m = self.smap.locate_full(addr);
+        // Dirty units exist only in the write-back cache until their
+        // stripe flushes, so every read path probes it first (one
+        // atomic load when the cache is clean). A miss is safe to
+        // serve from the backend: a flush completes its backend
+        // writes *before* removing the entry, so a missing entry
+        // implies the bytes are already durable below.
+        if self.cache.maybe_dirty() {
+            let (shard, key, j, _) = self.cache_coords(&m, addr);
+            if self.cache.read_into(shard, key, j, buf) {
+                return Ok(());
+            }
+        }
+        if st.failed.contains(m.unit.disk as usize) {
+            let shard = self.locks.shard_of(m.copy, m.stripe);
             let _g = self.locks.lock_one_shared(shard);
-            self.reconstruct_unit(&st, u.disk as usize, u.offset as usize, buf)
+            self.reconstruct_unit(&st, m.unit.disk as usize, m.unit.offset as usize, buf)
         } else {
-            self.read_phys(&st, u, buf)
+            self.read_phys(&st, m.unit, buf)
         }
     }
 
@@ -1070,11 +1414,28 @@ impl<B: Backend> BlockStore<B> {
     /// Takes `&self`: the stripe's shard lock serializes the RMW
     /// against concurrent writers (and degraded readers) of the same
     /// stripe, while writes to other stripes proceed in parallel.
+    ///
+    /// Under [`CachePolicy::WriteBack`] the write performs **no
+    /// backend I/O**: the bytes land in the stripe cache and the
+    /// parity maintenance is deferred to the stripe's flush, which
+    /// combines every cached write into one parity update (see
+    /// [`crate::cache`]).
     pub fn write_block(&self, addr: usize, data: &[u8]) -> Result<(), StoreError> {
         self.check_addr(addr)?;
         self.check_block_buf(data.len())?;
         let st = self.state_read();
-        let shard = self.locks.shard_of(self.smap.copy_of(addr), self.smap.stripe_of(addr));
+        let m = self.smap.locate_full(addr);
+        let shard = self.locks.shard_of(m.copy, m.stripe);
+        if self.cache.is_write_back() {
+            {
+                let _g = self.locks.lock_one(shard);
+                let (_, key, j, k_data) = self.cache_coords(&m, addr);
+                self.cache.write(shard, key, k_data, j, data);
+            }
+            // Eviction runs with the stripe lock released (one victim
+            // shard at a time — see `evict_over_limit`).
+            return self.evict_over_limit(&st);
+        }
         let _g = self.locks.lock_one(shard);
         self.write_block_locked(&st, addr, data)
     }
@@ -1087,10 +1448,11 @@ impl<B: Backend> BlockStore<B> {
         addr: usize,
         data: &[u8],
     ) -> Result<(), StoreError> {
-        let u = self.smap.locate(addr);
-        let si = self.smap.stripe_of(addr);
-        let t_slot = self.smap.slot_of(addr);
-        let shift = (self.smap.copy_of(addr) * self.layout.size()) as u32;
+        let m = self.smap.locate_full(addr);
+        let u = m.unit;
+        let si = m.stripe;
+        let t_slot = m.slot;
+        let shift = (m.copy * self.layout.size()) as u32;
         let units = self.layout.stripes()[si].units();
         let (p_slot, q_slot) = self.smap.parity_slots(si);
         let p_unit = units[p_slot];
@@ -1266,25 +1628,41 @@ impl<B: Backend> BlockStore<B> {
         }
         let st = self.state_read();
 
+        // Disjoint per-block views of `buf`, consumed as the cache
+        // probe, the coalesced runs, and the decodes claim them.
+        let mut chunks: Vec<Option<&mut [u8]>> = buf.chunks_mut(us).map(Some).collect();
+
         // Partition the request into per-physical-disk buckets of
-        // `(offset, block index)`; degraded blocks queue for stripe
-        // decode. Sequential scans produce already-sorted buckets
-        // (offsets grow with the address within each disk), so the
-        // sort below is a no-op check in the common case.
+        // `(offset, block index)`; blocks dirty in the write-back
+        // cache are served from memory here, and degraded blocks
+        // queue for stripe decode. Sequential scans produce
+        // already-sorted buckets (offsets grow with the address
+        // within each disk), so the sort below is a no-op check in
+        // the common case.
+        let check_cache = self.cache.maybe_dirty();
+        let any_failed = !st.failed.is_empty();
         let mut by_disk: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.backend.disks()];
         let mut unsorted = false;
         let mut degraded: Vec<(usize, usize)> = Vec::new();
-        for i in 0..n {
+        for (i, slot) in chunks.iter_mut().enumerate() {
             let addr = start + i;
-            let u = self.smap.locate(addr);
-            if st.failed.contains(u.disk as usize) {
+            let m = self.smap.locate_full(addr);
+            if check_cache {
+                let (shard, key, j, _) = self.cache_coords(&m, addr);
+                let chunk = slot.as_mut().expect("unclaimed block");
+                if self.cache.read_into(shard, key, j, chunk) {
+                    *slot = None;
+                    continue;
+                }
+            }
+            if any_failed && st.failed.contains(m.unit.disk as usize) {
                 degraded.push((i, addr));
             } else {
-                let bucket = &mut by_disk[st.redirect[u.disk as usize]];
-                if bucket.last().is_some_and(|&(last, _)| u.offset < last) {
+                let bucket = &mut by_disk[st.redirect[m.unit.disk as usize]];
+                if bucket.last().is_some_and(|&(last, _)| m.unit.offset < last) {
                     unsorted = true;
                 }
-                bucket.push((u.offset, i as u32));
+                bucket.push((m.unit.offset, i as u32));
             }
         }
 
@@ -1293,8 +1671,6 @@ impl<B: Backend> BlockStore<B> {
         // into a discard buffer so the run stays one backend call).
         // Each run is one scatter read delivered straight into the
         // caller's buffer — no staging copy.
-        // Disjoint per-block views of `buf`, consumed as runs claim them.
-        let mut chunks: Vec<Option<&mut [u8]>> = buf.chunks_mut(us).map(Some).collect();
         let mut holes: Vec<u8> = Vec::new();
         let bridge = if self.backend.prefers_gap_bridging() { READ_GAP_BRIDGE } else { 0 };
         for (disk, bucket) in by_disk.iter_mut().enumerate() {
@@ -1419,60 +1795,132 @@ impl<B: Backend> BlockStore<B> {
         self.check_addr(start)?;
         self.check_addr(start + n - 1)?;
         let st = self.state_read();
+        let per_copy = self.smap.data_units_per_copy();
         // Phase one of two-phase locking: the full shard set of every
         // stripe the batch will touch, ascending, before any byte
-        // moves. (Consecutive addresses repeat stripes, so the raw
-        // list is tiny after dedup.)
-        let mut shards: Vec<usize> = (0..n)
-            .map(|i| {
-                let addr = start + i;
-                self.locks.shard_of(self.smap.copy_of(addr), self.smap.stripe_of(addr))
-            })
-            .collect();
+        // moves. Stripe data ranges are contiguous in address space,
+        // so the walk costs one map lookup per *stripe*, not per
+        // block.
+        let mut shards: Vec<usize> = Vec::new();
+        let mut a = start;
+        while a < start + n {
+            let m = self.smap.locate_full(a);
+            shards.push(self.locks.shard_of(m.copy, m.stripe));
+            let (lo, k_data) = self.smap.stripe_data_range(m.stripe);
+            a = m.copy * per_copy + lo + k_data;
+        }
+        let stripe_count = shards.len();
         sort_shard_set(&mut shards);
-        let _guards = self.locks.lock_sorted(&shards);
-        let per_copy = self.smap.data_units_per_copy();
-        let parity_per_stripe = self.scheme.parity_per_stripe();
-        // The deferred full-stripe plan: per-physical-disk buckets of
-        // `(offset, source)` unit writes, where a source indexes
-        // either the caller's data or the appended parity staging
-        // below. Safe to defer past the interleaved RMW writes because
-        // every planned unit belongs to a fully-covered stripe, which
-        // no RMW of this call (always a *partially*-covered stripe)
-        // can touch.
-        let mut plan = WritePlan::new(self.backend.disks());
-        let mut i = 0usize;
-        while i < n {
-            let addr = start + i;
-            let stripe_idx = self.smap.stripe_of(addr);
-            let k_data = self.layout.stripes()[stripe_idx].len() - parity_per_stripe;
-            // Runs never span copies: stripe_of works within one copy.
-            let within = addr % per_copy;
-            let is_stripe_head = within == 0 || self.smap.stripe_of(addr - 1) != stripe_idx;
-            let run = (n - i).min(k_data);
-            let covers_stripe = is_stripe_head
-                && run == k_data
-                && (within + run <= per_copy)
-                && self.smap.stripe_of(addr + run - 1) == stripe_idx;
-            if covers_stripe {
-                self.plan_full_stripe(
-                    &st,
-                    addr,
-                    &data[i * self.unit_size..(i + run) * self.unit_size],
-                    i,
-                    &mut plan,
-                )?;
-                i += run;
-            } else {
-                self.write_block_locked(
-                    &st,
-                    addr,
-                    &data[i * self.unit_size..(i + 1) * self.unit_size],
-                )?;
-                i += 1;
+        let wb = self.cache.is_write_back();
+        {
+            let _guards = self.locks.lock_sorted(&shards);
+            // Loaded *after* the batch's shard locks are held: a
+            // writer that dirtied one of our stripes released its
+            // (same) shard lock before we acquired it, so its
+            // dirty-count bump is visible here — and no concurrent
+            // writer can dirty our stripes from now on. Hoisting this
+            // above the locks would race a just-cached write and skip
+            // the supersede bookkeeping below.
+            let check_cache = self.cache.maybe_dirty();
+            // Cache entries fully overwritten by this batch: their
+            // bytes are superseded, but the entries must stay visible
+            // to lock-free readers until the plan's backend writes
+            // land (removing earlier would expose pre-write backend
+            // bytes for still-dirty units). Collected here, removed
+            // after each plan flush.
+            let mut superseded: Vec<(usize, u64)> = Vec::new();
+            // The deferred full-stripe plan: per-physical-disk buckets
+            // of `(offset, source)` unit writes, where a source
+            // indexes either the caller's data or the appended parity
+            // staging below. Safe to defer past the interleaved RMW
+            // writes because every planned unit belongs to a
+            // fully-covered stripe, which no RMW of this call (always
+            // a *partially*-covered stripe) can touch. The shard walk
+            // above counted the batch's stripes, so the plan can be
+            // sized exactly once up front.
+            let parity_units = self.scheme.parity_per_stripe();
+            let mut plan = WritePlan::with_capacity(
+                self.backend.disks(),
+                stripe_count,
+                n + stripe_count * parity_units,
+                parity_units * self.unit_size,
+            );
+            // Call-bound backends (files, disks, networks) want the
+            // plan as large as possible — every deferred unit widens
+            // the per-disk gather runs. Memory-speed backends gain
+            // nothing past a cache-resident window: flushing every
+            // ~64 stripes keeps the source chunks L2-hot when the
+            // gather re-reads them, instead of streaming the whole
+            // span twice through last-level cache.
+            let window = if self.backend.prefers_gap_bridging() { usize::MAX } else { 64 };
+            let mut planned_stripes = 0usize;
+            let mut i = 0usize;
+            while i < n {
+                let addr = start + i;
+                let m = self.smap.locate_full(addr);
+                let (lo, k_data) = self.smap.stripe_data_range(m.stripe);
+                // A stripe's data addresses are one contiguous run
+                // within the copy, so full coverage is a head-aligned
+                // run of k_data blocks.
+                let covers_stripe = addr - m.copy * per_copy == lo && n - i >= k_data;
+                if covers_stripe {
+                    if check_cache {
+                        superseded.push((
+                            self.locks.shard_of(m.copy, m.stripe),
+                            stripe_key(m.copy, m.stripe),
+                        ));
+                    }
+                    self.plan_full_stripe(
+                        &st,
+                        addr,
+                        &data[i * self.unit_size..(i + k_data) * self.unit_size],
+                        i,
+                        &mut plan,
+                    )?;
+                    i += k_data;
+                    planned_stripes += 1;
+                    if planned_stripes >= window {
+                        self.flush_write_plan(&mut plan, data)?;
+                        plan.reset();
+                        planned_stripes = 0;
+                        for &(shard, key) in &superseded {
+                            self.cache.remove_flushed(shard, key);
+                        }
+                        superseded.clear();
+                    }
+                } else if wb {
+                    // Partial stripe under write-back: defer the RMW
+                    // into the stripe cache (zero backend I/O here).
+                    let shard = self.locks.shard_of(m.copy, m.stripe);
+                    let (_, key, j, k_data) = self.cache_coords(&m, addr);
+                    self.cache.write(
+                        shard,
+                        key,
+                        k_data,
+                        j,
+                        &data[i * self.unit_size..(i + 1) * self.unit_size],
+                    );
+                    i += 1;
+                } else {
+                    self.write_block_locked(
+                        &st,
+                        addr,
+                        &data[i * self.unit_size..(i + 1) * self.unit_size],
+                    )?;
+                    i += 1;
+                }
+            }
+            self.flush_write_plan(&mut plan, data)?;
+            for &(shard, key) in &superseded {
+                self.cache.remove_flushed(shard, key);
             }
         }
-        self.flush_write_plan(&mut plan, data)
+        // Eviction after the batch's shard locks are released (one
+        // victim shard at a time — see `evict_over_limit`).
+        if wb {
+            self.evict_over_limit(&st)?;
+        }
+        Ok(())
     }
 
     /// Computes parity for one fully-covered stripe (addresses `start
@@ -1488,17 +1936,24 @@ impl<B: Backend> BlockStore<B> {
         plan: &mut WritePlan,
     ) -> Result<(), StoreError> {
         let us = self.unit_size;
-        let si = self.smap.stripe_of(start);
-        let shift = (self.smap.copy_of(start) * self.layout.size()) as u32;
+        let head = self.smap.locate_full(start);
+        let (si, copy) = (head.stripe, head.copy);
+        let shift = (copy * self.layout.size()) as u32;
         let units = self.layout.stripes()[si].units();
         let (p_slot, q_slot) = self.smap.parity_slots(si);
         let is_pq = self.scheme == ParityScheme::PQ;
         // Parity accumulates directly in the plan's staging area — no
         // scratch round trip, no copy. Destructured so the parity
-        // borrow and the bucket pushes coexist.
+        // borrow and the bucket pushes coexist. P is *copy*-initialized
+        // from the first data unit (then XORs the rest), which saves a
+        // zero-fill plus one accumulation pass per stripe; Q has no
+        // such shortcut (its first term is already coefficient-scaled).
         let WritePlan { by_disk, parity, unsorted } = plan;
         let p_idx = parity.len() / us;
-        parity.resize((p_idx + 1 + is_pq as usize) * us, 0);
+        parity.extend_from_slice(&stripe_data[..us]);
+        if is_pq {
+            parity.resize((p_idx + 2) * us, 0);
+        }
         let (acc_p, acc_q) = parity[p_idx * us..].split_at_mut(us);
         let mut push = |disk: usize, offset: u32, src: WriteSrc| {
             let bucket = &mut by_disk[disk];
@@ -1507,48 +1962,54 @@ impl<B: Backend> BlockStore<B> {
             }
             bucket.push((offset, src));
         };
+        // Hoisted failure gate: on a healthy array (the overwhelmingly
+        // common case) none of the per-unit failed-set probes below
+        // run at all.
+        let any_failed = !st.failed.is_empty();
         for (j, chunk) in stripe_data.chunks_exact(us).enumerate() {
-            let addr = start + j;
-            debug_assert_eq!(self.smap.stripe_of(addr), si);
-            xor_slice(acc_p, chunk);
-            if is_pq {
-                gf256::mul_add_slice(acc_q, chunk, gf256::gen_pow(self.smap.slot_of(addr)));
+            let m = self.smap.locate_full(start + j);
+            debug_assert_eq!(m.stripe, si);
+            if j > 0 {
+                xor_slice(acc_p, chunk);
             }
-            let u = self.smap.locate(addr);
-            if st.failed.contains(u.disk as usize) {
+            if is_pq {
+                gf256::mul_add_slice(acc_q, chunk, gf256::gen_pow(m.slot));
+            }
+            let u = m.unit;
+            if any_failed && st.failed.contains(u.disk as usize) {
                 // The lost unit's content is encoded in the new parity;
                 // nothing to write on the failed disk, whose medium is
                 // now stale (rebuild-only). With a rebuild racing, the
                 // fresh value goes to the spare instead.
                 self.mark_stale(u.disk as usize);
                 if let Some(spare) = Self::spare_for(st, u.disk as usize) {
-                    push(spare, u.offset, WriteSrc::Data(base + j));
+                    push(spare, u.offset, WriteSrc::data(base + j));
                 }
                 continue;
             }
-            push(st.redirect[u.disk as usize], u.offset, WriteSrc::Data(base + j));
+            push(st.redirect[u.disk as usize], u.offset, WriteSrc::data(base + j));
         }
         let p_unit = units[p_slot];
-        if st.failed.contains(p_unit.disk as usize) {
+        if any_failed && st.failed.contains(p_unit.disk as usize) {
             self.mark_stale(p_unit.disk as usize);
             if let Some(spare) = Self::spare_for(st, p_unit.disk as usize) {
-                push(spare, p_unit.offset + shift, WriteSrc::Parity(p_idx));
+                push(spare, p_unit.offset + shift, WriteSrc::parity(p_idx));
             }
         } else {
-            push(st.redirect[p_unit.disk as usize], p_unit.offset + shift, WriteSrc::Parity(p_idx));
+            push(st.redirect[p_unit.disk as usize], p_unit.offset + shift, WriteSrc::parity(p_idx));
         }
         if let Some(qs) = q_slot {
             let q_unit = units[qs];
-            if st.failed.contains(q_unit.disk as usize) {
+            if any_failed && st.failed.contains(q_unit.disk as usize) {
                 self.mark_stale(q_unit.disk as usize);
                 if let Some(spare) = Self::spare_for(st, q_unit.disk as usize) {
-                    push(spare, q_unit.offset + shift, WriteSrc::Parity(p_idx + 1));
+                    push(spare, q_unit.offset + shift, WriteSrc::parity(p_idx + 1));
                 }
             } else {
                 push(
                     st.redirect[q_unit.disk as usize],
                     q_unit.offset + shift,
-                    WriteSrc::Parity(p_idx + 1),
+                    WriteSrc::parity(p_idx + 1),
                 );
             }
         }
@@ -1565,9 +2026,13 @@ impl<B: Backend> BlockStore<B> {
         let WritePlan { by_disk, parity, unsorted } = plan;
         let parity: &[u8] = parity;
         let unsorted = *unsorted;
-        let src = |s: WriteSrc| match s {
-            WriteSrc::Data(i) => &data[i * us..(i + 1) * us],
-            WriteSrc::Parity(i) => &parity[i * us..(i + 1) * us],
+        let src = |s: WriteSrc| {
+            let i = (s.0 & !WriteSrc::PARITY) as usize;
+            if s.0 & WriteSrc::PARITY != 0 {
+                &parity[i * us..(i + 1) * us]
+            } else {
+                &data[i * us..(i + 1) * us]
+            }
         };
         let mut srcs: Vec<&[u8]> = Vec::new();
         for (disk, bucket) in by_disk.iter_mut().enumerate() {
@@ -1650,6 +2115,12 @@ impl<B: Backend> BlockStore<B> {
         if let Some(f) = st.failed.first() {
             return Err(StoreError::DiskFailed(f));
         }
+        // Drain the write-back cache first so the scan covers the
+        // current contents, not the pre-cache snapshot. (The backend
+        // satisfies the invariants either way — deferred writes touch
+        // no backend byte until their combined flush — but verifying
+        // flushed bytes is the stronger statement.)
+        self.flush_cache_locked(&st)?;
         let size = self.layout.size();
         let is_pq = self.scheme == ParityScheme::PQ;
         let mut acc_p = vec![0u8; self.unit_size];

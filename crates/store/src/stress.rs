@@ -24,6 +24,7 @@
 //! and every panic message carries the seed.
 
 use crate::backend::Backend;
+use crate::cache::CachePolicy;
 use crate::error::StoreError;
 use crate::rebuild::{RebuildReport, Rebuilder};
 use crate::store::{fill_pattern, BlockStore};
@@ -77,6 +78,11 @@ pub struct StressConfig {
     /// assumes a store the harness wrote from scratch, which a reused
     /// bench store is not); the parity-invariant check still runs.
     pub verify_reads: bool,
+    /// Cache policy installed on the store before the run (the
+    /// `PDL_CACHE` environment variable overrides it, so the CI
+    /// concurrency matrix replays every schedule with write-back
+    /// combining on).
+    pub cache: CachePolicy,
 }
 
 impl Default for StressConfig {
@@ -90,14 +96,16 @@ impl Default for StressConfig {
             fail_disk: None,
             rebuild: RebuildMode::None,
             verify_reads: true,
+            cache: CachePolicy::WriteThrough,
         }
     }
 }
 
 impl StressConfig {
     /// Applies the `PDL_STRESS_SEED` / `PDL_STRESS_THREADS` /
-    /// `PDL_STRESS_OPS` environment overrides (the CI concurrency
-    /// matrix sets the thread count; a failure replays with the seed).
+    /// `PDL_STRESS_OPS` / `PDL_CACHE` environment overrides (the CI
+    /// concurrency matrix sets the thread count and cache policy; a
+    /// failure replays with the seed).
     pub fn with_env_overrides(mut self) -> Self {
         if let Ok(s) = std::env::var("PDL_STRESS_SEED") {
             self.seed = s.parse().expect("PDL_STRESS_SEED must be a u64");
@@ -107,6 +115,10 @@ impl StressConfig {
         }
         if let Ok(s) = std::env::var("PDL_STRESS_OPS") {
             self.ops_per_thread = s.parse().expect("PDL_STRESS_OPS must be a usize");
+        }
+        if let Ok(s) = std::env::var("PDL_CACHE") {
+            self.cache = CachePolicy::decode(&s)
+                .expect("PDL_CACHE must be writethrough, writeback, or writeback:<max_dirty>");
         }
         self
     }
@@ -170,6 +182,7 @@ pub fn run<B: Backend>(
 ) -> Result<StressReport, StoreError> {
     let blocks = store.blocks();
     let unit = store.unit_size();
+    store.set_cache_policy(cfg.cache)?;
     let threads = cfg.threads.max(1).min(blocks);
     let per_region = blocks / threads;
     assert!(per_region > 0, "store too small for {threads} threads");
@@ -202,8 +215,13 @@ pub fn run<B: Backend>(
     }
 
     if let Some(disk) = cfg.fail_disk {
-        // Kill the medium first: every correct byte of this disk must
-        // come from the erasure decode from here on.
+        // Drain the write cache before killing the medium: wiping a
+        // disk that deferred writes still assume intact would feed
+        // zeroes into their flush-time parity deltas. (Real failures
+        // have no wipe step — `fail_disk` itself flushes first.)
+        store.flush()?;
+        // Kill the medium: every correct byte of this disk must come
+        // from the erasure decode from here on.
         store.backend().wipe_disk(store.physical_disk(disk))?;
         store.fail_disk(disk)?;
     }
@@ -241,6 +259,13 @@ pub fn run<B: Backend>(
         }
         RebuildMode::AtEnd { spare } => Some(Rebuilder::default().rebuild(store, spare)?),
     };
+
+    // Drain the write-back cache off the clock: the final sweep then
+    // verifies the *flushed* bytes end to end (combined parity
+    // updates included), not just the in-memory cache contents.
+    if cfg.cache.is_write_back() {
+        store.flush()?;
+    }
 
     // Final sweep: every block, bit for bit, against the pattern its
     // salt implies — then the parity invariants when the array is

@@ -11,7 +11,7 @@
 
 use pdl_core::{DoubleParityLayout, RingLayout};
 use pdl_store::stress::{self, RebuildMode, StressConfig};
-use pdl_store::{Backend, BlockStore, FileBackend, MemBackend, Rebuilder, StoreError};
+use pdl_store::{Backend, BlockStore, CachePolicy, FileBackend, MemBackend, Rebuilder, StoreError};
 use std::path::PathBuf;
 
 const UNIT: usize = 64;
@@ -181,6 +181,134 @@ fn stress_racing_rebuild_pq_mem() {
     let store = pq_store_mem();
     stress::run(&store, &cfg).unwrap();
     assert!(!store.is_degraded());
+    store.verify_parity().unwrap();
+}
+
+/// Write-back policy for the dedicated cache stress runs: a small
+/// budget keeps the eviction path hot. An explicit `PDL_CACHE` (the
+/// CI cache matrix leg) still wins, so a replay honors the
+/// environment exactly.
+fn write_back_config(name: &str) -> StressConfig {
+    let mut cfg = base_config(name);
+    if std::env::var("PDL_CACHE").is_err() {
+        cfg.cache = CachePolicy::WriteBack { max_dirty: 16 };
+    }
+    cfg
+}
+
+/// Seeded mixed traffic with write-back combining on: every read
+/// must still verify bit-for-bit — against the cache before a flush,
+/// against the backend after — and the end-of-run drain must leave
+/// the parity invariants intact.
+#[test]
+fn stress_write_back_mixed_mem() {
+    let cfg = write_back_config("wb_mixed_mem");
+    let store = xor_store_mem();
+    stress::run(&store, &cfg).unwrap();
+    assert_eq!(store.dirty_cache_stripes(), 0, "run ends drained");
+    store.verify_parity().unwrap();
+}
+
+#[test]
+fn stress_write_back_mixed_pq_mem() {
+    let cfg = write_back_config("wb_mixed_pq_mem");
+    let store = pq_store_mem();
+    stress::run(&store, &cfg).unwrap();
+    store.verify_parity().unwrap();
+}
+
+/// The write-back acceptance run: 8 threads of cached mixed traffic
+/// racing a live rebuild of a wiped disk — flush-before-transition,
+/// write-through-to-spare on evicted degraded stripes, and the
+/// post-run drain must all compose to a bit-exact array.
+#[test]
+fn stress_write_back_racing_rebuild_mem() {
+    let cfg = with_default_threads(
+        StressConfig {
+            fail_disk: Some(1),
+            rebuild: RebuildMode::Racing { spare: 9 },
+            ..write_back_config("wb_racing_mem")
+        },
+        8,
+    );
+    let store = xor_store_mem();
+    stress::run(&store, &cfg).unwrap();
+    assert!(!store.is_degraded(), "racing rebuild completed under write-back");
+    assert_eq!(store.physical_disk(1), 9, "logical disk redirected onto the spare");
+    store.verify_parity().unwrap();
+}
+
+#[test]
+fn stress_write_back_racing_rebuild_file() {
+    let cfg = with_default_threads(
+        StressConfig {
+            fail_disk: Some(1),
+            rebuild: RebuildMode::Racing { spare: 9 },
+            ..write_back_config("wb_racing_file")
+        },
+        8,
+    );
+    with_xor_store_file("wbracing", |store| {
+        stress::run(&store, &cfg).unwrap();
+        assert!(!store.is_degraded());
+        store.verify_parity().unwrap();
+    });
+}
+
+/// Deterministic flush-before-transition semantics: cached writes
+/// whose stripes cross a failed disk must mark its medium stale at
+/// the latest when `restore_disk` forces the flush — so restore is
+/// refused for exactly the histories write-through would refuse.
+#[test]
+fn write_back_flush_marks_stale_before_restore_mem() {
+    let store = xor_store_mem();
+    store.set_cache_policy(CachePolicy::write_back()).unwrap();
+    store.fail_disk(2).unwrap();
+    // Dirty every stripe of copy 0: some of them cross disk 2 (their
+    // parity or data unit lives there), so the eventual flush must
+    // skip units on it and poison the restore.
+    let per_copy = store.stripe_map().data_units_per_copy();
+    let block = vec![0xeeu8; UNIT];
+    for addr in 0..per_copy {
+        store.write_block(addr, &block).unwrap();
+    }
+    assert!(store.dirty_cache_stripes() > 0, "writes deferred");
+    // The restore itself drains the cache (flush-before-transition)
+    // and must then refuse: the medium is stale.
+    assert!(matches!(store.restore_disk(2), Err(StoreError::RebuildRequired(2))));
+    // A rebuild drains the failure; all acknowledged writes survive.
+    Rebuilder::default().rebuild(&store, 9).unwrap();
+    let mut out = vec![0u8; UNIT];
+    for addr in 0..per_copy {
+        store.read_block(addr, &mut out).unwrap();
+        assert_eq!(out, block, "block {addr} lost after flush + rebuild");
+    }
+    store.verify_parity().unwrap();
+}
+
+/// Cached writes to a *failed* disk's blocks: served from the cache
+/// while dirty, erasure-decoded to the same bytes after the flush,
+/// and landed on the spare by the rebuild.
+#[test]
+fn write_back_degraded_write_read_cycle_mem() {
+    let store = xor_store_mem();
+    store.set_cache_policy(CachePolicy::write_back()).unwrap();
+    let addrs = stripe_addrs(&store, 0);
+    let lost_addr = addrs[0];
+    let lost_disk = store.stripe_map().locate(lost_addr).disk as usize;
+    store.backend().wipe_disk(store.physical_disk(lost_disk)).unwrap();
+    store.fail_disk(lost_disk).unwrap();
+    let block = vec![0x42u8; UNIT];
+    store.write_block(lost_addr, &block).unwrap();
+    let mut out = vec![0u8; UNIT];
+    store.read_block(lost_addr, &mut out).unwrap();
+    assert_eq!(out, block, "dirty lost block served from the cache");
+    store.flush().unwrap();
+    store.read_block(lost_addr, &mut out).unwrap();
+    assert_eq!(out, block, "flushed lost block decodes from surviving parity");
+    Rebuilder::default().rebuild(&store, 9).unwrap();
+    store.read_block(lost_addr, &mut out).unwrap();
+    assert_eq!(out, block, "rebuilt block holds the cached write");
     store.verify_parity().unwrap();
 }
 

@@ -13,7 +13,7 @@
 
 use pdl_core::{DoubleParityLayout, RingLayout};
 use pdl_sim::{Trace, TraceOp, Workload};
-use pdl_store::{Backend, BlockStore, MemBackend, Rebuilder};
+use pdl_store::{Backend, BlockStore, CachePolicy, MemBackend, Rebuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::path::PathBuf;
@@ -58,6 +58,14 @@ struct Harness<B: Backend> {
 
 impl<B: Backend> Harness<B> {
     fn new(store: BlockStore<B>, seed: u64, name: &'static str) -> Self {
+        Self::with_cache(store, seed, name, CachePolicy::WriteThrough)
+    }
+
+    /// A harness whose store runs the schedule under `cache` — the
+    /// write-back variant exercises deferred parity maintenance
+    /// against the same fault schedule and the same shadow image.
+    fn with_cache(store: BlockStore<B>, seed: u64, name: &'static str, cache: CachePolicy) -> Self {
+        store.set_cache_policy(cache).unwrap();
         let blocks = store.blocks();
         let mapped: Vec<usize> = (0..store.v()).map(|d| store.physical_disk(d)).collect();
         let free = (0..store.backend().disks()).filter(|p| !mapped.contains(p)).collect();
@@ -128,8 +136,13 @@ impl<B: Backend> Harness<B> {
         if self.store.failed_disks().contains(disk) {
             return;
         }
-        // Kill the medium first: from here on, every correct byte of
-        // this disk must come from the erasure decode.
+        // Drain the write cache before killing the medium (a deferred
+        // write still assumes the disk holds its pre-write bytes),
+        // then wipe: from here on, every correct byte of this disk
+        // must come from the erasure decode.
+        if self.store.cache_policy().is_write_back() {
+            self.store.flush().unwrap_or_else(|e| panic!("{} pre-fail flush: {e}", self.ctx()));
+        }
         let phys = self.store.physical_disk(disk);
         self.store.backend().wipe_disk(phys).unwrap();
         self.store.fail_disk(disk).unwrap_or_else(|e| panic!("{} fail_disk: {e}", self.ctx()));
@@ -215,6 +228,40 @@ fn fault_schedule_pq_mem() {
     record_seeds("pq_mem", &seeds);
     for seed in seeds {
         Harness::new(pq_store_mem(), seed, "pq_mem").run();
+    }
+}
+
+/// The XOR schedule with write-back combining on (a small budget
+/// keeps flush-by-eviction racing the fault events).
+#[test]
+fn fault_schedule_xor_writeback_mem() {
+    let seeds = seeds_under_test();
+    record_seeds("xor_wb_mem", &seeds);
+    for seed in seeds {
+        Harness::with_cache(
+            xor_store_mem(),
+            seed,
+            "xor_wb_mem",
+            CachePolicy::WriteBack { max_dirty: 8 },
+        )
+        .run();
+    }
+}
+
+/// The P+Q double-failure schedule under write-back, file-backed.
+#[test]
+fn fault_schedule_pq_writeback_file() {
+    let seeds = seeds_under_test();
+    record_seeds("pq_wb_file", &seeds);
+    for seed in seeds {
+        let dir =
+            std::env::temp_dir().join(format!("pdl-fault-pqwb-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dp = DoubleParityLayout::new(RingLayout::for_v_k(9, 4).layout().clone()).unwrap();
+        let store = pdl_store::create_file_store_pq(&dir, dp, UNIT, COPIES, 3).unwrap();
+        Harness::with_cache(store, seed, "pq_wb_file", CachePolicy::WriteBack { max_dirty: 8 })
+            .run();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
 

@@ -5,7 +5,7 @@
 //! zero-read full-stripe write — fails here, not in a benchmark.
 
 use pdl_core::{DoubleParityLayout, RingLayout};
-use pdl_store::{Backend, BlockStore, MemBackend, Rebuilder};
+use pdl_store::{Backend, BlockStore, CachePolicy, MemBackend, Rebuilder};
 
 const UNIT: usize = 128;
 
@@ -166,6 +166,95 @@ fn small_pq_write_is_3_plus_3() {
     store.write_block(1, &[0x22u8; UNIT]).unwrap();
     let (r, w, _, _) = totals(&store);
     assert_eq!((r, w), (3, 3), "P+Q RMW is 3 reads + 3 writes");
+    store.verify_parity().unwrap();
+}
+
+/// K small writes to one stripe under write-back flush as **one**
+/// combined parity update: the cached writes themselves do zero
+/// backend I/O, and the flush pays `k_data − dirty` reads (the clean
+/// units, for the idempotent fresh-parity recompute) plus
+/// `dirty + parity` writes — one backend call per touched disk — no
+/// matter how many client writes the stripe absorbed.
+#[test]
+fn write_back_combines_k_writes_into_one_flush() {
+    let store = ring_store(7, 4, 2);
+    store.set_cache_policy(CachePolicy::WriteBack { max_dirty: 64 }).unwrap();
+    let (lo, k_data) = store.stripe_map().stripe_data_range(0);
+    assert_eq!(k_data, 3, "k = 4 XOR stripes carry 3 data units");
+    store.reset_counters();
+    // 50 + 30 writes, all into two data units of stripe 0.
+    for i in 0..50u8 {
+        store.write_block(lo, &[i; UNIT]).unwrap();
+    }
+    for i in 0..30u8 {
+        store.write_block(lo + 1, &[i; UNIT]).unwrap();
+    }
+    let (r, w, _, _) = totals(&store);
+    assert_eq!((r, w), (0, 0), "cached writes perform no backend I/O");
+    assert_eq!(store.dirty_cache_stripes(), 1);
+    store.flush().unwrap();
+    let (r, w, rc, wc) = totals(&store);
+    assert_eq!(
+        (r, w),
+        (1, 3),
+        "80 writes flush as one recompute: 1 clean-unit read + (2 data + P) writes"
+    );
+    assert!(rc <= 1 && wc <= 3, "at most one backend call per touched disk, got {rc}/{wc}");
+    assert_eq!(store.dirty_cache_stripes(), 0);
+    store.verify_parity().unwrap();
+    // The cached values are the ones that landed.
+    let mut out = vec![0u8; UNIT];
+    store.read_block(lo, &mut out).unwrap();
+    assert_eq!(out, [49u8; UNIT]);
+    store.read_block(lo + 1, &mut out).unwrap();
+    assert_eq!(out, [29u8; UNIT]);
+}
+
+/// A stripe whose every data unit goes dirty in the cache flushes on
+/// the zero-read full-stripe path: parity recomputed fresh, exactly
+/// `k` unit writes, no reads — even though the writes arrived one
+/// block at a time.
+#[test]
+fn write_back_full_stripe_flush_is_zero_read() {
+    let store = pq_store(9, 4, 1);
+    store.set_cache_policy(CachePolicy::write_back()).unwrap();
+    let (lo, k_data) = store.stripe_map().stripe_data_range(0);
+    store.reset_counters();
+    for round in 0..4u8 {
+        for j in 0..k_data {
+            store.write_block(lo + j, &[round ^ j as u8; UNIT]).unwrap();
+        }
+    }
+    store.flush().unwrap();
+    let (r, w, _, wc) = totals(&store);
+    assert_eq!(r, 0, "fully dirty stripe flushes with zero reads");
+    assert_eq!(w, 4, "k - 2 data + P + Q = k = 4 unit writes");
+    assert!(wc <= 4, "one call per touched disk");
+    store.verify_parity().unwrap();
+}
+
+/// A full-cache drain batches *across* stripes: single-block writes
+/// covering a whole copy flush with the same per-disk coalescing as
+/// a direct `write_blocks` sweep (≤ 2 vectored calls per disk — the
+/// data fragments around each disk's parity cluster), not one call
+/// per stripe.
+#[test]
+fn write_back_batch_flush_coalesces_across_stripes() {
+    let store = ring_store(7, 4, 1);
+    store.set_cache_policy(CachePolicy::WriteBack { max_dirty: 1024 }).unwrap();
+    let blocks = store.blocks();
+    store.reset_counters();
+    for addr in 0..blocks {
+        store.write_block(addr, &[(addr % 251) as u8; UNIT]).unwrap();
+    }
+    let (r, w, _, _) = totals(&store);
+    assert_eq!((r, w), (0, 0), "all writes absorbed by the cache");
+    store.flush().unwrap();
+    let (r, w, _, wc) = totals(&store);
+    let layout_units = store.v() as u64 * store.layout().size() as u64;
+    assert_eq!(r, 0, "whole-copy drain is all full stripes: zero reads");
+    assert_eq!(w, layout_units, "every unit (data + parity) written once");
+    assert!(wc <= 2 * store.v() as u64, "batched flush coalesces to ≤ 2 calls per disk, got {wc}");
     store.verify_parity().unwrap();
 }
 
