@@ -24,15 +24,30 @@
 //! compare two measurements from the same process on the same
 //! machine, so they need no normalization.
 //!
+//! Observability stats are gated separately: `--stat-baseline` /
+//! `--stat-current` point at the `pdl-bench-stats/v1` dumps the
+//! throughput bench writes with `--stats-out`, and each
+//! `--require-stat dotted.path` (repeatable, e.g.
+//! `mem.degraded.one.ops`) demands the current value stay within the
+//! tolerance band of the committed baseline value — a drift check on
+//! the *I/O accounting itself*: the bench workload is fixed, so a
+//! degraded-window op count moving more than ±25% means the
+//! instrumentation (or the degraded path's shape) changed, not the
+//! machine. A path missing from either file fails the gate.
+//!
 //! Usage:
 //!   bench_gate --baseline BENCH_store.json --current new.json \
-//!              [--tolerance 0.25] [--raw] [--require-ratio name:min]...
+//!              [--tolerance 0.25] [--raw] [--require-ratio name:min]... \
+//!              [--stat-baseline BENCH_stats.json --stat-current fresh.json \
+//!               --require-stat dotted.path]...
 //!
 //! Only the single-thread `results` rows participate in the
 //! regression check; the `thread_scaling` section has its own gate
 //! (`bench_store_concurrent --require-scaling`).
 
-use pdl_bench::{median, parse_bench_rows, parse_named_numbers, BenchRow};
+use pdl_bench::{
+    flatten_json_numbers, json_number_at, median, parse_bench_rows, parse_named_numbers, BenchRow,
+};
 
 struct Args {
     baseline: String,
@@ -40,6 +55,9 @@ struct Args {
     tolerance: f64,
     raw: bool,
     require_ratios: Vec<(String, f64)>,
+    stat_baseline: Option<String>,
+    stat_current: Option<String>,
+    require_stats: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +66,9 @@ fn parse_args() -> Args {
     let mut tolerance = 0.25;
     let mut raw = false;
     let mut require_ratios = Vec::new();
+    let mut stat_baseline = None;
+    let mut stat_current = None;
+    let mut require_stats = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -71,15 +92,32 @@ fn parse_args() -> Args {
                     min.parse().expect("--require-ratio minimum must be a number"),
                 ));
             }
+            "--stat-baseline" => {
+                stat_baseline = Some(args.next().expect("--stat-baseline needs a path"))
+            }
+            "--stat-current" => {
+                stat_current = Some(args.next().expect("--stat-current needs a path"))
+            }
+            "--require-stat" => {
+                require_stats.push(args.next().expect("--require-stat needs a dotted path"))
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench_gate --baseline <json> --current <json> \
-                     [--tolerance 0.25] [--raw] [--require-ratio name:min]..."
+                     [--tolerance 0.25] [--raw] [--require-ratio name:min]... \
+                     [--stat-baseline <json> --stat-current <json> \
+                     --require-stat dotted.path]..."
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if !require_stats.is_empty() {
+        assert!(
+            stat_baseline.is_some() && stat_current.is_some(),
+            "--require-stat needs both --stat-baseline and --stat-current"
+        );
     }
     Args {
         baseline: baseline.expect("--baseline is required"),
@@ -87,6 +125,9 @@ fn parse_args() -> Args {
         tolerance,
         raw,
         require_ratios,
+        stat_baseline,
+        stat_current,
+        require_stats,
     }
 }
 
@@ -164,6 +205,38 @@ fn main() {
         }
     }
 
+    // Observability stat drift gates: same fixed workload on both
+    // sides, so each required counter must stay within the tolerance
+    // band of its committed baseline value.
+    if !args.require_stats.is_empty() {
+        let base_stats =
+            flatten_json_numbers(&read(args.stat_baseline.as_deref().expect("checked above")));
+        let cur_stats =
+            flatten_json_numbers(&read(args.stat_current.as_deref().expect("checked above")));
+        for path in &args.require_stats {
+            let (base, cur) = (json_number_at(&base_stats, path), json_number_at(&cur_stats, path));
+            match (base, cur) {
+                (Some(b), Some(c)) => {
+                    // Band check that also works when the baseline is 0
+                    // (then only an exact 0 passes).
+                    let ok = (c - b).abs() <= b.abs() * args.tolerance;
+                    println!(
+                        "stat {path:<40} {b:>12.1} -> {c:>12.1} {:>8}",
+                        if ok { "ok" } else { "DRIFTED" }
+                    );
+                    if !ok {
+                        regressed.push(format!("stat {path} ({b:.1} -> {c:.1})"));
+                    }
+                }
+                _ => {
+                    let which = if base.is_none() { "baseline" } else { "current" };
+                    println!("stat {path:<40} missing from {which} {:>8}", "FAILED");
+                    regressed.push(format!("stat {path} (missing from {which})"));
+                }
+            }
+        }
+    }
+
     if !regressed.is_empty() {
         eprintln!(
             "FAIL: {} workload(s)/ratio(s) out of bounds (tolerance {:.0}%): {}",
@@ -174,8 +247,9 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!(
-        "bench gate ok: {} workloads within tolerance, {} ratio floors held",
+        "bench gate ok: {} workloads within tolerance, {} ratio floors held, {} stats in band",
         pairs.len(),
-        args.require_ratios.len()
+        args.require_ratios.len(),
+        args.require_stats.len()
     );
 }

@@ -31,7 +31,16 @@
 //!   spare (MB/s of reconstructed data).
 //!
 //! Run `--smoke` for a CI-sized run, `--out <path>` to choose the
-//! JSON destination (default `BENCH_store.json`).
+//! JSON destination (default `BENCH_store.json`), and
+//! `--stats-out <path>` to also dump each backend's final
+//! `StatsSnapshot` (`pdl-bench-stats/v1`) — the observability
+//! baseline the gate's `--require-stat` checks diff against.
+//!
+//! The mem suite additionally times the 70/30 mixed loop with the
+//! metrics registry enabled vs force-disabled
+//! (`mixed_70r30w_metrics_on/off`); the `mem_metrics_on_over_off`
+//! ratio is the registry's overhead gate (must stay ≥ 0.95, i.e.
+//! ≤ 5% overhead on the suite's representative small-op mix).
 
 use pdl_core::RingLayout;
 use pdl_store::{Backend, BlockStore, CachePolicy, FileBackend, MemBackend, Rebuilder, StoreError};
@@ -55,6 +64,8 @@ const SPAN: usize = 2048;
 struct Config {
     smoke: bool,
     out: String,
+    /// Where to write the per-backend `StatsSnapshot` dump, if asked.
+    stats_out: Option<String>,
     /// Layout copies tiled per disk (sets the store size).
     copies: usize,
     /// Timed passes per workload (the best pass is reported).
@@ -73,14 +84,18 @@ struct Sample {
 fn main() {
     let mut smoke = false;
     let mut out = String::from("BENCH_store.json");
+    let mut stats_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = args.next().expect("--out needs a path"),
+            "--stats-out" => stats_out = Some(args.next().expect("--stats-out needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_store_throughput [--smoke] [--out <path>]");
+                eprintln!(
+                    "usage: bench_store_throughput [--smoke] [--out <path>] [--stats-out <path>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -88,6 +103,7 @@ fn main() {
     let cfg = Config {
         smoke,
         out,
+        stats_out,
         copies: if smoke { 64 } else { 512 },
         // Best-of-5: the per-workload numbers feed a regression gate,
         // so a couple of extra passes buy a steadier minimum.
@@ -100,14 +116,14 @@ fn main() {
 
     let mut samples: Vec<Sample> = Vec::new();
 
-    {
+    let mem_stats = {
         let base =
             BlockStore::new(layout.clone(), MemBackend::new(v + 1, units_per_disk, UNIT)).unwrap();
         let store =
             BlockStore::new(layout.clone(), MemBackend::new(v + 1, units_per_disk, UNIT)).unwrap();
-        run_suite("mem", base, store, &cfg, &mut samples);
-    }
-    {
+        run_suite("mem", base, store, &cfg, &mut samples)
+    };
+    let file_stats = {
         let tmp = std::env::temp_dir();
         let base_dir = tmp.join(format!("pdl-bench-store-legacy-{}", std::process::id()));
         let dir = tmp.join(format!("pdl-bench-store-{}", std::process::id()));
@@ -121,14 +137,27 @@ fn main() {
             FileBackend::create(&dir, v + 1, units_per_disk, UNIT).unwrap(),
         )
         .unwrap();
-        run_suite("file", base, store, &cfg, &mut samples);
+        let stats = run_suite("file", base, store, &cfg, &mut samples);
         let _ = std::fs::remove_dir_all(&base_dir);
         let _ = std::fs::remove_dir_all(&dir);
-    }
+        stats
+    };
 
     let json = render_json(&cfg, &samples);
     std::fs::write(&cfg.out, &json).expect("write BENCH json");
     eprintln!("wrote {}", cfg.out);
+
+    if let Some(path) = &cfg.stats_out {
+        // Each suite's snapshot is already compact JSON; compose the
+        // document by hand so the schema key comes first.
+        let doc = format!(
+            "{{\"schema\": \"pdl-bench-stats/v1\", \"smoke\": {}, \"mem\": {mem_stats}, \
+             \"file\": {file_stats}}}\n",
+            cfg.smoke
+        );
+        std::fs::write(path, doc).expect("write stats json");
+        eprintln!("wrote {path}");
+    }
 
     // Human-readable table on stdout.
     println!("{:<8} {:<22} {:>12} {:>14}", "backend", "workload", "MB/s", "bytes");
@@ -196,13 +225,17 @@ fn timed_pair(
     )
 }
 
+/// Runs the full workload suite against `store` (with `base` as the
+/// pre-vectorization baseline) and returns the store's final
+/// [`StatsSnapshot`] as compact JSON — the observability record of
+/// everything the suite just did.
 fn run_suite<A: Backend, B: Backend>(
     name: &'static str,
     base: BlockStore<A>,
     store: BlockStore<B>,
     cfg: &Config,
     samples: &mut Vec<Sample>,
-) {
+) -> String {
     let blocks = store.blocks();
     let bytes = blocks * UNIT;
     let k_data = 3; // ring v=9, k=4 XOR stripes carry k-1 = 3 data units
@@ -275,6 +308,7 @@ fn run_suite<A: Backend, B: Backend>(
             store.read_block(addr, one).unwrap();
         }
     }));
+
     let block = vec![0xcdu8; UNIT];
     samples.push(timed(name, "random_small_write", cfg.passes, rand_ops * UNIT, || {
         for i in 0..rand_ops {
@@ -344,6 +378,37 @@ fn run_suite<A: Backend, B: Backend>(
     samples.push(uncached);
     samples.push(cached);
 
+    // Registry-overhead pair (mem only — the in-memory backend is
+    // where per-op bookkeeping could actually show): the identical
+    // 70/30 mixed loop with metrics recording on vs force-disabled,
+    // interleaved so host drift cancels. `mem_metrics_on_over_off`
+    // is the ≤5%-overhead acceptance gate; the mixed loop is the
+    // gate workload because it is the suite's representative
+    // small-op mix — the pure cached random-read loop, at well under
+    // 100 ns/op against warm RAM, would measure the registry against
+    // an op an order of magnitude cheaper than anything a real
+    // storage backend serves.
+    if name == "mem" {
+        let mut one_on = vec![0u8; UNIT];
+        let mut one_off = vec![0u8; UNIT];
+        let (on, off) = timed_pair(
+            name,
+            ("mixed_70r30w_metrics_on", &mut || {
+                store.metrics().set_enabled(true);
+                mixed(&store, &mut one_on);
+            }),
+            ("mixed_70r30w_metrics_off", &mut || {
+                store.metrics().set_enabled(false);
+                mixed(&store, &mut one_off);
+            }),
+            cfg.passes,
+            rand_ops * UNIT,
+        );
+        store.metrics().set_enabled(true);
+        samples.push(on);
+        samples.push(off);
+    }
+
     // Degraded sequential read (one disk down, decode per stripe).
     store.fail_disk(0).unwrap();
     samples.push(timed(name, "degraded_read", cfg.passes, bytes, || {
@@ -380,6 +445,8 @@ fn run_suite<A: Backend, B: Backend>(
         bytes: rebuilt_bytes,
         seconds: best,
     });
+
+    store.stats().to_json()
 }
 
 /// The headline speedups: vectored over per-unit, per backend.
@@ -414,6 +481,13 @@ fn ratios(samples: &[Sample]) -> Vec<(String, f64, f64)> {
             get(b, "mixed_70r30w"),
         ));
     }
+    // The registry-overhead gate: ≥ 0.95 means metrics cost ≤ 5% on
+    // the hottest single-block path.
+    out.push((
+        "mem_metrics_on_over_off".to_string(),
+        get("mem", "mixed_70r30w_metrics_on"),
+        get("mem", "mixed_70r30w_metrics_off"),
+    ));
     out
 }
 

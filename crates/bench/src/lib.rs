@@ -129,6 +129,132 @@ pub fn median(values: &mut [f64]) -> Option<f64> {
     Some(values[(values.len() - 1) / 2])
 }
 
+/// Flattens every numeric leaf of a JSON document into
+/// `("dotted.path", value)` pairs: object keys join with `.`, array
+/// elements use their index as the segment (`disks.2.reads`).
+/// Non-numeric leaves (strings, booleans, nulls) are skipped, which is
+/// exactly what the stat gate wants — it compares counters, not labels.
+///
+/// This is a tolerant single-pass scanner, not a validator: on
+/// malformed input it returns whatever pairs it saw before losing the
+/// plot. The gate treats a missing path as a failure anyway.
+pub fn flatten_json_numbers(json: &str) -> Vec<(String, f64)> {
+    struct Scan<'a> {
+        bytes: &'a [u8],
+        at: usize,
+        out: Vec<(String, f64)>,
+    }
+    impl Scan<'_> {
+        fn skip_ws(&mut self) {
+            while self.at < self.bytes.len() && self.bytes[self.at].is_ascii_whitespace() {
+                self.at += 1;
+            }
+        }
+        fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.bytes.get(self.at).copied()
+        }
+        /// Consumes a string literal and returns its raw contents
+        /// (escapes left as-is; stat paths never need them).
+        fn string(&mut self) -> String {
+            debug_assert_eq!(self.bytes[self.at], b'"');
+            self.at += 1;
+            let start = self.at;
+            while self.at < self.bytes.len() {
+                match self.bytes[self.at] {
+                    b'\\' => self.at += 2,
+                    b'"' => break,
+                    _ => self.at += 1,
+                }
+            }
+            let s = String::from_utf8_lossy(&self.bytes[start..self.at.min(self.bytes.len())])
+                .into_owned();
+            self.at += 1; // closing quote
+            s
+        }
+        fn value(&mut self, path: &str) {
+            match self.peek() {
+                Some(b'{') => {
+                    self.at += 1;
+                    loop {
+                        match self.peek() {
+                            Some(b'}') => {
+                                self.at += 1;
+                                break;
+                            }
+                            Some(b'"') => {
+                                let key = self.string();
+                                if self.peek() == Some(b':') {
+                                    self.at += 1;
+                                }
+                                let sub =
+                                    if path.is_empty() { key } else { format!("{path}.{key}") };
+                                self.value(&sub);
+                                if self.peek() == Some(b',') {
+                                    self.at += 1;
+                                }
+                            }
+                            _ => break, // malformed — bail on this object
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    self.at += 1;
+                    let mut idx = 0usize;
+                    loop {
+                        match self.peek() {
+                            Some(b']') => {
+                                self.at += 1;
+                                break;
+                            }
+                            Some(_) => {
+                                self.value(&format!("{path}.{idx}"));
+                                idx += 1;
+                                if self.peek() == Some(b',') {
+                                    self.at += 1;
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                Some(b'"') => {
+                    self.string();
+                }
+                Some(c) if c == b'-' || c.is_ascii_digit() => {
+                    let start = self.at;
+                    while self.bytes.get(self.at).is_some_and(|b| {
+                        b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                    }) {
+                        self.at += 1;
+                    }
+                    if let Ok(v) = std::str::from_utf8(&self.bytes[start..self.at])
+                        .unwrap_or("")
+                        .parse::<f64>()
+                    {
+                        self.out.push((path.to_string(), v));
+                    }
+                }
+                Some(_) => {
+                    // true / false / null — skip the bareword.
+                    while self.bytes.get(self.at).is_some_and(|b| b.is_ascii_alphabetic()) {
+                        self.at += 1;
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+    let mut s = Scan { bytes: json.as_bytes(), at: 0, out: Vec::new() };
+    s.value("");
+    s.out
+}
+
+/// Looks up one dotted path in a flattened document.
+pub fn json_number_at(pairs: &[(String, f64)], path: &str) -> Option<f64> {
+    pairs.iter().find(|(n, _)| n == path).map(|(_, v)| *v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +316,28 @@ mod tests {
         let twice = merge_thread_scaling(&once, "\"thread_scaling\": {\n    \"x\": 2\n  }");
         assert_eq!(twice.matches("thread_scaling").count(), 1);
         assert!(twice.contains("\"x\": 2") && !twice.contains("\"x\": 1"));
+    }
+
+    #[test]
+    fn flattens_numeric_leaves_with_dotted_paths() {
+        let pairs = flatten_json_numbers(
+            r#"{"schema":"pdl-bench-stats/v1","mem":{"degraded":{"one":{"ops":42,"wall_ns":1.5e3}},"disks":[{"reads":7},{"reads":9}],"live":true,"note":null}}"#,
+        );
+        assert_eq!(json_number_at(&pairs, "mem.degraded.one.ops"), Some(42.0));
+        assert_eq!(json_number_at(&pairs, "mem.degraded.one.wall_ns"), Some(1500.0));
+        assert_eq!(json_number_at(&pairs, "mem.disks.0.reads"), Some(7.0));
+        assert_eq!(json_number_at(&pairs, "mem.disks.1.reads"), Some(9.0));
+        // Strings, booleans, and nulls never produce entries.
+        assert!(!pairs.iter().any(|(n, _)| n == "schema" || n == "mem.live" || n == "mem.note"));
+        assert_eq!(json_number_at(&pairs, "mem.disks.2.reads"), None);
+    }
+
+    #[test]
+    fn flatten_handles_pretty_printed_and_negative() {
+        let pairs =
+            flatten_json_numbers("{\n  \"a\": {\n    \"b\": -3\n  },\n  \"c\": [1, 2]\n}\n");
+        assert_eq!(json_number_at(&pairs, "a.b"), Some(-3.0));
+        assert_eq!(json_number_at(&pairs, "c.1"), Some(2.0));
     }
 
     #[test]

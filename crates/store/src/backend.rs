@@ -10,9 +10,9 @@
 //! real traffic.
 
 use crate::error::StoreError;
+use crate::obs::DiskCounters;
 use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
 /// Positional read: no seek, no cursor state, so one brief lock
@@ -295,45 +295,6 @@ fn check_scatter<'a>(
     Ok(total)
 }
 
-/// Shared per-disk IO counters: units transferred and backend calls.
-#[derive(Debug)]
-struct Counters {
-    reads: Vec<AtomicU64>,
-    writes: Vec<AtomicU64>,
-    read_calls: Vec<AtomicU64>,
-    write_calls: Vec<AtomicU64>,
-}
-
-impl Counters {
-    fn new(disks: usize) -> Self {
-        let zeros = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
-        Counters {
-            reads: zeros(disks),
-            writes: zeros(disks),
-            read_calls: zeros(disks),
-            write_calls: zeros(disks),
-        }
-    }
-
-    fn add_read(&self, disk: usize, units: u64) {
-        self.reads[disk].fetch_add(units, Ordering::Relaxed);
-        self.read_calls[disk].fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn add_write(&self, disk: usize, units: u64) {
-        self.writes[disk].fetch_add(units, Ordering::Relaxed);
-        self.write_calls[disk].fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn reset(&self) {
-        for c in
-            self.reads.iter().chain(&self.writes).chain(&self.read_calls).chain(&self.write_calls)
-        {
-            c.store(0, Ordering::Relaxed);
-        }
-    }
-}
-
 /// In-memory backend: one `Vec<u8>` per disk behind an `RwLock`, so
 /// concurrent readers (the rebuild fan-in) never serialize against each
 /// other. The reference backend for tests and benchmarks.
@@ -342,7 +303,7 @@ pub struct MemBackend {
     unit_size: usize,
     units: usize,
     data: Vec<RwLock<Vec<u8>>>,
-    counters: Counters,
+    counters: DiskCounters,
 }
 
 impl MemBackend {
@@ -358,7 +319,7 @@ impl MemBackend {
             unit_size,
             units: units_per_disk,
             data: (0..disks).map(|_| RwLock::new(vec![0u8; units_per_disk * unit_size])).collect(),
-            counters: Counters::new(disks),
+            counters: DiskCounters::new(disks),
         }
     }
 }
@@ -465,19 +426,19 @@ impl Backend for MemBackend {
     }
 
     fn read_count(&self, disk: usize) -> u64 {
-        self.counters.reads[disk].load(Ordering::Relaxed)
+        self.counters.read_units(disk)
     }
 
     fn write_count(&self, disk: usize) -> u64 {
-        self.counters.writes[disk].load(Ordering::Relaxed)
+        self.counters.write_units(disk)
     }
 
     fn read_calls(&self, disk: usize) -> u64 {
-        self.counters.read_calls[disk].load(Ordering::Relaxed)
+        self.counters.read_calls(disk)
     }
 
     fn write_calls(&self, disk: usize) -> u64 {
-        self.counters.write_calls[disk].load(Ordering::Relaxed)
+        self.counters.write_calls(disk)
     }
 
     fn reset_counters(&self) {
@@ -510,7 +471,7 @@ pub struct FileBackend {
     unit_size: usize,
     units: usize,
     files: Vec<Mutex<File>>,
-    counters: Counters,
+    counters: DiskCounters,
 }
 
 impl FileBackend {
@@ -556,7 +517,7 @@ impl FileBackend {
             unit_size,
             units: units_per_disk,
             files,
-            counters: Counters::new(disks),
+            counters: DiskCounters::new(disks),
         })
     }
 
@@ -588,7 +549,7 @@ impl FileBackend {
             unit_size,
             units: units_per_disk,
             files,
-            counters: Counters::new(disks),
+            counters: DiskCounters::new(disks),
         })
     }
 
@@ -698,19 +659,19 @@ impl Backend for FileBackend {
     }
 
     fn read_count(&self, disk: usize) -> u64 {
-        self.counters.reads[disk].load(Ordering::Relaxed)
+        self.counters.read_units(disk)
     }
 
     fn write_count(&self, disk: usize) -> u64 {
-        self.counters.writes[disk].load(Ordering::Relaxed)
+        self.counters.write_units(disk)
     }
 
     fn read_calls(&self, disk: usize) -> u64 {
-        self.counters.read_calls[disk].load(Ordering::Relaxed)
+        self.counters.read_calls(disk)
     }
 
     fn write_calls(&self, disk: usize) -> u64 {
-        self.counters.write_calls[disk].load(Ordering::Relaxed)
+        self.counters.write_calls(disk)
     }
 
     fn reset_counters(&self) {

@@ -81,8 +81,10 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use crate::obs::CacheStatsSnapshot;
 
 /// When (and whether) writes are combined in the stripe cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -201,6 +203,31 @@ impl Hasher for StripeKeyHasher {
 
 type EntryMap = HashMap<u64, StripeEntry, BuildHasherDefault<StripeKeyHasher>>;
 
+/// Relaxed lifetime counters behind [`crate::BlockStore::stats`] —
+/// pure accounting, never consulted by the cache's own logic.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    /// Read probes served from a dirty cache entry.
+    hits: AtomicU64,
+    /// Read probes that locked a shard map and fell through to the
+    /// backend. Probes answered by the lock-free clean-shard gate are
+    /// counted neither way, keeping the common no-cache read path
+    /// free of stats traffic.
+    misses: AtomicU64,
+    /// Stripe entries created (first dirty write to a stripe).
+    insertions: AtomicU64,
+    /// Writes absorbed by an already-dirty unit slot (pure
+    /// write-combining wins: zero additional flush cost).
+    absorbed_writes: AtomicU64,
+    /// Stripes flushed by budget-driven eviction (subset of
+    /// `flushed_stripes`).
+    evictions: AtomicU64,
+    /// Stripes flushed (any reason: explicit, transition, eviction).
+    flushed_stripes: AtomicU64,
+    /// Dirty units those flushes wrote out combined.
+    flushed_units: AtomicU64,
+}
+
 /// Cache mode, packed into an atomic so the write path reads it
 /// without a lock.
 const MODE_WRITE_THROUGH: u8 = 0;
@@ -237,6 +264,7 @@ pub(crate) struct StripeCache {
     shard_dirty: Box<[AtomicUsize]>,
     mode: AtomicU8,
     max_dirty: AtomicUsize,
+    stats: CacheCounters,
 }
 
 impl StripeCache {
@@ -249,6 +277,7 @@ impl StripeCache {
             shard_dirty: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
             mode: AtomicU8::new(MODE_WRITE_THROUGH),
             max_dirty: AtomicUsize::new(CachePolicy::DEFAULT_MAX_DIRTY),
+            stats: CacheCounters::default(),
         }
     }
 
@@ -310,9 +339,13 @@ impl StripeCache {
         match map.get(&key) {
             Some(e) if e.dirty[j] => {
                 out.copy_from_slice(&e.data[j * self.unit_size..(j + 1) * self.unit_size]);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 true
             }
-            _ => false,
+            _ => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                false
+            }
         }
     }
 
@@ -327,6 +360,7 @@ impl StripeCache {
             self.dirty.fetch_add(1, Ordering::AcqRel);
             self.shard_dirty[shard].fetch_add(1, Ordering::AcqRel);
             self.queue.lock().unwrap().push_back(key);
+            self.stats.insertions.fetch_add(1, Ordering::Relaxed);
             StripeEntry {
                 dirty: vec![false; k_data].into_boxed_slice(),
                 data: vec![0u8; k_data * self.unit_size].into_boxed_slice(),
@@ -336,6 +370,8 @@ impl StripeCache {
         if !e.dirty[j] {
             e.dirty[j] = true;
             e.ndirty += 1;
+        } else {
+            self.stats.absorbed_writes.fetch_add(1, Ordering::Relaxed);
         }
         e.data[j * self.unit_size..(j + 1) * self.unit_size].copy_from_slice(data);
     }
@@ -394,6 +430,47 @@ impl StripeCache {
     /// later flush retries the stripe instead of stranding it.
     pub(crate) fn requeue(&self, key: u64) {
         self.queue.lock().unwrap().push_front(key);
+    }
+
+    /// True when the keyed stripe has a live cache entry. Used by the
+    /// read-mostly write bypass to keep ordering exact: a stripe with
+    /// a dirty entry must keep writing into it (a bypassed backend
+    /// write would be shadowed by the stale entry until its flush).
+    /// The caller holds the stripe's exclusive shard lock.
+    pub(crate) fn has_entry(&self, shard: usize, key: u64) -> bool {
+        if self.shard_dirty[shard].load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        self.shards[shard].lock().unwrap().contains_key(&key)
+    }
+
+    /// Accounts `n` stripes flushed by budget-driven eviction.
+    pub(crate) fn note_evictions(&self, n: u64) {
+        self.stats.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Accounts a completed flush batch: `stripes` stripes carrying
+    /// `units` dirty units written out combined.
+    pub(crate) fn note_flush(&self, stripes: u64, units: u64) {
+        self.stats.flushed_stripes.fetch_add(stripes, Ordering::Relaxed);
+        self.stats.flushed_units.fetch_add(units, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the lifetime counters plus the live dirty count.
+    /// `bypassed_writes` is filled in by the store from the metrics
+    /// registry, where the bypass decision is made and tallied.
+    pub(crate) fn stats_snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            insertions: self.stats.insertions.load(Ordering::Relaxed),
+            absorbed_writes: self.stats.absorbed_writes.load(Ordering::Relaxed),
+            bypassed_writes: 0,
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            flushed_stripes: self.stats.flushed_stripes.load(Ordering::Relaxed),
+            flushed_units: self.stats.flushed_units.load(Ordering::Relaxed),
+            dirty_stripes: self.dirty.load(Ordering::Acquire) as u64,
+        }
     }
 }
 

@@ -45,8 +45,16 @@ pub enum StoreError {
     NotFailed(usize),
     /// `restore_disk` on a disk whose medium went stale while it was
     /// failed (a write skipped one of its units): only a rebuild can
-    /// bring it back without corrupting parity.
-    RebuildRequired(usize),
+    /// bring it back without corrupting parity. Carries a witness
+    /// stripe whose write skipped the disk.
+    RebuildRequired {
+        /// The stale disk.
+        disk: usize,
+        /// Layout copy of the witness stripe.
+        copy: usize,
+        /// Witness stripe index (within its copy).
+        stripe: usize,
+    },
     /// The disk is being rebuilt right now: a second rebuild cannot
     /// start and the disk cannot be transiently restored until the
     /// running rebuild completes (or aborts).
@@ -68,6 +76,16 @@ pub enum StoreError {
     Geometry(String),
     /// Stored bytes or metadata do not match expectations.
     Corrupt(String),
+    /// `verify_parity` found a stripe violating a parity invariant —
+    /// names the exact stripe, copy, and parity (P or Q) that failed.
+    ParityMismatch {
+        /// Stripe index (within its copy) that failed the check.
+        stripe: usize,
+        /// Layout copy the stripe belongs to.
+        copy: usize,
+        /// Which invariant: `"P (XOR)"` or `"Q (GF(2^8))"`.
+        parity: &'static str,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -93,10 +111,11 @@ impl fmt::Display for StoreError {
                 write!(f, "disk {d} is already failed; failure state is not overwritten")
             }
             StoreError::NotFailed(d) => write!(f, "disk {d} is not failed"),
-            StoreError::RebuildRequired(d) => write!(
+            StoreError::RebuildRequired { disk, copy, stripe } => write!(
                 f,
-                "disk {d} was written around while failed; its medium is stale and only a \
-                 rebuild (not a transient restore) may bring it back"
+                "disk {disk} was written around while failed (e.g. by a write to stripe \
+                 {stripe}, copy {copy}); its medium is stale and only a rebuild (not a \
+                 transient restore) may bring it back"
             ),
             StoreError::RebuildInProgress(d) => {
                 write!(f, "disk {d} is being rebuilt; wait for the running rebuild to finish")
@@ -110,6 +129,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::Geometry(msg) => write!(f, "geometry mismatch: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::ParityMismatch { stripe, copy, parity } => {
+                write!(f, "stripe {stripe} (copy {copy}) fails its {parity} parity invariant")
+            }
         }
     }
 }

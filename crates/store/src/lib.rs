@@ -61,7 +61,16 @@
 //! * a seeded multi-threaded **stress harness** ([`stress`]) driving
 //!   N verified client threads of mixed traffic — optionally degraded
 //!   or racing a live rebuild — used by the concurrency tests, the CI
-//!   matrix, and the thread-scaling benchmark.
+//!   matrix, and the thread-scaling benchmark;
+//! * **first-class observability** ([`obs`]) — a lock-light
+//!   [`Metrics`] registry (per-op-kind counters + sampled log2
+//!   latency histograms) owned by every store, a pluggable
+//!   [`EventSink`] with a bundled ring-buffer [`TraceLog`], live
+//!   [`RebuildProgress`] snapshots (the (k−1)/(v−1) read
+//!   distribution observable *during* a racing rebuild),
+//!   degraded-window accounting split by erasure count, and a serde
+//!   [`StatsSnapshot`] from [`BlockStore::stats`] that the benches
+//!   and stress harness dump as `stats.json`.
 //!
 //! ## Fault-tolerance levels
 //!
@@ -128,6 +137,7 @@ pub mod backend;
 pub mod cache;
 pub mod error;
 pub mod meta;
+pub mod obs;
 pub mod rebuild;
 pub mod scheme;
 pub mod store;
@@ -139,6 +149,11 @@ pub use error::StoreError;
 pub use meta::{
     create_file_store, create_file_store_pq, open_file_store, update_cache_policy, StoreMeta,
     META_FILE,
+};
+pub use obs::{
+    render_stats, CacheStatsSnapshot, DegradedSnapshot, DiskCounters, DiskStatSnapshot, Event,
+    EventSink, IoTotals, LatencyHistogram, Metrics, OpKind, OpStatSnapshot, RebuildProgress,
+    StatsSnapshot, TraceLog, WindowSnapshot,
 };
 pub use rebuild::{RebuildReport, Rebuilder};
 pub use scheme::{AddrRef, FailureSet, ParityScheme, StripeMap};

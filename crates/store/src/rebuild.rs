@@ -29,6 +29,13 @@
 //! includes the first spare — so its decode degenerates to the cheap
 //! single-erasure path. Each phase gets its own [`RebuildReport`] with
 //! per-surviving-disk read counts.
+//!
+//! The report arrives when the rebuild *finishes*; while one is
+//! running, [`BlockStore::rebuild_progress`] snapshots the same
+//! accounting live — units done/total, per-disk reads so far, elapsed
+//! time — so the (k−1)/(v−1) read fraction is observable mid-flight
+//! (`crates/store/tests/io_accounting.rs` asserts it against racing
+//! client traffic).
 
 use crate::backend::Backend;
 use crate::error::StoreError;

@@ -87,16 +87,44 @@
 //! charges one read to each of its surviving disks, so a declustered
 //! rebuild reads `(k−1)/(v−1)` of every survivor per failed disk — the
 //! paper's ratio — with zero spread (see the rebuild-balance tests).
+//!
+//! ## Observability
+//!
+//! Every store owns a [`Metrics`] registry ([`BlockStore::metrics`])
+//! and an optional [`crate::EventSink`]
+//! ([`BlockStore::set_event_sink`]); [`BlockStore::stats`] snapshots
+//! everything. Which operations record which [`OpKind`]s and emit
+//! which [`Event`]s:
+//!
+//! | operation | op kinds recorded | events emitted |
+//! |---|---|---|
+//! | [`BlockStore::read_block`] / [`BlockStore::read_blocks`] | `Read`, or `DegradedRead` for blocks on failed disks | `OpBegin`/`OpEnd` |
+//! | [`BlockStore::write_block`] / [`BlockStore::write_blocks`] | `Write`, or `DegradedWrite` when the stripe (single) / array (batch) has a failure | `OpBegin`/`OpEnd`, `LockContention` (single-block, contended shard) |
+//! | [`BlockStore::fail_disk`] | — (degraded window opens) | `DiskFailed` |
+//! | [`BlockStore::restore_disk`] | — (degraded window closes) | `DiskRestored` |
+//! | rebuild begin/complete/abort | — (window closes on complete) | `RebuildBegan`/`RebuildCompleted`/`RebuildAborted` |
+//! | rebuild chunks ([`crate::Rebuilder`]) | `RebuildRead` + `SpareWrite` (timed per chunk) | — |
+//! | cache flush batches | `CacheFlush` (units = dirty units flushed) | `CacheFlush` |
+//!
+//! `OpBegin`/`OpEnd` spans are emitted only while a sink is
+//! installed; an op that fails mid-flight leaves its span unclosed.
+//! Latency histograms sample 1 in [`Metrics::SAMPLE_EVERY`] ops
+//! (every op while a sink forces span timing); counters are exact.
 
 use crate::backend::Backend;
 use crate::cache::{key_parts, stripe_key, CachePolicy, FlushSnapshot, StripeCache};
 use crate::error::StoreError;
+use crate::obs::{
+    DiskStatSnapshot, Event, EventHub, EventSink, Metrics, OpKind, RebuildProgress, RebuildTracker,
+    StatsSnapshot,
+};
 use crate::scheme::{AddrRef, FailureSet, ParityScheme, StripeMap};
 use pdl_algebra::gf256::{self, xor_slice};
 use pdl_core::{DoubleParityLayout, Layout, StripeUnit};
 use pdl_sim::{Trace, TraceOp};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 /// Names which [`Scratch`] buffer holds a decoded value, so decode
 /// results carry no borrow and callers can keep using the scratch.
@@ -163,8 +191,15 @@ impl StripeLockTable {
         (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (64 - Self::SHARDS.trailing_zeros())) as usize
     }
 
-    fn lock_one(&self, shard: usize) -> RwLockWriteGuard<'_, ()> {
-        self.shards[shard].write().unwrap()
+    /// Exclusive guard over one shard that also reports whether the
+    /// acquisition had to wait (a contention sample for the metrics
+    /// registry): a failed `try_write` means another thread held the
+    /// shard at that instant.
+    fn lock_one_counting(&self, shard: usize) -> (RwLockWriteGuard<'_, ()>, bool) {
+        match self.shards[shard].try_write() {
+            Ok(g) => (g, false),
+            Err(_) => (self.shards[shard].write().unwrap(), true),
+        }
     }
 
     fn lock_one_shared(&self, shard: usize) -> RwLockReadGuard<'_, ()> {
@@ -434,14 +469,17 @@ pub struct BlockStore<B> {
     /// Redirect table + failure set + active rebuild, behind the
     /// epoch `RwLock` (see module docs).
     state: RwLock<ArrayState>,
-    /// Per-logical-disk *stale medium* flags: a write skipped (or
+    /// Per-logical-disk *stale medium* markers: a write skipped (or
     /// wrote through past) a unit on the disk while it was failed, so
     /// its bytes no longer match the parity equations and only a
     /// rebuild (never [`BlockStore::restore_disk`]) may bring it
-    /// back. Atomic so the write path can set a flag under the shared
-    /// state guard; flags are only *read and cleared* under the
-    /// exclusive state guard, which orders them against transitions.
-    stale: Vec<AtomicBool>,
+    /// back. `0` = fresh; otherwise a witness `(copy, stripe)` cache
+    /// key (packed, +1) naming a stripe whose write skipped the disk
+    /// — the context [`StoreError::RebuildRequired`] reports. Atomic
+    /// so the write path can set a marker under the shared state
+    /// guard; markers are only *read and cleared* under the exclusive
+    /// state guard, which orders them against transitions.
+    stale: Vec<AtomicU64>,
     /// The stripe-sharded write lock table.
     locks: StripeLockTable,
     /// `(P, Q)` slot pairs per stripe when `scheme == PQ` (the
@@ -455,6 +493,13 @@ pub struct BlockStore<B> {
     /// the lock table's shard indexing, so a cache entry is only ever
     /// mutated under its stripe's exclusive shard lock.
     cache: StripeCache,
+    /// The metrics registry (see [`crate::obs`] and the
+    /// [module docs](self) "Observability" table).
+    metrics: Metrics,
+    /// Dispatch point for the optional structured-event sink.
+    events: EventHub,
+    /// Live-progress state of the registered rebuild, if any.
+    rb_tracker: RebuildTracker,
 }
 
 impl<B: Backend> BlockStore<B> {
@@ -550,12 +595,15 @@ impl<B: Backend> BlockStore<B> {
                 rebuilding: None,
                 epoch: 0,
             }),
-            stale: (0..v).map(|_| AtomicBool::new(false)).collect(),
+            stale: (0..v).map(|_| AtomicU64::new(0)).collect(),
             locks: StripeLockTable::new(),
             pq_slots,
             layout,
             scratch: ScratchPool::new(unit_size),
             cache: StripeCache::new(unit_size, StripeLockTable::SHARDS),
+            metrics: Metrics::default(),
+            events: EventHub::default(),
+            rb_tracker: RebuildTracker::default(),
         })
     }
 
@@ -656,11 +704,14 @@ impl<B: Backend> BlockStore<B> {
         self.state_read().rebuilding
     }
 
-    /// Marks `disk`'s medium stale: a write skipped (or wrote through
-    /// past) one of its units while it was failed. Set under the
-    /// shared state guard; read/cleared only under the exclusive one.
-    fn mark_stale(&self, disk: usize) {
-        self.stale[disk].store(true, Ordering::Release);
+    /// Marks `disk`'s medium stale: a write to `(copy, stripe)`
+    /// skipped (or wrote through past) one of its units while it was
+    /// failed. The stripe is kept as the witness
+    /// [`StoreError::RebuildRequired`] reports (last writer wins —
+    /// any skipping stripe is a valid witness). Set under the shared
+    /// state guard; read/cleared only under the exclusive one.
+    fn mark_stale(&self, disk: usize, copy: usize, stripe: usize) {
+        self.stale[disk].store(stripe_key(copy, stripe) + 1, Ordering::Release);
     }
 
     /// The physical spare that writes to failed disk `disk` must be
@@ -699,6 +750,17 @@ impl<B: Backend> BlockStore<B> {
         self.flush_cache_locked(&st)?;
         st.rebuilding = Some((failed, spare));
         st.epoch += 1;
+        // Arm live progress: units-per-disk to reconstruct, and the
+        // per-logical-disk read counts to diff against (the rebuild's
+        // read-distribution baseline).
+        let baseline =
+            (0..self.layout.v()).map(|d| self.backend.read_count(st.redirect[d])).collect();
+        self.rb_tracker.start(failed, spare, self.backend.units_per_disk() as u64, baseline);
+        self.events.emit(|| Event::RebuildBegan {
+            disk: failed as u32,
+            spare: spare as u32,
+            epoch: st.epoch,
+        });
         Ok(())
     }
 
@@ -707,6 +769,8 @@ impl<B: Backend> BlockStore<B> {
         let mut st = self.state_write();
         st.rebuilding = None;
         st.epoch += 1;
+        self.rb_tracker.finish();
+        self.events.emit(|| Event::RebuildAborted { epoch: st.epoch });
     }
 
     pub(crate) fn complete_rebuild(&self, failed: usize, spare: usize) -> Result<(), StoreError> {
@@ -716,10 +780,23 @@ impl<B: Backend> BlockStore<B> {
         st.failed.remove(failed);
         st.rebuilding = None;
         st.epoch += 1;
+        self.rb_tracker.finish();
+        // The degraded window this rebuild serviced closes here (or
+        // steps down from two erasures to one).
+        self.metrics.degraded_transition(
+            st.failed.len() + 1,
+            st.failed.len(),
+            self.metrics.total_ops(),
+        );
+        self.events.emit(|| Event::RebuildCompleted {
+            disk: failed as u32,
+            spare: spare as u32,
+            epoch: st.epoch,
+        });
         // The spare carries a full reconstruction (plus any writes
         // written through while it raced traffic): the medium is
         // fresh again.
-        self.stale[failed].store(false, Ordering::Release);
+        self.stale[failed].store(0, Ordering::Release);
         // Durable backends record the new mapping so a reopened store
         // reads the spare, not the stale failed disk. Persisted under
         // the exclusive guard: no in-flight op can observe the new
@@ -759,6 +836,12 @@ impl<B: Backend> BlockStore<B> {
         self.flush_cache_locked(&st)?;
         st.failed.insert(disk);
         st.epoch += 1;
+        self.metrics.degraded_transition(
+            st.failed.len() - 1,
+            st.failed.len(),
+            self.metrics.total_ops(),
+        );
+        self.events.emit(|| Event::DiskFailed { disk: disk as u32, epoch: st.epoch });
         Ok(())
     }
 
@@ -790,13 +873,21 @@ impl<B: Backend> BlockStore<B> {
         // (marking the medium stale) exactly as a write-through write
         // would have — so restore is refused for the same histories.
         self.flush_cache_locked(&st)?;
-        // Stale flags are only read under the exclusive guard, which
-        // orders this load after every write that could have set it.
-        if self.stale[disk].load(Ordering::Acquire) {
-            return Err(StoreError::RebuildRequired(disk));
+        // Stale markers are only read under the exclusive guard, which
+        // orders this load after every write that could have set one.
+        let stale = self.stale[disk].load(Ordering::Acquire);
+        if stale != 0 {
+            let (copy, stripe) = key_parts(stale - 1);
+            return Err(StoreError::RebuildRequired { disk, copy, stripe });
         }
         st.failed.remove(disk);
         st.epoch += 1;
+        self.metrics.degraded_transition(
+            st.failed.len() + 1,
+            st.failed.len(),
+            self.metrics.total_ops(),
+        );
+        self.events.emit(|| Event::DiskRestored { disk: disk as u32, epoch: st.epoch });
         Ok(())
     }
 
@@ -826,6 +917,71 @@ impl<B: Backend> BlockStore<B> {
     /// exact all-zero snapshot matters (as the accounting tests do).
     pub fn reset_counters(&self) {
         self.backend.reset_counters();
+    }
+
+    /// The store's metrics registry — per-op-kind counters, sampled
+    /// latency histograms, the recent read/write mix, and the
+    /// degraded-window clock. Always on; disable with
+    /// [`Metrics::set_enabled`] to measure the registry's own cost.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Installs (or, with `None`, removes) the structured-event sink.
+    /// While a sink is installed every public op emits
+    /// `OpBegin`/`OpEnd` spans (forcing per-op timing) and the
+    /// failure/rebuild/cache events of the [module docs](self) table;
+    /// with no sink the data path pays one relaxed load. The bundled
+    /// sink is [`crate::TraceLog`]; tests plug in their own.
+    pub fn set_event_sink(&self, sink: Option<Arc<dyn EventSink>>) {
+        self.events.set(sink);
+    }
+
+    /// Live progress of the registered rebuild — units done/total,
+    /// ETA from the moving rate, and the per-surviving-disk read
+    /// distribution (so the paper's `(k−1)/(v−1)` claim is observable
+    /// *while* the rebuild races traffic). `None` when no rebuild is
+    /// running.
+    pub fn rebuild_progress(&self) -> Option<RebuildProgress> {
+        let reads = self.read_counts();
+        self.rb_tracker.progress(&reads)
+    }
+
+    /// A point-in-time [`StatsSnapshot`] of everything the store
+    /// measures: per-op-kind counters and histograms, per-logical-disk
+    /// backend I/O, cache statistics, degraded-window accounting
+    /// (including the currently open window), lock contention, the
+    /// failure epoch, and live rebuild progress. Safe to call from
+    /// any thread at any time; under concurrent traffic each counter
+    /// is exact but the set is not one linearization point.
+    pub fn stats(&self) -> StatsSnapshot {
+        let (ops, degraded, lock_contention) = self.metrics.snapshot();
+        let st = self.state_read();
+        let disks = (0..self.layout.v())
+            .map(|d| {
+                let p = st.redirect[d];
+                DiskStatSnapshot {
+                    disk: d,
+                    read_units: self.backend.read_count(p),
+                    write_units: self.backend.write_count(p),
+                    read_calls: self.backend.read_calls(p),
+                    write_calls: self.backend.write_calls(p),
+                }
+            })
+            .collect();
+        let epoch = st.epoch;
+        drop(st);
+        let mut cache = self.cache.stats_snapshot();
+        cache.bypassed_writes = self.metrics.bypassed_writes();
+        StatsSnapshot {
+            ops,
+            disks,
+            cache,
+            degraded,
+            lock_contention,
+            epoch,
+            rebuild: self.rebuild_progress(),
+        }
     }
 
     /// Flushes the write-back stripe cache (combined parity updates,
@@ -947,6 +1103,9 @@ impl<B: Backend> BlockStore<B> {
         plan.reset();
         staged.clear();
         let us = self.unit_size;
+        let t0 = Instant::now();
+        let mut flushed_stripes = 0u32;
+        let mut flushed_units = 0u32;
         let mut planned: Vec<u64> = Vec::new();
         let res = (|| -> Result<(), StoreError> {
             for &key in keys {
@@ -960,6 +1119,8 @@ impl<B: Backend> BlockStore<B> {
                 if !self.cache.snapshot_append(shard, key, snap, staged) {
                     continue; // discarded by a full-stripe overwrite
                 }
+                flushed_stripes += 1;
+                flushed_units += snap.ndirty as u32;
                 let (lo, k_data) = self.smap.stripe_data_range(si);
                 let start = copy * self.smap.data_units_per_copy() + lo;
                 let stripe_bytes = &staged[base * us..(base + k_data) * us];
@@ -1000,6 +1161,17 @@ impl<B: Backend> BlockStore<B> {
             for &key in keys {
                 self.cache.requeue(key);
             }
+        } else if flushed_stripes > 0 {
+            self.cache.note_flush(flushed_stripes as u64, flushed_units as u64);
+            self.metrics.record_op(
+                OpKind::CacheFlush,
+                flushed_units as u64,
+                t0.elapsed().as_nanos() as u64,
+            );
+            self.events.emit(|| Event::CacheFlush {
+                stripes: flushed_stripes,
+                dirty_units: flushed_units,
+            });
         }
         res
     }
@@ -1031,6 +1203,7 @@ impl<B: Backend> BlockStore<B> {
             self.flush_batch(st, &[key], &mut snap, &mut plan, &mut staged)?;
             evicted += 1;
         }
+        self.cache.note_evictions(evicted as u64);
         Ok(())
     }
 
@@ -1215,7 +1388,13 @@ impl<B: Backend> BlockStore<B> {
                 cache.push_want(st.redirect[u.disk as usize] as u32, u.offset + shift);
             }
         }
+        let t0 = Instant::now();
         cache.fill(&self.backend, self.unit_size)?;
+        // The chunk's surviving-member prefetch *is* the rebuild read
+        // load; timed unconditionally (chunks are large, the two
+        // Instant reads vanish against the vectored I/O).
+        let prefetch_ns = t0.elapsed().as_nanos() as u64;
+        self.metrics.record_op(OpKind::RebuildRead, cache.wants.len() as u64, prefetch_ns);
         for (i, chunk) in out.chunks_exact_mut(self.unit_size).enumerate() {
             let offset = start + i;
             let shift = (offset / size * size) as u32;
@@ -1243,7 +1422,14 @@ impl<B: Backend> BlockStore<B> {
                 )));
             }
         }
-        self.backend.write_units(spare, start, out)
+        self.backend.write_units(spare, start, out)?;
+        self.metrics.record_op(
+            OpKind::SpareWrite,
+            n as u64,
+            (t0.elapsed().as_nanos() as u64).saturating_sub(prefetch_ns),
+        );
+        self.rb_tracker.add_done(n as u64);
+        Ok(())
     }
 
     /// [`BlockStore::decode_stripe_with`] reading straight from the
@@ -1384,25 +1570,49 @@ impl<B: Backend> BlockStore<B> {
         self.check_block_buf(buf.len())?;
         let st = self.state_read();
         let m = self.smap.locate_full(addr);
-        // Dirty units exist only in the write-back cache until their
-        // stripe flushes, so every read path probes it first (one
-        // atomic load when the cache is clean). A miss is safe to
-        // serve from the backend: a flush completes its backend
-        // writes *before* removing the entry, so a missing entry
-        // implies the bytes are already durable below.
-        if self.cache.maybe_dirty() {
-            let (shard, key, j, _) = self.cache_coords(&m, addr);
-            if self.cache.read_into(shard, key, j, buf) {
-                return Ok(());
+        let degraded = st.failed.contains(m.unit.disk as usize);
+        let kind = if degraded { OpKind::DegradedRead } else { OpKind::Read };
+        let t = self.metrics.begin(kind, self.events.active());
+        // The mix estimator is fed under every policy — not just
+        // write-back — so a store switched *to* write-back starts
+        // with a warm read/write verdict instead of a cold window.
+        if t.mix_due {
+            self.metrics.note_mix(true);
+        }
+        self.events.emit(|| Event::OpBegin {
+            kind,
+            addr: addr as u64,
+            blocks: 1,
+            stripe: m.stripe as u32,
+            disk: m.unit.disk,
+        });
+        let res = (|| {
+            // Dirty units exist only in the write-back cache until
+            // their stripe flushes, so every read path probes it
+            // first (one atomic load when the cache is clean). A miss
+            // is safe to serve from the backend: a flush completes
+            // its backend writes *before* removing the entry, so a
+            // missing entry implies the bytes are already durable
+            // below.
+            if self.cache.maybe_dirty() {
+                let (shard, key, j, _) = self.cache_coords(&m, addr);
+                if self.cache.read_into(shard, key, j, buf) {
+                    return Ok(());
+                }
             }
+            if degraded {
+                let shard = self.locks.shard_of(m.copy, m.stripe);
+                let _g = self.locks.lock_one_shared(shard);
+                self.reconstruct_unit(&st, m.unit.disk as usize, m.unit.offset as usize, buf)
+            } else {
+                self.read_phys(&st, m.unit, buf)
+            }
+        })();
+        if res.is_ok() {
+            let ns = self.metrics.finish(t, 1).unwrap_or(0);
+            self.events.emit(|| Event::OpEnd { kind, addr: addr as u64, blocks: 1, ns });
         }
-        if st.failed.contains(m.unit.disk as usize) {
-            let shard = self.locks.shard_of(m.copy, m.stripe);
-            let _g = self.locks.lock_one_shared(shard);
-            self.reconstruct_unit(&st, m.unit.disk as usize, m.unit.offset as usize, buf)
-        } else {
-            self.read_phys(&st, m.unit, buf)
-        }
+        res
     }
 
     /// Writes logical block `addr` from `data` (`unit_size` bytes),
@@ -1426,18 +1636,92 @@ impl<B: Backend> BlockStore<B> {
         let st = self.state_read();
         let m = self.smap.locate_full(addr);
         let shard = self.locks.shard_of(m.copy, m.stripe);
-        if self.cache.is_write_back() {
-            {
-                let _g = self.locks.lock_one(shard);
-                let (_, key, j, k_data) = self.cache_coords(&m, addr);
-                self.cache.write(shard, key, k_data, j, data);
+        let kind = if !st.failed.is_empty()
+            && self.layout.stripes()[m.stripe]
+                .units()
+                .iter()
+                .any(|u| st.failed.contains(u.disk as usize))
+        {
+            OpKind::DegradedWrite
+        } else {
+            OpKind::Write
+        };
+        let t = self.metrics.begin(kind, self.events.active());
+        self.events.emit(|| Event::OpBegin {
+            kind,
+            addr: addr as u64,
+            blocks: 1,
+            stripe: m.stripe as u32,
+            disk: m.unit.disk,
+        });
+        let res = (|| {
+            // Fed under every policy — see `read_block`.
+            if t.mix_due {
+                self.metrics.note_mix(false);
             }
-            // Eviction runs with the stripe lock released (one victim
-            // shard at a time — see `evict_over_limit`).
-            return self.evict_over_limit(&st);
+            if self.cache.is_write_back() {
+                // Read-mostly write-back bypass: when recent traffic
+                // is read-dominated and the backend is memory-speed
+                // (no call-coalescing win to combine for), deferring
+                // the RMW buys nothing — the flush does the same
+                // backend work later while every read pays the cache
+                // probe. Never bypasses past an existing entry: a
+                // direct backend write below a dirty cached unit
+                // would let reads serve the stale cached bytes.
+                let bypass = !self.backend.prefers_gap_bridging() && self.metrics.read_mostly();
+                {
+                    let (_g, contended) = self.locks.lock_one_counting(shard);
+                    if contended {
+                        self.metrics.note_lock_contention();
+                        self.events.emit(|| Event::LockContention { shard: shard as u32 });
+                    }
+                    // Fast bypass: with zero dirty stripes anywhere
+                    // (one acquire load — reads use the same gate) no
+                    // entry can shadow this write, so the per-stripe
+                    // probe and even the cache coordinates are
+                    // skipped. A concurrent insert for *this* stripe
+                    // is excluded by the shard lock held here.
+                    if bypass && !self.cache.maybe_dirty() {
+                        self.metrics.note_bypass(&t);
+                        return self.write_block_locked(&st, addr, data);
+                    }
+                    let (_, key, j, k_data) = self.cache_coords(&m, addr);
+                    if bypass && !self.cache.has_entry(shard, key) {
+                        // A bypassed write adds no dirty state, so
+                        // the eviction check is skipped with it.
+                        self.metrics.note_bypass(&t);
+                        self.write_block_locked(&st, addr, data)?;
+                    } else {
+                        self.cache.write(shard, key, k_data, j, data);
+                    }
+                }
+                if bypass {
+                    // The mix turned read-mostly while stripes dirtied
+                    // before the flip are still resident; they keep
+                    // `maybe_dirty` true, taxing every later op with
+                    // the probe above. Drain them now — one address-
+                    // sorted combined flush — so the steady state is
+                    // the clean fast path again. Estimator flapping
+                    // costs one drain per flip, work the eviction
+                    // trickle would have done anyway, batched.
+                    return self.flush_cache_locked(&st);
+                }
+                // Eviction runs with the stripe lock released (one
+                // victim shard at a time — see `evict_over_limit`).
+                return self.evict_over_limit(&st);
+            }
+            let (_g, contended) = self.locks.lock_one_counting(shard);
+            if contended {
+                self.metrics.note_lock_contention();
+                self.events.emit(|| Event::LockContention { shard: shard as u32 });
+            }
+            self.write_block_locked(&st, addr, data)
+        })();
+        if res.is_ok() {
+            let ns = self.metrics.finish(t, 1).unwrap_or(0);
+            self.events.emit(|| Event::OpEnd { kind, addr: addr as u64, blocks: 1, ns });
         }
-        let _g = self.locks.lock_one(shard);
-        self.write_block_locked(&st, addr, data)
+        res
     }
 
     /// The single-block write body; the caller holds the stripe's
@@ -1469,10 +1753,10 @@ impl<B: Backend> BlockStore<B> {
         // a rebuild racing, the value is *also* written through to
         // the spare — the true medium is stale either way.)
         if !p_alive {
-            self.mark_stale(p_unit.disk as usize);
+            self.mark_stale(p_unit.disk as usize, m.copy, si);
         }
         if let Some((q_unit, false)) = q {
-            self.mark_stale(q_unit.disk as usize);
+            self.mark_stale(q_unit.disk as usize, m.copy, si);
         }
 
         if !st.failed.contains(u.disk as usize) {
@@ -1519,7 +1803,7 @@ impl<B: Backend> BlockStore<B> {
             self.scratch.put(s);
             return res;
         }
-        self.mark_stale(u.disk as usize);
+        self.mark_stale(u.disk as usize, m.copy, si);
 
         // Target disk failed: the new value exists only through the
         // surviving parity, so recompute P (and Q) over the full data
@@ -1627,6 +1911,23 @@ impl<B: Backend> BlockStore<B> {
             return self.read_block(start, buf);
         }
         let st = self.state_read();
+        // The batch records one `Read` span; blocks served by stripe
+        // decode move their units to `DegradedRead` at the end.
+        let t = self.metrics.begin(OpKind::Read, self.events.active());
+        // Fed under every policy — see `read_block`.
+        if t.mix_due {
+            self.metrics.note_mix(true);
+        }
+        self.events.emit(|| {
+            let m = self.smap.locate_full(start);
+            Event::OpBegin {
+                kind: OpKind::Read,
+                addr: start as u64,
+                blocks: n as u32,
+                stripe: m.stripe as u32,
+                disk: m.unit.disk,
+            }
+        });
 
         // Disjoint per-block views of `buf`, consumed as the cache
         // probe, the coalesced runs, and the decodes claim them.
@@ -1764,6 +2065,15 @@ impl<B: Backend> BlockStore<B> {
             self.scratch.put(scratch);
             res?;
         }
+        let n_degraded = degraded.len() as u64;
+        let ns = self.metrics.finish(t, n as u64 - n_degraded).unwrap_or(0);
+        self.metrics.add_units(OpKind::DegradedRead, n_degraded);
+        self.events.emit(|| Event::OpEnd {
+            kind: OpKind::Read,
+            addr: start as u64,
+            blocks: n as u32,
+            ns,
+        });
         Ok(())
     }
 
@@ -1812,6 +2122,25 @@ impl<B: Backend> BlockStore<B> {
         let stripe_count = shards.len();
         sort_shard_set(&mut shards);
         let wb = self.cache.is_write_back();
+        // Batch-level kind: any failure in the array classes the whole
+        // batch degraded (per-stripe classification would walk every
+        // stripe's members before any byte moves).
+        let kind = if st.failed.is_empty() { OpKind::Write } else { OpKind::DegradedWrite };
+        let t = self.metrics.begin(kind, self.events.active());
+        // Fed under every policy — see `read_block`.
+        if t.mix_due {
+            self.metrics.note_mix(false);
+        }
+        self.events.emit(|| {
+            let m = self.smap.locate_full(start);
+            Event::OpBegin {
+                kind,
+                addr: start as u64,
+                blocks: n as u32,
+                stripe: m.stripe as u32,
+                disk: m.unit.disk,
+            }
+        });
         {
             let _guards = self.locks.lock_sorted(&shards);
             // Loaded *after* the batch's shard locks are held: a
@@ -1920,6 +2249,8 @@ impl<B: Backend> BlockStore<B> {
         if wb {
             self.evict_over_limit(&st)?;
         }
+        let ns = self.metrics.finish(t, n as u64).unwrap_or(0);
+        self.events.emit(|| Event::OpEnd { kind, addr: start as u64, blocks: n as u32, ns });
         Ok(())
     }
 
@@ -1981,7 +2312,7 @@ impl<B: Backend> BlockStore<B> {
                 // nothing to write on the failed disk, whose medium is
                 // now stale (rebuild-only). With a rebuild racing, the
                 // fresh value goes to the spare instead.
-                self.mark_stale(u.disk as usize);
+                self.mark_stale(u.disk as usize, copy, si);
                 if let Some(spare) = Self::spare_for(st, u.disk as usize) {
                     push(spare, u.offset, WriteSrc::data(base + j));
                 }
@@ -1991,7 +2322,7 @@ impl<B: Backend> BlockStore<B> {
         }
         let p_unit = units[p_slot];
         if any_failed && st.failed.contains(p_unit.disk as usize) {
-            self.mark_stale(p_unit.disk as usize);
+            self.mark_stale(p_unit.disk as usize, copy, si);
             if let Some(spare) = Self::spare_for(st, p_unit.disk as usize) {
                 push(spare, p_unit.offset + shift, WriteSrc::parity(p_idx));
             }
@@ -2001,7 +2332,7 @@ impl<B: Backend> BlockStore<B> {
         if let Some(qs) = q_slot {
             let q_unit = units[qs];
             if any_failed && st.failed.contains(q_unit.disk as usize) {
-                self.mark_stale(q_unit.disk as usize);
+                self.mark_stale(q_unit.disk as usize, copy, si);
                 if let Some(spare) = Self::spare_for(st, q_unit.disk as usize) {
                     push(spare, q_unit.offset + shift, WriteSrc::parity(p_idx + 1));
                 }
@@ -2146,14 +2477,14 @@ impl<B: Backend> BlockStore<B> {
                     }
                 }
                 if acc_p.iter().any(|&b| b != 0) {
-                    return Err(StoreError::Corrupt(format!(
-                        "stripe {si} (copy {copy}) fails its P (XOR) parity invariant"
-                    )));
+                    return Err(StoreError::ParityMismatch { stripe: si, copy, parity: "P (XOR)" });
                 }
                 if is_pq && acc_q.iter().any(|&b| b != 0) {
-                    return Err(StoreError::Corrupt(format!(
-                        "stripe {si} (copy {copy}) fails its Q (GF(2^8)) parity invariant"
-                    )));
+                    return Err(StoreError::ParityMismatch {
+                        stripe: si,
+                        copy,
+                        parity: "Q (GF(2^8))",
+                    });
                 }
             }
         }

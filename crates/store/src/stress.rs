@@ -26,11 +26,12 @@
 use crate::backend::Backend;
 use crate::cache::CachePolicy;
 use crate::error::StoreError;
+use crate::obs::{RebuildProgress, StatsSnapshot};
 use crate::rebuild::{RebuildReport, Rebuilder};
 use crate::store::{fill_pattern, BlockStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -145,6 +146,15 @@ pub struct StressReport {
     pub elapsed: Duration,
     /// The rebuild's report, when one ran.
     pub rebuild: Option<RebuildReport>,
+    /// The store's observability snapshot, taken after the traffic
+    /// (and any rebuild and cache drain) but before the verification
+    /// sweep — so its counters describe the workload, not the checker.
+    pub stats: StatsSnapshot,
+    /// Live [`crate::BlockStore::rebuild_progress`] samples polled
+    /// *while* a [`RebuildMode::Racing`] rebuild overlapped the
+    /// traffic — each carries the per-disk read distribution, so the
+    /// (k−1)/(v−1) claim is checkable mid-flight. Empty otherwise.
+    pub rebuild_progress: Vec<RebuildProgress>,
 }
 
 impl StressReport {
@@ -156,6 +166,23 @@ impl StressReport {
     /// Aggregate write throughput across all threads, MB/s.
     pub fn write_mb_per_s(&self) -> f64 {
         (self.blocks_written * self.unit_size) as f64 / self.elapsed.as_secs_f64().max(1e-9) / 1e6
+    }
+
+    /// Serializes [`StressReport::stats`] as compact JSON — the
+    /// `stats.json` payload the concurrency tests and CI artifacts
+    /// persist.
+    pub fn stats_json(&self) -> String {
+        serde_json::to_string(&self.stats).expect("StatsSnapshot serializes")
+    }
+
+    /// Writes [`StressReport::stats_json`] to `path`, creating parent
+    /// directories as needed.
+    pub fn write_stats_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.stats_json())
     }
 }
 
@@ -227,15 +254,31 @@ pub fn run<B: Backend>(
     }
 
     let rebuild_result: Mutex<Option<Result<RebuildReport, StoreError>>> = Mutex::new(None);
+    let progress_samples: Mutex<Vec<RebuildProgress>> = Mutex::new(Vec::new());
+    let rebuild_done = AtomicBool::new(false);
     let start = Instant::now();
     let tallies: Vec<ThreadTally> = std::thread::scope(|s| {
         if let RebuildMode::Racing { spare } = cfg.rebuild {
             let rebuild_result = &rebuild_result;
+            let rebuild_done = &rebuild_done;
             s.spawn(move || {
                 // Let the traffic threads take the field first so the
                 // rebuild genuinely races in-flight writes.
                 std::thread::sleep(Duration::from_millis(2));
                 *rebuild_result.lock().unwrap() = Some(Rebuilder::default().rebuild(store, spare));
+                rebuild_done.store(true, Ordering::Release);
+            });
+            // Poll live rebuild progress while the rebuild overlaps
+            // the traffic: each sample carries the per-disk read
+            // distribution at that instant.
+            let progress_samples = &progress_samples;
+            s.spawn(move || {
+                while !rebuild_done.load(Ordering::Acquire) {
+                    if let Some(p) = store.rebuild_progress() {
+                        progress_samples.lock().unwrap().push(p);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
             });
         }
         let handles: Vec<_> = (0..threads)
@@ -266,6 +309,10 @@ pub fn run<B: Backend>(
     if cfg.cache.is_write_back() {
         store.flush()?;
     }
+
+    // Snapshot the observability counters before the verification
+    // sweep so the report's stats describe the workload itself.
+    let stats = store.stats();
 
     // Final sweep: every block, bit for bit, against the pattern its
     // salt implies — then the parity invariants when the array is
@@ -299,6 +346,8 @@ pub fn run<B: Backend>(
         unit_size: unit,
         elapsed,
         rebuild,
+        stats,
+        rebuild_progress: progress_samples.into_inner().unwrap(),
     };
     for t in tallies {
         report.reads += t.reads;

@@ -29,6 +29,21 @@ fn record_seed(name: &str, seed: u64) {
         .expect("record seed for CI");
 }
 
+/// Runs the stress harness and persists its observability snapshot
+/// next to the seed (`target/stress/<name>.stats.json`) — CI uploads
+/// these as artifacts on every run, pass or fail.
+fn run_recorded<B: Backend>(
+    name: &str,
+    store: &BlockStore<B>,
+    cfg: &StressConfig,
+) -> stress::StressReport {
+    let report = stress::run(store, cfg).unwrap();
+    report
+        .write_stats_json(seed_file(name).with_extension("stats.json"))
+        .expect("record stats for CI");
+    report
+}
+
 fn base_config(name: &str) -> StressConfig {
     let cfg = StressConfig { ops_per_thread: 300, ..StressConfig::default() }.with_env_overrides();
     record_seed(name, cfg.seed);
@@ -81,7 +96,7 @@ fn store_is_send_and_sync_mem() {
 fn stress_mixed_mem() {
     let cfg = base_config("mixed_mem");
     let store = xor_store_mem();
-    let report = stress::run(&store, &cfg).unwrap();
+    let report = run_recorded("mixed_mem", &store, &cfg);
     assert_eq!(report.reads + report.writes, cfg.threads * cfg.ops_per_thread);
     store.verify_parity().unwrap();
 }
@@ -90,7 +105,7 @@ fn stress_mixed_mem() {
 fn stress_mixed_pq_mem() {
     let cfg = base_config("mixed_pq_mem");
     let store = pq_store_mem();
-    stress::run(&store, &cfg).unwrap();
+    run_recorded("mixed_pq_mem", &store, &cfg);
     store.verify_parity().unwrap();
 }
 
@@ -98,7 +113,7 @@ fn stress_mixed_pq_mem() {
 fn stress_mixed_file() {
     let cfg = base_config("mixed_file");
     with_xor_store_file("mixed", |store| {
-        stress::run(&store, &cfg).unwrap();
+        run_recorded("mixed_file", &store, &cfg);
         store.verify_parity().unwrap();
     });
 }
@@ -111,7 +126,7 @@ fn stress_degraded_then_rebuild_mem() {
         ..base_config("degraded_mem")
     };
     let store = xor_store_mem();
-    let report = stress::run(&store, &cfg).unwrap();
+    let report = run_recorded("degraded_mem", &store, &cfg);
     assert!(!store.is_degraded());
     assert_eq!(report.rebuild.as_ref().unwrap().failed_disk, 2);
     store.verify_parity().unwrap();
@@ -125,7 +140,7 @@ fn stress_degraded_then_rebuild_file() {
         ..base_config("degraded_file")
     };
     with_xor_store_file("degraded", |store| {
-        stress::run(&store, &cfg).unwrap();
+        run_recorded("degraded_file", &store, &cfg);
         assert!(!store.is_degraded());
         store.verify_parity().unwrap();
     });
@@ -144,7 +159,7 @@ fn stress_racing_rebuild_mem() {
         8,
     );
     let store = xor_store_mem();
-    let report = stress::run(&store, &cfg).unwrap();
+    let report = run_recorded("racing_mem", &store, &cfg);
     assert!(!store.is_degraded(), "racing rebuild completed");
     assert_eq!(report.rebuild.as_ref().unwrap().spare_disk, 9);
     assert_eq!(store.physical_disk(1), 9, "logical disk redirected onto the spare");
@@ -162,7 +177,7 @@ fn stress_racing_rebuild_file() {
         8,
     );
     with_xor_store_file("racing", |store| {
-        stress::run(&store, &cfg).unwrap();
+        run_recorded("racing_file", &store, &cfg);
         assert!(!store.is_degraded());
         store.verify_parity().unwrap();
     });
@@ -179,7 +194,7 @@ fn stress_racing_rebuild_pq_mem() {
         8,
     );
     let store = pq_store_mem();
-    stress::run(&store, &cfg).unwrap();
+    run_recorded("racing_pq_mem", &store, &cfg);
     assert!(!store.is_degraded());
     store.verify_parity().unwrap();
 }
@@ -204,7 +219,7 @@ fn write_back_config(name: &str) -> StressConfig {
 fn stress_write_back_mixed_mem() {
     let cfg = write_back_config("wb_mixed_mem");
     let store = xor_store_mem();
-    stress::run(&store, &cfg).unwrap();
+    run_recorded("wb_mixed_mem", &store, &cfg);
     assert_eq!(store.dirty_cache_stripes(), 0, "run ends drained");
     store.verify_parity().unwrap();
 }
@@ -213,7 +228,7 @@ fn stress_write_back_mixed_mem() {
 fn stress_write_back_mixed_pq_mem() {
     let cfg = write_back_config("wb_mixed_pq_mem");
     let store = pq_store_mem();
-    stress::run(&store, &cfg).unwrap();
+    run_recorded("wb_mixed_pq_mem", &store, &cfg);
     store.verify_parity().unwrap();
 }
 
@@ -232,7 +247,7 @@ fn stress_write_back_racing_rebuild_mem() {
         8,
     );
     let store = xor_store_mem();
-    stress::run(&store, &cfg).unwrap();
+    run_recorded("wb_racing_mem", &store, &cfg);
     assert!(!store.is_degraded(), "racing rebuild completed under write-back");
     assert_eq!(store.physical_disk(1), 9, "logical disk redirected onto the spare");
     store.verify_parity().unwrap();
@@ -249,7 +264,7 @@ fn stress_write_back_racing_rebuild_file() {
         8,
     );
     with_xor_store_file("wbracing", |store| {
-        stress::run(&store, &cfg).unwrap();
+        run_recorded("wb_racing_file", &store, &cfg);
         assert!(!store.is_degraded());
         store.verify_parity().unwrap();
     });
@@ -275,7 +290,7 @@ fn write_back_flush_marks_stale_before_restore_mem() {
     assert!(store.dirty_cache_stripes() > 0, "writes deferred");
     // The restore itself drains the cache (flush-before-transition)
     // and must then refuse: the medium is stale.
-    assert!(matches!(store.restore_disk(2), Err(StoreError::RebuildRequired(2))));
+    assert!(matches!(store.restore_disk(2), Err(StoreError::RebuildRequired { disk: 2, .. })));
     // A rebuild drains the failure; all acknowledged writes survive.
     Rebuilder::default().rebuild(&store, 9).unwrap();
     let mut out = vec![0u8; UNIT];

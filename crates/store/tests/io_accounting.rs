@@ -1,11 +1,22 @@
-//! IO-accounting regression tests: the backend counters (units
-//! transferred *and* backend calls per disk) pin down exactly how much
-//! physical IO each store path issues, so a regression that silently
-//! de-coalesces a batched path — or reintroduces reads on the
-//! zero-read full-stripe write — fails here, not in a benchmark.
+//! IO-accounting regression tests: the per-disk backend counters
+//! (units transferred *and* backend calls), read through the store's
+//! observability snapshot ([`pdl_store::StatsSnapshot`]), pin down
+//! exactly how much physical IO each store path issues — so a
+//! regression that silently de-coalesces a batched path, or
+//! reintroduces reads on the zero-read full-stripe write, fails here,
+//! not in a benchmark.
+//!
+//! Every budget is asserted on a **snapshot diff**
+//! ([`pdl_store::IoTotals::since`]) bracketing exactly the operation
+//! under test, so the assertions compose with any setup traffic and
+//! exercise the same `stats()` plumbing the benches and CI artifacts
+//! rely on.
 
 use pdl_core::{DoubleParityLayout, RingLayout};
-use pdl_store::{Backend, BlockStore, CachePolicy, MemBackend, Rebuilder};
+use pdl_store::{
+    Backend, BlockStore, CachePolicy, IoTotals, MemBackend, RebuildProgress, Rebuilder,
+    StatsSnapshot,
+};
 
 const UNIT: usize = 128;
 
@@ -21,16 +32,20 @@ fn pq_store(v: usize, k: usize, copies: usize) -> BlockStore<MemBackend> {
     BlockStore::new_pq(dp, backend).unwrap()
 }
 
-fn totals<B: Backend>(store: &BlockStore<B>) -> (u64, u64, u64, u64) {
-    let b = store.backend();
-    let v = store.v();
-    let sum = |f: &dyn Fn(usize) -> u64| (0..v).map(|d| f(store.physical_disk(d))).sum();
-    (
-        sum(&|d| b.read_count(d)),
-        sum(&|d| b.write_count(d)),
-        sum(&|d| b.read_calls(d)),
-        sum(&|d| b.write_calls(d)),
-    )
+/// Aggregate physical IO so far, via the observability snapshot.
+fn totals<B: Backend>(store: &BlockStore<B>) -> IoTotals {
+    store.stats().io_totals()
+}
+
+/// `(read_units, write_units, read_calls, write_calls)` since `t0`.
+fn diff<B: Backend>(store: &BlockStore<B>, t0: &IoTotals) -> (u64, u64, u64, u64) {
+    let d = totals(store).since(t0);
+    (d.read_units, d.write_units, d.read_calls, d.write_calls)
+}
+
+/// Per-logical-disk read calls since the `before` snapshot.
+fn disk_read_calls(now: &StatsSnapshot, before: &StatsSnapshot, d: usize) -> u64 {
+    now.disks[d].read_calls.saturating_sub(before.disks[d].read_calls)
 }
 
 /// A full-stripe write is exactly `k` unit writes (k−1 data + P) and
@@ -40,9 +55,9 @@ fn full_stripe_write_is_k_writes_zero_reads() {
     let store = ring_store(7, 4, 1);
     let k_data = 3; // k - 1 data units per XOR stripe
     let data = vec![0x5au8; k_data * UNIT];
-    store.reset_counters();
+    let t0 = totals(&store);
     store.write_blocks(0, &data).unwrap();
-    let (r, w, _, _) = totals(&store);
+    let (r, w, _, _) = diff(&store, &t0);
     assert_eq!(r, 0, "full-stripe write must not read");
     assert_eq!(w, 4, "full-stripe write is exactly k = 4 unit writes");
     store.verify_parity().unwrap();
@@ -55,9 +70,9 @@ fn pq_full_stripe_write_is_k_writes_zero_reads() {
     let store = pq_store(9, 4, 1);
     let k_data = 2; // k - 2 data units per P+Q stripe
     let data = vec![0xa5u8; k_data * UNIT];
-    store.reset_counters();
+    let t0 = totals(&store);
     store.write_blocks(0, &data).unwrap();
-    let (r, w, _, _) = totals(&store);
+    let (r, w, _, _) = diff(&store, &t0);
     assert_eq!(r, 0, "P+Q full-stripe write must not read");
     assert_eq!(w, 4, "P+Q full-stripe write is exactly k = 4 unit writes");
     store.verify_parity().unwrap();
@@ -74,22 +89,21 @@ fn sequential_stripe_read_is_one_call_per_disk() {
     let stripes = 6;
     let data: Vec<u8> = (0..stripes * k_data * UNIT).map(|i| (i % 251) as u8).collect();
     store.write_blocks(0, &data).unwrap();
-    store.reset_counters();
+    let before = store.stats();
     let mut out = vec![0u8; data.len()];
     store.read_blocks(0, &mut out).unwrap();
     assert_eq!(out, data, "coalesced read returns the written bytes");
-    let backend = store.backend();
+    let now = store.stats();
     let mut touched = 0u64;
     for d in 0..store.v() {
-        let phys = store.physical_disk(d);
-        let calls = backend.read_calls(phys);
+        let calls = disk_read_calls(&now, &before, d);
         assert!(
             calls <= 1,
             "disk {d}: sequential stripe read must coalesce to 1 vectored call, got {calls}"
         );
         touched += calls;
     }
-    let (r, _, _, _) = totals(&store);
+    let r = now.io_totals().since(&before.io_totals()).read_units;
     assert!(r >= (stripes * k_data) as u64, "every requested unit is transferred");
     assert!(touched >= 2, "a multi-stripe read touches several disks");
 }
@@ -105,23 +119,29 @@ fn sequential_copy_read_coalesces_per_disk() {
     let blocks = store.blocks();
     let data: Vec<u8> = (0..blocks * UNIT).map(|i| (i % 251) as u8).collect();
     store.write_blocks(0, &data).unwrap();
-    store.reset_counters();
+    let before = store.stats();
     let mut out = vec![0u8; blocks * UNIT];
     store.read_blocks(0, &mut out).unwrap();
     assert_eq!(out, data, "coalesced read returns the written bytes");
-    let backend = store.backend();
+    let now = store.stats();
     for d in 0..store.v() {
-        let phys = store.physical_disk(d);
-        let calls = backend.read_calls(phys);
+        let calls = disk_read_calls(&now, &before, d);
         assert!(
             calls <= 2,
             "disk {d}: whole-copy scan must coalesce to ≤ 2 vectored reads \
              (data fragments around the parity cluster), got {calls}"
         );
     }
-    let (r, _, rc, _) = totals(&store);
-    assert_eq!(r, blocks as u64, "exactly the data units are transferred — no bridged waste");
-    assert!(rc <= 2 * store.v() as u64, "at most two backend calls per touched disk, got {rc}");
+    let t = now.io_totals().since(&before.io_totals());
+    assert_eq!(
+        t.read_units, blocks as u64,
+        "exactly the data units are transferred — no bridged waste"
+    );
+    assert!(
+        t.read_calls <= 2 * store.v() as u64,
+        "at most two backend calls per touched disk, got {}",
+        t.read_calls
+    );
 }
 
 /// A sequential whole-copy write (all full stripes) coalesces into one
@@ -131,10 +151,10 @@ fn sequential_write_is_one_call_per_disk() {
     let store = ring_store(7, 4, 1);
     let blocks = store.blocks();
     let data: Vec<u8> = (0..blocks * UNIT).map(|i| (i % 241) as u8).collect();
-    store.reset_counters();
+    let t0 = totals(&store);
     store.write_blocks(0, &data).unwrap();
     let layout_units = store.v() as u64 * store.layout().size() as u64;
-    let (r, w, _, wc) = totals(&store);
+    let (r, w, _, wc) = diff(&store, &t0);
     assert_eq!(r, 0, "whole-copy write is all full stripes: zero reads");
     assert_eq!(w, layout_units, "every unit (data + parity) written once");
     assert!(wc <= store.v() as u64, "at most one backend call per touched disk, got {wc}");
@@ -148,9 +168,9 @@ fn small_xor_write_is_2_plus_2() {
     let store = ring_store(7, 4, 2);
     let data: Vec<u8> = (0..store.blocks() * UNIT).map(|i| (i % 239) as u8).collect();
     store.write_blocks(0, &data).unwrap();
-    store.reset_counters();
+    let t0 = totals(&store);
     store.write_block(1, &[0x11u8; UNIT]).unwrap();
-    let (r, w, rc, wc) = totals(&store);
+    let (r, w, rc, wc) = diff(&store, &t0);
     assert_eq!((r, w), (2, 2), "XOR RMW is 2 reads + 2 writes");
     assert_eq!((rc, wc), (2, 2), "each a single-unit backend call");
     store.verify_parity().unwrap();
@@ -162,9 +182,9 @@ fn small_pq_write_is_3_plus_3() {
     let store = pq_store(9, 4, 2);
     let data: Vec<u8> = (0..store.blocks() * UNIT).map(|i| (i % 233) as u8).collect();
     store.write_blocks(0, &data).unwrap();
-    store.reset_counters();
+    let t0 = totals(&store);
     store.write_block(1, &[0x22u8; UNIT]).unwrap();
-    let (r, w, _, _) = totals(&store);
+    let (r, w, _, _) = diff(&store, &t0);
     assert_eq!((r, w), (3, 3), "P+Q RMW is 3 reads + 3 writes");
     store.verify_parity().unwrap();
 }
@@ -174,14 +194,16 @@ fn small_pq_write_is_3_plus_3() {
 /// backend I/O, and the flush pays `k_data − dirty` reads (the clean
 /// units, for the idempotent fresh-parity recompute) plus
 /// `dirty + parity` writes — one backend call per touched disk — no
-/// matter how many client writes the stripe absorbed.
+/// matter how many client writes the stripe absorbed. The cache's own
+/// counters agree: one insertion, every repeat write absorbed, the
+/// whole batch flushed as one stripe.
 #[test]
 fn write_back_combines_k_writes_into_one_flush() {
     let store = ring_store(7, 4, 2);
     store.set_cache_policy(CachePolicy::WriteBack { max_dirty: 64 }).unwrap();
     let (lo, k_data) = store.stripe_map().stripe_data_range(0);
     assert_eq!(k_data, 3, "k = 4 XOR stripes carry 3 data units");
-    store.reset_counters();
+    let t0 = totals(&store);
     // 50 + 30 writes, all into two data units of stripe 0.
     for i in 0..50u8 {
         store.write_block(lo, &[i; UNIT]).unwrap();
@@ -189,11 +211,11 @@ fn write_back_combines_k_writes_into_one_flush() {
     for i in 0..30u8 {
         store.write_block(lo + 1, &[i; UNIT]).unwrap();
     }
-    let (r, w, _, _) = totals(&store);
+    let (r, w, _, _) = diff(&store, &t0);
     assert_eq!((r, w), (0, 0), "cached writes perform no backend I/O");
     assert_eq!(store.dirty_cache_stripes(), 1);
     store.flush().unwrap();
-    let (r, w, rc, wc) = totals(&store);
+    let (r, w, rc, wc) = diff(&store, &t0);
     assert_eq!(
         (r, w),
         (1, 3),
@@ -201,6 +223,11 @@ fn write_back_combines_k_writes_into_one_flush() {
     );
     assert!(rc <= 1 && wc <= 3, "at most one backend call per touched disk, got {rc}/{wc}");
     assert_eq!(store.dirty_cache_stripes(), 0);
+    let cache = store.stats().cache;
+    assert_eq!(cache.insertions, 1, "one stripe entry created");
+    assert_eq!(cache.absorbed_writes, 78, "80 writes − 2 first-touches all absorbed");
+    assert_eq!((cache.flushed_stripes, cache.flushed_units), (1, 2));
+    assert_eq!(cache.dirty_stripes, 0);
     store.verify_parity().unwrap();
     // The cached values are the ones that landed.
     let mut out = vec![0u8; UNIT];
@@ -219,14 +246,14 @@ fn write_back_full_stripe_flush_is_zero_read() {
     let store = pq_store(9, 4, 1);
     store.set_cache_policy(CachePolicy::write_back()).unwrap();
     let (lo, k_data) = store.stripe_map().stripe_data_range(0);
-    store.reset_counters();
+    let t0 = totals(&store);
     for round in 0..4u8 {
         for j in 0..k_data {
             store.write_block(lo + j, &[round ^ j as u8; UNIT]).unwrap();
         }
     }
     store.flush().unwrap();
-    let (r, w, _, wc) = totals(&store);
+    let (r, w, _, wc) = diff(&store, &t0);
     assert_eq!(r, 0, "fully dirty stripe flushes with zero reads");
     assert_eq!(w, 4, "k - 2 data + P + Q = k = 4 unit writes");
     assert!(wc <= 4, "one call per touched disk");
@@ -243,14 +270,14 @@ fn write_back_batch_flush_coalesces_across_stripes() {
     let store = ring_store(7, 4, 1);
     store.set_cache_policy(CachePolicy::WriteBack { max_dirty: 1024 }).unwrap();
     let blocks = store.blocks();
-    store.reset_counters();
+    let t0 = totals(&store);
     for addr in 0..blocks {
         store.write_block(addr, &[(addr % 251) as u8; UNIT]).unwrap();
     }
-    let (r, w, _, _) = totals(&store);
+    let (r, w, _, _) = diff(&store, &t0);
     assert_eq!((r, w), (0, 0), "all writes absorbed by the cache");
     store.flush().unwrap();
-    let (r, w, _, wc) = totals(&store);
+    let (r, w, _, wc) = diff(&store, &t0);
     let layout_units = store.v() as u64 * store.layout().size() as u64;
     assert_eq!(r, 0, "whole-copy drain is all full stripes: zero reads");
     assert_eq!(w, layout_units, "every unit (data + parity) written once");
@@ -269,7 +296,7 @@ fn degraded_batch_read_decodes_each_stripe_once() {
     store.write_blocks(0, &data).unwrap();
     store.fail_disk(0).unwrap();
     store.fail_disk(1).unwrap();
-    store.reset_counters();
+    let t0 = totals(&store);
     let mut out = vec![0u8; blocks * UNIT];
     store.read_blocks(0, &mut out).unwrap();
     assert_eq!(out, data, "doubly-degraded batched read returns the written bytes");
@@ -287,7 +314,7 @@ fn degraded_batch_read_decodes_each_stripe_once() {
         // the real assertion.
         b * k
     };
-    let (r, _, _, _) = totals(&store);
+    let (r, _, _, _) = diff(&store, &t0);
     assert!(
         r < per_block_decode_cost,
         "batched degraded read ({r} unit reads) must beat per-block decoding"
@@ -304,7 +331,7 @@ fn rebuild_batches_reads_without_changing_unit_counts() {
     let data: Vec<u8> = (0..blocks * UNIT).map(|i| (i % 227) as u8).collect();
     store.write_blocks(0, &data).unwrap();
     store.fail_disk(2).unwrap();
-    store.reset_counters();
+    let before = store.stats();
     let report = Rebuilder::new(2).chunk_size(16).rebuild(&store, 9).unwrap();
     let expected = 3.0 / 8.0; // (k-1)/(v-1) for v=9, k=4
     assert!(
@@ -313,15 +340,14 @@ fn rebuild_batches_reads_without_changing_unit_counts() {
         report.mean_read_fraction()
     );
     assert_eq!(report.read_imbalance(), 0.0, "per-disk unit counts perfectly balanced");
-    let backend = store.backend();
-    let units_per_disk = backend.units_per_disk() as u64;
+    let now = store.stats();
+    let units_per_disk = store.backend().units_per_disk() as u64;
     for d in 0..store.v() {
         if d == 2 {
             continue;
         }
-        let phys = store.physical_disk(d);
-        let units = backend.read_count(phys);
-        let calls = backend.read_calls(phys);
+        let units = now.disks[d].read_units.saturating_sub(before.disks[d].read_units);
+        let calls = disk_read_calls(&now, &before, d);
         assert!(
             calls < units.max(1) || units <= 1,
             "disk {d}: {units} units in {calls} calls — rebuild reads must coalesce"
@@ -332,4 +358,74 @@ fn rebuild_batches_reads_without_changing_unit_counts() {
     let mut out = vec![0u8; blocks * UNIT];
     store.read_blocks(0, &mut out).unwrap();
     assert_eq!(out, data, "rebuilt store returns the original bytes");
+}
+
+/// The declustering claim, observed **live**: while a rebuild is
+/// running, [`BlockStore::rebuild_progress`] snapshots the per-disk
+/// read distribution, and every mid-flight sample's mean read
+/// fraction already sits at (k−1)/(v−1) — the paper's promise is a
+/// property of the steady state, not just of the final report.
+#[test]
+fn racing_rebuild_live_read_distribution_matches_declustering() {
+    // On a starved single-core host the poller can miss the whole
+    // rebuild between two yields; a fresh store retries the race.
+    let mut store = ring_store(9, 4, 256);
+    let mut samples: Vec<RebuildProgress> = Vec::new();
+    for attempt in 0.. {
+        let blocks = store.blocks();
+        let data: Vec<u8> = (0..blocks * UNIT).map(|i| (i % 223) as u8).collect();
+        store.write_blocks(0, &data).unwrap();
+        store.fail_disk(2).unwrap();
+        assert!(store.rebuild_progress().is_none(), "no progress before a rebuild registers");
+
+        // Single worker + tiny chunks stretch the rebuild so the
+        // polling loop below lands samples strictly mid-flight.
+        samples.clear();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| Rebuilder::new(1).chunk_size(4).rebuild(&store, 9));
+            while !h.is_finished() {
+                if let Some(p) = store.rebuild_progress() {
+                    samples.push(p);
+                }
+                std::thread::yield_now();
+            }
+            h.join().expect("rebuild thread").unwrap();
+        });
+        assert!(store.rebuild_progress().is_none(), "progress clears once the rebuild completes");
+        let captured = samples.iter().any(|p| p.units_done >= 64 && p.units_done < p.units_total);
+        if captured {
+            break;
+        }
+        assert!(attempt < 10, "no mid-flight snapshot captured in {attempt} races");
+        store = ring_store(9, 4, 256);
+    }
+
+    let mid: Vec<&RebuildProgress> =
+        samples.iter().filter(|p| p.units_done >= 64 && p.units_done < p.units_total).collect();
+    let expected = 3.0 / 8.0; // (k-1)/(v-1) for v=9, k=4
+    for p in &mid {
+        assert_eq!((p.failed_disk, p.spare_disk), (2, 9));
+        assert_eq!(p.per_disk_reads.len(), 9, "one read counter per logical disk");
+        assert_eq!(p.per_disk_reads[2], 0, "the failed disk is never read");
+        // In-flight chunks may have prefetched reads whose units are
+        // not yet counted done, so allow a band around the claim.
+        assert!(
+            (expected - 0.075..=expected + 0.075).contains(&p.mean_read_fraction),
+            "live mean read fraction {} strays from (k-1)/(v-1) = {expected} \
+             at {}/{} units",
+            p.mean_read_fraction,
+            p.units_done,
+            p.units_total
+        );
+    }
+    // The last mid-flight sample has decoded enough stripes that the
+    // per-survivor read counts themselves are near-uniform.
+    let last = mid.last().unwrap();
+    let survivors: Vec<u64> = (0..9).filter(|&d| d != 2).map(|d| last.per_disk_reads[d]).collect();
+    let (min, max) = (survivors.iter().min().unwrap(), survivors.iter().max().unwrap());
+    assert!(
+        max - min <= 3 * 4 * 2,
+        "per-survivor reads stay within two chunks of each other, got {survivors:?}"
+    );
+    store.verify_parity().unwrap();
 }

@@ -1,0 +1,287 @@
+//! Observability end-to-end tests: the metrics registry, event
+//! tracing, degraded-window accounting, and `stats()` snapshots, all
+//! observed through the public store API the way a monitoring agent
+//! would.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pdl_core::{DoubleParityLayout, RingLayout};
+use pdl_store::{
+    stress, Backend, BlockStore, CachePolicy, Event, EventSink, MemBackend, OpKind, RebuildMode,
+    Rebuilder, StatsSnapshot, StoreError, StressConfig, TraceLog,
+};
+
+const UNIT: usize = 64;
+
+fn ring_store(v: usize, k: usize, copies: usize) -> BlockStore<MemBackend> {
+    let layout = RingLayout::for_v_k(v, k).layout().clone();
+    let backend = MemBackend::new(v + 1, copies * layout.size(), UNIT);
+    BlockStore::new(layout, backend).unwrap()
+}
+
+fn pq_store(v: usize, k: usize, copies: usize) -> BlockStore<MemBackend> {
+    let dp = DoubleParityLayout::new(RingLayout::for_v_k(v, k).layout().clone()).unwrap();
+    let backend = MemBackend::new(v + 2, copies * dp.layout().size(), UNIT);
+    BlockStore::new_pq(dp, backend).unwrap()
+}
+
+fn fill(store: &BlockStore<MemBackend>) -> Vec<u8> {
+    let data: Vec<u8> = (0..store.blocks() * UNIT).map(|i| (i % 251) as u8).collect();
+    store.write_blocks(0, &data).unwrap();
+    data
+}
+
+/// The registry counts every public op by kind, with unit totals.
+#[test]
+fn metrics_registry_counts_ops_by_kind() {
+    let store = ring_store(7, 3, 2);
+    fill(&store);
+    let mut out = vec![0u8; UNIT];
+    for addr in 0..10 {
+        store.read_block(addr, &mut out).unwrap();
+    }
+    store.write_block(0, &[7u8; UNIT]).unwrap();
+    let s = store.stats();
+    let read = s.op(OpKind::Read).unwrap();
+    assert_eq!(read.ops, 10, "10 single-block reads counted");
+    assert_eq!(read.units, 10, "one unit per read");
+    let write = s.op(OpKind::Write).unwrap();
+    // The batched fill is one Write op; the single write another.
+    assert_eq!(write.ops, 2);
+    assert_eq!(write.units as usize, store.blocks() + 1);
+    assert_eq!(s.op(OpKind::DegradedRead).unwrap().ops, 0, "healthy run");
+    assert!(s.rebuild.is_none());
+    // The per-disk counters in the same snapshot agree with the
+    // backend's own view.
+    let io = s.io_totals();
+    assert!(io.write_units > 0 && io.write_calls > 0);
+}
+
+/// Disabling the registry freezes every counter; re-enabling resumes.
+#[test]
+fn metrics_disable_stops_counting() {
+    let store = ring_store(7, 3, 1);
+    fill(&store);
+    let before = store.stats().op(OpKind::Read).unwrap().ops;
+    store.metrics().set_enabled(false);
+    let mut out = vec![0u8; UNIT];
+    store.read_block(0, &mut out).unwrap();
+    assert_eq!(store.stats().op(OpKind::Read).unwrap().ops, before, "disabled: not counted");
+    store.metrics().set_enabled(true);
+    store.read_block(0, &mut out).unwrap();
+    assert_eq!(store.stats().op(OpKind::Read).unwrap().ops, before + 1);
+}
+
+/// Degraded-window accounting: wall-clock and op counts accumulate
+/// against the *exact* erasure level, the open window is visible
+/// live, and windows close when the array heals.
+#[test]
+fn degraded_windows_split_one_vs_two_erasures() {
+    let store = pq_store(9, 4, 2);
+    fill(&store);
+    let mut out = vec![0u8; UNIT];
+
+    let s0 = store.stats();
+    assert_eq!((s0.degraded.one.windows, s0.degraded.two.windows), (0, 0));
+
+    store.fail_disk(0).unwrap();
+    for addr in 0..8 {
+        store.read_block(addr, &mut out).unwrap();
+    }
+    // Still degraded: the open window is included in the snapshot.
+    let s1 = store.stats();
+    assert_eq!(s1.degraded.one.windows, 1, "one-erasure window opened");
+    assert_eq!(s1.degraded.one.ops, 8, "the degraded reads are on the window's op clock");
+    assert!(s1.degraded.one.wall_ns > 0, "open window accrues wall time live");
+    assert_eq!(s1.degraded.two.windows, 0);
+
+    store.fail_disk(1).unwrap();
+    for addr in 0..4 {
+        store.read_block(addr, &mut out).unwrap();
+    }
+    store.restore_disk(1).unwrap();
+    store.restore_disk(0).unwrap();
+
+    let s2 = store.stats();
+    assert_eq!(s2.degraded.one.windows, 1, "returning 2→1 resumes the same logical window");
+    assert_eq!(s2.degraded.two.windows, 1, "the two-erasure escalation is its own window");
+    assert_eq!(s2.degraded.two.ops, 4, "ops while doubly degraded accrue to `two`");
+    assert_eq!(s2.degraded.one.ops, 8, "ops while singly degraded accrue to `one`");
+    assert!(s2.degraded.one.wall_ns > 0 && s2.degraded.two.wall_ns > 0);
+
+    // Healthy again: the totals are closed and stable.
+    for addr in 0..16 {
+        store.read_block(addr, &mut out).unwrap();
+    }
+    let s3 = store.stats();
+    assert_eq!(s3.degraded.one.ops, s2.degraded.one.ops, "healthy ops don't leak into windows");
+}
+
+/// A rebuild closes the degraded window and its chunked I/O shows up
+/// as `rebuild_read` / `spare_write` op kinds with exact unit totals.
+#[test]
+fn rebuild_ops_and_window_close() {
+    let store = ring_store(9, 4, 4);
+    let data = fill(&store);
+    store.fail_disk(2).unwrap();
+    Rebuilder::new(2).rebuild(&store, 9).unwrap();
+
+    let s = store.stats();
+    let per_disk = store.backend().units_per_disk() as u64;
+    assert_eq!(s.op(OpKind::SpareWrite).unwrap().units, per_disk, "every unit landed once");
+    assert_eq!(
+        s.op(OpKind::RebuildRead).unwrap().units,
+        3 * per_disk,
+        "k-1 = 3 survivor reads per rebuilt unit"
+    );
+    assert_eq!(s.degraded.one.windows, 1);
+    assert!(s.rebuild.is_none(), "no live rebuild after completion");
+
+    let mut out = vec![0u8; store.blocks() * UNIT];
+    store.read_blocks(0, &mut out).unwrap();
+    assert_eq!(out, data);
+}
+
+/// The bundled ring-buffer sink sees the whole failure/rebuild
+/// lifecycle as structured events, op spans included — and stops
+/// seeing anything once uninstalled.
+#[test]
+fn trace_log_captures_lifecycle_events() {
+    let store = ring_store(7, 3, 2);
+    fill(&store);
+    let log = Arc::new(TraceLog::with_capacity(4096));
+    store.set_event_sink(Some(log.clone()));
+
+    store.fail_disk(1).unwrap();
+    store.write_block(0, &[9u8; UNIT]).unwrap();
+    Rebuilder::new(1).rebuild(&store, 7).unwrap();
+
+    let events = log.events();
+    assert!(events.iter().any(|e| matches!(e, Event::DiskFailed { disk: 1, .. })));
+    assert!(
+        events.iter().any(|e| matches!(e, Event::RebuildBegan { disk: 1, spare: 7, .. })),
+        "rebuild registration traced"
+    );
+    assert!(events.iter().any(|e| matches!(e, Event::RebuildCompleted { disk: 1, .. })));
+    let span_open = events
+        .iter()
+        .any(|e| matches!(e, Event::OpBegin { kind, .. } if *kind == OpKind::DegradedWrite));
+    let span_close = events
+        .iter()
+        .any(|e| matches!(e, Event::OpEnd { kind, .. } if *kind == OpKind::DegradedWrite));
+    assert!(span_open && span_close, "degraded write op span traced open and close");
+
+    store.set_event_sink(None);
+    let seen = log.recorded();
+    store.write_block(1, &[3u8; UNIT]).unwrap();
+    assert_eq!(log.recorded(), seen, "uninstalled sink receives nothing");
+}
+
+/// A custom [`EventSink`] hears write-back flush batches with their
+/// stripe and dirty-unit payloads, matching the cache counters.
+#[test]
+fn custom_sink_hears_cache_flush_batches() {
+    #[derive(Default)]
+    struct FlushCounter {
+        batches: AtomicU64,
+        dirty_units: AtomicU64,
+    }
+    impl EventSink for FlushCounter {
+        fn record(&self, ev: &Event) {
+            if let Event::CacheFlush { dirty_units, .. } = ev {
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                self.dirty_units.fetch_add(*dirty_units as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    let store = ring_store(7, 3, 2);
+    store.set_cache_policy(CachePolicy::write_back()).unwrap();
+    let sink = Arc::new(FlushCounter::default());
+    store.set_event_sink(Some(sink.clone()));
+    for addr in 0..6 {
+        store.write_block(addr, &[addr as u8; UNIT]).unwrap();
+    }
+    store.flush().unwrap();
+    assert!(sink.batches.load(Ordering::Relaxed) >= 1, "flush batch event emitted");
+    let s = store.stats();
+    assert_eq!(
+        sink.dirty_units.load(Ordering::Relaxed),
+        s.cache.flushed_units,
+        "event payloads agree with the cache counters"
+    );
+    assert!(s.op(OpKind::CacheFlush).unwrap().ops >= 1, "flush batches are an op kind too");
+}
+
+/// `stats()` round-trips through JSON bit-exactly — the contract the
+/// CI artifacts and the bench gate's `--require-stat` rely on.
+#[test]
+fn stats_snapshot_survives_json() {
+    let store = pq_store(9, 4, 1);
+    fill(&store);
+    store.fail_disk(3).unwrap();
+    let mut out = vec![0u8; UNIT];
+    store.read_block(0, &mut out).unwrap();
+    let s = store.stats();
+    let json = serde_json::to_string(&s).unwrap();
+    let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.io_totals(), s.io_totals());
+    assert_eq!(back.epoch, s.epoch);
+    assert_eq!(back.degraded.one.windows, s.degraded.one.windows);
+    assert_eq!(back.op(OpKind::Read).unwrap().ops, s.op(OpKind::Read).unwrap().ops);
+    for (d, disk) in back.disks.iter().enumerate() {
+        assert_eq!(disk.disk, d);
+    }
+    // The human renderer covers the same snapshot without panicking
+    // and names the op kinds.
+    let text = pdl_store::render_stats(&s);
+    assert!(text.contains("ops (kind") && text.contains("degraded: one-erasure 1 window"));
+}
+
+/// `verify_parity` names the exact stripe, copy, and parity invariant
+/// it found violated.
+#[test]
+fn parity_mismatch_reports_stripe_context() {
+    let store = ring_store(7, 3, 1);
+    fill(&store);
+    store.verify_parity().unwrap();
+    // Corrupt the medium behind the store's back (no fail_disk): the
+    // scan must localize the damage, not just report "bad".
+    store.backend().wipe_disk(store.physical_disk(0)).unwrap();
+    match store.verify_parity() {
+        Err(StoreError::ParityMismatch { stripe, copy, parity }) => {
+            assert_eq!(copy, 0, "first copy scanned first");
+            assert!(parity.contains('P'), "XOR stores verify the P invariant, got {parity}");
+            let msg = StoreError::ParityMismatch { stripe, copy, parity }.to_string();
+            assert!(msg.contains("parity invariant") && msg.contains(&stripe.to_string()));
+        }
+        other => panic!("expected ParityMismatch, got {other:?}"),
+    }
+}
+
+/// The stress harness carries a stats snapshot describing its own
+/// workload and (racing mode) live rebuild-progress samples, and its
+/// `stats.json` payload parses back.
+#[test]
+fn stress_report_carries_stats_snapshot() {
+    let store = ring_store(9, 4, 64);
+    let cfg = StressConfig {
+        threads: 3,
+        ops_per_thread: 300,
+        fail_disk: Some(2),
+        rebuild: RebuildMode::Racing { spare: 9 },
+        ..StressConfig::default()
+    };
+    let report = stress::run(&store, &cfg).unwrap();
+    let s = &report.stats;
+    assert!(s.op(OpKind::SpareWrite).unwrap().units > 0, "rebuild traffic in the snapshot");
+    assert_eq!(s.degraded.one.windows, 1, "the injected failure is one degraded window");
+    assert!(s.degraded.one.ops > 0, "client ops ran inside the window");
+    for p in &report.rebuild_progress {
+        assert_eq!(p.failed_disk, 2);
+        assert!(p.units_done <= p.units_total);
+    }
+    let back: StatsSnapshot = serde_json::from_str(&report.stats_json()).unwrap();
+    assert_eq!(back.io_totals(), s.io_totals());
+}

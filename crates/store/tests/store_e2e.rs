@@ -298,7 +298,20 @@ fn restore_after_degraded_write_requires_rebuild() {
 
     // The transient restore is refused: disk 2's medium still holds
     // the pre-failure value.
-    assert!(matches!(store.restore_disk(2), Err(StoreError::RebuildRequired(2))));
+    // The error names the stale disk and a concrete witness stripe a
+    // degraded write skipped — check the context, not just the kind.
+    match store.restore_disk(2) {
+        Err(StoreError::RebuildRequired { disk, copy, stripe }) => {
+            assert_eq!(disk, 2);
+            let m = store.stripe_map().locate_full(addr);
+            assert_eq!(
+                (copy, stripe),
+                (m.copy, m.stripe),
+                "witness is the degraded write's stripe"
+            );
+        }
+        other => panic!("expected RebuildRequired for disk 2, got {other:?}"),
+    }
     assert!(store.is_degraded(), "failure state unchanged by the refused restore");
 
     // A rebuild re-synchronizes and the write survives.
