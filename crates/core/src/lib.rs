@@ -46,6 +46,7 @@ pub mod metrics;
 pub mod parallelism;
 pub mod parity_assign;
 pub mod randomized;
+pub mod reshape;
 pub mod ring_layout;
 pub mod sparing;
 pub mod stairway;
@@ -73,6 +74,7 @@ pub use parity_assign::{
     copies_for_perfect_parity, minimal_balanced_layout, AssignError, StripePartition,
 };
 pub use randomized::{random_layout, random_layout_uniform};
+pub use reshape::{plan_add, plan_remove, ReshapeMethod, ReshapePlan, ReshapePlanError};
 pub use ring_layout::{max_safe_removals, RemovalError, RingLayout};
 pub use sparing::{RebuildPlan, SparedLayout, SparedRole};
 pub use stairway::{stairway_layout, StairwayError, StairwayParams};

@@ -13,6 +13,7 @@ use crate::error::StoreError;
 use crate::obs::DiskCounters;
 use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
 /// Positional read: no seek, no cursor state, so one brief lock
@@ -226,6 +227,18 @@ pub trait Backend: Send + Sync {
     fn load_mapping(&self) -> Result<Option<Vec<usize>>, StoreError> {
         Ok(None)
     }
+
+    /// Resizes every disk to `units` units — the reshape engine's
+    /// geometry primitive: growing opens the zero-filled scratch
+    /// region the target world migrates into; shrinking trims it away
+    /// after the commit. New units **must read back as zeroes**.
+    /// Callers must quiesce I/O first (the store resizes only under
+    /// its exclusive state guard). Backends with immutable geometry
+    /// keep the default error.
+    fn set_units_per_disk(&self, units: usize) -> Result<(), StoreError> {
+        let _ = units;
+        Err(StoreError::Geometry("backend does not support resizing".into()))
+    }
 }
 
 /// Validates a multi-unit buffer length, returning the unit count.
@@ -301,7 +314,10 @@ fn check_scatter<'a>(
 #[derive(Debug)]
 pub struct MemBackend {
     unit_size: usize,
-    units: usize,
+    /// Units per disk — atomic so a reshape can grow/trim the
+    /// geometry through `&self` (resizes happen only with I/O
+    /// quiesced; see [`Backend::set_units_per_disk`]).
+    units: AtomicUsize,
     data: Vec<RwLock<Vec<u8>>>,
     counters: DiskCounters,
 }
@@ -317,10 +333,14 @@ impl MemBackend {
         assert!(disks > 0 && units_per_disk > 0 && unit_size > 0, "empty geometry");
         MemBackend {
             unit_size,
-            units: units_per_disk,
+            units: AtomicUsize::new(units_per_disk),
             data: (0..disks).map(|_| RwLock::new(vec![0u8; units_per_disk * unit_size])).collect(),
             counters: DiskCounters::new(disks),
         }
+    }
+
+    fn units(&self) -> usize {
+        self.units.load(Ordering::Acquire)
     }
 }
 
@@ -330,7 +350,7 @@ impl Backend for MemBackend {
     }
 
     fn units_per_disk(&self) -> usize {
-        self.units
+        self.units()
     }
 
     fn unit_size(&self) -> usize {
@@ -338,7 +358,7 @@ impl Backend for MemBackend {
     }
 
     fn read_unit(&self, disk: usize, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
-        check_geometry(self.data.len(), self.units, disk, offset, self.unit_size, buf.len())?;
+        check_geometry(self.data.len(), self.units(), disk, offset, self.unit_size, buf.len())?;
         let d = self.data[disk].read().unwrap();
         let at = offset * self.unit_size;
         buf.copy_from_slice(&d[at..at + self.unit_size]);
@@ -347,7 +367,7 @@ impl Backend for MemBackend {
     }
 
     fn write_unit(&self, disk: usize, offset: usize, buf: &[u8]) -> Result<(), StoreError> {
-        check_geometry(self.data.len(), self.units, disk, offset, self.unit_size, buf.len())?;
+        check_geometry(self.data.len(), self.units(), disk, offset, self.unit_size, buf.len())?;
         let mut d = self.data[disk].write().unwrap();
         let at = offset * self.unit_size;
         d[at..at + self.unit_size].copy_from_slice(buf);
@@ -356,7 +376,7 @@ impl Backend for MemBackend {
     }
 
     fn read_units(&self, disk: usize, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
-        let n = check_span(self.data.len(), self.units, disk, offset, self.unit_size, buf.len())?;
+        let n = check_span(self.data.len(), self.units(), disk, offset, self.unit_size, buf.len())?;
         let d = self.data[disk].read().unwrap();
         let at = offset * self.unit_size;
         buf.copy_from_slice(&d[at..at + buf.len()]);
@@ -365,7 +385,7 @@ impl Backend for MemBackend {
     }
 
     fn write_units(&self, disk: usize, offset: usize, buf: &[u8]) -> Result<(), StoreError> {
-        let n = check_span(self.data.len(), self.units, disk, offset, self.unit_size, buf.len())?;
+        let n = check_span(self.data.len(), self.units(), disk, offset, self.unit_size, buf.len())?;
         let mut d = self.data[disk].write().unwrap();
         let at = offset * self.unit_size;
         d[at..at + buf.len()].copy_from_slice(buf);
@@ -381,7 +401,7 @@ impl Backend for MemBackend {
     ) -> Result<(), StoreError> {
         let n = check_scatter(
             self.data.len(),
-            self.units,
+            self.units(),
             disk,
             offset,
             self.unit_size,
@@ -405,7 +425,7 @@ impl Backend for MemBackend {
     ) -> Result<(), StoreError> {
         let n = check_scatter(
             self.data.len(),
-            self.units,
+            self.units(),
             disk,
             offset,
             self.unit_size,
@@ -456,6 +476,20 @@ impl Backend for MemBackend {
         self.data[disk].write().unwrap().fill(0);
         Ok(())
     }
+
+    fn set_units_per_disk(&self, units: usize) -> Result<(), StoreError> {
+        if units == 0 {
+            return Err(StoreError::Geometry("cannot resize to zero units".into()));
+        }
+        // Grow zero-fills (fresh scratch units read as zeroes); shrink
+        // truncates. Per-disk write locks serialize against any
+        // straggler I/O; the store only calls this quiesced.
+        for d in &self.data {
+            d.write().unwrap().resize(units * self.unit_size, 0);
+        }
+        self.units.store(units, Ordering::Release);
+        Ok(())
+    }
 }
 
 /// File-backed backend: one preallocated file per disk under a
@@ -469,7 +503,9 @@ impl Backend for MemBackend {
 pub struct FileBackend {
     dir: PathBuf,
     unit_size: usize,
-    units: usize,
+    /// Units per disk — atomic so a reshape can grow/trim the file
+    /// geometry through `&self` (see [`Backend::set_units_per_disk`]).
+    units: AtomicUsize,
     files: Vec<Mutex<File>>,
     counters: DiskCounters,
 }
@@ -515,7 +551,7 @@ impl FileBackend {
         Ok(FileBackend {
             dir,
             unit_size,
-            units: units_per_disk,
+            units: AtomicUsize::new(units_per_disk),
             files,
             counters: DiskCounters::new(disks),
         })
@@ -529,6 +565,32 @@ impl FileBackend {
         units_per_disk: usize,
         unit_size: usize,
     ) -> Result<Self, StoreError> {
+        Self::open_inner(dir, disks, units_per_disk, unit_size, false)
+    }
+
+    /// Opens an existing array, **truncating** disk files that are
+    /// longer than the expected geometry (files shorter than expected
+    /// are still [`StoreError::Corrupt`]). This is the self-healing
+    /// open a committed reshape relies on: a crash after the final
+    /// metadata write but before the scratch-region trim leaves the
+    /// files longer than the metadata says, and the excess is — by
+    /// the commit protocol — exactly the dead scratch region.
+    pub fn open_trimming(
+        dir: impl AsRef<Path>,
+        disks: usize,
+        units_per_disk: usize,
+        unit_size: usize,
+    ) -> Result<Self, StoreError> {
+        Self::open_inner(dir, disks, units_per_disk, unit_size, true)
+    }
+
+    fn open_inner(
+        dir: impl AsRef<Path>,
+        disks: usize,
+        units_per_disk: usize,
+        unit_size: usize,
+        trim: bool,
+    ) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         let expected = (units_per_disk * unit_size) as u64;
         let mut files = Vec::with_capacity(disks);
@@ -536,7 +598,9 @@ impl FileBackend {
             let path = Self::disk_path(&dir, d);
             let f = OpenOptions::new().read(true).write(true).open(&path)?;
             let len = f.metadata()?.len();
-            if len != expected {
+            if len > expected && trim {
+                f.set_len(expected)?;
+            } else if len != expected {
                 return Err(StoreError::Corrupt(format!(
                     "{} is {len} bytes, expected {expected}",
                     path.display()
@@ -547,7 +611,7 @@ impl FileBackend {
         Ok(FileBackend {
             dir,
             unit_size,
-            units: units_per_disk,
+            units: AtomicUsize::new(units_per_disk),
             files,
             counters: DiskCounters::new(disks),
         })
@@ -556,6 +620,10 @@ impl FileBackend {
     /// The directory holding the disk files.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    fn units(&self) -> usize {
+        self.units.load(Ordering::Acquire)
     }
 
     /// File recording the logical→physical disk mapping after rebuilds.
@@ -572,15 +640,27 @@ impl Backend for FileBackend {
     }
 
     fn units_per_disk(&self) -> usize {
-        self.units
+        self.units()
     }
 
     fn unit_size(&self) -> usize {
         self.unit_size
     }
 
+    fn set_units_per_disk(&self, units: usize) -> Result<(), StoreError> {
+        if units == 0 {
+            return Err(StoreError::Geometry("cannot resize to zero units".into()));
+        }
+        let len = (units * self.unit_size) as u64;
+        for f in &self.files {
+            f.lock().unwrap().set_len(len)?;
+        }
+        self.units.store(units, Ordering::Release);
+        Ok(())
+    }
+
     fn read_unit(&self, disk: usize, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
-        check_geometry(self.files.len(), self.units, disk, offset, self.unit_size, buf.len())?;
+        check_geometry(self.files.len(), self.units(), disk, offset, self.unit_size, buf.len())?;
         let f = self.files[disk].lock().unwrap();
         read_at(&f, buf, (offset * self.unit_size) as u64)?;
         self.counters.add_read(disk, 1);
@@ -588,7 +668,7 @@ impl Backend for FileBackend {
     }
 
     fn write_unit(&self, disk: usize, offset: usize, buf: &[u8]) -> Result<(), StoreError> {
-        check_geometry(self.files.len(), self.units, disk, offset, self.unit_size, buf.len())?;
+        check_geometry(self.files.len(), self.units(), disk, offset, self.unit_size, buf.len())?;
         let f = self.files[disk].lock().unwrap();
         write_at(&f, buf, (offset * self.unit_size) as u64)?;
         self.counters.add_write(disk, 1);
@@ -596,7 +676,8 @@ impl Backend for FileBackend {
     }
 
     fn read_units(&self, disk: usize, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
-        let n = check_span(self.files.len(), self.units, disk, offset, self.unit_size, buf.len())?;
+        let n =
+            check_span(self.files.len(), self.units(), disk, offset, self.unit_size, buf.len())?;
         let f = self.files[disk].lock().unwrap();
         read_at(&f, buf, (offset * self.unit_size) as u64)?;
         self.counters.add_read(disk, n as u64);
@@ -604,7 +685,8 @@ impl Backend for FileBackend {
     }
 
     fn write_units(&self, disk: usize, offset: usize, buf: &[u8]) -> Result<(), StoreError> {
-        let n = check_span(self.files.len(), self.units, disk, offset, self.unit_size, buf.len())?;
+        let n =
+            check_span(self.files.len(), self.units(), disk, offset, self.unit_size, buf.len())?;
         let f = self.files[disk].lock().unwrap();
         write_at(&f, buf, (offset * self.unit_size) as u64)?;
         self.counters.add_write(disk, n as u64);
@@ -619,7 +701,7 @@ impl Backend for FileBackend {
     ) -> Result<(), StoreError> {
         let n = check_scatter(
             self.files.len(),
-            self.units,
+            self.units(),
             disk,
             offset,
             self.unit_size,
@@ -639,7 +721,7 @@ impl Backend for FileBackend {
     ) -> Result<(), StoreError> {
         let n = check_scatter(
             self.files.len(),
-            self.units,
+            self.units(),
             disk,
             offset,
             self.unit_size,
@@ -685,7 +767,7 @@ impl Backend for FileBackend {
         // One zero buffer reused in large chunks: the fault injector
         // wipes whole disks on every injected failure, so this runs
         // hot in the fault-injection schedules.
-        let total = self.units * self.unit_size;
+        let total = self.units() * self.unit_size;
         let zeros = vec![0u8; total.min(Self::WIPE_CHUNK)];
         let f = self.files[disk].lock().unwrap();
         let mut at = 0usize;

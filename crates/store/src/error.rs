@@ -72,6 +72,19 @@ pub enum StoreError {
     },
     /// The chosen spare is invalid (out of range or already mapped).
     InvalidSpare(usize),
+    /// A reshape (add/remove disks) is already running; a second
+    /// reshape or a rebuild cannot start until it completes.
+    ReshapeInProgress,
+    /// A reshape operation was requested but none is registered.
+    NoActiveReshape,
+    /// `complete_reshape` before every stripe migrated — carries the
+    /// migration cursor position.
+    ReshapeIncomplete {
+        /// Target stripes migrated so far.
+        done: u64,
+        /// Target stripes that must migrate before commit.
+        total: u64,
+    },
     /// Backend geometry is incompatible with the layout.
     Geometry(String),
     /// Stored bytes or metadata do not match expectations.
@@ -126,6 +139,13 @@ impl fmt::Display for StoreError {
             }
             StoreError::InvalidSpare(s) => {
                 write!(f, "disk {s} is not available as a spare")
+            }
+            StoreError::ReshapeInProgress => {
+                write!(f, "a reshape is in progress; wait for it to complete")
+            }
+            StoreError::NoActiveReshape => write!(f, "no reshape is registered"),
+            StoreError::ReshapeIncomplete { done, total } => {
+                write!(f, "reshape migration incomplete: {done}/{total} target stripes migrated")
             }
             StoreError::Geometry(msg) => write!(f, "geometry mismatch: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),

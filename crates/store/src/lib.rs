@@ -139,6 +139,7 @@ pub mod error;
 pub mod meta;
 pub mod obs;
 pub mod rebuild;
+pub mod reshape;
 pub mod scheme;
 pub mod store;
 pub mod stress;
@@ -147,15 +148,16 @@ pub use backend::{Backend, FileBackend, MemBackend};
 pub use cache::CachePolicy;
 pub use error::StoreError;
 pub use meta::{
-    create_file_store, create_file_store_pq, open_file_store, update_cache_policy, StoreMeta,
-    META_FILE,
+    create_file_store, create_file_store_pq, open_file_store, update_cache_policy, ReshapeState,
+    StoreMeta, META_FILE,
 };
 pub use obs::{
     render_stats, CacheStatsSnapshot, DegradedSnapshot, DiskCounters, DiskStatSnapshot, Event,
     EventSink, IoTotals, LatencyHistogram, Metrics, OpKind, OpStatSnapshot, RebuildProgress,
-    StatsSnapshot, TraceLog, WindowSnapshot,
+    ReshapeProgressSnapshot, StatsSnapshot, TraceLog, WindowSnapshot,
 };
 pub use rebuild::{RebuildReport, Rebuilder};
+pub use reshape::{ReshapeOptions, ReshapeReport};
 pub use scheme::{AddrRef, FailureSet, ParityScheme, StripeMap};
 pub use store::{fill_pattern, BlockStore, ReplayStats};
 pub use stress::{RebuildMode, StressConfig, StressReport};

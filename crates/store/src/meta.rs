@@ -17,14 +17,60 @@
 //! and the stale disk's bytes as live. Rebuild before closing, or call
 //! [`BlockStore::fail_disk`] again after reopening.
 
-use crate::backend::FileBackend;
+use crate::backend::{Backend, FileBackend};
 use crate::cache::CachePolicy;
 use crate::error::StoreError;
 use crate::scheme::ParityScheme;
-use crate::store::BlockStore;
+use crate::store::{BlockStore, MetaPersister};
 use pdl_core::{DoubleParityLayout, Layout, LayoutSpec};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+
+/// The durable image of an in-flight reshape, embedded in a
+/// version-3 [`StoreMeta`] so a crash mid-reshape resumes on reopen
+/// (see the [`crate::reshape`] module docs for the protocol).
+///
+/// `phase = "migrate"`: the store reopens on the **source** geometry
+/// (backend at `grown_units` units per disk) with the migration
+/// runtime reinstalled at `cursor`. `phase = "commit"`: migration is
+/// complete and the commit slide was interrupted at the `slide_done`
+/// watermark; reopening statically redoes the remaining slide,
+/// mapping, final metadata, and trim before a normal open.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ReshapeState {
+    /// `"add"` or `"remove"`.
+    pub kind: String,
+    /// `"migrate"` or `"commit"`.
+    pub phase: String,
+    /// Target stripes fully migrated (monotone; persisted only after
+    /// the batch's writes landed, so a resume re-copies but never
+    /// skips).
+    pub cursor: u64,
+    /// Commit-slide watermark: target rows fully slid down (only
+    /// meaningful in phase `"commit"`).
+    pub slide_done: u64,
+    /// The target layout, in the stable exchange format.
+    pub target_layout: LayoutSpec,
+    /// Per-stripe `(P, Q)` slots of the target layout under P+Q;
+    /// empty under XOR.
+    pub target_parity_slots: Vec<(u32, u32)>,
+    /// Target layout copies tiled per disk.
+    pub target_copies: usize,
+    /// Target logical disk → physical backend disk.
+    pub tgt_redirect: Vec<usize>,
+    /// Logical source disks being removed (empty on add).
+    pub removed: Vec<usize>,
+    /// First physical row of the scratch (target) region.
+    pub scratch_base: usize,
+    /// Units per disk while the reshape is active.
+    pub grown_units: usize,
+    /// Logical capacity after the commit.
+    pub capacity_after: usize,
+    /// Migration batch size in target stripes.
+    pub batch_stripes: usize,
+    /// Batches between persisted checkpoints.
+    pub checkpoint_every: usize,
+}
 
 /// Everything needed to reopen an array: layout, unit size, copies,
 /// spare count, and the parity scheme. Serialized as `store.json` in
@@ -47,6 +93,10 @@ pub struct StoreMeta {
     /// written before the write-back cache existed reopen as
     /// `writethrough`.
     pub cache_policy: String,
+    /// In-flight reshape checkpoint; `Some` exactly when `version`
+    /// is 3. Committed (and never-reshaped) arrays carry `None` and
+    /// are stamped version 1 or 2 by scheme.
+    pub reshape: Option<ReshapeState>,
     /// The declustered layout, in its stable exchange format.
     pub layout: LayoutSpec,
 }
@@ -76,6 +126,21 @@ struct StoreMetaPreCache {
     layout: LayoutSpec,
 }
 
+/// The pre-reshape document shape (versions 1–2 written before online
+/// reshaping existed: cache policy but no reshape field), kept
+/// readable so existing arrays reopen unchanged.
+#[derive(Deserialize)]
+struct StoreMetaPreReshape {
+    version: u32,
+    unit_size: usize,
+    copies: usize,
+    spares: usize,
+    scheme: String,
+    parity_slots: Vec<(u32, u32)>,
+    cache_policy: String,
+    layout: LayoutSpec,
+}
+
 /// File name of the metadata document inside an array directory.
 pub const META_FILE: &str = "store.json";
 
@@ -93,6 +158,7 @@ impl StoreMeta {
             scheme: ParityScheme::Xor.name().to_string(),
             parity_slots: Vec::new(),
             cache_policy: CachePolicy::WriteThrough.encode(),
+            reshape: None,
             layout: LayoutSpec::from_layout(layout),
         }
     }
@@ -112,6 +178,7 @@ impl StoreMeta {
                 .map(|&(p, q)| (p as u32, q as u32))
                 .collect(),
             cache_policy: CachePolicy::WriteThrough.encode(),
+            reshape: None,
             layout: LayoutSpec::from_layout(dp.layout()),
         }
     }
@@ -135,16 +202,29 @@ impl StoreMeta {
         serde_json::to_string(self).expect("meta is always serializable")
     }
 
-    /// Parses and validates a JSON document (version 1 or 2, with or
-    /// without the cache-policy field).
+    /// Parses and validates a JSON document (version 1–3, with or
+    /// without the cache-policy and reshape fields).
     pub fn from_json(json: &str) -> Result<Self, StoreError> {
         let meta: StoreMeta = match serde_json::from_str(json) {
             Ok(meta) => meta,
             Err(full_err) => {
-                // Not a current-shape document; accept the pre-cache
-                // shape (scheme but no cache policy) and then the v1
-                // shape (neither).
-                if let Ok(pre) = serde_json::from_str::<StoreMetaPreCache>(json) {
+                // Not a current-shape document; accept the pre-reshape
+                // shape (cache policy but no reshape field), then the
+                // pre-cache shape (scheme but no cache policy), and
+                // finally the v1 shape (neither).
+                if let Ok(pre) = serde_json::from_str::<StoreMetaPreReshape>(json) {
+                    StoreMeta {
+                        version: pre.version,
+                        unit_size: pre.unit_size,
+                        copies: pre.copies,
+                        spares: pre.spares,
+                        scheme: pre.scheme,
+                        parity_slots: pre.parity_slots,
+                        cache_policy: pre.cache_policy,
+                        reshape: None,
+                        layout: pre.layout,
+                    }
+                } else if let Ok(pre) = serde_json::from_str::<StoreMetaPreCache>(json) {
                     StoreMeta {
                         version: pre.version,
                         unit_size: pre.unit_size,
@@ -153,6 +233,7 @@ impl StoreMeta {
                         scheme: pre.scheme,
                         parity_slots: pre.parity_slots,
                         cache_policy: CachePolicy::WriteThrough.encode(),
+                        reshape: None,
                         layout: pre.layout,
                     }
                 } else {
@@ -172,12 +253,13 @@ impl StoreMeta {
                         scheme: ParityScheme::Xor.name().to_string(),
                         parity_slots: Vec::new(),
                         cache_policy: CachePolicy::WriteThrough.encode(),
+                        reshape: None,
                         layout: v1.layout,
                     }
                 }
             }
         };
-        if !(1..=2).contains(&meta.version) {
+        if !(1..=3).contains(&meta.version) {
             return Err(StoreError::Corrupt(format!(
                 "unsupported store meta version {}",
                 meta.version
@@ -197,6 +279,19 @@ impl StoreMeta {
             _ => {}
         }
         meta.parsed_cache_policy()?;
+        if (meta.version == 3) != meta.reshape.is_some() {
+            return Err(StoreError::Corrupt(
+                "reshape state and version-3 stamp must appear together".into(),
+            ));
+        }
+        if let Some(rs) = &meta.reshape {
+            if rs.kind != "add" && rs.kind != "remove" {
+                return Err(StoreError::Corrupt(format!("unknown reshape kind `{}`", rs.kind)));
+            }
+            if rs.phase != "migrate" && rs.phase != "commit" {
+                return Err(StoreError::Corrupt(format!("unknown reshape phase `{}`", rs.phase)));
+            }
+        }
         Ok(meta)
     }
 
@@ -235,7 +330,9 @@ pub fn create_file_store(
     let meta = StoreMeta::new(&layout, unit_size, copies, spares);
     let backend = FileBackend::create(dir, layout.v() + spares, copies * layout.size(), unit_size)?;
     std::fs::write(dir.join(META_FILE), meta.to_json())?;
-    BlockStore::new(layout, backend)
+    let mut store = BlockStore::new(layout, backend)?;
+    install_persister(&mut store, dir);
+    Ok(store)
 }
 
 /// Creates a new double-parity (P+Q) file-backed array under `dir`.
@@ -253,29 +350,147 @@ pub fn create_file_store_pq(
     let backend =
         FileBackend::create(dir, dp.layout().v() + spares, copies * dp.layout().size(), unit_size)?;
     std::fs::write(dir.join(META_FILE), meta.to_json())?;
-    BlockStore::new_pq(dp, backend)
+    let mut store = BlockStore::new_pq(dp, backend)?;
+    install_persister(&mut store, dir);
+    Ok(store)
+}
+
+/// Atomically replaces an array's `store.json` (temp file + rename),
+/// so a crash mid-write never leaves a truncated document.
+fn write_meta_atomic(dir: &Path, meta: &StoreMeta) -> Result<(), StoreError> {
+    let tmp = dir.join(format!("{META_FILE}.tmp"));
+    std::fs::write(&tmp, meta.to_json())?;
+    std::fs::rename(&tmp, dir.join(META_FILE))?;
+    Ok(())
+}
+
+/// Installs a durable metadata writer on a file-backed store so the
+/// reshape engine can checkpoint its progress into `store.json`.
+fn install_persister(store: &mut BlockStore<FileBackend>, dir: &Path) {
+    let dir = dir.to_path_buf();
+    store.meta_persister =
+        Some(MetaPersister(Box::new(move |meta: &StoreMeta| write_meta_atomic(&dir, meta))));
 }
 
 /// Reopens an array created by [`create_file_store`] or
 /// [`create_file_store_pq`], reading the geometry **and scheme** from
 /// its metadata document.
+///
+/// A version-3 document (crash mid-reshape) is handled by phase:
+/// `"migrate"` reopens on the source geometry with the migration
+/// runtime resumed at the persisted cursor (finish with
+/// [`BlockStore::finish_reshape`] or step it incrementally);
+/// `"commit"` statically redoes the interrupted commit (slide from
+/// the watermark, mapping, final metadata, trim) and then opens the
+/// committed target-geometry array.
 pub fn open_file_store(dir: impl AsRef<Path>) -> Result<BlockStore<FileBackend>, StoreError> {
     let dir = dir.as_ref();
     let json = std::fs::read_to_string(dir.join(META_FILE))?;
     let meta = StoreMeta::from_json(&json)?;
+    if let Some(rs) = &meta.reshape {
+        if rs.phase == "commit" {
+            redo_commit(dir, &meta, rs)?;
+            // The document now has no reshape state; reopen normally.
+            return open_file_store(dir);
+        }
+        return open_resuming(dir, &meta, rs);
+    }
     let layout = meta.layout()?;
-    let backend = FileBackend::open(
+    // Trim-allowing open: heals files left long by a crash between a
+    // reshape's backend grow and its first metadata checkpoint, or
+    // between a commit's final metadata write and its trim.
+    let backend = FileBackend::open_trimming(
         dir,
         layout.v() + meta.spares,
         meta.copies * layout.size(),
         meta.unit_size,
     )?;
-    let store = match meta.parsed_scheme()? {
+    let mut store = match meta.parsed_scheme()? {
         ParityScheme::Xor => BlockStore::new(layout, backend),
         ParityScheme::PQ => BlockStore::new_pq(meta.double_parity_layout()?, backend),
     }?;
     store.set_cache_policy(meta.parsed_cache_policy()?)?;
+    install_persister(&mut store, dir);
     Ok(store)
+}
+
+/// Reopens a store whose document records an interrupted *migration*
+/// phase: the backend opens at the grown (scratch-holding) geometry,
+/// the store is built on the **source** layout, and the migration
+/// runtime is reinstalled at the persisted cursor.
+fn open_resuming(
+    dir: &Path,
+    meta: &StoreMeta,
+    rs: &ReshapeState,
+) -> Result<BlockStore<FileBackend>, StoreError> {
+    let layout = meta.layout()?;
+    let backend = FileBackend::open(dir, layout.v() + meta.spares, rs.grown_units, meta.unit_size)?;
+    let mut store = match meta.parsed_scheme()? {
+        ParityScheme::Xor => BlockStore::build_resuming(layout, None, backend, meta.copies),
+        ParityScheme::PQ => {
+            let dp = meta.double_parity_layout()?;
+            let slots = dp.all_parity_slots().to_vec();
+            BlockStore::build_resuming(dp.layout().clone(), Some(slots), backend, meta.copies)
+        }
+    }?;
+    store.set_cache_policy(meta.parsed_cache_policy()?)?;
+    install_persister(&mut store, dir);
+    store.install_resumed_reshape(rs)?;
+    Ok(store)
+}
+
+/// Statically redoes an interrupted reshape *commit*: resumes the
+/// slide-down at the persisted watermark (chunks never clobber
+/// scratch rows a redo would re-read), persists the target mapping
+/// and final metadata, and trims the scratch region.
+fn redo_commit(dir: &Path, meta: &StoreMeta, rs: &ReshapeState) -> Result<(), StoreError> {
+    let src_layout = meta.layout()?;
+    // Physical disk count never changes during a reshape.
+    let disks = src_layout.v() + meta.spares;
+    let us = meta.unit_size;
+    let backend = FileBackend::open(dir, disks, rs.grown_units, us)?;
+    let tgt_layout = rs
+        .target_layout
+        .to_layout()
+        .map_err(|e| StoreError::Corrupt(format!("reshape target layout: {e}")))?;
+    let u_tgt = rs.target_copies * tgt_layout.size();
+    let sb = rs.scratch_base;
+    let mut row = rs.slide_done as usize;
+    if row > u_tgt {
+        return Err(StoreError::Corrupt("reshape slide watermark past target".into()));
+    }
+    let chunk_rows = sb.clamp(1, 4096);
+    let mut buf = vec![0u8; chunk_rows * us];
+    while row < u_tgt {
+        let n = chunk_rows.min(u_tgt - row);
+        for &phys in &rs.tgt_redirect {
+            backend.read_units(phys, sb + row, &mut buf[..n * us])?;
+            backend.write_units(phys, row, &buf[..n * us])?;
+        }
+        row += n;
+        let mut wm = rs.clone();
+        wm.slide_done = row as u64;
+        let mut doc = meta.clone();
+        doc.reshape = Some(wm);
+        write_meta_atomic(dir, &doc)?;
+    }
+    backend.persist_mapping(&rs.tgt_redirect)?;
+    let scheme = meta.parsed_scheme()?;
+    let final_meta = StoreMeta {
+        version: if scheme == ParityScheme::PQ { 2 } else { 1 },
+        unit_size: us,
+        copies: rs.target_copies,
+        spares: disks - tgt_layout.v(),
+        scheme: meta.scheme.clone(),
+        parity_slots: rs.target_parity_slots.clone(),
+        cache_policy: meta.cache_policy.clone(),
+        reshape: None,
+        layout: rs.target_layout.clone(),
+    };
+    write_meta_atomic(dir, &final_meta)?;
+    backend.set_units_per_disk(u_tgt)?;
+    backend.flush()?;
+    Ok(())
 }
 
 /// Durably changes the cache policy of an existing file-backed array

@@ -61,11 +61,13 @@ pub enum OpKind {
     SpareWrite,
     /// A write-back cache flush batch.
     CacheFlush,
+    /// A reshape migration batch copied into the target world.
+    ReshapeCopy,
 }
 
 impl OpKind {
     /// Number of distinct kinds (the registry's table width).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every kind, in registry order.
     pub const ALL: [OpKind; Self::COUNT] = [
@@ -76,6 +78,7 @@ impl OpKind {
         OpKind::RebuildRead,
         OpKind::SpareWrite,
         OpKind::CacheFlush,
+        OpKind::ReshapeCopy,
     ];
 
     fn idx(self) -> usize {
@@ -92,6 +95,7 @@ impl OpKind {
             OpKind::RebuildRead => "rebuild_read",
             OpKind::SpareWrite => "spare_write",
             OpKind::CacheFlush => "cache_flush",
+            OpKind::ReshapeCopy => "reshape_copy",
         }
     }
 }
@@ -653,6 +657,30 @@ pub enum Event {
         /// The contended shard index.
         shard: u32,
     },
+    /// An online reshape (add/remove disks) registered against live
+    /// traffic: migration begins, writes dual-land from here on.
+    ReshapeBegan {
+        /// Logical disks before the reshape.
+        from_v: u32,
+        /// Logical disks the target layout spans.
+        to_v: u32,
+        /// The store epoch after registration.
+        epoch: u64,
+    },
+    /// A reshape migration batch completed (cursor advanced).
+    ReshapeProgress {
+        /// Target stripes migrated so far.
+        stripes_done: u64,
+        /// Total target stripes to migrate.
+        stripes_total: u64,
+    },
+    /// A reshape committed: the store now serves the target layout.
+    ReshapeCompleted {
+        /// Logical disks the committed layout spans.
+        to_v: u32,
+        /// The store epoch after the world swap.
+        epoch: u64,
+    },
 }
 
 /// Receives structured store events. Implementations must be cheap
@@ -1050,6 +1078,25 @@ pub struct StatsSnapshot {
     pub epoch: u64,
     /// Live progress of a registered rebuild, if one is running.
     pub rebuild: Option<RebuildProgress>,
+    /// Live progress of a registered reshape, if one is running.
+    pub reshape: Option<ReshapeProgressSnapshot>,
+}
+
+/// Live progress of a running reshape in a [`StatsSnapshot`].
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ReshapeProgressSnapshot {
+    /// `"add"` or `"remove"`.
+    pub kind: String,
+    /// Logical disks the target layout spans.
+    pub to_v: u32,
+    /// Target stripes migrated so far.
+    pub stripes_done: u64,
+    /// Total target stripes to migrate.
+    pub stripes_total: u64,
+    /// Units copied into the target world so far.
+    pub units_copied: u64,
+    /// Milliseconds since the reshape registered.
+    pub elapsed_ms: u64,
 }
 
 impl StatsSnapshot {
@@ -1155,6 +1202,13 @@ pub fn render_stats(s: &StatsSnapshot) -> String {
         None => {
             let _ = writeln!(out, "rebuild: none running (epoch {})", s.epoch);
         }
+    }
+    if let Some(r) = &s.reshape {
+        let _ = writeln!(
+            out,
+            "reshape: {} -> v={}, {}/{} target stripes, {} units copied, {} ms elapsed",
+            r.kind, r.to_v, r.stripes_done, r.stripes_total, r.units_copied, r.elapsed_ms
+        );
     }
     out
 }
@@ -1302,6 +1356,14 @@ mod tests {
                 per_disk_reads: vec![3, 0, 3],
                 mean_read_fraction: 0.375,
             }),
+            reshape: Some(ReshapeProgressSnapshot {
+                kind: "add".into(),
+                to_v: 9,
+                stripes_done: 36,
+                stripes_total: 72,
+                units_copied: 144,
+                elapsed_ms: 11,
+            }),
         };
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
@@ -1310,10 +1372,12 @@ mod tests {
         assert_eq!(back.cache.hits, 5);
         assert_eq!(back.degraded.one.ops, 12);
         assert_eq!(back.rebuild.as_ref().unwrap().per_disk_reads, vec![3, 0, 3]);
+        assert_eq!(back.reshape.as_ref().unwrap().stripes_done, 36);
         // The text renderer covers every section without panicking.
         let text = render_stats(&back);
         assert!(text.contains("degraded:"));
         assert!(text.contains("rebuild: disk 1"));
+        assert!(text.contains("reshape: add -> v=9"));
     }
 
     #[test]

@@ -1,0 +1,1142 @@
+//! Online array reshaping: grow or shrink a **live** store to a new
+//! disk count, migrating every stripe to the target layout while
+//! client traffic keeps flowing.
+//!
+//! # The scratch-region discipline
+//!
+//! [`BlockStore::begin_add_disks`] / [`BlockStore::begin_remove_disks`]
+//! compute the target layout via the planning machinery in
+//! [`pdl_core::plan_add`] / [`pdl_core::plan_remove`], then grow every
+//! backend disk to `grown_units = scratch_base + U_tgt`, where
+//! `scratch_base` is the source world's units-per-disk and `U_tgt =
+//! target_copies × target_layout.size()`. The **target world** is
+//! assembled at physical rows `[scratch_base, grown_units)` — a
+//! scratch region that starts zero-filled (both backends zero-fill on
+//! grow), so an untouched target stripe already satisfies its parity
+//! equations (P and Q of all-zero data are zero). The transient cost
+//! is roughly 2× disk space until the commit trims it back.
+//!
+//! # Correctness under racing writes
+//!
+//! * **Reads are source-authoritative.** No read path consults the
+//!   target world; the source stays fully fresh until the commit
+//!   swaps worlds, so reads need no migration cursor at all.
+//! * **Writes are dual, unconditionally.** Every acknowledged write
+//!   during an active reshape also lands in the target world
+//!   ([`BlockStore::dual_write`]): under the reshape's own per-stripe
+//!   lock table, the target data unit is read, the delta folded into
+//!   the target P (and Q), and the new bytes written. Re-applying the
+//!   same value is a no-op (delta = 0), so dual writes are
+//!   **idempotent** and the writer never needs to know whether the
+//!   migration has passed its address yet.
+//! * **Migration batches need no target locks.** A batch covers the
+//!   target stripes `[t0, t1)`, whose data ranges are exactly the
+//!   contiguous logical addresses `[lo(t0), lo(t1))`; the batch holds
+//!   the *source* shard locks of every stripe covering those
+//!   addresses, and any writer to those addresses must take one of
+//!   those locks first. Dual writes to *other* addresses touch only
+//!   target stripes outside `[t0, t1)`. Lock order is everywhere
+//!   `state guard → source shards → target shards`, so there is no
+//!   cycle.
+//! * A **logically failed** disk's lost units are decoded from source
+//!   parity during migration; its target region *is* still written
+//!   (the failure models a dead medium for the *source* world only —
+//!   a deliberate out-of-model choice that keeps the target world
+//!   complete, so a post-commit [`BlockStore::restore_disk`] works).
+//!
+//! # Durability and crash resume
+//!
+//! File-backed stores persist a [`ReshapeState`] inside `store.json`
+//! (format version 3): at begin, at every `checkpoint_every`-th batch
+//! boundary (cursor only advances in the document *after* the batch's
+//! writes landed, so a resumed migration only ever re-copies), and at
+//! every commit slide chunk. [`crate::open_file_store`] resumes a
+//! `phase = "migrate"` document by rebuilding the runtime at the
+//! persisted cursor, and statically *redoes* a `phase = "commit"`
+//! document (slide from the watermark → mapping → final meta → trim)
+//! before opening normally.
+//!
+//! # Commit
+//!
+//! [`BlockStore::complete_reshape`] requires the cursor at `total`,
+//! then (under the exclusive state guard — a stop-the-world pause,
+//! documented trade-off) drains the write-back cache, slides every
+//! mapped disk's target region down from the scratch rows to row 0 in
+//! watermarked chunks of at most `min(scratch_base, 4096)` rows (so a
+//! chunk's write never overlaps the scratch rows a redo would
+//! re-read), persists the mapping and the final metadata, trims the
+//! backend to `U_tgt`, and swaps the in-memory world: target layout,
+//! redirect table, remapped failure set, raised capacity, bumped
+//! epoch.
+
+use crate::backend::Backend;
+use crate::cache::{key_parts, stripe_key, FlushSnapshot};
+use crate::error::StoreError;
+use crate::meta::{ReshapeState, StoreMeta};
+use crate::obs::{Event, OpKind, ReshapeProgressSnapshot};
+use crate::scheme::{FailureSet, ParityScheme};
+use crate::store::{
+    sort_shard_set, ArrayState, BlockStore, StripeLockTable, UnitCache, World, WritePlan, WriteSrc,
+};
+use pdl_algebra::gf256::{self, xor_slice};
+use pdl_core::{DoubleParityLayout, LayoutSpec, ReshapeMethod, ReshapePlan};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Whether a reshape grows or shrinks the array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ReshapeKind {
+    /// Adding disks (capacity grows at commit).
+    Add,
+    /// Removing disks (capacity is preserved; copies may grow).
+    Remove,
+}
+
+impl ReshapeKind {
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            ReshapeKind::Add => "add",
+            ReshapeKind::Remove => "remove",
+        }
+    }
+}
+
+/// Tuning and test knobs for a reshape.
+#[derive(Clone, Debug, Default)]
+pub struct ReshapeOptions {
+    /// Target stripes migrated per batch (and therefore per
+    /// checkpointable unit of progress). `0` means one full target
+    /// copy per batch — the fewest-backend-calls default.
+    pub batch_stripes: usize,
+    /// Persist a migration checkpoint every this many batches
+    /// (file-backed stores only). `0` means every batch.
+    pub checkpoint_every: usize,
+    /// Test hook: fail the commit with [`StoreError::Corrupt`] after
+    /// this many slide chunks have been written (and watermarked).
+    /// The store must then be retried ([`BlockStore::complete_reshape`]
+    /// resumes the slide at the watermark) or reopened from disk.
+    pub commit_fault_after_chunks: Option<usize>,
+}
+
+/// Summary of a completed reshape.
+#[derive(Clone, Debug)]
+pub struct ReshapeReport {
+    /// `"add"` or `"remove"`.
+    pub kind: String,
+    /// The construction that produced the target layout
+    /// (see [`pdl_core::ReshapeMethod`]).
+    pub method: String,
+    /// Fraction of the common address range whose physical location
+    /// differs between the worlds (reporting only; the migration
+    /// copies by logical address regardless).
+    pub moved_fraction: f64,
+    /// Source disk count.
+    pub from_v: usize,
+    /// Target disk count.
+    pub to_v: usize,
+    /// Target stripes migrated (this process; a resumed reshape
+    /// reports only its own share).
+    pub stripes_migrated: u64,
+    /// Units (data + parity) written into the target world by the
+    /// migration (dual writes not counted).
+    pub units_copied: u64,
+    /// Logical capacity (blocks) before the reshape.
+    pub capacity_before: usize,
+    /// Logical capacity after the commit (grows on add, preserved on
+    /// remove).
+    pub capacity_after: usize,
+    /// Wall-clock milliseconds from begin (or resume) to commit.
+    pub elapsed_ms: u64,
+}
+
+/// Per-step scratch owned by the runtime's step mutex: serializes
+/// [`BlockStore::reshape_step`] callers and keeps batch buffers warm.
+#[derive(Debug, Default)]
+pub(crate) struct StepState {
+    batches_since_checkpoint: usize,
+    src_data: Vec<u8>,
+    ucache: UnitCache,
+}
+
+/// The in-memory state of an active reshape, installed in
+/// [`ArrayState::reshape`] and shared by writers (dual writes), the
+/// migration engine, and the stats path.
+#[derive(Debug)]
+pub(crate) struct ReshapeRuntime {
+    pub(crate) kind: ReshapeKind,
+    /// The target world being assembled in the scratch region.
+    pub(crate) target: Arc<World>,
+    /// Target logical disk → physical backend disk.
+    pub(crate) tgt_redirect: Vec<usize>,
+    /// First physical row of the scratch (target) region — the source
+    /// world's units-per-disk.
+    pub(crate) scratch_base: usize,
+    /// Units per disk while the reshape is active.
+    /// Target stripe indices to migrate: the smallest `t` whose data
+    /// range starts at or past the source capacity. Tail stripes stay
+    /// all-zero (valid parity) and are never touched.
+    pub(crate) total: u64,
+    /// Next target stripe index to migrate. Stored with `Release`
+    /// *before* the batch's source locks drop, read with `Acquire`.
+    pub(crate) cursor: AtomicU64,
+    /// Units written into the target world by migration batches.
+    pub(crate) units_done: AtomicU64,
+    /// Commit slide watermark (target rows fully slid), so a faulted
+    /// commit retries from where it stopped instead of re-reading
+    /// scratch rows its own writes already clobbered.
+    pub(crate) slide_done: AtomicU64,
+    pub(crate) capacity_after: usize,
+    /// Per-target-stripe lock table serializing dual writes; disjoint
+    /// from the store's source lock table and always taken after it.
+    pub(crate) tgt_locks: StripeLockTable,
+    pub(crate) step: Mutex<StepState>,
+    pub(crate) batch_stripes: usize,
+    pub(crate) checkpoint_every: usize,
+    pub(crate) from_v: usize,
+    pub(crate) capacity_before: usize,
+    pub(crate) method: ReshapeMethod,
+    pub(crate) moved_fraction: f64,
+    /// Logical source disks being removed (empty on add) — drives the
+    /// failure-set remap at commit.
+    pub(crate) removed: Vec<usize>,
+    /// The persisted-state skeleton (cursor/slide at zero); checkpoint
+    /// writers clone it and fill in the live cursor.
+    pub(crate) state_template: ReshapeState,
+    pub(crate) started: Instant,
+}
+
+impl ReshapeRuntime {
+    /// First logical address of target stripe `t` (`t` counts
+    /// `copy × stripes_per_copy + stripe`); `t` past the last copy
+    /// maps to the end of the target address space.
+    pub(crate) fn lo(&self, t: u64) -> usize {
+        lo_of(&self.target, t)
+    }
+
+    /// Live progress for [`crate::StatsSnapshot`].
+    pub(crate) fn progress_snapshot(&self) -> ReshapeProgressSnapshot {
+        ReshapeProgressSnapshot {
+            kind: self.kind.name().to_string(),
+            to_v: self.target.layout.v() as u32,
+            stripes_done: self.cursor.load(Ordering::Acquire),
+            stripes_total: self.total,
+            units_copied: self.units_done.load(Ordering::Relaxed),
+            elapsed_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+}
+
+/// First logical address of target stripe `t` in `target`.
+fn lo_of(target: &World, t: u64) -> usize {
+    let ns = target.layout.b() as u64;
+    let dpc = target.smap.data_units_per_copy();
+    let copy = (t / ns) as usize;
+    if copy >= target.copies {
+        return target.copies * dpc;
+    }
+    copy * dpc + target.smap.stripe_data_range((t % ns) as usize).0
+}
+
+/// Smallest target stripe index whose data range starts at or past
+/// `cap_src` — everything below it must migrate, everything at or
+/// above stays zero.
+fn migration_total(target: &World, cap_src: usize) -> u64 {
+    let end = (target.copies * target.layout.b()) as u64;
+    (0..=end).find(|&t| lo_of(target, t) >= cap_src).unwrap_or(end)
+}
+
+impl<B: Backend> BlockStore<B> {
+    /// Whether a reshape is currently active.
+    pub fn reshaping(&self) -> bool {
+        self.state_read().reshape.is_some()
+    }
+
+    /// Grows the array onto the listed **physical** backend disks
+    /// (which must exist, be currently unmapped, and be distinct),
+    /// blocking until the migration completes and commits. Racing
+    /// reads and writes are safe throughout. Equivalent to
+    /// [`BlockStore::begin_add_disks`] + [`BlockStore::finish_reshape`].
+    pub fn add_disks(&self, new_physical: &[usize]) -> Result<ReshapeReport, StoreError> {
+        self.begin_add_disks(new_physical)?;
+        self.finish_reshape()
+    }
+
+    /// Shrinks the array by the listed **logical** disks, blocking
+    /// until the migration completes and commits. Capacity is
+    /// preserved (the target world grows extra layout copies as
+    /// needed); the freed physical disks become spares.
+    pub fn remove_disks(&self, logical: &[usize]) -> Result<ReshapeReport, StoreError> {
+        self.begin_remove_disks(logical)?;
+        self.finish_reshape()
+    }
+
+    /// Starts an add-disks reshape with default options; drive it
+    /// with [`BlockStore::reshape_step`] and
+    /// [`BlockStore::complete_reshape`].
+    pub fn begin_add_disks(&self, new_physical: &[usize]) -> Result<(), StoreError> {
+        self.begin_add_disks_with(new_physical, &ReshapeOptions::default())
+    }
+
+    /// [`BlockStore::begin_add_disks`] with explicit [`ReshapeOptions`].
+    pub fn begin_add_disks_with(
+        &self,
+        new_physical: &[usize],
+        opts: &ReshapeOptions,
+    ) -> Result<(), StoreError> {
+        let mut st = self.state_write();
+        self.check_reshape_allowed(&st)?;
+        if new_physical.is_empty() {
+            return Err(StoreError::Geometry("no disks to add".into()));
+        }
+        let disks = self.backend.disks();
+        let mut mapped = vec![false; disks];
+        for &p in &st.redirect {
+            mapped[p] = true;
+        }
+        for &p in new_physical {
+            if p >= disks {
+                return Err(StoreError::Geometry(format!(
+                    "physical disk {p} out of range (backend has {disks})"
+                )));
+            }
+            if mapped[p] {
+                return Err(StoreError::Geometry(format!(
+                    "physical disk {p} is already mapped or listed twice"
+                )));
+            }
+            mapped[p] = true;
+        }
+        let plan = pdl_core::plan_add(&st.world.layout, new_physical.len())
+            .map_err(|e| StoreError::Geometry(e.to_string()))?;
+        let mut tgt_redirect = st.redirect.clone();
+        tgt_redirect.extend_from_slice(new_physical);
+        self.begin_reshape_locked(&mut st, ReshapeKind::Add, plan, tgt_redirect, Vec::new(), opts)
+    }
+
+    /// Starts a remove-disks reshape with default options.
+    pub fn begin_remove_disks(&self, logical: &[usize]) -> Result<(), StoreError> {
+        self.begin_remove_disks_with(logical, &ReshapeOptions::default())
+    }
+
+    /// [`BlockStore::begin_remove_disks`] with explicit
+    /// [`ReshapeOptions`]. Removing a currently *failed* disk is
+    /// allowed — its units are decoded from parity during migration.
+    pub fn begin_remove_disks_with(
+        &self,
+        logical: &[usize],
+        opts: &ReshapeOptions,
+    ) -> Result<(), StoreError> {
+        let mut st = self.state_write();
+        self.check_reshape_allowed(&st)?;
+        let plan = pdl_core::plan_remove(&st.world.layout, logical)
+            .map_err(|e| StoreError::Geometry(e.to_string()))?;
+        let v_src = st.world.layout.v();
+        let tgt_redirect: Vec<usize> =
+            (0..v_src).filter(|d| !logical.contains(d)).map(|d| st.redirect[d]).collect();
+        self.begin_reshape_locked(
+            &mut st,
+            ReshapeKind::Remove,
+            plan,
+            tgt_redirect,
+            logical.to_vec(),
+            opts,
+        )
+    }
+
+    fn check_reshape_allowed(&self, st: &ArrayState) -> Result<(), StoreError> {
+        if st.reshape.is_some() {
+            return Err(StoreError::ReshapeInProgress);
+        }
+        if let Some((d, _)) = st.rebuilding {
+            return Err(StoreError::RebuildInProgress(d));
+        }
+        Ok(())
+    }
+
+    fn begin_reshape_locked(
+        &self,
+        st: &mut ArrayState,
+        kind: ReshapeKind,
+        plan: ReshapePlan,
+        tgt_redirect: Vec<usize>,
+        removed: Vec<usize>,
+        opts: &ReshapeOptions,
+    ) -> Result<(), StoreError> {
+        let tgt_layout = plan.layout;
+        let tgt_pq = match self.scheme {
+            ParityScheme::Xor => None,
+            ParityScheme::PQ => {
+                if let Some(bad) = tgt_layout.stripes().iter().position(|s| s.len() > 255) {
+                    return Err(StoreError::Geometry(format!(
+                        "target stripe {bad} has {} units; P+Q supports at most 255",
+                        tgt_layout.stripes()[bad].len()
+                    )));
+                }
+                let dp = DoubleParityLayout::new(tgt_layout.clone())
+                    .map_err(|e| StoreError::Geometry(format!("target parity assignment: {e}")))?;
+                Some(dp.all_parity_slots().to_vec())
+            }
+        };
+        let cap_src = self.capacity.load(Ordering::Acquire);
+        let parity_per = self.scheme.parity_per_stripe();
+        let dpc_tgt: usize = tgt_layout.stripes().iter().map(|s| s.len() - parity_per).sum();
+        let copies_tgt = match kind {
+            ReshapeKind::Add => st.world.copies,
+            ReshapeKind::Remove => cap_src.div_ceil(dpc_tgt),
+        };
+        let capacity_after = match kind {
+            ReshapeKind::Add => copies_tgt * dpc_tgt,
+            ReshapeKind::Remove => cap_src,
+        };
+        let scratch_base = self.backend.units_per_disk();
+        let u_tgt = copies_tgt * tgt_layout.size();
+        let grown_units = scratch_base + u_tgt;
+        if grown_units > u32::MAX as usize {
+            return Err(StoreError::Geometry(format!(
+                "reshape scratch geometry of {grown_units} units per disk overflows unit offsets"
+            )));
+        }
+        let from_v = st.world.layout.v();
+        let to_v = tgt_layout.v();
+        let target = Arc::new(World::new(Arc::new(tgt_layout), tgt_pq, copies_tgt));
+        debug_assert_eq!(dpc_tgt, target.smap.data_units_per_copy());
+        let total = migration_total(&target, cap_src);
+        let batch_stripes =
+            if opts.batch_stripes == 0 { target.layout.b() } else { opts.batch_stripes };
+        let checkpoint_every = opts.checkpoint_every.max(1);
+        let state_template = ReshapeState {
+            kind: kind.name().to_string(),
+            phase: "migrate".into(),
+            cursor: 0,
+            slide_done: 0,
+            target_layout: LayoutSpec::from_layout(&target.layout),
+            target_parity_slots: target
+                .pq_slots
+                .as_ref()
+                .map(|s| s.iter().map(|&(p, q)| (p as u32, q as u32)).collect())
+                .unwrap_or_default(),
+            target_copies: copies_tgt,
+            tgt_redirect: tgt_redirect.clone(),
+            removed: removed.clone(),
+            scratch_base,
+            grown_units,
+            capacity_after,
+            batch_stripes,
+            checkpoint_every,
+        };
+        // Grow under the exclusive guard (no I/O in flight). If the
+        // begin-state persist then fails, shrink back so a retried
+        // begin doesn't stack scratch regions; a crash in between
+        // leaves longer files that the trimming open self-heals.
+        self.backend.set_units_per_disk(grown_units)?;
+        let rs = Arc::new(ReshapeRuntime {
+            kind,
+            target,
+            tgt_redirect,
+            scratch_base,
+            total,
+            cursor: AtomicU64::new(0),
+            units_done: AtomicU64::new(0),
+            slide_done: AtomicU64::new(0),
+            capacity_after,
+            tgt_locks: StripeLockTable::new(),
+            step: Mutex::new(StepState::default()),
+            batch_stripes,
+            checkpoint_every,
+            from_v,
+            capacity_before: cap_src,
+            method: plan.method,
+            moved_fraction: plan.moved_fraction,
+            removed,
+            state_template,
+            started: Instant::now(),
+        });
+        if let Some(p) = &self.meta_persister {
+            if let Err(e) = p.0(&self.source_meta(st, rs.state_template.clone())) {
+                let _ = self.backend.set_units_per_disk(scratch_base);
+                return Err(e);
+            }
+        }
+        st.reshape = Some(rs);
+        st.epoch += 1;
+        let epoch = st.epoch;
+        self.events.emit(|| Event::ReshapeBegan {
+            from_v: from_v as u32,
+            to_v: to_v as u32,
+            epoch,
+        });
+        Ok(())
+    }
+
+    /// The store's own metadata document (source world) carrying
+    /// `state` as its embedded reshape state (format version 3).
+    fn source_meta(&self, st: &ArrayState, state: ReshapeState) -> StoreMeta {
+        let w = &st.world;
+        StoreMeta {
+            version: 3,
+            unit_size: self.unit_size,
+            copies: w.copies,
+            spares: self.backend.disks() - w.layout.v(),
+            scheme: self.scheme.name().to_string(),
+            parity_slots: w
+                .pq_slots
+                .as_ref()
+                .map(|s| s.iter().map(|&(p, q)| (p as u32, q as u32)).collect())
+                .unwrap_or_default(),
+            cache_policy: self.cache.policy().encode(),
+            layout: LayoutSpec::from_layout(&w.layout),
+            reshape: Some(state),
+        }
+    }
+
+    /// The committed (post-reshape) metadata document.
+    fn target_meta(&self, rs: &ReshapeRuntime) -> StoreMeta {
+        let tw = &rs.target;
+        StoreMeta {
+            version: if self.scheme == ParityScheme::PQ { 2 } else { 1 },
+            unit_size: self.unit_size,
+            copies: tw.copies,
+            spares: self.backend.disks() - tw.layout.v(),
+            scheme: self.scheme.name().to_string(),
+            parity_slots: tw
+                .pq_slots
+                .as_ref()
+                .map(|s| s.iter().map(|&(p, q)| (p as u32, q as u32)).collect())
+                .unwrap_or_default(),
+            cache_policy: self.cache.policy().encode(),
+            layout: LayoutSpec::from_layout(&tw.layout),
+            reshape: None,
+        }
+    }
+
+    /// Runs up to `max_batches` migration batches (at least one).
+    /// Returns `true` once every migratable target stripe has been
+    /// copied — then call [`BlockStore::complete_reshape`]. Callers
+    /// from several threads serialize on the runtime's step mutex.
+    pub fn reshape_step(&self, max_batches: usize) -> Result<bool, StoreError> {
+        let rs = {
+            let st = self.state_read();
+            match &st.reshape {
+                Some(rs) => rs.clone(),
+                None => return Err(StoreError::NoActiveReshape),
+            }
+        };
+        let mut step = rs.step.lock().unwrap();
+        let mut done = rs.cursor.load(Ordering::Acquire) >= rs.total;
+        for _ in 0..max_batches.max(1) {
+            if done {
+                break;
+            }
+            done = self.migrate_batch(&rs, &mut step)?;
+        }
+        Ok(done)
+    }
+
+    /// Drives the active reshape to completion: migrates every batch,
+    /// then commits. Blocking convenience over
+    /// [`BlockStore::reshape_step`] + [`BlockStore::complete_reshape`].
+    pub fn finish_reshape(&self) -> Result<ReshapeReport, StoreError> {
+        while !self.reshape_step(8)? {}
+        self.complete_reshape()
+    }
+
+    /// One migration batch: flush covered cache entries, band-read the
+    /// covered source stripes, decode lost units, assemble and write
+    /// the target stripes at the scratch rows, advance the cursor.
+    fn migrate_batch(
+        &self,
+        rs: &Arc<ReshapeRuntime>,
+        step: &mut StepState,
+    ) -> Result<bool, StoreError> {
+        let t0 = rs.cursor.load(Ordering::Acquire);
+        if t0 >= rs.total {
+            return Ok(true);
+        }
+        let started = Instant::now();
+        let us = self.unit_size;
+        // The state read guard pins the failure set for the whole
+        // batch; fail/restore transitions serialize between batches.
+        let st = self.state_read();
+        match &st.reshape {
+            Some(cur) if Arc::ptr_eq(cur, rs) => {}
+            _ => return Ok(true), // committed (or aborted) underneath us
+        }
+        let w = st.world.clone();
+        let cap_src = self.capacity.load(Ordering::Acquire);
+        let t1 = (t0 + rs.batch_stripes as u64).min(rs.total);
+        let lo_addr = rs.lo(t0);
+        let hi_addr = rs.lo(t1);
+        // Source stripes covering the batch's address range, and
+        // their shards — locked exclusive for the whole batch, which
+        // is what lets the target writes skip target locks entirely.
+        let mut src_keys: Vec<u64> = Vec::new();
+        let mut shards: Vec<usize> = Vec::new();
+        let mut a = lo_addr;
+        while a < hi_addr.min(cap_src) {
+            let m = w.smap.locate_full(a);
+            src_keys.push(stripe_key(m.copy, m.stripe));
+            shards.push(self.locks.shard_of(m.copy, m.stripe));
+            let (lo, k_data) = w.smap.stripe_data_range(m.stripe);
+            a = m.copy * w.smap.data_units_per_copy() + lo + k_data;
+        }
+        sort_shard_set(&mut shards);
+        let guards = self.locks.lock_sorted(&shards);
+        // Covered dirty cache entries flush under the held locks, so
+        // the band read below sees their bytes.
+        if self.cache.maybe_dirty() {
+            let mut keys: Vec<u64> = src_keys
+                .iter()
+                .copied()
+                .filter(|&k| {
+                    let (c, s) = key_parts(k);
+                    self.cache.has_entry(self.locks.shard_of(c, s), k)
+                })
+                .collect();
+            if !keys.is_empty() {
+                keys.sort_unstable();
+                let mut snap = FlushSnapshot::default();
+                let mut plan = WritePlan::new(self.backend.disks());
+                let mut staged: Vec<u8> = Vec::new();
+                self.flush_batch_locked(&st, &keys, &mut snap, &mut plan, &mut staged)?;
+            }
+        }
+        // Band-read every surviving unit (data + parity) of the
+        // covered stripes: one coalesced vectored call per disk.
+        let StepState { src_data, ucache, .. } = step;
+        ucache.wants.clear();
+        for &key in &src_keys {
+            let (copy, si) = key_parts(key);
+            let shift = (copy * w.layout.size()) as u32;
+            for u in w.layout.stripes()[si].units() {
+                if st.failed.contains(u.disk as usize) {
+                    continue;
+                }
+                ucache.push_want(st.redirect[u.disk as usize] as u32, u.offset + shift);
+            }
+        }
+        ucache.fill(&self.backend, us)?;
+        // Assemble the batch's source bytes in address order:
+        // healthy units from the band read, lost units decoded once
+        // per stripe, addresses past the source capacity left zero.
+        let n_addr = hi_addr - lo_addr;
+        src_data.clear();
+        src_data.resize(n_addr * us, 0);
+        let fill_end = cap_src.saturating_sub(lo_addr).min(n_addr);
+        let mut scratch = self.scratch.get();
+        let res: Result<usize, StoreError> = (|| {
+            let mut decoded_for = (usize::MAX, usize::MAX);
+            let mut solved = [None, None];
+            for i in 0..fill_end {
+                let m = w.smap.locate_full(lo_addr + i);
+                let out = &mut src_data[i * us..(i + 1) * us];
+                if st.failed.contains(m.unit.disk as usize) {
+                    if decoded_for != (m.copy, m.stripe) {
+                        let shift = (m.copy * w.layout.size()) as u32;
+                        solved = self.decode_stripe_with(
+                            &st,
+                            m.stripe,
+                            shift,
+                            None,
+                            &mut scratch,
+                            |u, buf| {
+                                ucache.copy_to(st.redirect[u.disk as usize] as u32, u.offset, buf)
+                            },
+                        )?;
+                        decoded_for = (m.copy, m.stripe);
+                    }
+                    let which = solved
+                        .iter()
+                        .flatten()
+                        .find(|&&(slot, _)| slot == m.slot)
+                        .map(|&(_, b)| b)
+                        .ok_or_else(|| {
+                            StoreError::Corrupt("reshape decode missed a lost unit".into())
+                        })?;
+                    out.copy_from_slice(scratch.decoded(which));
+                } else {
+                    ucache.copy_to(st.redirect[m.unit.disk as usize] as u32, m.unit.offset, out)?;
+                }
+            }
+            // Plan and write the target stripes at the scratch rows.
+            let mut plan = WritePlan::new(self.backend.disks());
+            let mut units_planned = 0usize;
+            for t in t0..t1 {
+                units_planned += self.plan_target_stripe(rs, t, lo_addr, src_data, &mut plan);
+            }
+            self.flush_write_plan(&mut plan, src_data)?;
+            Ok(units_planned)
+        })();
+        self.scratch.put(scratch);
+        let units_planned = res?;
+        rs.units_done.fetch_add(units_planned as u64, Ordering::Relaxed);
+        // Publish progress before releasing the source locks: a
+        // resumed migration may re-copy (idempotent) but never skips.
+        rs.cursor.store(t1, Ordering::Release);
+        drop(guards);
+        drop(st);
+        self.metrics.record_op(
+            OpKind::ReshapeCopy,
+            units_planned as u64,
+            started.elapsed().as_nanos() as u64,
+        );
+        self.events.emit(|| Event::ReshapeProgress { stripes_done: t1, stripes_total: rs.total });
+        step.batches_since_checkpoint += 1;
+        if step.batches_since_checkpoint >= rs.checkpoint_every {
+            step.batches_since_checkpoint = 0;
+            self.persist_migrate_checkpoint(rs, t1)?;
+        }
+        Ok(t1 >= rs.total)
+    }
+
+    /// Plans one target stripe into `plan`: data units from the
+    /// batch's assembled source bytes, P/Q computed fresh, every
+    /// offset shifted into the scratch region. Returns units planned.
+    fn plan_target_stripe(
+        &self,
+        rs: &ReshapeRuntime,
+        t: u64,
+        lo_addr: usize,
+        src_data: &[u8],
+        plan: &mut WritePlan,
+    ) -> usize {
+        let us = self.unit_size;
+        let tw = &rs.target;
+        let ns = tw.layout.b() as u64;
+        let copy = (t / ns) as usize;
+        let si = (t % ns) as usize;
+        let (lo, k_data) = tw.smap.stripe_data_range(si);
+        let start_addr = copy * tw.smap.data_units_per_copy() + lo;
+        let base = start_addr - lo_addr;
+        let sb = rs.scratch_base as u32;
+        let shift = (copy * tw.layout.size()) as u32;
+        let units = tw.layout.stripes()[si].units();
+        let (p_slot, q_slot) = tw.smap.parity_slots(si);
+        let is_pq = self.scheme == ParityScheme::PQ;
+        let WritePlan { by_disk, parity, unsorted } = plan;
+        let p_idx = parity.len() / us;
+        parity.extend_from_slice(&src_data[base * us..(base + 1) * us]);
+        if is_pq {
+            parity.resize((p_idx + 2) * us, 0);
+        }
+        let (acc_p, acc_q) = parity[p_idx * us..].split_at_mut(us);
+        let mut push = |disk: usize, offset: u32, src: WriteSrc| {
+            let bucket = &mut by_disk[disk];
+            if bucket.last().is_some_and(|&(last, _)| offset < last) {
+                *unsorted = true;
+            }
+            bucket.push((offset, src));
+        };
+        for j in 0..k_data {
+            let chunk = &src_data[(base + j) * us..(base + j + 1) * us];
+            let m = tw.smap.locate_full(start_addr + j);
+            debug_assert_eq!(m.stripe, si);
+            if j > 0 {
+                xor_slice(acc_p, chunk);
+            }
+            if is_pq {
+                gf256::mul_add_slice(acc_q, chunk, gf256::gen_pow(m.slot));
+            }
+            push(
+                rs.tgt_redirect[m.unit.disk as usize],
+                sb + m.unit.offset,
+                WriteSrc::data(base + j),
+            );
+        }
+        let pu = units[p_slot];
+        push(rs.tgt_redirect[pu.disk as usize], sb + pu.offset + shift, WriteSrc::parity(p_idx));
+        let mut planned = k_data + 1;
+        if let Some(qs) = q_slot {
+            let qu = units[qs];
+            push(
+                rs.tgt_redirect[qu.disk as usize],
+                sb + qu.offset + shift,
+                WriteSrc::parity(p_idx + 1),
+            );
+            planned += 1;
+        }
+        planned
+    }
+
+    /// Mirrors an acknowledged write into the target world: under the
+    /// reshape's own stripe lock, fold the delta into target P (and
+    /// Q), then write the new bytes. Idempotent — re-applying the
+    /// current value is a no-op — so writers never consult the
+    /// migration cursor. Called with the source stripe's shard lock
+    /// held (write path) — lock order `source shard → target shard`.
+    pub(crate) fn dual_write(
+        &self,
+        rs: &ReshapeRuntime,
+        addr: usize,
+        data: &[u8],
+    ) -> Result<(), StoreError> {
+        let tw = &rs.target;
+        let m = tw.smap.locate_full(addr);
+        let sb = rs.scratch_base;
+        let shard = rs.tgt_locks.shard_of(m.copy, m.stripe);
+        let (_guard, _) = rs.tgt_locks.lock_one_counting(shard);
+        let mut s = self.scratch.get();
+        let res = (|| {
+            let d_disk = rs.tgt_redirect[m.unit.disk as usize];
+            let d_off = sb + m.unit.offset as usize;
+            // acc_p = old ^ new (the delta); tmp is the parity RMW
+            // buffer.
+            self.backend.read_unit(d_disk, d_off, &mut s.acc_p)?;
+            xor_slice(&mut s.acc_p, data);
+            if s.acc_p.iter().all(|&b| b == 0) {
+                return Ok(()); // same value: nothing to fold or write
+            }
+            let shift = (m.copy * tw.layout.size()) as u32;
+            let units = tw.layout.stripes()[m.stripe].units();
+            let (p_slot, q_slot) = tw.smap.parity_slots(m.stripe);
+            let pu = units[p_slot];
+            let p_disk = rs.tgt_redirect[pu.disk as usize];
+            let p_off = sb + (pu.offset + shift) as usize;
+            self.backend.read_unit(p_disk, p_off, &mut s.tmp)?;
+            let (delta, par) = (&s.acc_p, &mut s.tmp);
+            xor_slice(par, delta);
+            self.backend.write_unit(p_disk, p_off, par)?;
+            if let Some(qs) = q_slot {
+                let qu = units[qs];
+                let q_disk = rs.tgt_redirect[qu.disk as usize];
+                let q_off = sb + (qu.offset + shift) as usize;
+                self.backend.read_unit(q_disk, q_off, par)?;
+                gf256::mul_add_slice(par, delta, gf256::gen_pow(m.slot));
+                self.backend.write_unit(q_disk, q_off, par)?;
+            }
+            self.backend.write_unit(d_disk, d_off, data)
+        })();
+        self.scratch.put(s);
+        res
+    }
+
+    fn persist_migrate_checkpoint(
+        &self,
+        rs: &Arc<ReshapeRuntime>,
+        cursor: u64,
+    ) -> Result<(), StoreError> {
+        let Some(p) = &self.meta_persister else { return Ok(()) };
+        // Re-check under the state guard: a concurrent commit (which
+        // holds the guard exclusively for its whole duration) must not
+        // have its final document overwritten by a stale checkpoint.
+        let st = self.state_read();
+        match &st.reshape {
+            Some(cur) if Arc::ptr_eq(cur, rs) => {}
+            _ => return Ok(()),
+        }
+        let mut state = rs.state_template.clone();
+        state.cursor = cursor;
+        p.0(&self.source_meta(&st, state))
+    }
+
+    fn persist_commit_watermark(
+        &self,
+        st: &ArrayState,
+        rs: &ReshapeRuntime,
+        slide_done: u64,
+    ) -> Result<(), StoreError> {
+        let Some(p) = &self.meta_persister else { return Ok(()) };
+        let mut state = rs.state_template.clone();
+        state.phase = "commit".into();
+        state.cursor = rs.total;
+        state.slide_done = slide_done;
+        p.0(&self.source_meta(st, state))
+    }
+
+    /// Commits a fully migrated reshape (see module docs for the
+    /// crash windows). Errors with [`StoreError::ReshapeIncomplete`]
+    /// if migration hasn't reached the end. On an injected or I/O
+    /// fault mid-commit, retrying resumes the slide at the watermark.
+    pub fn complete_reshape(&self) -> Result<ReshapeReport, StoreError> {
+        self.complete_reshape_with(&ReshapeOptions::default())
+    }
+
+    /// [`BlockStore::complete_reshape`] with options (the commit fault
+    /// hook lives there; batch/checkpoint knobs are ignored here).
+    pub fn complete_reshape_with(
+        &self,
+        opts: &ReshapeOptions,
+    ) -> Result<ReshapeReport, StoreError> {
+        let mut st = self.state_write();
+        let rs = match &st.reshape {
+            Some(rs) => rs.clone(),
+            None => return Err(StoreError::NoActiveReshape),
+        };
+        let done = rs.cursor.load(Ordering::Acquire);
+        if done < rs.total {
+            return Err(StoreError::ReshapeIncomplete { done, total: rs.total });
+        }
+        // Drain the cache completely: entry keys and shapes belong to
+        // the source world, and the swap below must leave it empty.
+        // (Entry bytes are already in the target via dual writes.)
+        self.flush_cache_locked(&st)?;
+        let us = self.unit_size;
+        let tw = rs.target.clone();
+        let u_tgt = tw.copies * tw.layout.size();
+        let sb = rs.scratch_base;
+        let mut row = rs.slide_done.load(Ordering::Acquire) as usize;
+        self.persist_commit_watermark(&st, &rs, row as u64)?;
+        // Slide the target region down: chunk ≤ scratch_base rows, so
+        // a chunk's writes never clobber scratch rows a redo from the
+        // watermark would re-read.
+        let chunk_rows = sb.clamp(1, 4096);
+        let mut buf = vec![0u8; chunk_rows * us];
+        let mut chunks_done = 0usize;
+        while row < u_tgt {
+            let n = chunk_rows.min(u_tgt - row);
+            for &phys in &rs.tgt_redirect {
+                self.backend.read_units(phys, sb + row, &mut buf[..n * us])?;
+                self.backend.write_units(phys, row, &buf[..n * us])?;
+            }
+            row += n;
+            rs.slide_done.store(row as u64, Ordering::Release);
+            self.persist_commit_watermark(&st, &rs, row as u64)?;
+            chunks_done += 1;
+            if opts.commit_fault_after_chunks == Some(chunks_done) {
+                return Err(StoreError::Corrupt("injected reshape commit fault".into()));
+            }
+        }
+        self.backend.persist_mapping(&rs.tgt_redirect)?;
+        if let Some(p) = &self.meta_persister {
+            p.0(&self.target_meta(&rs))?;
+        }
+        self.backend.set_units_per_disk(u_tgt)?;
+        self.backend.flush()?;
+        // Swap worlds. Failures survive the flip (remapped through the
+        // survivors on remove; a removed failed disk simply drops
+        // out); the new world's stale markers start fresh — the
+        // target region of a failed disk was kept complete by dual
+        // writes and the migration, so restore-after-commit is valid.
+        let mut new_failed = FailureSet::new();
+        match rs.kind {
+            ReshapeKind::Add => {
+                let old: Vec<usize> = st.failed.iter().collect();
+                for d in old {
+                    new_failed.insert(d);
+                }
+            }
+            ReshapeKind::Remove => {
+                let mut t = 0usize;
+                for d in 0..rs.from_v {
+                    if rs.removed.contains(&d) {
+                        continue;
+                    }
+                    if st.failed.contains(d) {
+                        new_failed.insert(t);
+                    }
+                    t += 1;
+                }
+            }
+        }
+        st.world = tw.clone();
+        st.redirect = rs.tgt_redirect.clone();
+        st.failed = new_failed;
+        st.rebuilding = None;
+        st.reshape = None;
+        st.epoch += 1;
+        self.capacity.store(rs.capacity_after, Ordering::Release);
+        let epoch = st.epoch;
+        let to_v = tw.layout.v();
+        self.events.emit(|| Event::ReshapeCompleted { to_v: to_v as u32, epoch });
+        Ok(ReshapeReport {
+            kind: rs.kind.name().to_string(),
+            method: rs.method.to_string(),
+            moved_fraction: rs.moved_fraction,
+            from_v: rs.from_v,
+            to_v,
+            stripes_migrated: rs.total,
+            units_copied: rs.units_done.load(Ordering::Relaxed),
+            capacity_before: rs.capacity_before,
+            capacity_after: rs.capacity_after,
+            elapsed_ms: rs.started.elapsed().as_millis() as u64,
+        })
+    }
+
+    /// Reinstalls a persisted mid-migration reshape on a freshly
+    /// reopened store (called by [`crate::open_file_store`] for
+    /// `phase = "migrate"` documents). The runtime resumes at the
+    /// persisted cursor; already-copied batches may be re-copied
+    /// (idempotent), never skipped.
+    pub(crate) fn install_resumed_reshape(&self, state: &ReshapeState) -> Result<(), StoreError> {
+        let mut st = self.state_write();
+        self.check_reshape_allowed(&st)?;
+        let kind = match state.kind.as_str() {
+            "add" => ReshapeKind::Add,
+            "remove" => ReshapeKind::Remove,
+            other => {
+                return Err(StoreError::Corrupt(format!("unknown reshape kind `{other}`")));
+            }
+        };
+        let tgt_layout = state
+            .target_layout
+            .to_layout()
+            .map_err(|e| StoreError::Corrupt(format!("reshape target layout: {e}")))?;
+        let tgt_pq = match self.scheme {
+            ParityScheme::Xor => None,
+            ParityScheme::PQ => {
+                if state.target_parity_slots.is_empty() {
+                    return Err(StoreError::Corrupt(
+                        "reshape state is missing target parity slots".into(),
+                    ));
+                }
+                Some(
+                    state
+                        .target_parity_slots
+                        .iter()
+                        .map(|&(p, q)| (p as usize, q as usize))
+                        .collect::<Vec<_>>(),
+                )
+            }
+        };
+        if state.target_copies == 0 {
+            return Err(StoreError::Corrupt("reshape state has zero target copies".into()));
+        }
+        let disks = self.backend.disks();
+        let mut seen = vec![false; disks];
+        for &p in &state.tgt_redirect {
+            if p >= disks || seen[p] {
+                return Err(StoreError::Corrupt(format!(
+                    "reshape target mapping entry {p} is out of range or duplicated"
+                )));
+            }
+            seen[p] = true;
+        }
+        if state.tgt_redirect.len() != tgt_layout.v() {
+            return Err(StoreError::Corrupt(format!(
+                "reshape target mapping covers {} disks, target layout has {}",
+                state.tgt_redirect.len(),
+                tgt_layout.v()
+            )));
+        }
+        let target = Arc::new(World::new(Arc::new(tgt_layout), tgt_pq, state.target_copies));
+        let u_tgt = state.target_copies * target.layout.size();
+        if state.scratch_base + u_tgt != state.grown_units
+            || self.backend.units_per_disk() != state.grown_units
+        {
+            return Err(StoreError::Corrupt(
+                "reshape state geometry disagrees with the backend".into(),
+            ));
+        }
+        let cap_src = self.capacity.load(Ordering::Acquire);
+        let total = migration_total(&target, cap_src);
+        if state.cursor > total {
+            return Err(StoreError::Corrupt(format!(
+                "reshape cursor {} past the migration total {total}",
+                state.cursor
+            )));
+        }
+        // Best-effort method recomputation for the final report; the
+        // migration itself trusts only the persisted target layout.
+        let (method, moved_fraction) = match kind {
+            ReshapeKind::Add => {
+                pdl_core::plan_add(&st.world.layout, target.layout.v() - st.world.layout.v())
+                    .map(|p| (p.method, p.moved_fraction))
+                    .unwrap_or((ReshapeMethod::Regenerated, 0.0))
+            }
+            ReshapeKind::Remove => pdl_core::plan_remove(&st.world.layout, &state.removed)
+                .map(|p| (p.method, p.moved_fraction))
+                .unwrap_or((ReshapeMethod::Regenerated, 0.0)),
+        };
+        let mut template = state.clone();
+        template.phase = "migrate".into();
+        template.cursor = 0;
+        template.slide_done = 0;
+        let from_v = st.world.layout.v();
+        let rs = Arc::new(ReshapeRuntime {
+            kind,
+            target,
+            tgt_redirect: state.tgt_redirect.clone(),
+            scratch_base: state.scratch_base,
+            total,
+            cursor: AtomicU64::new(state.cursor),
+            units_done: AtomicU64::new(0),
+            slide_done: AtomicU64::new(0),
+            capacity_after: state.capacity_after,
+            tgt_locks: StripeLockTable::new(),
+            step: Mutex::new(StepState::default()),
+            batch_stripes: state.batch_stripes.max(1),
+            checkpoint_every: state.checkpoint_every.max(1),
+            from_v,
+            capacity_before: cap_src,
+            method,
+            moved_fraction,
+            removed: state.removed.clone(),
+            state_template: template,
+            started: Instant::now(),
+        });
+        st.reshape = Some(rs);
+        st.epoch += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::backend::MemBackend;
+    use crate::store::{fill_pattern, BlockStore};
+    use pdl_core::RingLayout;
+
+    fn filled_store(v: usize, k: usize, spares: usize, copies: usize) -> BlockStore<MemBackend> {
+        let rl = RingLayout::for_v_k(v, k);
+        let backend = MemBackend::new(v + spares, copies * rl.layout().size(), 64);
+        let store = BlockStore::new(rl.layout().clone(), backend).unwrap();
+        let mut buf = vec![0u8; 64];
+        for addr in 0..store.blocks() {
+            fill_pattern(addr, 7, &mut buf);
+            store.write_block(addr, &buf).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn add_disk_roundtrip_mem() {
+        let store = filled_store(5, 3, 1, 1);
+        let before = store.blocks();
+        let report = store.add_disks(&[5]).unwrap();
+        assert_eq!(report.from_v, 5);
+        assert_eq!(report.to_v, 6);
+        assert_eq!(store.v(), 6);
+        assert!(store.blocks() > before, "add grows capacity");
+        assert!(!store.reshaping());
+        let (mut buf, mut want) = (vec![0u8; 64], vec![0u8; 64]);
+        for addr in 0..before {
+            fill_pattern(addr, 7, &mut want);
+            store.read_block(addr, &mut buf).unwrap();
+            assert_eq!(buf, want, "block {addr} after add");
+        }
+        // New capacity reads back zero.
+        for addr in before..store.blocks() {
+            store.read_block(addr, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 0), "fresh block {addr} is zero");
+        }
+        store.verify_parity().unwrap();
+    }
+
+    #[test]
+    fn remove_disk_roundtrip_mem() {
+        let store = filled_store(7, 3, 0, 1);
+        let before = store.blocks();
+        let report = store.remove_disks(&[2]).unwrap();
+        assert_eq!(report.from_v, 7);
+        assert_eq!(report.to_v, 6);
+        assert_eq!(store.v(), 6);
+        assert_eq!(store.blocks(), before, "remove preserves capacity");
+        let (mut buf, mut want) = (vec![0u8; 64], vec![0u8; 64]);
+        for addr in 0..before {
+            fill_pattern(addr, 7, &mut want);
+            store.read_block(addr, &mut buf).unwrap();
+            assert_eq!(buf, want, "block {addr} after remove");
+        }
+        store.verify_parity().unwrap();
+    }
+
+    #[test]
+    fn reshape_refuses_bad_requests() {
+        let store = filled_store(5, 3, 1, 1);
+        assert!(store.add_disks(&[]).is_err());
+        assert!(store.add_disks(&[9]).is_err());
+        assert!(store.add_disks(&[0]).is_err(), "disk 0 is already mapped");
+        assert!(store.remove_disks(&[0, 1, 2]).is_err(), "would shrink below k + 1");
+        assert!(store.complete_reshape().is_err(), "no active reshape");
+    }
+}

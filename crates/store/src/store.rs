@@ -114,15 +114,18 @@
 use crate::backend::Backend;
 use crate::cache::{key_parts, stripe_key, CachePolicy, FlushSnapshot, StripeCache};
 use crate::error::StoreError;
+use crate::meta::StoreMeta;
 use crate::obs::{
     DiskStatSnapshot, Event, EventHub, EventSink, Metrics, OpKind, RebuildProgress, RebuildTracker,
     StatsSnapshot,
 };
+use crate::reshape::ReshapeRuntime;
 use crate::scheme::{AddrRef, FailureSet, ParityScheme, StripeMap};
 use pdl_algebra::gf256::{self, xor_slice};
 use pdl_core::{DoubleParityLayout, Layout, StripeUnit};
 use pdl_sim::{Trace, TraceOp};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
@@ -138,7 +141,7 @@ pub(crate) enum DecodedBuf {
 
 /// A decode result: up to two `(lost slot, holding buffer)` pairs; the
 /// values live in the caller's [`Scratch`] until its next decode.
-type Decoded = [Option<(usize, DecodedBuf)>; 2];
+pub(crate) type Decoded = [Option<(usize, DecodedBuf)>; 2];
 
 /// Largest hole (in units) a coalesced read run will bridge — units
 /// in a bridged gap are read into a discard buffer so the run stays
@@ -180,12 +183,12 @@ impl StripeLockTable {
     /// the thread counts a single store realistically serves.
     const SHARDS: usize = 64;
 
-    fn new() -> StripeLockTable {
+    pub(crate) fn new() -> StripeLockTable {
         StripeLockTable { shards: (0..Self::SHARDS).map(|_| RwLock::new(())).collect() }
     }
 
     /// Shard of a `(copy, stripe)` pair (Fibonacci hash, top bits).
-    fn shard_of(&self, copy: usize, stripe: usize) -> usize {
+    pub(crate) fn shard_of(&self, copy: usize, stripe: usize) -> usize {
         const { assert!(StripeLockTable::SHARDS.is_power_of_two()) };
         let key = ((copy as u64) << 32) | stripe as u64;
         (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (64 - Self::SHARDS.trailing_zeros())) as usize
@@ -195,20 +198,20 @@ impl StripeLockTable {
     /// acquisition had to wait (a contention sample for the metrics
     /// registry): a failed `try_write` means another thread held the
     /// shard at that instant.
-    fn lock_one_counting(&self, shard: usize) -> (RwLockWriteGuard<'_, ()>, bool) {
+    pub(crate) fn lock_one_counting(&self, shard: usize) -> (RwLockWriteGuard<'_, ()>, bool) {
         match self.shards[shard].try_write() {
             Ok(g) => (g, false),
             Err(_) => (self.shards[shard].write().unwrap(), true),
         }
     }
 
-    fn lock_one_shared(&self, shard: usize) -> RwLockReadGuard<'_, ()> {
+    pub(crate) fn lock_one_shared(&self, shard: usize) -> RwLockReadGuard<'_, ()> {
         self.shards[shard].read().unwrap()
     }
 
     /// Exclusive guards over a **sorted, deduplicated** shard set (the
     /// ordered-acquisition phase of a multi-stripe write).
-    fn lock_sorted(&self, shards: &[usize]) -> Vec<RwLockWriteGuard<'_, ()>> {
+    pub(crate) fn lock_sorted(&self, shards: &[usize]) -> Vec<RwLockWriteGuard<'_, ()>> {
         debug_assert!(shards.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
         shards.iter().map(|&s| self.shards[s].write().unwrap()).collect()
     }
@@ -223,27 +226,73 @@ impl StripeLockTable {
 
 /// Sorts and dedups a shard id list in place (the "compute the lock
 /// set up front" phase of two-phase acquisition).
-fn sort_shard_set(shards: &mut Vec<usize>) {
+pub(crate) fn sort_shard_set(shards: &mut Vec<usize>) {
     shards.sort_unstable();
     shards.dedup();
+}
+
+/// One *world*: a layout, its address map, and the per-disk stale
+/// markers that go with it. The store always serves traffic from the
+/// current world in [`ArrayState`]; an online reshape builds a second
+/// (target) world in the backend's scratch region and swaps it in
+/// atomically at commit — which is why everything here lives behind
+/// the state `RwLock` instead of being plain `BlockStore` fields.
+#[derive(Debug)]
+pub(crate) struct World {
+    pub(crate) layout: Arc<Layout>,
+    pub(crate) smap: Arc<StripeMap>,
+    /// `(P, Q)` slot pairs per stripe when the scheme is P+Q.
+    pub(crate) pq_slots: Option<Vec<(usize, usize)>>,
+    /// Layout copies tiled down the disks.
+    pub(crate) copies: usize,
+    /// Per-logical-disk *stale medium* markers: a write skipped (or
+    /// wrote through past) a unit on the disk while it was failed, so
+    /// its bytes no longer match the parity equations and only a
+    /// rebuild (never [`BlockStore::restore_disk`]) may bring it
+    /// back. `0` = fresh; otherwise a witness `(copy, stripe)` cache
+    /// key (packed, +1) naming a stripe whose write skipped the disk
+    /// — the context [`StoreError::RebuildRequired`] reports. Atomic
+    /// so the write path can set a marker under the shared state
+    /// guard; markers are only *read and cleared* under the exclusive
+    /// state guard, which orders them against transitions.
+    pub(crate) stale: Vec<AtomicU64>,
+}
+
+impl World {
+    pub(crate) fn new(
+        layout: Arc<Layout>,
+        pq_slots: Option<Vec<(usize, usize)>>,
+        copies: usize,
+    ) -> World {
+        let smap = Arc::new(StripeMap::new(&layout, pq_slots.as_deref()));
+        let stale = (0..layout.v()).map(|_| AtomicU64::new(0)).collect();
+        World { layout, smap, pq_slots, copies, stale }
+    }
 }
 
 /// The store's failure-epoch state: everything a failure transition
 /// mutates, behind one `RwLock` so data-path operations pin a
 /// consistent snapshot and transitions wait for in-flight I/O.
 #[derive(Debug)]
-struct ArrayState {
+pub(crate) struct ArrayState {
+    /// The world traffic is currently served from (swapped only by a
+    /// reshape commit, under the exclusive guard).
+    pub(crate) world: Arc<World>,
     /// Logical disk → physical backend disk (spares swap in here).
-    redirect: Vec<usize>,
-    failed: FailureSet,
+    pub(crate) redirect: Vec<usize>,
+    pub(crate) failed: FailureSet,
     /// An online rebuild in progress: `(logical disk, physical
     /// spare)`. While registered, writes that cannot land on the
     /// failed disk are written through to the spare.
-    rebuilding: Option<(usize, usize)>,
+    pub(crate) rebuilding: Option<(usize, usize)>,
+    /// An online reshape in progress: while registered, every write
+    /// additionally lands in the target world (see [`crate::reshape`])
+    /// and rebuilds are refused.
+    pub(crate) reshape: Option<Arc<ReshapeRuntime>>,
     /// Bumped on every failure-state transition (fail, restore,
-    /// rebuild begin/complete/abort) — an observable generation
-    /// number for tests and monitoring.
-    epoch: u64,
+    /// rebuild begin/complete/abort, reshape begin/commit) — an
+    /// observable generation number for tests and monitoring.
+    pub(crate) epoch: u64,
 }
 
 /// Where a deferred full-stripe unit write takes its bytes from: the
@@ -253,17 +302,17 @@ struct ArrayState {
 /// written, scanned, and resolved once per planned unit, so their
 /// footprint is hot-path memory traffic.
 #[derive(Clone, Copy, Debug)]
-struct WriteSrc(u32);
+pub(crate) struct WriteSrc(u32);
 
 impl WriteSrc {
     const PARITY: u32 = 1 << 31;
 
-    fn data(i: usize) -> WriteSrc {
+    pub(crate) fn data(i: usize) -> WriteSrc {
         debug_assert!((i as u32) < Self::PARITY);
         WriteSrc(i as u32)
     }
 
-    fn parity(i: usize) -> WriteSrc {
+    pub(crate) fn parity(i: usize) -> WriteSrc {
         debug_assert!((i as u32) < Self::PARITY);
         WriteSrc(i as u32 | Self::PARITY)
     }
@@ -274,14 +323,14 @@ impl WriteSrc {
 /// stripe accumulators live in. Sequential writes push offsets in
 /// increasing order per disk, so flushing usually skips the sort.
 #[derive(Debug)]
-struct WritePlan {
-    by_disk: Vec<Vec<(u32, WriteSrc)>>,
-    parity: Vec<u8>,
-    unsorted: bool,
+pub(crate) struct WritePlan {
+    pub(crate) by_disk: Vec<Vec<(u32, WriteSrc)>>,
+    pub(crate) parity: Vec<u8>,
+    pub(crate) unsorted: bool,
 }
 
 impl WritePlan {
-    fn new(disks: usize) -> WritePlan {
+    pub(crate) fn new(disks: usize) -> WritePlan {
         WritePlan { by_disk: vec![Vec::new(); disks], parity: Vec::new(), unsorted: false }
     }
 
@@ -290,7 +339,12 @@ impl WritePlan {
     /// reserved up front, so planning a large batch never reallocates
     /// (the staging area in particular would otherwise regrow — and
     /// recopy — once per stripe).
-    fn with_capacity(disks: usize, stripes: usize, units: usize, parity_unit_bytes: usize) -> Self {
+    pub(crate) fn with_capacity(
+        disks: usize,
+        stripes: usize,
+        units: usize,
+        parity_unit_bytes: usize,
+    ) -> Self {
         let per_disk = (units / disks.max(1)) + 2;
         WritePlan {
             by_disk: (0..disks).map(|_| Vec::with_capacity(per_disk)).collect(),
@@ -302,7 +356,7 @@ impl WritePlan {
     /// Empties the plan, keeping its buckets' and staging area's
     /// capacity — cache flush loops plan one stripe at a time and
     /// reuse one plan across all of them.
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         for bucket in &mut self.by_disk {
             bucket.clear();
         }
@@ -316,9 +370,9 @@ impl WritePlan {
 /// data paths borrow them from a [`ScratchPool`].
 #[derive(Debug)]
 pub(crate) struct Scratch {
-    acc_p: Vec<u8>,
-    acc_q: Vec<u8>,
-    tmp: Vec<u8>,
+    pub(crate) acc_p: Vec<u8>,
+    pub(crate) acc_q: Vec<u8>,
+    pub(crate) tmp: Vec<u8>,
 }
 
 impl Scratch {
@@ -331,7 +385,7 @@ impl Scratch {
     }
 
     /// The buffer a decode left a value in.
-    fn decoded(&self, which: DecodedBuf) -> &[u8] {
+    pub(crate) fn decoded(&self, which: DecodedBuf) -> &[u8] {
         match which {
             DecodedBuf::P => &self.acc_p,
             DecodedBuf::Q => &self.acc_q,
@@ -356,11 +410,11 @@ impl ScratchPool {
         ScratchPool { unit_size, pool: Mutex::new(Vec::new()) }
     }
 
-    fn get(&self) -> Scratch {
+    pub(crate) fn get(&self) -> Scratch {
         self.pool.lock().unwrap().pop().unwrap_or_else(|| Scratch::new(self.unit_size))
     }
 
-    fn put(&self, scratch: Scratch) {
+    pub(crate) fn put(&self, scratch: Scratch) {
         let mut pool = self.pool.lock().unwrap();
         if pool.len() < Self::CAP {
             pool.push(scratch);
@@ -376,7 +430,7 @@ impl ScratchPool {
 #[derive(Debug, Default)]
 pub(crate) struct UnitCache {
     /// `(physical disk, offset)` wanted keys; sorted by [`UnitCache::fill`].
-    wants: Vec<(u32, u32)>,
+    pub(crate) wants: Vec<(u32, u32)>,
     /// Unit payloads, index-aligned with `wants` after `fill`.
     data: Vec<u8>,
     unit_size: usize,
@@ -387,12 +441,16 @@ impl UnitCache {
         UnitCache::default()
     }
 
-    fn push_want(&mut self, disk: u32, offset: u32) {
+    pub(crate) fn push_want(&mut self, disk: u32, offset: u32) {
         self.wants.push((disk, offset));
     }
 
     /// Sorts the want-list and reads it in per-disk coalesced runs.
-    fn fill<B: Backend>(&mut self, backend: &B, unit_size: usize) -> Result<(), StoreError> {
+    pub(crate) fn fill<B: Backend>(
+        &mut self,
+        backend: &B,
+        unit_size: usize,
+    ) -> Result<(), StoreError> {
         self.unit_size = unit_size;
         self.wants.sort_unstable();
         debug_assert!(
@@ -418,7 +476,7 @@ impl UnitCache {
     }
 
     /// Copies the cached unit `(disk, offset)` into `out`.
-    fn copy_to(&self, disk: u32, offset: u32, out: &mut [u8]) -> Result<(), StoreError> {
+    pub(crate) fn copy_to(&self, disk: u32, offset: u32, out: &mut [u8]) -> Result<(), StoreError> {
         let i = self.wants.binary_search(&(disk, offset)).map_err(|_| {
             StoreError::Corrupt(format!(
                 "unit (disk {disk}, offset {offset}) missing from the rebuild read cache"
@@ -460,46 +518,51 @@ pub struct ReplayStats {
 /// (see the [module docs](self) for the locking model).
 #[derive(Debug)]
 pub struct BlockStore<B> {
-    layout: Layout,
-    scheme: ParityScheme,
-    smap: StripeMap,
-    backend: B,
-    unit_size: usize,
-    copies: usize,
-    /// Redirect table + failure set + active rebuild, behind the
-    /// epoch `RwLock` (see module docs).
-    state: RwLock<ArrayState>,
-    /// Per-logical-disk *stale medium* markers: a write skipped (or
-    /// wrote through past) a unit on the disk while it was failed, so
-    /// its bytes no longer match the parity equations and only a
-    /// rebuild (never [`BlockStore::restore_disk`]) may bring it
-    /// back. `0` = fresh; otherwise a witness `(copy, stripe)` cache
-    /// key (packed, +1) naming a stripe whose write skipped the disk
-    /// — the context [`StoreError::RebuildRequired`] reports. Atomic
-    /// so the write path can set a marker under the shared state
-    /// guard; markers are only *read and cleared* under the exclusive
-    /// state guard, which orders them against transitions.
-    stale: Vec<AtomicU64>,
+    pub(crate) scheme: ParityScheme,
+    pub(crate) backend: B,
+    pub(crate) unit_size: usize,
+    /// Current world + redirect table + failure set + active rebuild
+    /// and reshape, behind the epoch `RwLock` (see module docs).
+    pub(crate) state: RwLock<ArrayState>,
+    /// Store capacity in logical data blocks. Atomic because a
+    /// reshape commit may raise it (never lower it) while readers
+    /// check addresses against it lock-free.
+    pub(crate) capacity: AtomicUsize,
     /// The stripe-sharded write lock table.
-    locks: StripeLockTable,
-    /// `(P, Q)` slot pairs per stripe when `scheme == PQ` (the
-    /// serializable assignment; see [`BlockStore::pq_parity_slots`]).
-    pq_slots: Option<Vec<(usize, usize)>>,
+    pub(crate) locks: StripeLockTable,
     /// Reusable decode/accumulator buffers: steady-state reads and
     /// writes are allocation-free.
-    scratch: ScratchPool,
+    pub(crate) scratch: ScratchPool,
     /// The write-back stripe cache (write-combining of small writes;
     /// inert under the default [`CachePolicy::WriteThrough`]). Shares
     /// the lock table's shard indexing, so a cache entry is only ever
     /// mutated under its stripe's exclusive shard lock.
-    cache: StripeCache,
+    pub(crate) cache: StripeCache,
     /// The metrics registry (see [`crate::obs`] and the
     /// [module docs](self) "Observability" table).
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     /// Dispatch point for the optional structured-event sink.
-    events: EventHub,
+    pub(crate) events: EventHub,
     /// Live-progress state of the registered rebuild, if any.
-    rb_tracker: RebuildTracker,
+    pub(crate) rb_tracker: RebuildTracker,
+    /// Durable-metadata writer installed by the file-store
+    /// constructors: a reshape persists its migration checkpoints and
+    /// the final committed geometry through this hook. `None` for
+    /// memory-backed stores (nothing survives the process anyway).
+    pub(crate) meta_persister: Option<MetaPersister>,
+}
+
+/// Signature of a metadata-persistence hook: atomically durably write
+/// the given [`StoreMeta`], or fail the operation that needed it.
+pub(crate) type MetaPersistFn = Box<dyn Fn(&StoreMeta) -> Result<(), StoreError> + Send + Sync>;
+
+/// Boxed metadata-persistence hook (see [`BlockStore::meta_persister`]).
+pub(crate) struct MetaPersister(pub(crate) MetaPersistFn);
+
+impl fmt::Debug for MetaPersister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("MetaPersister")
+    }
 }
 
 impl<B: Backend> BlockStore<B> {
@@ -526,6 +589,29 @@ impl<B: Backend> BlockStore<B> {
         pq_slots: Option<Vec<(usize, usize)>>,
         backend: B,
     ) -> Result<Self, StoreError> {
+        Self::build_inner(layout, pq_slots, backend, None)
+    }
+
+    /// [`BlockStore::build`] for a store reopened **mid-reshape**: the
+    /// backend is grown to the scratch geometry, so units-per-disk is
+    /// larger than `copies × layout.size()` — the caller passes the
+    /// source world's copy count explicitly and per-disk validation
+    /// relaxes to "at least that many copies".
+    pub(crate) fn build_resuming(
+        layout: Layout,
+        pq_slots: Option<Vec<(usize, usize)>>,
+        backend: B,
+        copies: usize,
+    ) -> Result<Self, StoreError> {
+        Self::build_inner(layout, pq_slots, backend, Some(copies))
+    }
+
+    fn build_inner(
+        layout: Layout,
+        pq_slots: Option<Vec<(usize, usize)>>,
+        backend: B,
+        copies_override: Option<usize>,
+    ) -> Result<Self, StoreError> {
         let v = layout.v();
         if backend.disks() < v {
             return Err(StoreError::Geometry(format!(
@@ -534,12 +620,22 @@ impl<B: Backend> BlockStore<B> {
             )));
         }
         let per_disk = backend.units_per_disk();
-        if per_disk == 0 || !per_disk.is_multiple_of(layout.size()) {
-            return Err(StoreError::Geometry(format!(
-                "backend has {per_disk} units per disk, not a positive multiple of the layout \
-                 size {}",
-                layout.size()
-            )));
+        match copies_override {
+            None if per_disk == 0 || !per_disk.is_multiple_of(layout.size()) => {
+                return Err(StoreError::Geometry(format!(
+                    "backend has {per_disk} units per disk, not a positive multiple of the \
+                     layout size {}",
+                    layout.size()
+                )));
+            }
+            Some(c) if c == 0 || per_disk < c * layout.size() => {
+                return Err(StoreError::Geometry(format!(
+                    "backend has {per_disk} units per disk, fewer than the {c} resumed layout \
+                     copies of size {} need",
+                    layout.size()
+                )));
+            }
+            _ => {}
         }
         if pq_slots.is_some() {
             // The Q coefficient of data slot j is g^j; slots must stay
@@ -552,9 +648,8 @@ impl<B: Backend> BlockStore<B> {
                 )));
             }
         }
-        let copies = per_disk / layout.size();
+        let copies = copies_override.unwrap_or(per_disk / layout.size());
         let scheme = if pq_slots.is_some() { ParityScheme::PQ } else { ParityScheme::Xor };
-        let smap = StripeMap::new(&layout, pq_slots.as_deref());
         let unit_size = backend.unit_size();
         if unit_size == 0 {
             return Err(StoreError::Geometry("backend unit size is zero".into()));
@@ -583,33 +678,35 @@ impl<B: Backend> BlockStore<B> {
             }
             None => (0..v).collect(),
         };
+        let world = Arc::new(World::new(Arc::new(layout), pq_slots, copies));
+        let capacity = copies * world.smap.data_units_per_copy();
         Ok(BlockStore {
             scheme,
-            smap,
             backend,
             unit_size,
-            copies,
             state: RwLock::new(ArrayState {
+                world,
                 redirect,
                 failed: FailureSet::new(),
                 rebuilding: None,
+                reshape: None,
                 epoch: 0,
             }),
-            stale: (0..v).map(|_| AtomicU64::new(0)).collect(),
+            capacity: AtomicUsize::new(capacity),
             locks: StripeLockTable::new(),
-            pq_slots,
-            layout,
             scratch: ScratchPool::new(unit_size),
             cache: StripeCache::new(unit_size, StripeLockTable::SHARDS),
             metrics: Metrics::default(),
             events: EventHub::default(),
             rb_tracker: RebuildTracker::default(),
+            meta_persister: None,
         })
     }
 
-    /// The layout this store declusters over.
-    pub fn layout(&self) -> &Layout {
-        &self.layout
+    /// The layout this store declusters over (the *current* world's —
+    /// a completed reshape swaps in the target layout).
+    pub fn layout(&self) -> Arc<Layout> {
+        self.state_read().world.layout.clone()
     }
 
     /// The parity scheme (and therefore the fault tolerance).
@@ -622,17 +719,17 @@ impl<B: Backend> BlockStore<B> {
         self.scheme.fault_tolerance()
     }
 
-    /// The scheme-aware Condition-4 address map.
-    pub fn stripe_map(&self) -> &StripeMap {
-        &self.smap
+    /// The scheme-aware Condition-4 address map (the current world's).
+    pub fn stripe_map(&self) -> Arc<StripeMap> {
+        self.state_read().world.smap.clone()
     }
 
     /// The per-stripe `(P, Q)` slot pairs under [`ParityScheme::PQ`],
     /// `None` under XOR. This is the assignment persisted by
     /// [`crate::StoreMeta`] so a reopened store decodes with the exact
     /// parity placement it was created with.
-    pub fn pq_parity_slots(&self) -> Option<&[(usize, usize)]> {
-        self.pq_slots.as_deref()
+    pub fn pq_parity_slots(&self) -> Option<Vec<(usize, usize)>> {
+        self.state_read().world.pq_slots.clone()
     }
 
     /// The backend (e.g. to inspect IO counters).
@@ -645,26 +742,27 @@ impl<B: Backend> BlockStore<B> {
         self.unit_size
     }
 
-    /// Layout copies tiled down the disks.
+    /// Layout copies tiled down the disks (the current world's).
     pub fn copies(&self) -> usize {
-        self.copies
+        self.state_read().world.copies
     }
 
-    /// Store capacity in logical data blocks.
+    /// Store capacity in logical data blocks. Never shrinks; a
+    /// completed `add_disks` reshape raises it.
     pub fn blocks(&self) -> usize {
-        self.copies * self.smap.data_units_per_copy()
+        self.capacity.load(Ordering::Acquire)
     }
 
-    /// Number of logical disks (the layout's `v`).
+    /// Number of logical disks (the current layout's `v`).
     pub fn v(&self) -> usize {
-        self.layout.v()
+        self.state_read().world.layout.v()
     }
 
-    fn state_read(&self) -> RwLockReadGuard<'_, ArrayState> {
+    pub(crate) fn state_read(&self) -> RwLockReadGuard<'_, ArrayState> {
         self.state.read().unwrap()
     }
 
-    fn state_write(&self) -> RwLockWriteGuard<'_, ArrayState> {
+    pub(crate) fn state_write(&self) -> RwLockWriteGuard<'_, ArrayState> {
         self.state.write().unwrap()
     }
 
@@ -710,8 +808,8 @@ impl<B: Backend> BlockStore<B> {
     /// [`StoreError::RebuildRequired`] reports (last writer wins —
     /// any skipping stripe is a valid witness). Set under the shared
     /// state guard; read/cleared only under the exclusive one.
-    fn mark_stale(&self, disk: usize, copy: usize, stripe: usize) {
-        self.stale[disk].store(stripe_key(copy, stripe) + 1, Ordering::Release);
+    fn mark_stale(&self, st: &ArrayState, disk: usize, copy: usize, stripe: usize) {
+        st.world.stale[disk].store(stripe_key(copy, stripe) + 1, Ordering::Release);
     }
 
     /// The physical spare that writes to failed disk `disk` must be
@@ -736,6 +834,9 @@ impl<B: Backend> BlockStore<B> {
         if let Some((d, _)) = st.rebuilding {
             return Err(StoreError::RebuildInProgress(d));
         }
+        if st.reshape.is_some() {
+            return Err(StoreError::ReshapeInProgress);
+        }
         if !st.failed.contains(failed) {
             return Err(StoreError::NotFailed(failed));
         }
@@ -754,7 +855,7 @@ impl<B: Backend> BlockStore<B> {
         // per-logical-disk read counts to diff against (the rebuild's
         // read-distribution baseline).
         let baseline =
-            (0..self.layout.v()).map(|d| self.backend.read_count(st.redirect[d])).collect();
+            (0..st.world.layout.v()).map(|d| self.backend.read_count(st.redirect[d])).collect();
         self.rb_tracker.start(failed, spare, self.backend.units_per_disk() as u64, baseline);
         self.events.emit(|| Event::RebuildBegan {
             disk: failed as u32,
@@ -796,7 +897,7 @@ impl<B: Backend> BlockStore<B> {
         // The spare carries a full reconstruction (plus any writes
         // written through while it raced traffic): the medium is
         // fresh again.
-        self.stale[failed].store(0, Ordering::Release);
+        st.world.stale[failed].store(0, Ordering::Release);
         // Durable backends record the new mapping so a reopened store
         // reads the spare, not the stale failed disk. Persisted under
         // the exclusive guard: no in-flight op can observe the new
@@ -818,10 +919,10 @@ impl<B: Backend> BlockStore<B> {
     /// [`BlockStore::write_counts`]) are untouched by failure events,
     /// successful or not — counters only move when units move.
     pub fn fail_disk(&self, disk: usize) -> Result<(), StoreError> {
-        if disk >= self.layout.v() {
+        let mut st = self.state_write();
+        if disk >= st.world.layout.v() {
             return Err(StoreError::OutOfRange { disk, offset: 0 });
         }
-        let mut st = self.state_write();
         if st.failed.contains(disk) {
             return Err(StoreError::AlreadyFailed(disk));
         }
@@ -856,10 +957,10 @@ impl<B: Backend> BlockStore<B> {
     /// ([`StoreError::RebuildInProgress`]). Error paths leave the
     /// failure state and the I/O counters untouched.
     pub fn restore_disk(&self, disk: usize) -> Result<(), StoreError> {
-        if disk >= self.layout.v() {
+        let mut st = self.state_write();
+        if disk >= st.world.layout.v() {
             return Err(StoreError::OutOfRange { disk, offset: 0 });
         }
-        let mut st = self.state_write();
         if !st.failed.contains(disk) {
             return Err(StoreError::NotFailed(disk));
         }
@@ -875,7 +976,7 @@ impl<B: Backend> BlockStore<B> {
         self.flush_cache_locked(&st)?;
         // Stale markers are only read under the exclusive guard, which
         // orders this load after every write that could have set one.
-        let stale = self.stale[disk].load(Ordering::Acquire);
+        let stale = st.world.stale[disk].load(Ordering::Acquire);
         if stale != 0 {
             let (copy, stripe) = key_parts(stale - 1);
             return Err(StoreError::RebuildRequired { disk, copy, stripe });
@@ -899,14 +1000,14 @@ impl<B: Backend> BlockStore<B> {
     /// and only [`BlockStore::reset_counters`] moves them down.
     pub fn read_counts(&self) -> Vec<u64> {
         let st = self.state_read();
-        (0..self.layout.v()).map(|d| self.backend.read_count(st.redirect[d])).collect()
+        (0..st.world.layout.v()).map(|d| self.backend.read_count(st.redirect[d])).collect()
     }
 
     /// Per-logical-disk units written since the last counter reset
     /// (same monotonicity contract as [`BlockStore::read_counts`]).
     pub fn write_counts(&self) -> Vec<u64> {
         let st = self.state_read();
-        (0..self.layout.v()).map(|d| self.backend.write_count(st.redirect[d])).collect()
+        (0..st.world.layout.v()).map(|d| self.backend.write_count(st.redirect[d])).collect()
     }
 
     /// Zeroes the backend IO counters. Each per-disk counter is an
@@ -957,7 +1058,7 @@ impl<B: Backend> BlockStore<B> {
     pub fn stats(&self) -> StatsSnapshot {
         let (ops, degraded, lock_contention) = self.metrics.snapshot();
         let st = self.state_read();
-        let disks = (0..self.layout.v())
+        let disks = (0..st.world.layout.v())
             .map(|d| {
                 let p = st.redirect[d];
                 DiskStatSnapshot {
@@ -970,6 +1071,7 @@ impl<B: Backend> BlockStore<B> {
             })
             .collect();
         let epoch = st.epoch;
+        let reshape = st.reshape.as_ref().map(|rs| rs.progress_snapshot());
         drop(st);
         let mut cache = self.cache.stats_snapshot();
         cache.bypassed_writes = self.metrics.bypassed_writes();
@@ -981,6 +1083,7 @@ impl<B: Backend> BlockStore<B> {
             lock_contention,
             epoch,
             rebuild: self.rebuild_progress(),
+            reshape,
         }
     }
 
@@ -1023,9 +1126,14 @@ impl<B: Backend> BlockStore<B> {
     /// units in the stripe)`. Shard ids are the lock table's, so the
     /// cache is sharded by the same `(copy, stripe)` key as the
     /// stripe locks.
-    fn cache_coords(&self, m: &AddrRef, addr: usize) -> (usize, u64, usize, usize) {
-        let (lo, k_data) = self.smap.stripe_data_range(m.stripe);
-        let j = addr - m.copy * self.smap.data_units_per_copy() - lo;
+    fn cache_coords(
+        &self,
+        st: &ArrayState,
+        m: &AddrRef,
+        addr: usize,
+    ) -> (usize, u64, usize, usize) {
+        let (lo, k_data) = st.world.smap.stripe_data_range(m.stripe);
+        let j = addr - m.copy * st.world.smap.data_units_per_copy() - lo;
         (self.locks.shard_of(m.copy, m.stripe), stripe_key(m.copy, m.stripe), j, k_data)
     }
 
@@ -1045,7 +1153,7 @@ impl<B: Backend> BlockStore<B> {
     /// **exclusive** inside failure-state transitions, where no
     /// client I/O is in flight (and the drain is therefore complete,
     /// not just a snapshot).
-    fn flush_cache_locked(&self, st: &ArrayState) -> Result<(), StoreError> {
+    pub(crate) fn flush_cache_locked(&self, st: &ArrayState) -> Result<(), StoreError> {
         if !self.cache.maybe_dirty() {
             return Ok(());
         }
@@ -1100,6 +1208,21 @@ impl<B: Backend> BlockStore<B> {
             .collect();
         sort_shard_set(&mut shards);
         let _guards = self.locks.lock_sorted(&shards);
+        self.flush_batch_locked(st, keys, snap, plan, staged)
+    }
+
+    /// [`BlockStore::flush_batch`] with the batch's shard locks
+    /// **already held** by the caller — the reshape migration flushes
+    /// covered stripes under the exclusive shard locks it holds for
+    /// the whole batch copy.
+    pub(crate) fn flush_batch_locked(
+        &self,
+        st: &ArrayState,
+        keys: &[u64],
+        snap: &mut FlushSnapshot,
+        plan: &mut WritePlan,
+        staged: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
         plan.reset();
         staged.clear();
         let us = self.unit_size;
@@ -1121,15 +1244,15 @@ impl<B: Backend> BlockStore<B> {
                 }
                 flushed_stripes += 1;
                 flushed_units += snap.ndirty as u32;
-                let (lo, k_data) = self.smap.stripe_data_range(si);
-                let start = copy * self.smap.data_units_per_copy() + lo;
+                let (lo, k_data) = st.world.smap.stripe_data_range(si);
+                let start = copy * st.world.smap.data_units_per_copy() + lo;
                 let stripe_bytes = &staged[base * us..(base + k_data) * us];
                 if snap.ndirty == k_data {
                     // Fully dirty: zero-read full-stripe planning into
                     // the combined plan.
                     self.plan_full_stripe(st, start, stripe_bytes, base, plan)?;
                     planned.push(key);
-                } else if self.layout.stripes()[si]
+                } else if st.world.layout.stripes()[si]
                     .units()
                     .iter()
                     .any(|u| st.failed.contains(u.disk as usize))
@@ -1230,9 +1353,10 @@ impl<B: Backend> BlockStore<B> {
     ) -> Result<(), StoreError> {
         let us = self.unit_size;
         let is_pq = self.scheme == ParityScheme::PQ;
-        let units = self.layout.stripes()[si].units();
-        let (p_slot, q_slot) = self.smap.parity_slots(si);
-        let shift = (copy * self.layout.size()) as u32;
+        let w = st.world.clone();
+        let units = w.layout.stripes()[si].units();
+        let (p_slot, q_slot) = w.smap.parity_slots(si);
+        let shift = (copy * w.layout.size()) as u32;
         let shifted = |u: StripeUnit| StripeUnit { disk: u.disk, offset: u.offset + shift };
         let mut acc = self.scratch.get();
         let res = (|| {
@@ -1240,7 +1364,7 @@ impl<B: Backend> BlockStore<B> {
             acc_p.fill(0);
             acc_q.fill(0);
             for (j, &dirty) in snap.dirty.iter().enumerate() {
-                let m = self.smap.locate_full(start + j);
+                let m = w.smap.locate_full(start + j);
                 let val: &[u8] = if dirty {
                     &data[j * us..(j + 1) * us]
                 } else {
@@ -1260,7 +1384,7 @@ impl<B: Backend> BlockStore<B> {
                 if !dirty {
                     continue;
                 }
-                let m = self.smap.locate_full(start + j);
+                let m = w.smap.locate_full(start + j);
                 self.write_phys(st, m.unit, &data[j * us..(j + 1) * us])?;
             }
             Ok(())
@@ -1319,9 +1443,9 @@ impl<B: Backend> BlockStore<B> {
         scratch: &mut Scratch,
     ) -> Result<(), StoreError> {
         self.check_block_buf(out.len())?;
-        let size = self.layout.size();
+        let size = st.world.layout.size();
         let shift = (offset / size * size) as u32;
-        let r = self.layout.unit_ref(disk, offset % size);
+        let r = st.world.layout.unit_ref(disk, offset % size);
         let si = r.stripe as usize;
         let solved = self.decode_stripe(st, si, shift, Some(r.slot as usize), scratch)?;
         for (slot, which) in solved.into_iter().flatten() {
@@ -1358,14 +1482,15 @@ impl<B: Backend> BlockStore<B> {
             return Err(StoreError::BadBufferSize { expected: self.unit_size, got: out.len() });
         }
         let n = out.len() / self.unit_size;
-        let size = self.layout.size();
         let st = self.state_read();
+        let w = st.world.clone();
+        let size = w.layout.size();
         // Two-phase acquisition: every stripe this chunk decodes,
         // sorted by shard, locked shared before any byte is read.
         let mut shards: Vec<usize> = (0..n)
             .map(|i| {
                 let offset = start + i;
-                let r = self.layout.unit_ref(disk, offset % size);
+                let r = w.layout.unit_ref(disk, offset % size);
                 self.locks.shard_of(offset / size, r.stripe as usize)
             })
             .collect();
@@ -1380,8 +1505,8 @@ impl<B: Backend> BlockStore<B> {
         for i in 0..n {
             let offset = start + i;
             let shift = (offset / size * size) as u32;
-            let r = self.layout.unit_ref(disk, offset % size);
-            for u in self.layout.stripes()[r.stripe as usize].units() {
+            let r = w.layout.unit_ref(disk, offset % size);
+            for u in w.layout.stripes()[r.stripe as usize].units() {
                 if u.disk as usize == disk || st.failed.contains(u.disk as usize) {
                     continue;
                 }
@@ -1398,7 +1523,7 @@ impl<B: Backend> BlockStore<B> {
         for (i, chunk) in out.chunks_exact_mut(self.unit_size).enumerate() {
             let offset = start + i;
             let shift = (offset / size * size) as u32;
-            let r = self.layout.unit_ref(disk, offset % size);
+            let r = w.layout.unit_ref(disk, offset % size);
             let si = r.stripe as usize;
             let solved =
                 self.decode_stripe_with(&st, si, shift, Some(r.slot as usize), scratch, {
@@ -1455,7 +1580,7 @@ impl<B: Backend> BlockStore<B> {
     /// the failure set). Returns up to two `(slot, buffer)` pairs; the
     /// values live in `scratch` until its next decode. No heap
     /// allocation (this sits in the rebuild workers' per-unit loop).
-    fn decode_stripe_with<F>(
+    pub(crate) fn decode_stripe_with<F>(
         &self,
         st: &ArrayState,
         si: usize,
@@ -1467,8 +1592,8 @@ impl<B: Backend> BlockStore<B> {
     where
         F: FnMut(StripeUnit, &mut [u8]) -> Result<(), StoreError>,
     {
-        let stripe = &self.layout.stripes()[si];
-        let (p_slot, q_slot) = self.smap.parity_slots(si);
+        let stripe = &st.world.layout.stripes()[si];
+        let (p_slot, q_slot) = st.world.smap.parity_slots(si);
         // Collect the lost slots (ascending; at most tolerance + 1
         // with the forced extra, and anything past the redundancy is
         // an error anyway).
@@ -1569,7 +1694,7 @@ impl<B: Backend> BlockStore<B> {
         self.check_addr(addr)?;
         self.check_block_buf(buf.len())?;
         let st = self.state_read();
-        let m = self.smap.locate_full(addr);
+        let m = st.world.smap.locate_full(addr);
         let degraded = st.failed.contains(m.unit.disk as usize);
         let kind = if degraded { OpKind::DegradedRead } else { OpKind::Read };
         let t = self.metrics.begin(kind, self.events.active());
@@ -1595,7 +1720,7 @@ impl<B: Backend> BlockStore<B> {
             // missing entry implies the bytes are already durable
             // below.
             if self.cache.maybe_dirty() {
-                let (shard, key, j, _) = self.cache_coords(&m, addr);
+                let (shard, key, j, _) = self.cache_coords(&st, &m, addr);
                 if self.cache.read_into(shard, key, j, buf) {
                     return Ok(());
                 }
@@ -1634,10 +1759,10 @@ impl<B: Backend> BlockStore<B> {
         self.check_addr(addr)?;
         self.check_block_buf(data.len())?;
         let st = self.state_read();
-        let m = self.smap.locate_full(addr);
+        let m = st.world.smap.locate_full(addr);
         let shard = self.locks.shard_of(m.copy, m.stripe);
         let kind = if !st.failed.is_empty()
-            && self.layout.stripes()[m.stripe]
+            && st.world.layout.stripes()[m.stripe]
                 .units()
                 .iter()
                 .any(|u| st.failed.contains(u.disk as usize))
@@ -1685,7 +1810,7 @@ impl<B: Backend> BlockStore<B> {
                         self.metrics.note_bypass(&t);
                         return self.write_block_locked(&st, addr, data);
                     }
-                    let (_, key, j, k_data) = self.cache_coords(&m, addr);
+                    let (_, key, j, k_data) = self.cache_coords(&st, &m, addr);
                     if bypass && !self.cache.has_entry(shard, key) {
                         // A bypassed write adds no dirty state, so
                         // the eviction check is skipped with it.
@@ -1693,6 +1818,14 @@ impl<B: Backend> BlockStore<B> {
                         self.write_block_locked(&st, addr, data)?;
                     } else {
                         self.cache.write(shard, key, k_data, j, data);
+                        // A cached write is acknowledged without
+                        // touching the backend, but the target world
+                        // of an active reshape must still see it —
+                        // migration reads the *backend* source bytes
+                        // after flushing covered stripes, while the
+                        // dual write keeps already-migrated target
+                        // stripes fresh.
+                        self.dual_write_if_reshaping(&st, addr, data)?;
                     }
                 }
                 if bypass {
@@ -1732,13 +1865,14 @@ impl<B: Backend> BlockStore<B> {
         addr: usize,
         data: &[u8],
     ) -> Result<(), StoreError> {
-        let m = self.smap.locate_full(addr);
+        let w = st.world.clone();
+        let m = w.smap.locate_full(addr);
         let u = m.unit;
         let si = m.stripe;
         let t_slot = m.slot;
-        let shift = (m.copy * self.layout.size()) as u32;
-        let units = self.layout.stripes()[si].units();
-        let (p_slot, q_slot) = self.smap.parity_slots(si);
+        let shift = (m.copy * w.layout.size()) as u32;
+        let units = w.layout.stripes()[si].units();
+        let (p_slot, q_slot) = w.smap.parity_slots(si);
         let p_unit = units[p_slot];
         let p_alive = !st.failed.contains(p_unit.disk as usize);
         let q = q_slot.map(|qs| {
@@ -1753,10 +1887,10 @@ impl<B: Backend> BlockStore<B> {
         // a rebuild racing, the value is *also* written through to
         // the spare — the true medium is stale either way.)
         if !p_alive {
-            self.mark_stale(p_unit.disk as usize, m.copy, si);
+            self.mark_stale(st, p_unit.disk as usize, m.copy, si);
         }
         if let Some((q_unit, false)) = q {
-            self.mark_stale(q_unit.disk as usize, m.copy, si);
+            self.mark_stale(st, q_unit.disk as usize, m.copy, si);
         }
 
         if !st.failed.contains(u.disk as usize) {
@@ -1798,12 +1932,13 @@ impl<B: Backend> BlockStore<B> {
                         self.backend.write_unit(spare, qu.offset as usize, par)?;
                     }
                 }
-                self.write_phys(st, u, data)
+                self.write_phys(st, u, data)?;
+                self.dual_write_if_reshaping(st, addr, data)
             })();
             self.scratch.put(s);
             return res;
         }
-        self.mark_stale(u.disk as usize, m.copy, si);
+        self.mark_stale(st, u.disk as usize, m.copy, si);
 
         // Target disk failed: the new value exists only through the
         // surviving parity, so recompute P (and Q) over the full data
@@ -1877,11 +2012,26 @@ impl<B: Backend> BlockStore<B> {
             if let Some(spare) = Self::spare_for(st, u.disk as usize) {
                 self.backend.write_unit(spare, u.offset as usize, data)?;
             }
-            Ok(())
+            self.dual_write_if_reshaping(st, addr, data)
         })();
         self.scratch.put(dec_scratch);
         self.scratch.put(acc_scratch);
         res
+    }
+
+    /// Lands `data` in the reshape target world too, when a reshape is
+    /// active — see [`crate::reshape`] for why every write dual-lands
+    /// unconditionally during a reshape.
+    fn dual_write_if_reshaping(
+        &self,
+        st: &ArrayState,
+        addr: usize,
+        data: &[u8],
+    ) -> Result<(), StoreError> {
+        match &st.reshape {
+            Some(rs) => self.dual_write(rs, addr, data),
+            None => Ok(()),
+        }
     }
 
     /// Reads `buf.len() / unit_size` consecutive logical blocks
@@ -1919,7 +2069,7 @@ impl<B: Backend> BlockStore<B> {
             self.metrics.note_mix(true);
         }
         self.events.emit(|| {
-            let m = self.smap.locate_full(start);
+            let m = st.world.smap.locate_full(start);
             Event::OpBegin {
                 kind: OpKind::Read,
                 addr: start as u64,
@@ -1947,9 +2097,9 @@ impl<B: Backend> BlockStore<B> {
         let mut degraded: Vec<(usize, usize)> = Vec::new();
         for (i, slot) in chunks.iter_mut().enumerate() {
             let addr = start + i;
-            let m = self.smap.locate_full(addr);
+            let m = st.world.smap.locate_full(addr);
             if check_cache {
-                let (shard, key, j, _) = self.cache_coords(&m, addr);
+                let (shard, key, j, _) = self.cache_coords(&st, &m, addr);
                 let chunk = slot.as_mut().expect("unclaimed block");
                 if self.cache.read_into(shard, key, j, chunk) {
                     *slot = None;
@@ -2027,7 +2177,7 @@ impl<B: Backend> BlockStore<B> {
             let mut shards: Vec<usize> = degraded
                 .iter()
                 .map(|&(_, addr)| {
-                    self.locks.shard_of(self.smap.copy_of(addr), self.smap.stripe_of(addr))
+                    self.locks.shard_of(st.world.smap.copy_of(addr), st.world.smap.stripe_of(addr))
                 })
                 .collect();
             sort_shard_set(&mut shards);
@@ -2037,14 +2187,14 @@ impl<B: Backend> BlockStore<B> {
                 let mut decoded_key: Option<(usize, usize)> = None;
                 let mut solved: Decoded = [None, None];
                 for &(bi, addr) in &degraded {
-                    let si = self.smap.stripe_of(addr);
-                    let copy = self.smap.copy_of(addr);
+                    let si = st.world.smap.stripe_of(addr);
+                    let copy = st.world.smap.copy_of(addr);
                     if decoded_key != Some((copy, si)) {
-                        let shift = (copy * self.layout.size()) as u32;
+                        let shift = (copy * st.world.layout.size()) as u32;
                         solved = self.decode_stripe(&st, si, shift, None, &mut scratch)?;
                         decoded_key = Some((copy, si));
                     }
-                    let slot = self.smap.slot_of(addr);
+                    let slot = st.world.smap.slot_of(addr);
                     let which = solved
                         .iter()
                         .flatten()
@@ -2105,7 +2255,20 @@ impl<B: Backend> BlockStore<B> {
         self.check_addr(start)?;
         self.check_addr(start + n - 1)?;
         let st = self.state_read();
-        let per_copy = self.smap.data_units_per_copy();
+        if st.reshape.is_some() {
+            // During a reshape every write must also land in the
+            // target world; the batch planner's full-stripe fast path
+            // has no per-block hook, so the batch degrades to the
+            // single-block path (which dual-lands each block). The
+            // pessimization lasts exactly as long as the migration.
+            drop(st);
+            for (i, block) in data.chunks(self.unit_size).enumerate() {
+                self.write_block(start + i, block)?;
+            }
+            return Ok(());
+        }
+        let w = st.world.clone();
+        let per_copy = w.smap.data_units_per_copy();
         // Phase one of two-phase locking: the full shard set of every
         // stripe the batch will touch, ascending, before any byte
         // moves. Stripe data ranges are contiguous in address space,
@@ -2114,9 +2277,9 @@ impl<B: Backend> BlockStore<B> {
         let mut shards: Vec<usize> = Vec::new();
         let mut a = start;
         while a < start + n {
-            let m = self.smap.locate_full(a);
+            let m = w.smap.locate_full(a);
             shards.push(self.locks.shard_of(m.copy, m.stripe));
-            let (lo, k_data) = self.smap.stripe_data_range(m.stripe);
+            let (lo, k_data) = w.smap.stripe_data_range(m.stripe);
             a = m.copy * per_copy + lo + k_data;
         }
         let stripe_count = shards.len();
@@ -2132,7 +2295,7 @@ impl<B: Backend> BlockStore<B> {
             self.metrics.note_mix(false);
         }
         self.events.emit(|| {
-            let m = self.smap.locate_full(start);
+            let m = w.smap.locate_full(start);
             Event::OpBegin {
                 kind,
                 addr: start as u64,
@@ -2186,8 +2349,8 @@ impl<B: Backend> BlockStore<B> {
             let mut i = 0usize;
             while i < n {
                 let addr = start + i;
-                let m = self.smap.locate_full(addr);
-                let (lo, k_data) = self.smap.stripe_data_range(m.stripe);
+                let m = w.smap.locate_full(addr);
+                let (lo, k_data) = w.smap.stripe_data_range(m.stripe);
                 // A stripe's data addresses are one contiguous run
                 // within the copy, so full coverage is a head-aligned
                 // run of k_data blocks.
@@ -2221,7 +2384,7 @@ impl<B: Backend> BlockStore<B> {
                     // Partial stripe under write-back: defer the RMW
                     // into the stripe cache (zero backend I/O here).
                     let shard = self.locks.shard_of(m.copy, m.stripe);
-                    let (_, key, j, k_data) = self.cache_coords(&m, addr);
+                    let (_, key, j, k_data) = self.cache_coords(&st, &m, addr);
                     self.cache.write(
                         shard,
                         key,
@@ -2267,11 +2430,12 @@ impl<B: Backend> BlockStore<B> {
         plan: &mut WritePlan,
     ) -> Result<(), StoreError> {
         let us = self.unit_size;
-        let head = self.smap.locate_full(start);
+        let w = st.world.clone();
+        let head = w.smap.locate_full(start);
         let (si, copy) = (head.stripe, head.copy);
-        let shift = (copy * self.layout.size()) as u32;
-        let units = self.layout.stripes()[si].units();
-        let (p_slot, q_slot) = self.smap.parity_slots(si);
+        let shift = (copy * w.layout.size()) as u32;
+        let units = w.layout.stripes()[si].units();
+        let (p_slot, q_slot) = w.smap.parity_slots(si);
         let is_pq = self.scheme == ParityScheme::PQ;
         // Parity accumulates directly in the plan's staging area — no
         // scratch round trip, no copy. Destructured so the parity
@@ -2298,7 +2462,7 @@ impl<B: Backend> BlockStore<B> {
         // run at all.
         let any_failed = !st.failed.is_empty();
         for (j, chunk) in stripe_data.chunks_exact(us).enumerate() {
-            let m = self.smap.locate_full(start + j);
+            let m = w.smap.locate_full(start + j);
             debug_assert_eq!(m.stripe, si);
             if j > 0 {
                 xor_slice(acc_p, chunk);
@@ -2312,7 +2476,7 @@ impl<B: Backend> BlockStore<B> {
                 // nothing to write on the failed disk, whose medium is
                 // now stale (rebuild-only). With a rebuild racing, the
                 // fresh value goes to the spare instead.
-                self.mark_stale(u.disk as usize, copy, si);
+                self.mark_stale(st, u.disk as usize, copy, si);
                 if let Some(spare) = Self::spare_for(st, u.disk as usize) {
                     push(spare, u.offset, WriteSrc::data(base + j));
                 }
@@ -2322,7 +2486,7 @@ impl<B: Backend> BlockStore<B> {
         }
         let p_unit = units[p_slot];
         if any_failed && st.failed.contains(p_unit.disk as usize) {
-            self.mark_stale(p_unit.disk as usize, copy, si);
+            self.mark_stale(st, p_unit.disk as usize, copy, si);
             if let Some(spare) = Self::spare_for(st, p_unit.disk as usize) {
                 push(spare, p_unit.offset + shift, WriteSrc::parity(p_idx));
             }
@@ -2332,7 +2496,7 @@ impl<B: Backend> BlockStore<B> {
         if let Some(qs) = q_slot {
             let q_unit = units[qs];
             if any_failed && st.failed.contains(q_unit.disk as usize) {
-                self.mark_stale(q_unit.disk as usize, copy, si);
+                self.mark_stale(st, q_unit.disk as usize, copy, si);
                 if let Some(spare) = Self::spare_for(st, q_unit.disk as usize) {
                     push(spare, q_unit.offset + shift, WriteSrc::parity(p_idx + 1));
                 }
@@ -2352,7 +2516,11 @@ impl<B: Backend> BlockStore<B> {
     /// run straight from the source slices — no staging copy. Write
     /// runs never bridge holes: writing a unit nobody asked for would
     /// corrupt it.
-    fn flush_write_plan(&self, plan: &mut WritePlan, data: &[u8]) -> Result<(), StoreError> {
+    pub(crate) fn flush_write_plan(
+        &self,
+        plan: &mut WritePlan,
+        data: &[u8],
+    ) -> Result<(), StoreError> {
         let us = self.unit_size;
         let WritePlan { by_disk, parity, unsorted } = plan;
         let parity: &[u8] = parity;
@@ -2452,16 +2620,17 @@ impl<B: Backend> BlockStore<B> {
         // no backend byte until their combined flush — but verifying
         // flushed bytes is the stronger statement.)
         self.flush_cache_locked(&st)?;
-        let size = self.layout.size();
+        let w = st.world.clone();
+        let size = w.layout.size();
         let is_pq = self.scheme == ParityScheme::PQ;
         let mut acc_p = vec![0u8; self.unit_size];
         let mut acc_q = vec![0u8; self.unit_size];
         let mut tmp = vec![0u8; self.unit_size];
-        for copy in 0..self.copies {
+        for copy in 0..w.copies {
             let shift = (copy * size) as u32;
-            for (si, stripe) in self.layout.stripes().iter().enumerate() {
+            for (si, stripe) in w.layout.stripes().iter().enumerate() {
                 let _g = self.locks.lock_one_shared(self.locks.shard_of(copy, si));
-                let (p_slot, q_slot) = self.smap.parity_slots(si);
+                let (p_slot, q_slot) = w.smap.parity_slots(si);
                 acc_p.fill(0);
                 acc_q.fill(0);
                 for (slot, u) in stripe.units().iter().enumerate() {

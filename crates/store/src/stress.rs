@@ -28,6 +28,7 @@ use crate::cache::CachePolicy;
 use crate::error::StoreError;
 use crate::obs::{RebuildProgress, StatsSnapshot};
 use crate::rebuild::{RebuildReport, Rebuilder};
+use crate::reshape::ReshapeReport;
 use crate::store::{fill_pattern, BlockStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,6 +53,21 @@ pub enum RebuildMode {
     AtEnd {
         /// Physical backend disk receiving the reconstruction.
         spare: usize,
+    },
+    /// Grow the array *while* the client threads run: an online
+    /// [`BlockStore::add_disks`] reshape races the traffic — dual
+    /// writes, batch migration, and the commit flip all overlap live
+    /// reads and writes.
+    ReshapeAdd {
+        /// How many unmapped physical spares join the array.
+        added: usize,
+    },
+    /// Shrink the array while the client threads run: an online
+    /// [`BlockStore::remove_disks`] reshape of the highest-numbered
+    /// logical disks races the traffic.
+    ReshapeRemove {
+        /// How many of the highest-numbered logical disks leave.
+        removed: usize,
     },
 }
 
@@ -146,6 +162,8 @@ pub struct StressReport {
     pub elapsed: Duration,
     /// The rebuild's report, when one ran.
     pub rebuild: Option<RebuildReport>,
+    /// The reshape's report, when a racing reshape mode ran.
+    pub reshape: Option<ReshapeReport>,
     /// The store's observability snapshot, taken after the traffic
     /// (and any rebuild and cache drain) but before the verification
     /// sweep — so its counters describe the workload, not the checker.
@@ -241,19 +259,29 @@ pub fn run<B: Backend>(
         }
     }
 
+    let reshaping =
+        matches!(cfg.rebuild, RebuildMode::ReshapeAdd { .. } | RebuildMode::ReshapeRemove { .. });
     if let Some(disk) = cfg.fail_disk {
         // Drain the write cache before killing the medium: wiping a
         // disk that deferred writes still assume intact would feed
         // zeroes into their flush-time parity deltas. (Real failures
         // have no wipe step — `fail_disk` itself flushes first.)
         store.flush()?;
-        // Kill the medium: every correct byte of this disk must come
-        // from the erasure decode from here on.
-        store.backend().wipe_disk(store.physical_disk(disk))?;
+        if !reshaping {
+            // Kill the medium: every correct byte of this disk must
+            // come from the erasure decode from here on. Reshape modes
+            // keep the medium: the engine's documented failure model
+            // is *logical* failure (reads decode, but the disk's
+            // target region still accepts dual writes and migration
+            // output, which is what makes restore-after-commit valid)
+            // — media death during a reshape is out of scope.
+            store.backend().wipe_disk(store.physical_disk(disk))?;
+        }
         store.fail_disk(disk)?;
     }
 
     let rebuild_result: Mutex<Option<Result<RebuildReport, StoreError>>> = Mutex::new(None);
+    let reshape_result: Mutex<Option<Result<ReshapeReport, StoreError>>> = Mutex::new(None);
     let progress_samples: Mutex<Vec<RebuildProgress>> = Mutex::new(Vec::new());
     let rebuild_done = AtomicBool::new(false);
     let start = Instant::now();
@@ -281,6 +309,40 @@ pub fn run<B: Backend>(
                 }
             });
         }
+        match cfg.rebuild {
+            RebuildMode::ReshapeAdd { added } => {
+                let reshape_result = &reshape_result;
+                s.spawn(move || {
+                    // Let the traffic threads take the field first so
+                    // the whole reshape — begin, migration batches,
+                    // commit flip — genuinely races in-flight writes.
+                    std::thread::sleep(Duration::from_millis(2));
+                    let mapped: Vec<usize> =
+                        (0..store.v()).map(|d| store.physical_disk(d)).collect();
+                    let joining: Vec<usize> = (0..store.backend().disks())
+                        .filter(|p| !mapped.contains(p))
+                        .take(added)
+                        .collect();
+                    assert_eq!(
+                        joining.len(),
+                        added,
+                        "[stress seed {}] not enough unmapped spares to add",
+                        cfg.seed
+                    );
+                    *reshape_result.lock().unwrap() = Some(store.add_disks(&joining));
+                });
+            }
+            RebuildMode::ReshapeRemove { removed } => {
+                let reshape_result = &reshape_result;
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(2));
+                    let v = store.v();
+                    let leaving: Vec<usize> = (v - removed..v).collect();
+                    *reshape_result.lock().unwrap() = Some(store.remove_disks(&leaving));
+                });
+            }
+            _ => {}
+        }
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let salts = &salts;
@@ -301,6 +363,15 @@ pub fn run<B: Backend>(
             Some(r?)
         }
         RebuildMode::AtEnd { spare } => Some(Rebuilder::default().rebuild(store, spare)?),
+        RebuildMode::ReshapeAdd { .. } | RebuildMode::ReshapeRemove { .. } => None,
+    };
+    let reshape = if reshaping {
+        let r = reshape_result.lock().unwrap().take().expect("racing reshape ran");
+        Some(r.unwrap_or_else(|e| {
+            panic!("[stress seed {} threads {threads}] reshape: {e}", cfg.seed)
+        }))
+    } else {
+        None
     };
 
     // Drain the write-back cache off the clock: the final sweep then
@@ -346,6 +417,7 @@ pub fn run<B: Backend>(
         unit_size: unit,
         elapsed,
         rebuild,
+        reshape,
         stats,
         rebuild_progress: progress_samples.into_inner().unwrap(),
     };

@@ -199,6 +199,78 @@ fn stress_racing_rebuild_pq_mem() {
     store.verify_parity().unwrap();
 }
 
+/// Online reshape racing the stress mix: the array grows by one disk
+/// while the client threads hammer it — begin, dual writes, batch
+/// migration, and the commit flip all overlap live traffic — then
+/// the usual bit-exact sweep plus clean parity on the *target*
+/// layout.
+#[test]
+fn stress_racing_reshape_add_mem() {
+    let cfg = with_default_threads(
+        StressConfig {
+            rebuild: RebuildMode::ReshapeAdd { added: 1 },
+            ..base_config("reshape_add_mem")
+        },
+        8,
+    );
+    let store = xor_store_mem();
+    let report = run_recorded("reshape_add_mem", &store, &cfg);
+    assert_eq!(store.v(), 10, "racing add committed");
+    assert_eq!(report.reshape.as_ref().unwrap().to_v, 10);
+    assert!(!store.reshaping());
+    store.verify_parity().unwrap();
+}
+
+#[test]
+fn stress_racing_reshape_remove_mem() {
+    let cfg = with_default_threads(
+        StressConfig {
+            rebuild: RebuildMode::ReshapeRemove { removed: 1 },
+            ..base_config("reshape_remove_mem")
+        },
+        8,
+    );
+    let store = xor_store_mem();
+    let blocks = store.blocks();
+    let report = run_recorded("reshape_remove_mem", &store, &cfg);
+    assert_eq!(store.v(), 8, "racing remove committed");
+    assert_eq!(store.blocks(), blocks, "remove preserves capacity");
+    assert_eq!(report.reshape.as_ref().unwrap().to_v, 8);
+    store.verify_parity().unwrap();
+}
+
+#[test]
+fn stress_racing_reshape_add_file() {
+    let cfg = with_default_threads(
+        StressConfig {
+            rebuild: RebuildMode::ReshapeAdd { added: 1 },
+            ..base_config("reshape_add_file")
+        },
+        8,
+    );
+    with_xor_store_file("reshapeadd", |store| {
+        run_recorded("reshape_add_file", &store, &cfg);
+        assert_eq!(store.v(), 10);
+        store.verify_parity().unwrap();
+    });
+}
+
+#[test]
+fn stress_racing_reshape_remove_file() {
+    let cfg = with_default_threads(
+        StressConfig {
+            rebuild: RebuildMode::ReshapeRemove { removed: 1 },
+            ..base_config("reshape_remove_file")
+        },
+        8,
+    );
+    with_xor_store_file("reshaperemove", |store| {
+        run_recorded("reshape_remove_file", &store, &cfg);
+        assert_eq!(store.v(), 8);
+        store.verify_parity().unwrap();
+    });
+}
+
 /// Write-back policy for the dedicated cache stress runs: a small
 /// budget keeps the eviction path hot. An explicit `PDL_CACHE` (the
 /// CI cache matrix leg) still wins, so a replay honors the
@@ -268,6 +340,26 @@ fn stress_write_back_racing_rebuild_file() {
         assert!(!store.is_degraded());
         store.verify_parity().unwrap();
     });
+}
+
+/// Reshape under write-back: every migration batch must flush the
+/// dirty cache entries covering its source range before copying, or
+/// the target world is built from stale media. Racing clients keep
+/// re-dirtying stripes the whole time.
+#[test]
+fn stress_write_back_racing_reshape_add_mem() {
+    let cfg = with_default_threads(
+        StressConfig {
+            rebuild: RebuildMode::ReshapeAdd { added: 1 },
+            ..write_back_config("wb_reshape_add_mem")
+        },
+        8,
+    );
+    let store = xor_store_mem();
+    run_recorded("wb_reshape_add_mem", &store, &cfg);
+    assert_eq!(store.v(), 10);
+    assert!(!store.reshaping());
+    store.verify_parity().unwrap();
 }
 
 /// Deterministic flush-before-transition semantics: cached writes

@@ -1,0 +1,497 @@
+//! The online-reshape battery: differential racing schedules against
+//! a shadow model (reads/writes/fail/restore concurrent with
+//! `add_disks`/`remove_disks` at 2/4/8 threads, mem + file backends,
+//! XOR and P+Q), crash-resume from every persisted migration
+//! checkpoint, commit-crash redo (in-memory retry and reopen paths),
+//! and post-reshape invariants: the (k−1)/(v−1) rebuild balance on
+//! the target layout, clean parity, and vectored-I/O accounting pins
+//! on the migration engine.
+
+use pdl_core::{DoubleParityLayout, RingLayout};
+use pdl_store::{
+    create_file_store, fill_pattern, open_file_store, Backend, BlockStore, FileBackend, MemBackend,
+    Rebuilder, ReshapeOptions, StoreError, StoreMeta, META_FILE,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+const UNIT: usize = 64;
+
+/// Deterministic xorshift64* — the battery must replay from its seed
+/// alone, with no dependence on crate-external RNG state.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn coin(&mut self) -> bool {
+        self.next() & 1 == 0
+    }
+}
+
+fn prefill<B: Backend>(store: &BlockStore<B>, salt: u64) {
+    let mut block = vec![0u8; store.unit_size()];
+    for addr in 0..store.blocks() {
+        fill_pattern(addr, salt, &mut block);
+        store.write_block(addr, &block).unwrap();
+    }
+}
+
+/// First physical disk not mapped to any logical disk.
+fn first_spare<B: Backend>(store: &BlockStore<B>) -> usize {
+    let mapped: Vec<usize> = (0..store.v()).map(|d| store.physical_disk(d)).collect();
+    (0..store.backend().disks())
+        .find(|p| !mapped.contains(p))
+        .expect("an unmapped spare survives the reshape")
+}
+
+#[derive(Clone, Copy)]
+enum Dir {
+    Add(usize),
+    Remove(usize),
+}
+
+/// The differential core: `threads` clients of seeded mixed traffic
+/// over disjoint regions — every read checked bit-for-bit against a
+/// shadow salt model — while one thread runs the whole reshape and
+/// another injects a fail/restore schedule. After the race: a full
+/// sweep, zeroed new capacity (on add), and clean parity.
+fn racing_differential<B: Backend>(store: &BlockStore<B>, threads: usize, seed: u64, dir: Dir) {
+    let blocks = store.blocks();
+    let unit = store.unit_size();
+    let ops = 150usize;
+    prefill(store, seed);
+    let salts: Vec<AtomicU64> = (0..blocks).map(|_| AtomicU64::new(seed)).collect();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let done = &done;
+        let salts = &salts;
+        s.spawn(move || {
+            // Let the clients take the field so begin, every migration
+            // batch, and the commit flip all overlap live traffic.
+            std::thread::sleep(Duration::from_millis(1));
+            let res = match dir {
+                Dir::Add(n) => {
+                    let mapped: Vec<usize> =
+                        (0..store.v()).map(|d| store.physical_disk(d)).collect();
+                    let joining: Vec<usize> = (0..store.backend().disks())
+                        .filter(|p| !mapped.contains(p))
+                        .take(n)
+                        .collect();
+                    assert_eq!(joining.len(), n, "seed {seed}: not enough spares to add");
+                    store.add_disks(&joining)
+                }
+                Dir::Remove(n) => {
+                    let v = store.v();
+                    store.remove_disks(&(v - n..v).collect::<Vec<usize>>())
+                }
+            };
+            res.unwrap_or_else(|e| panic!("seed {seed}: racing reshape failed: {e}"));
+            done.store(true, Ordering::Release);
+        });
+        // Fail/restore schedule racing the reshape. Under write-through
+        // traffic the first flush that skips the failed disk marks its
+        // medium stale, so restore is usually refused — the run then
+        // stays degraded and the migration must erasure-decode the
+        // disk's units. Both outcomes are valid schedules.
+        s.spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                if store.fail_disk(1).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(300));
+                match store.restore_disk(1) {
+                    Ok(()) => {}
+                    Err(StoreError::RebuildRequired { .. }) => break,
+                    Err(e) => panic!("seed {seed}: restore: {e}"),
+                }
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        });
+        let per = blocks / threads;
+        assert!(per >= 4, "store too small for {threads} threads");
+        for t in 0..threads {
+            let lo = t * per;
+            let hi = if t + 1 == threads { blocks } else { lo + per };
+            s.spawn(move || {
+                let mut rng = Rng(seed ^ ((t as u64 + 1) << 32) | 1);
+                let mut buf = vec![0u8; 4 * unit];
+                let mut want = vec![0u8; unit];
+                for i in 0..ops {
+                    let len = 1 + rng.below(4);
+                    let addr = lo + rng.below(hi - lo - len + 1);
+                    if rng.coin() {
+                        let out = &mut buf[..len * unit];
+                        store
+                            .read_blocks(addr, out)
+                            .unwrap_or_else(|e| panic!("seed {seed} t{t} op {i}: read: {e}"));
+                        for (j, chunk) in out.chunks_exact(unit).enumerate() {
+                            let salt = salts[addr + j].load(Ordering::Relaxed);
+                            fill_pattern(addr + j, salt, &mut want);
+                            assert_eq!(
+                                chunk,
+                                &want[..],
+                                "seed {seed} t{t} op {i}: block {} diverged from the model",
+                                addr + j
+                            );
+                        }
+                    } else {
+                        let salt = seed ^ ((t as u64 + 1) << 40) ^ ((i as u64 + 1) << 8);
+                        let data = &mut buf[..len * unit];
+                        for (j, chunk) in data.chunks_exact_mut(unit).enumerate() {
+                            fill_pattern(addr + j, salt + j as u64, chunk);
+                        }
+                        store
+                            .write_blocks(addr, data)
+                            .unwrap_or_else(|e| panic!("seed {seed} t{t} op {i}: write: {e}"));
+                        for j in 0..len {
+                            salts[addr + j].store(salt + j as u64, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    match dir {
+        Dir::Add(_) => assert!(store.blocks() > blocks, "add grew capacity"),
+        Dir::Remove(_) => assert_eq!(store.blocks(), blocks, "remove preserves capacity"),
+    }
+    // If the fail/restore schedule left the array degraded, drain the
+    // failure onto a surviving spare so parity is checkable — the
+    // sweep below exercises the decode path either way.
+    if store.is_degraded() {
+        Rebuilder::default()
+            .rebuild(store, first_spare(store))
+            .unwrap_or_else(|e| panic!("seed {seed}: post-run rebuild: {e}"));
+    }
+    let mut got = vec![0u8; unit];
+    let mut want = vec![0u8; unit];
+    for (addr, salt) in salts.iter().enumerate() {
+        store.read_block(addr, &mut got).unwrap();
+        fill_pattern(addr, salt.load(Ordering::Relaxed), &mut want);
+        assert_eq!(got, want, "seed {seed}: block {addr} corrupted after reshape");
+    }
+    for addr in blocks..store.blocks() {
+        store.read_block(addr, &mut got).unwrap();
+        assert!(got.iter().all(|&b| b == 0), "seed {seed}: new block {addr} not zero-filled");
+    }
+    store.verify_parity().unwrap();
+}
+
+fn xor_store_mem(v: usize, k: usize, copies: usize, spares: usize) -> BlockStore<MemBackend> {
+    let layout = RingLayout::for_v_k(v, k).layout().clone();
+    let backend = MemBackend::new(v + spares, copies * layout.size(), UNIT);
+    BlockStore::new(layout, backend).unwrap()
+}
+
+fn pq_store_mem(v: usize, k: usize, copies: usize, spares: usize) -> BlockStore<MemBackend> {
+    let dp = DoubleParityLayout::new(RingLayout::for_v_k(v, k).layout().clone()).unwrap();
+    let backend = MemBackend::new(v + spares, copies * dp.layout().size(), UNIT);
+    BlockStore::new_pq(dp, backend).unwrap()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pdl-reshape-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn racing_add_differential_xor_mem() {
+    for (i, threads) in [2usize, 4, 8].into_iter().enumerate() {
+        let store = xor_store_mem(5, 3, 2, 2);
+        racing_differential(&store, threads, 0xadd0 + i as u64, Dir::Add(1));
+        assert_eq!(store.v(), 6);
+    }
+}
+
+#[test]
+fn racing_remove_differential_xor_mem() {
+    for (i, threads) in [2usize, 4, 8].into_iter().enumerate() {
+        let store = xor_store_mem(7, 3, 2, 1);
+        racing_differential(&store, threads, 0x5e30 + i as u64, Dir::Remove(1));
+        assert_eq!(store.v(), 6);
+    }
+}
+
+#[test]
+fn racing_add_differential_pq_mem() {
+    for (i, threads) in [2usize, 8].into_iter().enumerate() {
+        let store = pq_store_mem(9, 4, 1, 3);
+        racing_differential(&store, threads, 0xbead + i as u64, Dir::Add(1));
+        assert_eq!(store.v(), 10);
+    }
+}
+
+#[test]
+fn racing_remove_differential_pq_mem() {
+    let store = pq_store_mem(9, 4, 1, 2);
+    racing_differential(&store, 4, 0xfade, Dir::Remove(1));
+    assert_eq!(store.v(), 8);
+}
+
+#[test]
+fn racing_add_differential_xor_file() {
+    let dir = tmp_dir("addfile");
+    let layout = RingLayout::for_v_k(5, 3).layout().clone();
+    let backend = FileBackend::create(&dir, 5 + 2, 2 * layout.size(), UNIT).unwrap();
+    let store = BlockStore::new(layout, backend).unwrap();
+    racing_differential(&store, 8, 0xf11e, Dir::Add(1));
+    assert_eq!(store.v(), 6);
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn racing_remove_differential_pq_file() {
+    let dir = tmp_dir("rmpqfile");
+    let dp = DoubleParityLayout::new(RingLayout::for_v_k(9, 4).layout().clone()).unwrap();
+    let backend = FileBackend::create(&dir, 9 + 2, dp.layout().size(), UNIT).unwrap();
+    let store = BlockStore::new_pq(dp, backend).unwrap();
+    racing_differential(&store, 4, 0x9f11, Dir::Remove(1));
+    assert_eq!(store.v(), 8);
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Copies every regular file of an array directory (disk files,
+/// `store.json`, `mapping.json`) — the crash image a power cut at
+/// that instant would leave behind.
+fn snapshot_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for e in std::fs::read_dir(src).unwrap() {
+        let e = e.unwrap();
+        if e.file_type().unwrap().is_file() {
+            std::fs::copy(e.path(), dst.join(e.file_name())).unwrap();
+        }
+    }
+}
+
+fn persisted_reshape_cursor(dir: &Path) -> Option<(String, u64)> {
+    let json = std::fs::read_to_string(dir.join(META_FILE)).unwrap();
+    let meta = StoreMeta::from_json(&json).unwrap();
+    meta.reshape.map(|rs| (rs.phase, rs.cursor))
+}
+
+/// Satellite 2: snapshot the directory at *every* migration
+/// checkpoint boundary, reopen each snapshot as a crashed store, and
+/// prove the reshape resumes at the persisted cursor (never restarts)
+/// and finishes bit-exact.
+#[test]
+fn crash_resume_at_every_checkpoint_file() {
+    let dir = tmp_dir("ckpt");
+    let layout = RingLayout::for_v_k(5, 3).layout().clone();
+    let store = create_file_store(&dir, layout, UNIT, 2, 2).unwrap();
+    let seed = 0xc4a5_u64;
+    let blocks = store.blocks();
+    prefill(&store, seed);
+    let opts = ReshapeOptions { batch_stripes: 7, checkpoint_every: 1, ..Default::default() };
+    store.begin_add_disks_with(&[5], &opts).unwrap();
+    // Snapshot 0 is the begin checkpoint (cursor 0); one more follows
+    // every batch.
+    let mut snaps: Vec<PathBuf> = Vec::new();
+    let take_snapshot = |snaps: &mut Vec<PathBuf>| {
+        let s = tmp_dir(&format!("ckpt-snap{}", snaps.len()));
+        snapshot_dir(&dir, &s);
+        snaps.push(s);
+    };
+    take_snapshot(&mut snaps);
+    loop {
+        let done = store.reshape_step(1).unwrap();
+        take_snapshot(&mut snaps);
+        if done {
+            break;
+        }
+    }
+    assert!(snaps.len() >= 4, "several checkpoint boundaries to crash at");
+    // The original store commits cleanly.
+    let report = store.complete_reshape().unwrap();
+    assert_eq!(report.to_v, 6);
+    drop(store);
+
+    let mut saw_midway = false;
+    for snap in &snaps {
+        let (phase, cursor) = persisted_reshape_cursor(snap).expect("snapshot is mid-reshape");
+        assert_eq!(phase, "migrate");
+        let re = open_file_store(snap).unwrap();
+        assert!(re.reshaping(), "reopened snapshot resumes the reshape");
+        let progress = re.stats().reshape.expect("reshape visible in stats");
+        assert_eq!(
+            progress.stripes_done, cursor,
+            "resumed cursor equals the persisted checkpoint — resumed, not restarted"
+        );
+        if cursor > 0 && progress.stripes_done < progress.stripes_total {
+            saw_midway = true;
+        }
+        let rep = re.finish_reshape().unwrap();
+        assert_eq!(rep.to_v, 6);
+        assert_eq!(re.v(), 6);
+        let mut got = vec![0u8; UNIT];
+        let mut want = vec![0u8; UNIT];
+        for addr in 0..blocks {
+            re.read_block(addr, &mut got).unwrap();
+            fill_pattern(addr, seed, &mut want);
+            assert_eq!(got, want, "block {addr} corrupted resuming from {snap:?}");
+        }
+        re.verify_parity().unwrap();
+        drop(re);
+        std::fs::remove_dir_all(snap).unwrap();
+    }
+    assert!(saw_midway, "at least one snapshot crashed strictly mid-migration");
+
+    // The committed original reopens at the target geometry too.
+    let re = open_file_store(&dir).unwrap();
+    assert_eq!(re.v(), 6);
+    assert!(!re.reshaping());
+    re.verify_parity().unwrap();
+    drop(re);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A commit interrupted in-process (injected fault mid-slide) retries
+/// from the watermark in memory — never re-reading scratch rows its
+/// own first attempt already slid over.
+#[test]
+fn commit_fault_in_memory_retry_mem() {
+    let store = xor_store_mem(5, 3, 2, 2);
+    let seed = 0x1e77_u64;
+    let blocks = store.blocks();
+    prefill(&store, seed);
+    store.begin_add_disks(&[5]).unwrap();
+    while !store.reshape_step(8).unwrap() {}
+    assert_eq!(store.blocks(), blocks, "capacity flips only at commit");
+    let opts = ReshapeOptions { commit_fault_after_chunks: Some(1), ..Default::default() };
+    let err = store.complete_reshape_with(&opts).unwrap_err();
+    assert!(matches!(err, StoreError::Corrupt(_)), "injected fault surfaces");
+    assert!(store.reshaping(), "faulted commit leaves the reshape active");
+    let report = store.complete_reshape().unwrap();
+    assert_eq!(report.to_v, 6);
+    assert!(store.blocks() > blocks);
+    let mut got = vec![0u8; UNIT];
+    let mut want = vec![0u8; UNIT];
+    for addr in 0..blocks {
+        store.read_block(addr, &mut got).unwrap();
+        fill_pattern(addr, seed, &mut want);
+        assert_eq!(got, want, "block {addr} corrupted by the commit retry");
+    }
+    store.verify_parity().unwrap();
+}
+
+/// A commit interrupted by a crash (process gone, `phase = "commit"`
+/// on disk) is statically redone on reopen: slide from the persisted
+/// watermark, mapping, final metadata, trim.
+#[test]
+fn commit_fault_reopen_redo_file() {
+    let dir = tmp_dir("commit");
+    let layout = RingLayout::for_v_k(5, 3).layout().clone();
+    let store = create_file_store(&dir, layout, UNIT, 2, 2).unwrap();
+    let seed = 0xd00d_u64;
+    let blocks = store.blocks();
+    prefill(&store, seed);
+    store.begin_add_disks(&[5]).unwrap();
+    while !store.reshape_step(8).unwrap() {}
+    let opts = ReshapeOptions { commit_fault_after_chunks: Some(1), ..Default::default() };
+    store.complete_reshape_with(&opts).unwrap_err();
+    drop(store); // the crash
+    let (phase, _) = persisted_reshape_cursor(&dir).expect("commit watermark persisted");
+    assert_eq!(phase, "commit");
+    let re = open_file_store(&dir).unwrap();
+    assert!(!re.reshaping(), "reopen redid the commit");
+    assert_eq!(re.v(), 6);
+    assert!(re.blocks() > blocks);
+    let mut got = vec![0u8; UNIT];
+    let mut want = vec![0u8; UNIT];
+    for addr in 0..blocks {
+        re.read_block(addr, &mut got).unwrap();
+        fill_pattern(addr, seed, &mut want);
+        assert_eq!(got, want, "block {addr} corrupted by the redo");
+    }
+    re.verify_parity().unwrap();
+    drop(re);
+    // Stability: a second reopen sees a plain committed array.
+    let re2 = open_file_store(&dir).unwrap();
+    assert_eq!(re2.v(), 6);
+    assert!(!re2.reshaping());
+    re2.verify_parity().unwrap();
+    drop(re2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite 3a: the paper's (k−1)/(v−1) rebuild balance holds on the
+/// *target* layout — a disk failed after an add-reshape rebuilds with
+/// the declustered read fraction of the new geometry.
+#[test]
+fn post_reshape_rebuild_balance_and_parity_mem() {
+    let store = xor_store_mem(9, 4, 4, 2);
+    prefill(&store, 0xba1a);
+    let report = store.add_disks(&[9]).unwrap();
+    assert_eq!(report.to_v, 10);
+    assert_eq!(store.v(), 10);
+    store.verify_parity().unwrap();
+    store.fail_disk(0).unwrap();
+    let rb = Rebuilder::default().rebuild(&store, 10).unwrap();
+    let expect = (4.0 - 1.0) / (10.0 - 1.0);
+    let got = rb.mean_read_fraction();
+    assert!(
+        (got - expect).abs() < 0.05,
+        "target-layout rebuild balance: mean read fraction {got:.4}, want (k-1)/(v-1) = {expect:.4}"
+    );
+    store.verify_parity().unwrap();
+}
+
+/// Satellite 3b: migration I/O is vectored — with one batch covering
+/// one full target copy (the default), the engine issues at most one
+/// read call per source disk and one write call per target disk — and
+/// the per-disk unit counters only ever grow.
+#[test]
+fn migration_io_vectored_and_monotone_mem() {
+    let store = xor_store_mem(5, 3, 1, 1);
+    prefill(&store, 0x10ac);
+    let before_reads: Vec<u64> = (0..6).map(|p| store.backend().read_count(p)).collect();
+    let before_writes: Vec<u64> = (0..6).map(|p| store.backend().write_count(p)).collect();
+    store.begin_add_disks(&[5]).unwrap();
+    store.reset_counters();
+    let done = store.reshape_step(1).unwrap();
+    assert!(done, "one default batch covers the whole single-copy migration");
+    for p in 0..5 {
+        assert!(
+            store.backend().read_calls(p) <= 1,
+            "source disk {p}: {} read calls in one batch (want ≤ 1 vectored call)",
+            store.backend().read_calls(p)
+        );
+    }
+    for p in 0..6 {
+        assert!(
+            store.backend().write_calls(p) <= 1,
+            "target disk {p}: {} write calls in one batch (want ≤ 1 vectored call)",
+            store.backend().write_calls(p)
+        );
+    }
+    let mid_reads: Vec<u64> = (0..6).map(|p| store.backend().read_count(p)).collect();
+    let mid_writes: Vec<u64> = (0..6).map(|p| store.backend().write_count(p)).collect();
+    store.complete_reshape().unwrap();
+    let after_reads: Vec<u64> = (0..6).map(|p| store.backend().read_count(p)).collect();
+    let after_writes: Vec<u64> = (0..6).map(|p| store.backend().write_count(p)).collect();
+    for p in 0..6 {
+        assert!(after_reads[p] >= mid_reads[p], "disk {p} read units regressed");
+        assert!(after_writes[p] >= mid_writes[p], "disk {p} write units regressed");
+    }
+    // reset_counters is the only sanctioned way down; the snapshot
+    // taken before the reshape began is unrelated to these.
+    drop((before_reads, before_writes));
+    assert_eq!(store.v(), 6);
+    store.verify_parity().unwrap();
+}
