@@ -25,6 +25,20 @@
 //!   `*_cached_over_uncached` ratios the gate enforces;
 //! * `mixed_70r30w` / `mixed_70r30w_cached` — 70% reads / 30%
 //!   writes over the hot set, cache-off vs cache-on;
+//! * `seq_read_checksum_on` / `seq_read_checksum_off` — the vectored
+//!   sequential read path with per-unit checksum verification on vs
+//!   off (hashing is the only difference); the
+//!   `*_checksum_verify_on_over_off` ratio prices end-to-end
+//!   integrity, and the gate floors it on the file backend (≥ 0.55:
+//!   even on a page-cache-hot runner, where file reads approach
+//!   memory speed and verification costs ~30%, the floor only trips
+//!   on a real collapse — double hashing, per-unit locking); on mem
+//!   the reads run at memcpy speed, so hashing legitimately halves
+//!   throughput and the ratio is reported, not gated;
+//! * `scrub_clean`         — one full foreground scrub pass over the
+//!   healthy store (every live unit read and hashed, every stripe's
+//!   parity equations checked): MB/s of *verified* capacity, the
+//!   background-repair bandwidth budget;
 //! * `degraded_read`       — sequential `read_blocks` with one disk
 //!   failed (stripe decode amortized per stripe);
 //! * `rebuild`             — full rebuild of a failed disk onto a
@@ -48,7 +62,9 @@
 //! ≤ 5% overhead on the suite's representative small-op mix).
 
 use pdl_core::RingLayout;
-use pdl_store::{Backend, BlockStore, CachePolicy, FileBackend, MemBackend, Rebuilder, StoreError};
+use pdl_store::{
+    Backend, BlockStore, CachePolicy, FileBackend, MemBackend, Rebuilder, ScrubConfig, StoreError,
+};
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -448,6 +464,47 @@ fn run_suite<A: Backend, B: Backend>(
         samples.push(off);
     }
 
+    // Checksum verification priced on the sequential vectored read
+    // path: identical reads, hashing on vs off, interleaved so host
+    // drift cancels. Every unit was written with verification on, so
+    // the "on" side hashes and compares every byte it returns.
+    let mut buf3 = vec![0u8; SPAN.min(blocks) * UNIT];
+    let seq_read = |dst: &mut [u8]| {
+        let mut addr = 0;
+        while addr < blocks {
+            let n = SPAN.min(blocks - addr);
+            store.read_blocks(addr, &mut dst[..n * UNIT]).unwrap();
+            addr += n;
+        }
+    };
+    let (on, off) = timed_pair(
+        name,
+        ("seq_read_checksum_on", &mut || seq_read(&mut buf)),
+        ("seq_read_checksum_off", &mut || {
+            store.set_checksums_enabled(false);
+            seq_read(&mut buf3);
+            store.set_checksums_enabled(true);
+        }),
+        cfg.passes,
+        bytes,
+    );
+    samples.push(on);
+    samples.push(off);
+
+    // One full scrub pass over the (clean, healthy) store: reads and
+    // hashes every live unit and checks every stripe's parity
+    // equations. The payload is the verified capacity — all v disks'
+    // units, parity included — not just the data blocks.
+    let scrub_bytes = store.v() * store.backend().units_per_disk() * UNIT;
+    samples.push(timed(name, "scrub_clean", cfg.passes, scrub_bytes, || {
+        let report = store.scrub(&ScrubConfig::default()).unwrap();
+        assert_eq!(
+            (report.checksum_repairs, report.parity_repairs),
+            (0, 0),
+            "the bench store must scrub clean"
+        );
+    }));
+
     // Degraded sequential read (one disk down, decode per stripe).
     store.fail_disk(0).unwrap();
     samples.push(timed(name, "degraded_read", cfg.passes, bytes, || {
@@ -546,6 +603,11 @@ fn ratios(samples: &[Sample]) -> Vec<(String, f64, f64)> {
             format!("{b}_mixed_70r30w_cached_over_uncached"),
             get(b, "mixed_70r30w_cached"),
             get(b, "mixed_70r30w"),
+        ));
+        out.push((
+            format!("{b}_checksum_verify_on_over_off"),
+            get(b, "seq_read_checksum_on"),
+            get(b, "seq_read_checksum_off"),
         ));
     }
     // The registry-overhead gate: ≥ 0.95 means metrics cost ≤ 5% on

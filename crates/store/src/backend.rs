@@ -798,6 +798,366 @@ impl Backend for FileBackend {
     }
 }
 
+/// Fault-injection knobs for [`FaultyBackend`]. All rates are
+/// probabilities in `[0, 1]`, evaluated per backend call (or per unit
+/// for corruption) from the seeded generator, so a given seed replays
+/// the same fault schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Seed for the fault schedule.
+    pub seed: u64,
+    /// Probability a call fails with a *transient* I/O error
+    /// (`ErrorKind::Interrupted`) before touching the inner backend —
+    /// the kind the store's retry layer absorbs.
+    pub transient_rate: f64,
+    /// Probability a written unit is silently corrupted (one byte
+    /// flipped) while the call still reports success — the latent
+    /// sector error checksums exist to catch.
+    pub corrupt_rate: f64,
+    /// Probability a multi-unit write tears: a prefix of the units
+    /// lands, then the call fails with a **non-transient** error.
+    pub torn_rate: f64,
+    /// Probability a call sleeps [`FaultConfig::slow_us`] first (a
+    /// stalling disk).
+    pub slow_rate: f64,
+    /// Stall duration for slow calls, in microseconds.
+    pub slow_us: u64,
+}
+
+impl FaultConfig {
+    /// A schedule with every fault disabled (rates 0) under `seed`.
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            transient_rate: 0.0,
+            corrupt_rate: 0.0,
+            torn_rate: 0.0,
+            slow_rate: 0.0,
+            slow_us: 50,
+        }
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded fault-injecting wrapper over any [`Backend`] — the fault
+/// model every integrity claim in this crate is tested against.
+/// Composable over [`MemBackend`] and [`FileBackend`] alike; geometry,
+/// counters, and management ops (wipe, mapping, resize, flush)
+/// delegate untouched, data-path calls roll the seeded dice first:
+///
+/// * **transient errors** surface as `ErrorKind::Interrupted` before
+///   the inner call runs (nothing written) — retryable;
+/// * **silent corruption** flips one byte of a written unit while the
+///   call reports success, and logs the `(disk, offset)` so tests can
+///   assert every injected error was later found and repaired;
+/// * **torn writes** land a strict prefix of a multi-unit write, then
+///   fail non-transiently (the crash-window shape `write_units`
+///   callers must survive);
+/// * **slow calls** sleep before proceeding (a stalling spindle).
+///
+/// Targeted hooks — [`FaultyBackend::corrupt_unit`] and
+/// [`FaultyBackend::fail_next`] — inject one specific fault
+/// deterministically, for tests that need a fault *here, now* rather
+/// than a statistical schedule. [`FaultyBackend::set_armed`] pauses
+/// the whole schedule during test setup.
+#[derive(Debug)]
+pub struct FaultyBackend<B> {
+    inner: B,
+    cfg: FaultConfig,
+    armed: std::sync::atomic::AtomicBool,
+    rng: std::sync::atomic::AtomicU64,
+    /// Next-N-calls forced-transient budget ([`FaultyBackend::fail_next`]).
+    forced_transients: std::sync::atomic::AtomicU64,
+    injected_transients: std::sync::atomic::AtomicU64,
+    injected_torn: std::sync::atomic::AtomicU64,
+    /// `(disk, offset)` of every silently corrupted unit.
+    corruptions: Mutex<Vec<(usize, usize)>>,
+}
+
+impl<B: Backend> FaultyBackend<B> {
+    /// Wraps `inner` with the fault schedule `cfg`, armed.
+    pub fn new(inner: B, cfg: FaultConfig) -> Self {
+        FaultyBackend {
+            inner,
+            cfg,
+            armed: std::sync::atomic::AtomicBool::new(true),
+            rng: std::sync::atomic::AtomicU64::new(splitmix64(cfg.seed)),
+            forced_transients: std::sync::atomic::AtomicU64::new(0),
+            injected_transients: std::sync::atomic::AtomicU64::new(0),
+            injected_torn: std::sync::atomic::AtomicU64::new(0),
+            corruptions: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Arms or pauses the whole fault schedule (paused, every call
+    /// delegates cleanly — use around test setup).
+    pub fn set_armed(&self, on: bool) {
+        self.armed.store(on, Ordering::SeqCst);
+    }
+
+    /// Forces the next `n` data-path calls to fail transiently,
+    /// regardless of rates (still requires the schedule armed).
+    pub fn fail_next(&self, n: u64) {
+        self.forced_transients.store(n, Ordering::SeqCst);
+    }
+
+    /// Deterministically corrupts the stored unit at `(disk, offset)`
+    /// in place (one byte flipped on the medium, schedule not
+    /// consulted) and logs it like a schedule-injected corruption.
+    pub fn corrupt_unit(&self, disk: usize, offset: usize) -> Result<(), StoreError> {
+        let mut buf = vec![0u8; self.inner.unit_size()];
+        self.inner.read_unit(disk, offset, &mut buf)?;
+        let at = (splitmix64(self.roll()) as usize) % buf.len();
+        buf[at] ^= 0xA5;
+        self.inner.write_unit(disk, offset, &buf)?;
+        self.corruptions.lock().unwrap_or_else(|e| e.into_inner()).push((disk, offset));
+        Ok(())
+    }
+
+    /// `(disk, offset)` of every unit silently corrupted so far —
+    /// the ground truth a repair test sweeps against.
+    pub fn corruptions(&self) -> Vec<(usize, usize)> {
+        self.corruptions.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Transient errors injected so far.
+    pub fn injected_transients(&self) -> u64 {
+        self.injected_transients.load(Ordering::Relaxed)
+    }
+
+    /// Torn multi-unit writes injected so far.
+    pub fn injected_torn(&self) -> u64 {
+        self.injected_torn.load(Ordering::Relaxed)
+    }
+
+    fn roll(&self) -> u64 {
+        splitmix64(self.rng.fetch_add(0x9E3779B97F4A7C15, Ordering::Relaxed))
+    }
+
+    fn chance(&self, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        rate >= 1.0 || ((self.roll() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < rate
+    }
+
+    /// Rolls the pre-call faults (forced/scheduled transient, slow
+    /// stall). `Err` means the call fails before touching the medium.
+    fn pre_call(&self) -> Result<(), StoreError> {
+        if !self.armed.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let forced = self
+            .forced_transients
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok();
+        if forced || self.chance(self.cfg.transient_rate) {
+            self.injected_transients.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Io(std::io::Error::from(std::io::ErrorKind::Interrupted)));
+        }
+        if self.chance(self.cfg.slow_rate) && self.cfg.slow_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.cfg.slow_us));
+        }
+        Ok(())
+    }
+
+    /// Writes one unit, possibly silently corrupting it (logged).
+    fn write_unit_corruptible(
+        &self,
+        disk: usize,
+        offset: usize,
+        buf: &[u8],
+    ) -> Result<(), StoreError> {
+        if self.armed.load(Ordering::Relaxed) && self.chance(self.cfg.corrupt_rate) {
+            let mut evil = buf.to_vec();
+            let at = (self.roll() as usize) % evil.len().max(1);
+            evil[at] ^= 0xA5;
+            self.inner.write_unit(disk, offset, &evil)?;
+            self.corruptions.lock().unwrap_or_else(|e| e.into_inner()).push((disk, offset));
+            return Ok(());
+        }
+        self.inner.write_unit(disk, offset, buf)
+    }
+
+    /// Shared torn/corrupt path for multi-unit writes: `units` is the
+    /// span length; `write_prefix(n)` must land exactly the first `n`
+    /// units.
+    fn torn_or_full(
+        &self,
+        units: usize,
+        write_prefix: impl FnOnce(usize) -> Result<(), StoreError>,
+        write_full: impl FnOnce() -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        if self.armed.load(Ordering::Relaxed) && units > 1 && self.chance(self.cfg.torn_rate) {
+            let keep = 1 + (self.roll() as usize) % (units - 1);
+            write_prefix(keep)?;
+            self.injected_torn.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "injected torn write",
+            )));
+        }
+        write_full()
+    }
+}
+
+impl<B: Backend> Backend for FaultyBackend<B> {
+    fn disks(&self) -> usize {
+        self.inner.disks()
+    }
+
+    fn units_per_disk(&self) -> usize {
+        self.inner.units_per_disk()
+    }
+
+    fn unit_size(&self) -> usize {
+        self.inner.unit_size()
+    }
+
+    fn read_unit(&self, disk: usize, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.pre_call()?;
+        self.inner.read_unit(disk, offset, buf)
+    }
+
+    fn write_unit(&self, disk: usize, offset: usize, buf: &[u8]) -> Result<(), StoreError> {
+        self.pre_call()?;
+        self.write_unit_corruptible(disk, offset, buf)
+    }
+
+    fn read_units(&self, disk: usize, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.pre_call()?;
+        self.inner.read_units(disk, offset, buf)
+    }
+
+    fn write_units(&self, disk: usize, offset: usize, buf: &[u8]) -> Result<(), StoreError> {
+        self.pre_call()?;
+        let us = self.inner.unit_size();
+        let units = buf.len().checked_div(us).unwrap_or(0);
+        self.torn_or_full(
+            units,
+            |keep| self.inner.write_units(disk, offset, &buf[..keep * us]),
+            || {
+                if self.armed.load(Ordering::Relaxed) && self.cfg.corrupt_rate > 0.0 {
+                    for (i, unit) in buf.chunks_exact(us).enumerate() {
+                        self.write_unit_corruptible(disk, offset + i, unit)?;
+                    }
+                    Ok(())
+                } else {
+                    self.inner.write_units(disk, offset, buf)
+                }
+            },
+        )
+    }
+
+    fn read_units_scatter(
+        &self,
+        disk: usize,
+        offset: usize,
+        bufs: &mut [&mut [u8]],
+    ) -> Result<(), StoreError> {
+        self.pre_call()?;
+        self.inner.read_units_scatter(disk, offset, bufs)
+    }
+
+    fn write_units_gather(
+        &self,
+        disk: usize,
+        offset: usize,
+        bufs: &[&[u8]],
+    ) -> Result<(), StoreError> {
+        self.pre_call()?;
+        let us = self.inner.unit_size();
+        let units: usize = bufs.iter().map(|b| b.len() / us.max(1)).sum();
+        self.torn_or_full(
+            units,
+            |keep| {
+                // Land exactly `keep` units: whole leading buffers
+                // plus a prefix of the buffer the tear lands in.
+                let mut left = keep;
+                let mut at = offset;
+                for b in bufs {
+                    if left == 0 {
+                        break;
+                    }
+                    let n = (b.len() / us).min(left);
+                    self.inner.write_units(disk, at, &b[..n * us])?;
+                    at += n;
+                    left -= n;
+                }
+                Ok(())
+            },
+            || {
+                if self.armed.load(Ordering::Relaxed) && self.cfg.corrupt_rate > 0.0 {
+                    let mut at = offset;
+                    for b in bufs {
+                        for unit in b.chunks_exact(us) {
+                            self.write_unit_corruptible(disk, at, unit)?;
+                            at += 1;
+                        }
+                    }
+                    Ok(())
+                } else {
+                    self.inner.write_units_gather(disk, offset, bufs)
+                }
+            },
+        )
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        self.inner.flush()
+    }
+
+    fn read_count(&self, disk: usize) -> u64 {
+        self.inner.read_count(disk)
+    }
+
+    fn write_count(&self, disk: usize) -> u64 {
+        self.inner.write_count(disk)
+    }
+
+    fn read_calls(&self, disk: usize) -> u64 {
+        self.inner.read_calls(disk)
+    }
+
+    fn write_calls(&self, disk: usize) -> u64 {
+        self.inner.write_calls(disk)
+    }
+
+    fn prefers_gap_bridging(&self) -> bool {
+        self.inner.prefers_gap_bridging()
+    }
+
+    fn reset_counters(&self) {
+        self.inner.reset_counters()
+    }
+
+    fn wipe_disk(&self, disk: usize) -> Result<(), StoreError> {
+        self.inner.wipe_disk(disk)
+    }
+
+    fn persist_mapping(&self, redirect: &[usize]) -> Result<(), StoreError> {
+        self.inner.persist_mapping(redirect)
+    }
+
+    fn load_mapping(&self) -> Result<Option<Vec<usize>>, StoreError> {
+        self.inner.load_mapping()
+    }
+
+    fn set_units_per_disk(&self, units: usize) -> Result<(), StoreError> {
+        self.inner.set_units_per_disk(units)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -918,5 +1278,75 @@ mod tests {
         b.read_units(0, 0, &mut got).unwrap();
         assert!(got.iter().all(|&x| x == 0), "wiped disk reads back as zeroes");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_backend_quiet_delegates_cleanly() {
+        let b = FaultyBackend::new(MemBackend::new(3, 8, 64), FaultConfig::quiet(7));
+        roundtrip(&b);
+        vectored_roundtrip(&b);
+        assert_eq!(b.injected_transients(), 0);
+        assert!(b.corruptions().is_empty());
+    }
+
+    #[test]
+    fn faulty_backend_forced_transients_and_targeted_corruption() {
+        let b = FaultyBackend::new(MemBackend::new(2, 8, 32), FaultConfig::quiet(42));
+        let unit = vec![0x5au8; 32];
+        b.write_unit(0, 0, &unit).unwrap();
+        b.fail_next(2);
+        let mut out = vec![0u8; 32];
+        let e = b.read_unit(0, 0, &mut out).unwrap_err();
+        assert!(crate::integrity::is_transient(&e));
+        assert!(crate::integrity::is_transient(&b.read_unit(0, 0, &mut out).unwrap_err()));
+        b.read_unit(0, 0, &mut out).unwrap();
+        assert_eq!(out, unit);
+        assert_eq!(b.injected_transients(), 2);
+        // Targeted corruption flips the medium but logs the location.
+        b.corrupt_unit(0, 0).unwrap();
+        b.read_unit(0, 0, &mut out).unwrap();
+        assert_ne!(out, unit);
+        assert_eq!(b.corruptions(), vec![(0, 0)]);
+        // Disarmed, the schedule is silent even with rates maxed.
+        let mut cfg = FaultConfig::quiet(1);
+        cfg.transient_rate = 1.0;
+        let b = FaultyBackend::new(MemBackend::new(1, 2, 16), cfg);
+        b.set_armed(false);
+        b.write_unit(0, 0, &[1u8; 16]).unwrap();
+        assert_eq!(b.injected_transients(), 0);
+    }
+
+    #[test]
+    fn faulty_backend_torn_write_lands_prefix_then_errors() {
+        let mut cfg = FaultConfig::quiet(99);
+        cfg.torn_rate = 1.0;
+        let b = FaultyBackend::new(MemBackend::new(1, 8, 16), cfg);
+        let span: Vec<u8> = (0..4 * 16).map(|i| i as u8).collect();
+        let e = b.write_units(0, 0, &span).unwrap_err();
+        assert!(!crate::integrity::is_transient(&e), "torn writes are not retryable");
+        assert_eq!(b.injected_torn(), 1);
+        // Some strict prefix landed; the tail is untouched zeroes.
+        b.set_armed(false);
+        let mut got = vec![0u8; 4 * 16];
+        b.read_units(0, 0, &mut got).unwrap();
+        let landed =
+            (0..4).take_while(|&u| got[u * 16..(u + 1) * 16] == span[u * 16..(u + 1) * 16]).count();
+        assert!((1..4).contains(&landed), "prefix of {landed} units landed");
+        assert!(got[landed * 16..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn faulty_backend_scheduled_corruption_is_logged_and_silent() {
+        let mut cfg = FaultConfig::quiet(5);
+        cfg.corrupt_rate = 1.0;
+        let b = FaultyBackend::new(MemBackend::new(1, 4, 16), cfg);
+        let unit = vec![0x11u8; 16];
+        b.write_unit(0, 2, &unit).unwrap(); // reports success
+        let mut got = vec![0u8; 16];
+        b.set_armed(false);
+        b.read_unit(0, 2, &mut got).unwrap();
+        assert_ne!(got, unit, "stored bytes were silently corrupted");
+        assert_eq!(got.iter().zip(&unit).filter(|(a, b)| a != b).count(), 1, "one byte flipped");
+        assert_eq!(b.corruptions(), vec![(0, 2)]);
     }
 }

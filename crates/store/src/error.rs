@@ -89,6 +89,20 @@ pub enum StoreError {
     Geometry(String),
     /// Stored bytes or metadata do not match expectations.
     Corrupt(String),
+    /// A unit's stored bytes no longer match its recorded checksum —
+    /// latent corruption detected on a read or a scrub pass. Read
+    /// paths treat this as an erasure and attempt read-repair from
+    /// surviving parity; the error surfaces only when the repair
+    /// itself is impossible (more erasures than the scheme tolerates).
+    ChecksumMismatch {
+        /// Physical backend disk holding the corrupt unit.
+        disk: usize,
+        /// Unit offset within the disk.
+        offset: usize,
+    },
+    /// A scrub pass is already running (foreground or background);
+    /// only one walks the array at a time.
+    ScrubInProgress,
     /// `verify_parity` found a stripe violating a parity invariant —
     /// names the exact stripe, copy, and parity (P or Q) that failed.
     ParityMismatch {
@@ -149,6 +163,12 @@ impl fmt::Display for StoreError {
             }
             StoreError::Geometry(msg) => write!(f, "geometry mismatch: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::ChecksumMismatch { disk, offset } => write!(
+                f,
+                "unit (physical disk {disk}, offset {offset}) fails its stored checksum and \
+                 could not be repaired from parity"
+            ),
+            StoreError::ScrubInProgress => write!(f, "a scrub pass is already running"),
             StoreError::ParityMismatch { stripe, copy, parity } => {
                 write!(f, "stripe {stripe} (copy {copy}) fails its {parity} parity invariant")
             }

@@ -136,20 +136,25 @@
 pub mod backend;
 pub mod cache;
 pub mod error;
+pub mod integrity;
 pub mod meta;
 pub mod obs;
 pub mod rebuild;
 pub mod reshape;
 pub mod scheme;
+pub mod scrub;
 pub mod store;
 pub mod stress;
 
-pub use backend::{Backend, FileBackend, MemBackend};
+pub use backend::{Backend, FaultConfig, FaultyBackend, FileBackend, MemBackend};
 pub use cache::CachePolicy;
 pub use error::StoreError;
+pub use integrity::{
+    xxh64, ChecksumTable, DiskHealthSnapshot, IntegrityStatsSnapshot, RetryPolicy,
+};
 pub use meta::{
     create_file_store, create_file_store_pq, open_file_store, update_cache_policy, ReshapeState,
-    StoreMeta, META_FILE,
+    ScrubState, StoreMeta, META_FILE, SUMS_FILE,
 };
 pub use obs::{
     render_stats, CacheStatsSnapshot, DegradedSnapshot, DiskCounters, DiskStatSnapshot, Event,
@@ -157,7 +162,8 @@ pub use obs::{
     ReshapeProgressSnapshot, StatsSnapshot, TraceLog, WindowSnapshot,
 };
 pub use rebuild::{RebuildReport, Rebuilder};
-pub use reshape::{ReshapeOptions, ReshapeReport};
+pub use reshape::{CopiesPolicy, ReshapeOptions, ReshapeReport};
 pub use scheme::{AddrRef, FailureSet, ParityScheme, StripeMap};
+pub use scrub::{ScrubConfig, ScrubHandle, ScrubReport};
 pub use store::{fill_pattern, BlockStore, ReplayStats};
 pub use stress::{RebuildMode, StressConfig, StressReport};

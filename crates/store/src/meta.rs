@@ -72,12 +72,26 @@ pub struct ReshapeState {
     pub checkpoint_every: usize,
 }
 
+/// The durable image of the background scrubber's progress, embedded
+/// in a version-4 [`StoreMeta`]. A crash mid-pass resumes at `cursor`
+/// (stripes already verified are not re-walked until the next pass);
+/// `passes` carries the lifetime pass count across reopens.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ScrubState {
+    /// Global stripe index (`copy × stripes_per_copy + stripe`) of the
+    /// next stripe to scrub.
+    pub cursor: u64,
+    /// Completed scrub passes.
+    pub passes: u64,
+}
+
 /// Everything needed to reopen an array: layout, unit size, copies,
 /// spare count, and the parity scheme. Serialized as `store.json` in
 /// the array directory.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
 pub struct StoreMeta {
-    /// Metadata format version (currently 2; 1 is read as XOR).
+    /// Metadata format version: 1 XOR, 2 P+Q, 3 carries reshape
+    /// state, 4 carries scrub state.
     pub version: u32,
     /// Bytes per unit.
     pub unit_size: usize,
@@ -97,6 +111,10 @@ pub struct StoreMeta {
     /// is 3. Committed (and never-reshaped) arrays carry `None` and
     /// are stamped version 1 or 2 by scheme.
     pub reshape: Option<ReshapeState>,
+    /// Scrub progress checkpoint; `Some` exactly when `version` is 4.
+    /// Mutually exclusive with `reshape` (the scrubber yields and its
+    /// cursor resets while a reshape is active).
+    pub scrub: Option<ScrubState>,
     /// The declustered layout, in its stable exchange format.
     pub layout: LayoutSpec,
 }
@@ -141,8 +159,31 @@ struct StoreMetaPreReshape {
     layout: LayoutSpec,
 }
 
+/// The pre-scrub document shape (versions 1–3 written before the
+/// integrity layer existed: reshape state but no scrub field), kept
+/// readable so existing arrays reopen unchanged.
+#[derive(Deserialize)]
+struct StoreMetaPreScrub {
+    version: u32,
+    unit_size: usize,
+    copies: usize,
+    spares: usize,
+    scheme: String,
+    parity_slots: Vec<(u32, u32)>,
+    cache_policy: String,
+    reshape: Option<ReshapeState>,
+    layout: LayoutSpec,
+}
+
 /// File name of the metadata document inside an array directory.
 pub const META_FILE: &str = "store.json";
+
+/// File name of the checksum-table sidecar inside an array directory
+/// (see [`crate::ChecksumTable::to_bytes`]). Written on flush and
+/// scrub checkpoints; a missing, stale, or malformed sidecar never
+/// fails an open — the table just starts unset and is re-adopted by
+/// the next scrub pass.
+pub const SUMS_FILE: &str = "checksums.bin";
 
 impl StoreMeta {
     /// Captures the metadata of an XOR store configuration. XOR
@@ -159,6 +200,7 @@ impl StoreMeta {
             parity_slots: Vec::new(),
             cache_policy: CachePolicy::WriteThrough.encode(),
             reshape: None,
+            scrub: None,
             layout: LayoutSpec::from_layout(layout),
         }
     }
@@ -179,6 +221,7 @@ impl StoreMeta {
                 .collect(),
             cache_policy: CachePolicy::WriteThrough.encode(),
             reshape: None,
+            scrub: None,
             layout: LayoutSpec::from_layout(dp.layout()),
         }
     }
@@ -202,17 +245,31 @@ impl StoreMeta {
         serde_json::to_string(self).expect("meta is always serializable")
     }
 
-    /// Parses and validates a JSON document (version 1–3, with or
-    /// without the cache-policy and reshape fields).
+    /// Parses and validates a JSON document (version 1–4, with or
+    /// without the cache-policy, reshape, and scrub fields).
     pub fn from_json(json: &str) -> Result<Self, StoreError> {
         let meta: StoreMeta = match serde_json::from_str(json) {
             Ok(meta) => meta,
             Err(full_err) => {
-                // Not a current-shape document; accept the pre-reshape
-                // shape (cache policy but no reshape field), then the
-                // pre-cache shape (scheme but no cache policy), and
-                // finally the v1 shape (neither).
-                if let Ok(pre) = serde_json::from_str::<StoreMetaPreReshape>(json) {
+                // Not a current-shape document; accept the pre-scrub
+                // shape (reshape state but no scrub field), then the
+                // pre-reshape shape (cache policy but no reshape
+                // field), then the pre-cache shape (scheme but no
+                // cache policy), and finally the v1 shape.
+                if let Ok(pre) = serde_json::from_str::<StoreMetaPreScrub>(json) {
+                    StoreMeta {
+                        version: pre.version,
+                        unit_size: pre.unit_size,
+                        copies: pre.copies,
+                        spares: pre.spares,
+                        scheme: pre.scheme,
+                        parity_slots: pre.parity_slots,
+                        cache_policy: pre.cache_policy,
+                        reshape: pre.reshape,
+                        scrub: None,
+                        layout: pre.layout,
+                    }
+                } else if let Ok(pre) = serde_json::from_str::<StoreMetaPreReshape>(json) {
                     StoreMeta {
                         version: pre.version,
                         unit_size: pre.unit_size,
@@ -222,6 +279,7 @@ impl StoreMeta {
                         parity_slots: pre.parity_slots,
                         cache_policy: pre.cache_policy,
                         reshape: None,
+                        scrub: None,
                         layout: pre.layout,
                     }
                 } else if let Ok(pre) = serde_json::from_str::<StoreMetaPreCache>(json) {
@@ -234,6 +292,7 @@ impl StoreMeta {
                         parity_slots: pre.parity_slots,
                         cache_policy: CachePolicy::WriteThrough.encode(),
                         reshape: None,
+                        scrub: None,
                         layout: pre.layout,
                     }
                 } else {
@@ -254,12 +313,13 @@ impl StoreMeta {
                         parity_slots: Vec::new(),
                         cache_policy: CachePolicy::WriteThrough.encode(),
                         reshape: None,
+                        scrub: None,
                         layout: v1.layout,
                     }
                 }
             }
         };
-        if !(1..=3).contains(&meta.version) {
+        if !(1..=4).contains(&meta.version) {
             return Err(StoreError::Corrupt(format!(
                 "unsupported store meta version {}",
                 meta.version
@@ -282,6 +342,11 @@ impl StoreMeta {
         if (meta.version == 3) != meta.reshape.is_some() {
             return Err(StoreError::Corrupt(
                 "reshape state and version-3 stamp must appear together".into(),
+            ));
+        }
+        if (meta.version == 4) != meta.scrub.is_some() {
+            return Err(StoreError::Corrupt(
+                "scrub state and version-4 stamp must appear together".into(),
             ));
         }
         if let Some(rs) = &meta.reshape {
@@ -365,11 +430,14 @@ fn write_meta_atomic(dir: &Path, meta: &StoreMeta) -> Result<(), StoreError> {
 }
 
 /// Installs a durable metadata writer on a file-backed store so the
-/// reshape engine can checkpoint its progress into `store.json`.
+/// reshape engine and the scrubber can checkpoint their progress into
+/// `store.json`, plus the checksum-sidecar path so flushes persist
+/// the table.
 fn install_persister(store: &mut BlockStore<FileBackend>, dir: &Path) {
-    let dir = dir.to_path_buf();
+    let dir_owned = dir.to_path_buf();
     store.meta_persister =
-        Some(MetaPersister(Box::new(move |meta: &StoreMeta| write_meta_atomic(&dir, meta))));
+        Some(MetaPersister(Box::new(move |meta: &StoreMeta| write_meta_atomic(&dir_owned, meta))));
+    store.sums_path = Some(dir.join(SUMS_FILE));
 }
 
 /// Reopens an array created by [`create_file_store`] or
@@ -411,6 +479,14 @@ pub fn open_file_store(dir: impl AsRef<Path>) -> Result<BlockStore<FileBackend>,
     }?;
     store.set_cache_policy(meta.parsed_cache_policy()?)?;
     install_persister(&mut store, dir);
+    if let Some(sc) = &meta.scrub {
+        store.restore_scrub_state(sc.cursor, sc.passes);
+    }
+    // Best-effort sidecar load: wrong geometry or torn bytes leave
+    // the table unset (every verification skipped until re-adopted).
+    if let Ok(bytes) = std::fs::read(dir.join(SUMS_FILE)) {
+        store.load_checksums(&bytes);
+    }
     Ok(store)
 }
 
@@ -485,6 +561,7 @@ fn redo_commit(dir: &Path, meta: &StoreMeta, rs: &ReshapeState) -> Result<(), St
         parity_slots: rs.target_parity_slots.clone(),
         cache_policy: meta.cache_policy.clone(),
         reshape: None,
+        scrub: None,
         layout: rs.target_layout.clone(),
     };
     write_meta_atomic(dir, &final_meta)?;
@@ -662,6 +739,88 @@ mod tests {
         let mut out = vec![0u8; 64];
         store.read_block(3, &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 0x5c));
+        store.verify_parity().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_state_roundtrips_as_v4() {
+        let rl = RingLayout::for_v_k(5, 3);
+        let mut meta = StoreMeta::new(rl.layout(), 64, 2, 1);
+        meta.version = 4;
+        meta.scrub = Some(ScrubState { cursor: 17, passes: 3 });
+        let back = StoreMeta::from_json(&meta.to_json()).unwrap();
+        assert_eq!(back.scrub, Some(ScrubState { cursor: 17, passes: 3 }));
+        // The version stamp and the scrub state must appear together.
+        let mut bad = meta.clone();
+        bad.version = 1;
+        assert!(StoreMeta::from_json(&bad.to_json()).is_err());
+        let mut bad = meta;
+        bad.scrub = None;
+        assert!(StoreMeta::from_json(&bad.to_json()).is_err());
+    }
+
+    #[test]
+    fn pre_scrub_documents_reopen_with_no_scrub_state() {
+        // The exact shape the previous release wrote: reshape key
+        // present, no scrub key at all.
+        let rl = RingLayout::for_v_k(5, 3);
+        let meta = StoreMeta::new(rl.layout(), 64, 2, 1);
+        let json = meta.to_json();
+        let pre = json.replace(",\"scrub\":null", "");
+        assert_ne!(pre, json, "the scrub key must actually be stripped");
+        let back = StoreMeta::from_json(&pre).unwrap();
+        assert_eq!(back.scrub, None);
+        assert_eq!(back.layout().unwrap().v(), 5);
+    }
+
+    /// A crash can tear `store.json` three ways: a leftover `.tmp`
+    /// from a write that never renamed, a truncated document, or
+    /// garbage bytes. The first must be ignored (the committed
+    /// document governs); the others must reject as corrupt — a
+    /// half-applied open is never acceptable.
+    #[test]
+    fn torn_meta_crash_windows_recover_or_reject() {
+        let dir = std::env::temp_dir().join(format!("pdl-meta-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rl = RingLayout::for_v_k(5, 3);
+        {
+            let store = create_file_store(&dir, rl.layout().clone(), 64, 1, 1).unwrap();
+            store.write_block(3, &[0xabu8; 64]).unwrap();
+            store.flush().unwrap();
+        }
+        let meta_path = dir.join(META_FILE);
+        let good = std::fs::read_to_string(&meta_path).unwrap();
+        let mut out = vec![0u8; 64];
+
+        // Window 1: unrenamed tmp (crash before the atomic rename).
+        std::fs::write(dir.join(format!("{META_FILE}.tmp")), &good[..good.len() / 2]).unwrap();
+        {
+            let store = open_file_store(&dir).unwrap();
+            store.read_block(3, &mut out).unwrap();
+            assert!(out.iter().all(|&b| b == 0xab));
+            store.verify_parity().unwrap();
+        }
+
+        // Window 2: document torn in place (truncated JSON).
+        std::fs::write(&meta_path, &good[..good.len() / 2]).unwrap();
+        assert!(matches!(open_file_store(&dir), Err(StoreError::Corrupt(_))));
+
+        // Window 3: garbage where the document should be. Textual
+        // garbage is Corrupt; raw binary garbage surfaces as the
+        // UTF-8 read error — either way the open rejects.
+        std::fs::write(&meta_path, b"garbage, not json at all").unwrap();
+        assert!(matches!(open_file_store(&dir), Err(StoreError::Corrupt(_))));
+        std::fs::write(&meta_path, b"\x00\xff\x00\xfe\x00").unwrap();
+        assert!(open_file_store(&dir).is_err());
+
+        // Restoring the committed document restores the array; a torn
+        // checksum sidecar is best-effort and must not block the open.
+        std::fs::write(&meta_path, &good).unwrap();
+        std::fs::write(dir.join(SUMS_FILE), b"torn sidecar").unwrap();
+        let store = open_file_store(&dir).unwrap();
+        store.read_block(3, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0xab));
         store.verify_parity().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -63,11 +63,16 @@ pub enum OpKind {
     CacheFlush,
     /// A reshape migration batch copied into the target world.
     ReshapeCopy,
+    /// Surviving-unit reads issued by a scrub pass or a read-repair
+    /// decode (the integrity layer's read traffic).
+    ScrubRead,
+    /// Units rewritten in place by read-repair or the scrubber.
+    RepairWrite,
 }
 
 impl OpKind {
     /// Number of distinct kinds (the registry's table width).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
     /// Every kind, in registry order.
     pub const ALL: [OpKind; Self::COUNT] = [
@@ -79,6 +84,8 @@ impl OpKind {
         OpKind::SpareWrite,
         OpKind::CacheFlush,
         OpKind::ReshapeCopy,
+        OpKind::ScrubRead,
+        OpKind::RepairWrite,
     ];
 
     fn idx(self) -> usize {
@@ -96,6 +103,8 @@ impl OpKind {
             OpKind::SpareWrite => "spare_write",
             OpKind::CacheFlush => "cache_flush",
             OpKind::ReshapeCopy => "reshape_copy",
+            OpKind::ScrubRead => "scrub_read",
+            OpKind::RepairWrite => "repair_write",
         }
     }
 }
@@ -681,6 +690,36 @@ pub enum Event {
         /// The store epoch after the world swap.
         epoch: u64,
     },
+    /// A unit failed its checksum and was rewritten from surviving
+    /// parity (read-repair or scrub repair).
+    ChecksumRepair {
+        /// Physical disk holding the repaired unit.
+        disk: u32,
+        /// Unit offset within the disk.
+        offset: u64,
+    },
+    /// The health monitor crossed its threshold and auto-failed a
+    /// disk, handing it to the rebuild machinery.
+    DiskAutoFailed {
+        /// The auto-failed logical disk.
+        disk: u32,
+        /// The `errors + repairs` score that crossed the threshold.
+        score: u64,
+    },
+    /// A scrub pass started (or resumed from a persisted cursor).
+    ScrubStarted {
+        /// Stripe cursor the pass starts from (0 for a fresh pass).
+        cursor: u64,
+    },
+    /// A scrub pass finished walking every stripe.
+    ScrubCompleted {
+        /// Stripes the pass verified.
+        stripes: u64,
+        /// Units rewritten because their checksum mismatched.
+        checksum_repairs: u64,
+        /// Parity units recomputed from verified data.
+        parity_repairs: u64,
+    },
 }
 
 /// Receives structured store events. Implementations must be cheap
@@ -1080,6 +1119,9 @@ pub struct StatsSnapshot {
     pub rebuild: Option<RebuildProgress>,
     /// Live progress of a registered reshape, if one is running.
     pub reshape: Option<ReshapeProgressSnapshot>,
+    /// Integrity-subsystem totals: repairs, retries, scrub state, and
+    /// per-disk health.
+    pub integrity: crate::integrity::IntegrityStatsSnapshot,
 }
 
 /// Live progress of a running reshape in a [`StatsSnapshot`].
@@ -1208,6 +1250,31 @@ pub fn render_stats(s: &StatsSnapshot) -> String {
             out,
             "reshape: {} -> v={}, {}/{} target stripes, {} units copied, {} ms elapsed",
             r.kind, r.to_v, r.stripes_done, r.stripes_total, r.units_copied, r.elapsed_ms
+        );
+    }
+    let ig = &s.integrity;
+    let _ = writeln!(
+        out,
+        "integrity: {} checksum repair(s), {} parity repair(s), {} transient retr(ies), \
+         {} scrub pass(es), cursor {}",
+        ig.checksum_repairs,
+        ig.parity_repairs,
+        ig.transient_retries,
+        ig.scrub_passes,
+        ig.scrub_cursor
+    );
+    for d in &ig.disk_health {
+        if d.errors == 0 && d.repairs == 0 && d.retries == 0 && !d.auto_failed {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  health d{:<2} {:>4} err / {:>4} rep / {:>4} retry{}",
+            d.disk,
+            d.errors,
+            d.repairs,
+            d.retries,
+            if d.auto_failed { "  AUTO-FAILED" } else { "" }
         );
     }
     out
@@ -1364,6 +1431,20 @@ mod tests {
                 units_copied: 144,
                 elapsed_ms: 11,
             }),
+            integrity: crate::integrity::IntegrityStatsSnapshot {
+                checksum_repairs: 2,
+                parity_repairs: 1,
+                transient_retries: 4,
+                scrub_passes: 1,
+                scrub_cursor: 5,
+                disk_health: vec![crate::integrity::DiskHealthSnapshot {
+                    disk: 3,
+                    errors: 1,
+                    repairs: 2,
+                    retries: 4,
+                    auto_failed: true,
+                }],
+            },
         };
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
@@ -1373,11 +1454,15 @@ mod tests {
         assert_eq!(back.degraded.one.ops, 12);
         assert_eq!(back.rebuild.as_ref().unwrap().per_disk_reads, vec![3, 0, 3]);
         assert_eq!(back.reshape.as_ref().unwrap().stripes_done, 36);
+        assert_eq!(back.integrity.checksum_repairs, 2);
+        assert!(back.integrity.disk_health[0].auto_failed);
         // The text renderer covers every section without panicking.
         let text = render_stats(&back);
         assert!(text.contains("degraded:"));
         assert!(text.contains("rebuild: disk 1"));
         assert!(text.contains("reshape: add -> v=9"));
+        assert!(text.contains("integrity: 2 checksum repair(s)"));
+        assert!(text.contains("AUTO-FAILED"));
     }
 
     #[test]

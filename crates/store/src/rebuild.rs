@@ -234,7 +234,14 @@ impl Rebuilder {
                     let mut cache = UnitCache::new();
                     loop {
                         let at = next.fetch_add(self.chunk, Ordering::Relaxed);
-                        if at >= units || first_error.lock().unwrap().is_some() {
+                        // Poison-proof locking throughout: a panicking
+                        // sibling worker poisons the mutex, and dying
+                        // on `PoisonError` here would replace the
+                        // original panic (which names the seed in
+                        // stress runs) with a useless one.
+                        if at >= units
+                            || first_error.lock().unwrap_or_else(|e| e.into_inner()).is_some()
+                        {
                             return;
                         }
                         let end = (at + self.chunk).min(units);
@@ -242,14 +249,14 @@ impl Rebuilder {
                         let res =
                             shared.rebuild_chunk(failed, spare, at, out, &mut scratch, &mut cache);
                         if let Err(e) = res {
-                            first_error.lock().unwrap().get_or_insert(e);
+                            first_error.lock().unwrap_or_else(|e| e.into_inner()).get_or_insert(e);
                             return;
                         }
                     }
                 });
             }
         });
-        if let Some(e) = first_error.into_inner().unwrap() {
+        if let Some(e) = first_error.into_inner().unwrap_or_else(|e| e.into_inner()) {
             store.abort_rebuild();
             return Err(e);
         }

@@ -102,6 +102,31 @@ impl ReshapeKind {
     }
 }
 
+/// How many layout copies the target world of a reshape gets.
+///
+/// The copy count is the capacity knob: the target address space is
+/// `copies × data_units_per_copy(target)`. `Auto` reproduces the
+/// historical behavior; the other policies let an add-disks reshape
+/// *grow into* the new spindles instead of merely spreading the same
+/// bytes thinner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CopiesPolicy {
+    /// Add keeps the source copy count (capacity grows only by the
+    /// wider layout); remove grows copies just enough to preserve
+    /// capacity (`ceil(cap_src / dpc_tgt)`).
+    #[default]
+    Auto,
+    /// Scale the copy count so per-disk usage stays roughly constant:
+    /// `copies_tgt = max(auto, ceil(copies_src × size_src /
+    /// size_tgt))`. Growing 9→10 disks with this policy climbs the
+    /// capacity stairway instead of shrinking each disk's share.
+    PreservePerDiskUsage,
+    /// Exactly this many copies. Rejected with
+    /// [`StoreError::Geometry`] if the target address space would not
+    /// cover the source capacity (or `n` is zero).
+    Exact(usize),
+}
+
 /// Tuning and test knobs for a reshape.
 #[derive(Clone, Debug, Default)]
 pub struct ReshapeOptions {
@@ -112,6 +137,9 @@ pub struct ReshapeOptions {
     /// Persist a migration checkpoint every this many batches
     /// (file-backed stores only). `0` means every batch.
     pub checkpoint_every: usize,
+    /// Target-world copy count policy (capacity of the reshaped
+    /// array). See [`CopiesPolicy`].
+    pub target_copies: CopiesPolicy,
     /// Test hook: fail the commit with [`StoreError::Corrupt`] after
     /// this many slide chunks have been written (and watermarked).
     /// The store must then be retried ([`BlockStore::complete_reshape`]
@@ -381,13 +409,33 @@ impl<B: Backend> BlockStore<B> {
         let cap_src = self.capacity.load(Ordering::Acquire);
         let parity_per = self.scheme.parity_per_stripe();
         let dpc_tgt: usize = tgt_layout.stripes().iter().map(|s| s.len() - parity_per).sum();
-        let copies_tgt = match kind {
+        let auto_copies = match kind {
             ReshapeKind::Add => st.world.copies,
             ReshapeKind::Remove => cap_src.div_ceil(dpc_tgt),
         };
+        let copies_tgt = match opts.target_copies {
+            CopiesPolicy::Auto => auto_copies,
+            CopiesPolicy::PreservePerDiskUsage => {
+                let src_units = st.world.copies * st.world.layout.size();
+                auto_copies.max(src_units.div_ceil(tgt_layout.size())).max(1)
+            }
+            CopiesPolicy::Exact(n) => {
+                if n == 0 || n * dpc_tgt < cap_src {
+                    return Err(StoreError::Geometry(format!(
+                        "target copy count {n} covers {} blocks; source capacity is {cap_src}",
+                        n * dpc_tgt
+                    )));
+                }
+                n
+            }
+        };
         let capacity_after = match kind {
             ReshapeKind::Add => copies_tgt * dpc_tgt,
-            ReshapeKind::Remove => cap_src,
+            ReshapeKind::Remove => cap_src.max(
+                // A policy that grew the copy count past Auto's
+                // minimum exposes the extra room it paid for.
+                if copies_tgt > auto_copies { copies_tgt * dpc_tgt } else { cap_src },
+            ),
         };
         let scratch_base = self.backend.units_per_disk();
         let u_tgt = copies_tgt * tgt_layout.size();
@@ -460,6 +508,10 @@ impl<B: Backend> BlockStore<B> {
         }
         st.reshape = Some(rs);
         st.epoch += 1;
+        // Stripe indices change meaning across worlds: any in-flight
+        // scrub pass restarts from zero (it also yields while the
+        // reshape is active — see `scrub`).
+        self.scrub_cursor.store(0, Ordering::Release);
         let epoch = st.epoch;
         self.events.emit(|| Event::ReshapeBegan {
             from_v: from_v as u32,
@@ -487,6 +539,7 @@ impl<B: Backend> BlockStore<B> {
             cache_policy: self.cache.policy().encode(),
             layout: LayoutSpec::from_layout(&w.layout),
             reshape: Some(state),
+            scrub: None,
         }
     }
 
@@ -507,6 +560,7 @@ impl<B: Backend> BlockStore<B> {
             cache_policy: self.cache.policy().encode(),
             layout: LayoutSpec::from_layout(&tw.layout),
             reshape: None,
+            scrub: None,
         }
     }
 
@@ -615,7 +669,7 @@ impl<B: Backend> BlockStore<B> {
                 ucache.push_want(st.redirect[u.disk as usize] as u32, u.offset + shift);
             }
         }
-        ucache.fill(&self.backend, us)?;
+        ucache.fill(&self.backend, us, &self.integrity)?;
         // Assemble the batch's source bytes in address order:
         // healthy units from the band read, lost units decoded once
         // per stripe, addresses past the source capacity left zero.
@@ -637,7 +691,7 @@ impl<B: Backend> BlockStore<B> {
                             &st,
                             m.stripe,
                             shift,
-                            None,
+                            &[],
                             &mut scratch,
                             |u, buf| {
                                 ucache.copy_to(st.redirect[u.disk as usize] as u32, u.offset, buf)
@@ -935,6 +989,19 @@ impl<B: Backend> BlockStore<B> {
         st.reshape = None;
         st.epoch += 1;
         self.capacity.store(rs.capacity_after, Ordering::Release);
+        // The slide moved target-world bytes into rows whose recorded
+        // checksums (if any) describe *source*-world units: sliding
+        // the sums down would still leave every untouched tail row
+        // stale. Drop the whole table instead — unset sums are
+        // re-adopted by the next scrub pass (or re-recorded by
+        // writes), which trades one pass of verification for zero
+        // false mismatches. The scrub cursor restarts with the new
+        // stripe numbering.
+        self.integrity.sums.resize_units(u_tgt);
+        for d in 0..self.backend.disks() {
+            self.integrity.sums.clear_disk(d);
+        }
+        self.scrub_cursor.store(0, Ordering::Release);
         let epoch = st.epoch;
         let to_v = tw.layout.v();
         self.events.emit(|| Event::ReshapeCompleted { to_v: to_v as u32, epoch });
@@ -1128,6 +1195,57 @@ mod tests {
             assert_eq!(buf, want, "block {addr} after remove");
         }
         store.verify_parity().unwrap();
+    }
+
+    #[test]
+    fn add_disk_copies_policy_stairway() {
+        use crate::reshape::{CopiesPolicy, ReshapeOptions};
+        // The 9→10 stairway: growing a 9-disk array by one disk under
+        // `Auto` keeps the copy count (capacity steps up only by the
+        // wider layout); `Exact(2)` climbs a full copy step. Either
+        // way every pre-reshape block must survive bit-exact.
+        let store = filled_store(9, 4, 1, 1);
+        let before = store.blocks();
+        assert!(
+            store
+                .begin_add_disks_with(
+                    &[9],
+                    &ReshapeOptions { target_copies: CopiesPolicy::Exact(0), ..Default::default() }
+                )
+                .is_err(),
+            "zero copies cannot cover the source capacity"
+        );
+        let opts = ReshapeOptions { target_copies: CopiesPolicy::Exact(2), ..Default::default() };
+        store.begin_add_disks_with(&[9], &opts).unwrap();
+        let report = store.finish_reshape().unwrap();
+        assert_eq!((report.from_v, report.to_v), (9, 10));
+        assert!(
+            report.capacity_after >= 2 * before,
+            "two copies at v=10 at least double a one-copy v=9 array \
+             ({} -> {})",
+            before,
+            report.capacity_after
+        );
+        let (mut buf, mut want) = (vec![0u8; 64], vec![0u8; 64]);
+        for addr in 0..before {
+            fill_pattern(addr, 7, &mut want);
+            store.read_block(addr, &mut buf).unwrap();
+            assert_eq!(buf, want, "block {addr} after stairway add");
+        }
+        store.verify_parity().unwrap();
+
+        // PreservePerDiskUsage never yields less capacity than Auto.
+        let auto = filled_store(9, 4, 1, 2);
+        let auto_cap = auto.add_disks(&[9]).unwrap().capacity_after;
+        let keep = filled_store(9, 4, 1, 2);
+        let keep_opts = ReshapeOptions {
+            target_copies: CopiesPolicy::PreservePerDiskUsage,
+            ..Default::default()
+        };
+        keep.begin_add_disks_with(&[9], &keep_opts).unwrap();
+        let keep_cap = keep.finish_reshape().unwrap().capacity_after;
+        assert!(keep_cap >= auto_cap, "preserve ({keep_cap}) >= auto ({auto_cap})");
+        keep.verify_parity().unwrap();
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Background scrubbing: a rate-limited walk over every stripe that
+//! verifies unit checksums *and* parity consistency, repairing what
+//! it finds via erasure decode (see
+//! [`BlockStore::repair_stripe_locked`]'s read-repair machinery).
+//!
+//! Latent sector errors are the quiet failure mode of disk arrays:
+//! a corrupt unit that nobody reads stays corrupt until the disk
+//! holding a *different* unit of its stripe fails — at which point
+//! the rebuild decodes from the corrupt survivor and the damage
+//! becomes permanent. A periodic scrub converts latent errors into
+//! repaired ones while full redundancy still exists, which is why
+//! the declustered layouts this crate reproduces (Schwabe & Sutherland,
+//! SPAA '94) assume one runs.
+//!
+//! Design points:
+//!
+//! - **One scrub at a time.** A compare-and-swap on
+//!   `BlockStore::scrub_active` admits a single pass, foreground
+//!   ([`BlockStore::scrub`]) or background ([`BlockStore::start_scrub`]);
+//!   a second caller gets [`StoreError::ScrubInProgress`].
+//! - **Races live traffic safely.** Each stripe is verified under its
+//!   exclusive stripe shard lock — the same lock writers take — so a
+//!   scrub never sees a half-written stripe. Between stripes the
+//!   scrubber holds only the shared array-state guard, so reads and
+//!   writes proceed concurrently; an optional per-batch sleep bounds
+//!   the bandwidth it steals.
+//! - **Yields to reshape.** Stripe indices change meaning across
+//!   worlds, so a reshape resets the scrub cursor and the scrubber
+//!   sleeps (background) or bails with
+//!   [`StoreError::ReshapeInProgress`] (foreground) while one is
+//!   active. Checkpoints are written while holding the shared state
+//!   guard, so a scrub checkpoint can never overwrite a reshape's
+//!   version-3 metadata.
+//! - **Crash-resumable.** Every `checkpoint_stripes` stripes the
+//!   cursor is persisted into [`StoreMeta`] (schema v4) together with
+//!   the checksum sidecar; [`crate::meta::open_file_store`] restores
+//!   both, and the next pass resumes where the crashed one stopped.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pdl_core::LayoutSpec;
+
+use crate::backend::Backend;
+use crate::error::StoreError;
+use crate::meta::{ScrubState, StoreMeta};
+use crate::obs::{Event, OpKind};
+use crate::scheme::ParityScheme;
+use crate::store::{ArrayState, BlockStore};
+
+/// Tuning for a scrub pass.
+#[derive(Clone, Debug)]
+pub struct ScrubConfig {
+    /// Stripes verified per batch (between rate-limit sleeps and
+    /// stop-flag checks). Each stripe is locked individually, so this
+    /// bounds bookkeeping, not lock hold time.
+    pub stripes_per_step: usize,
+    /// Microseconds slept between batches — the rate limit. `0`
+    /// scrubs flat out.
+    pub sleep_us: u64,
+    /// Stripes between durable cursor checkpoints (metadata v4 plus
+    /// the checksum sidecar). `0` checkpoints only at pass end.
+    /// Ignored for memory-backed stores (no persister installed).
+    pub checkpoint_stripes: u64,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig { stripes_per_step: 64, sleep_us: 0, checkpoint_stripes: 512 }
+    }
+}
+
+/// What a completed (or stopped) scrub pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Global stripe cursor the pass started from (`0` for a fresh
+    /// pass, non-zero when resuming after a crash or stop).
+    pub resumed_from: u64,
+    /// Stripes verified by this pass.
+    pub stripes: u64,
+    /// Units rewritten because their bytes failed the recorded
+    /// checksum (latent corruption repaired by erasure decode).
+    pub checksum_repairs: u64,
+    /// Parity units recomputed because the parity equations did not
+    /// hold over verified data.
+    pub parity_repairs: u64,
+    /// Whether the pass walked every stripe (`false` when stopped
+    /// early via [`ScrubHandle::stop`]).
+    pub completed: bool,
+}
+
+/// Handle to a background scrub started by [`BlockStore::start_scrub`].
+#[derive(Debug)]
+pub struct ScrubHandle {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<Result<ScrubReport, StoreError>>,
+}
+
+impl ScrubHandle {
+    /// Asks the scrubber to stop at the next batch boundary. The
+    /// cursor is checkpointed, so a later pass resumes from it.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Waits for the scrubber to finish and returns its report. A
+    /// panicked scrubber thread propagates the panic.
+    pub fn join(self) -> Result<ScrubReport, StoreError> {
+        match self.thread.join() {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    /// Whether the scrubber thread has exited (the `join` will not
+    /// block).
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+}
+
+/// Clears `scrub_active` however the pass ends (success, error, or
+/// panic), so a failed scrub never wedges the store.
+struct ActiveGuard<'a>(&'a AtomicBool);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+impl<B: Backend> BlockStore<B> {
+    /// Runs one full scrub pass on the calling thread: every stripe
+    /// of every layout copy is read, checksum-verified, checked for
+    /// parity consistency, and repaired in place where possible (see
+    /// the module docs). Resumes from a persisted cursor if the
+    /// previous pass crashed. Errors with
+    /// [`StoreError::ScrubInProgress`] if another pass is running and
+    /// [`StoreError::ReshapeInProgress`] if a reshape is active.
+    pub fn scrub(&self, cfg: &ScrubConfig) -> Result<ScrubReport, StoreError> {
+        if self
+            .scrub_active
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(StoreError::ScrubInProgress);
+        }
+        let _active = ActiveGuard(&self.scrub_active);
+        self.scrub_pass(cfg, None)
+    }
+
+    /// Starts a scrub pass on a background thread and returns a
+    /// handle to stop or join it. The thread holds only a [`Weak`]
+    /// store reference, so dropping every strong `Arc` ends the pass
+    /// instead of leaking the store.
+    pub fn start_scrub(self: &Arc<Self>, cfg: ScrubConfig) -> Result<ScrubHandle, StoreError>
+    where
+        B: 'static,
+    {
+        if self
+            .scrub_active
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(StoreError::ScrubInProgress);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let weak: Weak<Self> = Arc::downgrade(self);
+        let stop_t = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("pdl-scrub".into())
+            .spawn(move || {
+                let Some(store) = weak.upgrade() else {
+                    return Ok(ScrubReport::default());
+                };
+                let _active = ActiveGuard(&store.scrub_active);
+                store.scrub_pass(&cfg, Some(&stop_t))
+            })
+            .expect("spawn scrub thread");
+        Ok(ScrubHandle { stop, thread })
+    }
+
+    /// The scrub pass body. `stop` is `Some` for background passes
+    /// (checked at batch boundaries) and `None` for foreground ones.
+    /// The caller owns `scrub_active`.
+    fn scrub_pass(
+        &self,
+        cfg: &ScrubConfig,
+        stop: Option<&AtomicBool>,
+    ) -> Result<ScrubReport, StoreError> {
+        let step = cfg.stripes_per_step.max(1) as u64;
+        let mut report = ScrubReport {
+            resumed_from: self.scrub_cursor.load(Ordering::Acquire),
+            ..ScrubReport::default()
+        };
+        self.events.emit(|| Event::ScrubStarted { cursor: report.resumed_from });
+        let mut since_ckpt = 0u64;
+        loop {
+            if let Some(s) = stop {
+                if s.load(Ordering::Acquire) {
+                    let st = self.state_read();
+                    if st.reshape.is_none() {
+                        self.checkpoint_scrub(&st)?;
+                    }
+                    return Ok(report);
+                }
+            }
+            let st = self.state_read();
+            if st.reshape.is_some() {
+                // The cursor was reset when the reshape began; stripe
+                // indices mean nothing until it commits or aborts.
+                drop(st);
+                match stop {
+                    None => return Err(StoreError::ReshapeInProgress),
+                    Some(_) => {
+                        std::thread::sleep(Duration::from_millis(2));
+                        continue;
+                    }
+                }
+            }
+            // Holding the shared state guard blocks a reshape from
+            // *beginning* (it takes the write guard), so the batch
+            // below and its checkpoint see a stable world.
+            let spc = st.world.layout.stripes().len() as u64;
+            let total = st.world.copies as u64 * spc;
+            let cur = self.scrub_cursor.load(Ordering::Acquire);
+            if cur >= total {
+                // Pass complete: bump the pass counter, rewind the
+                // cursor, and make both durable with the sums.
+                self.integrity.scrub_passes.fetch_add(1, Ordering::AcqRel);
+                self.scrub_cursor.store(0, Ordering::Release);
+                self.checkpoint_scrub(&st)?;
+                report.completed = true;
+                drop(st);
+                let (s, c, p) = (report.stripes, report.checksum_repairs, report.parity_repairs);
+                self.events.emit(|| Event::ScrubCompleted {
+                    stripes: s,
+                    checksum_repairs: c,
+                    parity_repairs: p,
+                });
+                if self.integrity.health.has_pending() {
+                    self.apply_pending_health();
+                }
+                return Ok(report);
+            }
+            let end = (cur + step).min(total);
+            for t in cur..end {
+                let (copy, si) = ((t / spc) as usize, (t % spc) as usize);
+                let shard = self.locks.shard_of(copy, si);
+                let t0 = Instant::now();
+                let (c, p) = {
+                    let (_g, _) = self.locks.lock_one_counting(shard);
+                    self.repair_stripe_locked(&st, copy, si)?
+                };
+                self.metrics.record_op(
+                    OpKind::ScrubRead,
+                    st.world.layout.stripes()[si].len() as u64,
+                    t0.elapsed().as_nanos() as u64,
+                );
+                report.checksum_repairs += u64::from(c);
+                report.parity_repairs += u64::from(p);
+            }
+            self.scrub_cursor.store(end, Ordering::Release);
+            report.stripes += end - cur;
+            since_ckpt += end - cur;
+            if cfg.checkpoint_stripes > 0 && since_ckpt >= cfg.checkpoint_stripes {
+                self.checkpoint_scrub(&st)?;
+                since_ckpt = 0;
+            }
+            drop(st);
+            if self.integrity.health.has_pending() {
+                self.apply_pending_health();
+            }
+            if cfg.sleep_us > 0 {
+                std::thread::sleep(Duration::from_micros(cfg.sleep_us));
+            }
+        }
+    }
+
+    /// Durably records the scrub position: writes a version-4
+    /// [`StoreMeta`] carrying [`ScrubState`] (or the base document
+    /// when there is nothing to resume) plus the checksum sidecar.
+    /// No-op for memory-backed stores. Must be called with the array
+    /// state guard held and no reshape active, so it cannot clobber a
+    /// reshape's version-3 metadata.
+    fn checkpoint_scrub(&self, st: &ArrayState) -> Result<(), StoreError> {
+        debug_assert!(st.reshape.is_none());
+        let Some(p) = &self.meta_persister else {
+            return Ok(());
+        };
+        p.0(&self.scrub_meta(st))?;
+        self.persist_sums()
+    }
+
+    /// The store's metadata document carrying the current scrub
+    /// cursor and pass count (format version 4), or the plain
+    /// version-1/2 document when both are zero.
+    fn scrub_meta(&self, st: &ArrayState) -> StoreMeta {
+        let cursor = self.scrub_cursor.load(Ordering::Acquire);
+        let passes = self.integrity.scrub_passes.load(Ordering::Acquire);
+        let scrub = (cursor != 0 || passes != 0).then_some(ScrubState { cursor, passes });
+        let w = &st.world;
+        StoreMeta {
+            version: match (&scrub, self.scheme) {
+                (Some(_), _) => 4,
+                (None, ParityScheme::PQ) => 2,
+                (None, _) => 1,
+            },
+            unit_size: self.unit_size,
+            copies: w.copies,
+            spares: self.backend.disks() - w.layout.v(),
+            scheme: self.scheme.name().to_string(),
+            parity_slots: w
+                .pq_slots
+                .as_ref()
+                .map(|s| s.iter().map(|&(p, q)| (p as u32, q as u32)).collect())
+                .unwrap_or_default(),
+            cache_policy: self.cache.policy().encode(),
+            layout: LayoutSpec::from_layout(&w.layout),
+            reshape: None,
+            scrub,
+        }
+    }
+}

@@ -114,6 +114,7 @@
 use crate::backend::Backend;
 use crate::cache::{key_parts, stripe_key, CachePolicy, FlushSnapshot, StripeCache};
 use crate::error::StoreError;
+use crate::integrity::{Integrity, RetryPolicy};
 use crate::meta::StoreMeta;
 use crate::obs::{
     DiskStatSnapshot, Event, EventHub, EventSink, Metrics, OpKind, RebuildProgress, RebuildTracker,
@@ -125,7 +126,7 @@ use pdl_algebra::gf256::{self, xor_slice};
 use pdl_core::{DoubleParityLayout, Layout, StripeUnit};
 use pdl_sim::{Trace, TraceOp};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
@@ -445,11 +446,13 @@ impl UnitCache {
         self.wants.push((disk, offset));
     }
 
-    /// Sorts the want-list and reads it in per-disk coalesced runs.
+    /// Sorts the want-list and reads it in per-disk coalesced runs,
+    /// with transient-fault retry per run.
     pub(crate) fn fill<B: Backend>(
         &mut self,
         backend: &B,
         unit_size: usize,
+        integrity: &crate::integrity::Integrity,
     ) -> Result<(), StoreError> {
         self.unit_size = unit_size;
         self.wants.sort_unstable();
@@ -458,21 +461,26 @@ impl UnitCache {
             "stripes never share units, so the want-list has no duplicates"
         );
         self.data.resize(self.wants.len() * unit_size, 0);
+        let (wants, data) = (&self.wants, &mut self.data);
         let mut i = 0;
-        while i < self.wants.len() {
-            let (disk, offset) = self.wants[i];
+        while i < wants.len() {
+            let (disk, offset) = wants[i];
             let mut j = i + 1;
-            while j < self.wants.len() && self.wants[j] == (disk, offset + (j - i) as u32) {
+            while j < wants.len() && wants[j] == (disk, offset + (j - i) as u32) {
                 j += 1;
             }
-            backend.read_units(
-                disk as usize,
-                offset as usize,
-                &mut self.data[i * unit_size..j * unit_size],
-            )?;
+            let span = &mut data[i * unit_size..j * unit_size];
+            integrity.retrying(disk as usize, || {
+                backend.read_units(disk as usize, offset as usize, &mut *span)
+            })?;
             i = j;
         }
         Ok(())
+    }
+
+    /// The `i`-th cached unit's bytes (index-aligned with `wants`).
+    pub(crate) fn unit(&self, i: usize) -> &[u8] {
+        &self.data[i * self.unit_size..(i + 1) * self.unit_size]
     }
 
     /// Copies the cached unit `(disk, offset)` into `out`.
@@ -550,6 +558,25 @@ pub struct BlockStore<B> {
     /// the final committed geometry through this hook. `None` for
     /// memory-backed stores (nothing survives the process anyway).
     pub(crate) meta_persister: Option<MetaPersister>,
+    /// End-to-end integrity state: the per-physical-unit checksum
+    /// table, the transient-retry policy, the per-disk health
+    /// monitor, and the global repair counters (see
+    /// [`crate::integrity`]).
+    pub(crate) integrity: Integrity,
+    /// The scrub position: stripes (global index across layout
+    /// copies) already verified in the current pass, `0` when no pass
+    /// is mid-flight. Checkpointed into [`StoreMeta`] (schema v4) by
+    /// the scrubber so a crashed pass resumes where it stopped; reset
+    /// by a reshape commit (the geometry it indexed is gone).
+    pub(crate) scrub_cursor: AtomicU64,
+    /// One scrub at a time (foreground or background) — see
+    /// [`crate::scrub`].
+    pub(crate) scrub_active: AtomicBool,
+    /// Where the checksum-table sidecar lives for file-backed stores
+    /// (`None` for memory stores). `flush` and scrub checkpoints
+    /// rewrite it atomically so a reopened store verifies against the
+    /// sums it last made durable.
+    pub(crate) sums_path: Option<std::path::PathBuf>,
 }
 
 /// Signature of a metadata-persistence hook: atomically durably write
@@ -680,6 +707,7 @@ impl<B: Backend> BlockStore<B> {
         };
         let world = Arc::new(World::new(Arc::new(layout), pq_slots, copies));
         let capacity = copies * world.smap.data_units_per_copy();
+        let integrity = Integrity::new(backend.disks(), per_disk);
         Ok(BlockStore {
             scheme,
             backend,
@@ -700,6 +728,10 @@ impl<B: Backend> BlockStore<B> {
             events: EventHub::default(),
             rb_tracker: RebuildTracker::default(),
             meta_persister: None,
+            integrity,
+            scrub_cursor: AtomicU64::new(0),
+            scrub_active: AtomicBool::new(false),
+            sums_path: None,
         })
     }
 
@@ -1038,6 +1070,71 @@ impl<B: Backend> BlockStore<B> {
         self.events.set(sink);
     }
 
+    /// Enables or disables checksum verification (on by default).
+    /// Off, reads skip hashing and writes skip recording — the
+    /// integrity-overhead control the benches measure against.
+    pub fn set_checksums_enabled(&self, on: bool) {
+        self.integrity.verify.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether per-unit checksums are verified on read and recorded
+    /// on write.
+    pub fn checksums_enabled(&self) -> bool {
+        self.integrity.verifying()
+    }
+
+    /// Sets the disk-health auto-fail threshold: a physical disk
+    /// whose `hard errors + checksum repairs` score reaches `n` is
+    /// queued and auto-failed at the next operation epilogue, handing
+    /// it to the ordinary rebuild machinery. `0` (the default)
+    /// disables the policy.
+    pub fn set_health_threshold(&self, n: u64) {
+        self.integrity.health.set_threshold(n);
+    }
+
+    /// Installs the transient-error retry policy applied around every
+    /// backend call the store issues.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.integrity.max_retries.store(policy.max_retries, Ordering::Relaxed);
+        self.integrity.backoff_us.store(policy.backoff_us, Ordering::Relaxed);
+    }
+
+    /// The installed [`RetryPolicy`].
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.integrity.retry_policy()
+    }
+
+    /// Applies queued auto-fail decisions from the health monitor.
+    /// Runs at operation epilogues **after every guard is dropped**:
+    /// the counters that queued the disk were bumped under the shared
+    /// state guard, while `fail_disk` needs it exclusively — calling
+    /// this with any state guard held would self-deadlock.
+    pub(crate) fn apply_pending_health(&self) {
+        for pd in self.integrity.health.take_pending() {
+            // Map the physical disk back to its logical slot; a disk
+            // no longer mapped (already swapped out for a spare) has
+            // nothing left to fail.
+            let logical = {
+                let st = self.state_read();
+                st.redirect.iter().position(|&p| p == pd)
+            };
+            let Some(d) = logical else { continue };
+            match self.fail_disk(d) {
+                Ok(()) => {
+                    self.integrity.health.note_auto_failed(pd);
+                    let score = self.integrity.health.score(pd);
+                    self.events.emit(|| Event::DiskAutoFailed { disk: pd as u32, score });
+                }
+                // Someone (or an earlier epilogue) beat us to it.
+                Err(StoreError::AlreadyFailed(_)) => {}
+                // Cannot fail it *now* (reshape running, failure
+                // budget exhausted, flush error): keep it queued and
+                // retry at a later epilogue.
+                Err(_) => self.integrity.health.requeue(pd),
+            }
+        }
+    }
+
     /// Live progress of the registered rebuild — units done/total,
     /// ETA from the moving rate, and the per-surviving-disk read
     /// distribution (so the paper's `(k−1)/(v−1)` claim is observable
@@ -1075,6 +1172,8 @@ impl<B: Backend> BlockStore<B> {
         drop(st);
         let mut cache = self.cache.stats_snapshot();
         cache.bypassed_writes = self.metrics.bypassed_writes();
+        let mut integrity = self.integrity.snapshot();
+        integrity.scrub_cursor = self.scrub_cursor.load(Ordering::Relaxed);
         StatsSnapshot {
             ops,
             disks,
@@ -1084,6 +1183,7 @@ impl<B: Backend> BlockStore<B> {
             epoch,
             rebuild: self.rebuild_progress(),
             reshape,
+            integrity,
         }
     }
 
@@ -1095,7 +1195,39 @@ impl<B: Backend> BlockStore<B> {
             let st = self.state_read();
             self.flush_cache_locked(&st)?;
         }
-        self.backend.flush()
+        self.backend.flush()?;
+        self.persist_sums()
+    }
+
+    /// Restores the scrub position saved in a version-4 [`StoreMeta`]
+    /// so the next scrub pass resumes where the crashed one stopped.
+    pub(crate) fn restore_scrub_state(&mut self, cursor: u64, passes: u64) {
+        self.scrub_cursor.store(cursor, Ordering::Release);
+        self.integrity.scrub_passes.store(passes, Ordering::Release);
+    }
+
+    /// Seeds the checksum table from a serialized sidecar (see
+    /// [`crate::meta::SUMS_FILE`]). Malformed or geometry-mismatched
+    /// bytes are ignored — the table simply stays unset and fills
+    /// back in as units are written.
+    pub(crate) fn load_checksums(&self, bytes: &[u8]) {
+        self.integrity.sums.load_bytes(bytes);
+    }
+
+    /// Atomically rewrites the checksum-table sidecar (tmp + rename),
+    /// when one is configured and verification is on. Called from
+    /// [`BlockStore::flush`] and from scrub checkpoints.
+    pub(crate) fn persist_sums(&self) -> Result<(), StoreError> {
+        let Some(path) = &self.sums_path else {
+            return Ok(());
+        };
+        if !self.integrity.verifying() {
+            return Ok(());
+        }
+        let tmp = path.with_extension("bin.tmp");
+        std::fs::write(&tmp, self.integrity.sums.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
     }
 
     /// The installed [`CachePolicy`].
@@ -1269,7 +1401,17 @@ impl<B: Backend> BlockStore<B> {
                     })?;
                     self.cache.remove_flushed(shard, key);
                 } else {
-                    self.flush_partial_stripe(st, si, copy, start, snap, stripe_bytes)?;
+                    // A clean unit failing its checksum would fold
+                    // corrupt bytes into the recomputed parity:
+                    // repair the stripe (the shard lock is held
+                    // exclusive) and retry the flush once.
+                    match self.flush_partial_stripe(st, si, copy, start, snap, stripe_bytes) {
+                        Err(StoreError::ChecksumMismatch { .. }) => {
+                            self.repair_stripe_locked(st, copy, si)?;
+                            self.flush_partial_stripe(st, si, copy, start, snap, stripe_bytes)?;
+                        }
+                        r => r?,
+                    }
                     self.cache.remove_flushed(shard, key);
                 }
             }
@@ -1407,12 +1549,215 @@ impl<B: Backend> BlockStore<B> {
         Ok(())
     }
 
-    fn read_phys(&self, st: &ArrayState, u: StripeUnit, buf: &mut [u8]) -> Result<(), StoreError> {
-        self.backend.read_unit(st.redirect[u.disk as usize], u.offset as usize, buf)
+    /// Physical unit read without checksum verification (the repair
+    /// path must read possibly-corrupt bytes without erroring), still
+    /// under the transient-retry policy.
+    fn read_phys_raw(
+        &self,
+        st: &ArrayState,
+        u: StripeUnit,
+        buf: &mut [u8],
+    ) -> Result<(), StoreError> {
+        let (pd, off) = (st.redirect[u.disk as usize], u.offset as usize);
+        self.integrity.retrying(pd, || self.backend.read_unit(pd, off, &mut *buf))
     }
 
+    /// Physical unit read: retried on transient errors and verified
+    /// against the unit's recorded checksum. A mismatch surfaces as
+    /// [`StoreError::ChecksumMismatch`], which the public paths catch
+    /// and convert into a stripe repair (see `repair_stripe_locked`).
+    fn read_phys(&self, st: &ArrayState, u: StripeUnit, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.read_phys_raw(st, u, buf)?;
+        let (pd, off) = (st.redirect[u.disk as usize], u.offset as usize);
+        if self.integrity.verifying() && !self.integrity.sums.check(pd, off, buf) {
+            return Err(StoreError::ChecksumMismatch { disk: pd, offset: off });
+        }
+        Ok(())
+    }
+
+    /// Physical unit write: retried on transient errors, the unit's
+    /// checksum recorded on success.
     fn write_phys(&self, st: &ArrayState, u: StripeUnit, buf: &[u8]) -> Result<(), StoreError> {
-        self.backend.write_unit(st.redirect[u.disk as usize], u.offset as usize, buf)
+        let (pd, off) = (st.redirect[u.disk as usize], u.offset as usize);
+        self.integrity.retrying(pd, || self.backend.write_unit(pd, off, buf))?;
+        if self.integrity.verifying() {
+            self.integrity.sums.record(pd, off, buf);
+        }
+        Ok(())
+    }
+
+    /// Raw spare-disk read for the write-through delta path: retried,
+    /// never checksum-verified — pre-rebuild spare bytes are
+    /// arbitrary by contract.
+    fn read_spare(&self, spare: usize, off: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.integrity.retrying(spare, || self.backend.read_unit(spare, off, &mut *buf))
+    }
+
+    /// Spare-disk write: retried, checksum recorded — the spare
+    /// becomes the live medium when the rebuild's redirect flips, so
+    /// its sums must be fresh by then.
+    fn write_spare(&self, spare: usize, off: usize, buf: &[u8]) -> Result<(), StoreError> {
+        self.integrity.retrying(spare, || self.backend.write_unit(spare, off, buf))?;
+        if self.integrity.verifying() {
+            self.integrity.sums.record(spare, off, buf);
+        }
+        Ok(())
+    }
+
+    /// Verifies one stripe and repairs what it can, **under the
+    /// stripe's exclusive shard lock** (held by the caller): every
+    /// unit on a live disk is read raw and checked against its
+    /// recorded checksum; mismatched units are treated as erasures
+    /// *on top of* the failed disks, erasure-decoded from the
+    /// verified survivors, and rewritten in place (read-repair). When
+    /// every unit verifies and no disk is failed, the parity
+    /// equations themselves are checked and — data being
+    /// authoritative — recomputed and rewritten on mismatch; units
+    /// with no recorded checksum then have one adopted, so a scrub
+    /// pass leaves the whole stripe covered. Returns `(checksum
+    /// repairs, parity repairs)` performed on this stripe; more
+    /// erasures than the scheme tolerates is
+    /// [`StoreError::ChecksumMismatch`] naming the corrupt unit.
+    pub(crate) fn repair_stripe_locked(
+        &self,
+        st: &ArrayState,
+        copy: usize,
+        si: usize,
+    ) -> Result<(u32, u32), StoreError> {
+        let w = st.world.clone();
+        let us = self.unit_size;
+        let units = w.layout.stripes()[si].units();
+        let (p_slot, q_slot) = w.smap.parity_slots(si);
+        let shift = (copy * w.layout.size()) as u32;
+        let phys = |slot: usize| {
+            let u = units[slot];
+            (st.redirect[u.disk as usize], (u.offset + shift) as usize)
+        };
+        // Read every live unit raw; classify each as verified,
+        // mismatched, or unset (no checksum recorded yet).
+        let mut bytes = vec![0u8; units.len() * us];
+        let mut mismatched: Vec<usize> = Vec::new();
+        let mut unset: Vec<usize> = Vec::new();
+        let mut nfailed = 0usize;
+        for (slot, u) in units.iter().enumerate() {
+            if st.failed.contains(u.disk as usize) {
+                nfailed += 1;
+                continue;
+            }
+            let (pd, off) = phys(slot);
+            let buf = &mut bytes[slot * us..(slot + 1) * us];
+            self.integrity.retrying(pd, || self.backend.read_unit(pd, off, &mut *buf))?;
+            if !self.integrity.sums.recorded(pd, off) {
+                unset.push(slot);
+            } else if !self.integrity.sums.check(pd, off, buf) {
+                mismatched.push(slot);
+            }
+        }
+        if nfailed + mismatched.len() > self.scheme.parity_per_stripe() {
+            // Corruption past the redundancy: unrepairable. Name the
+            // first corrupt unit (the failed disks are already known
+            // to the caller).
+            let (pd, off) = phys(mismatched[0]);
+            return Err(StoreError::ChecksumMismatch { disk: pd, offset: off });
+        }
+        let t0 = Instant::now();
+        let mut fixed = 0u32;
+        let mut fixed_parity = 0u32;
+        if !mismatched.is_empty() {
+            // Decode the mismatched units (the failed disks ride
+            // along in the lost set but have no medium to rewrite)
+            // from the verified survivors — served from the bytes
+            // already read above, no second backend pass.
+            let mut scratch = self.scratch.get();
+            let res = (|| -> Result<(), StoreError> {
+                let solved = self.decode_stripe_with(
+                    st,
+                    si,
+                    shift,
+                    &mismatched,
+                    &mut scratch,
+                    |pu, buf| {
+                        let slot = units
+                            .iter()
+                            .position(|m| m.disk == pu.disk && m.offset + shift == pu.offset)
+                            .expect("decode reads only this stripe's members");
+                        buf.copy_from_slice(&bytes[slot * us..(slot + 1) * us]);
+                        Ok(())
+                    },
+                )?;
+                for (slot, which) in solved.into_iter().flatten() {
+                    if !mismatched.contains(&slot) {
+                        continue; // a failed disk's unit: no medium
+                    }
+                    let (pd, off) = phys(slot);
+                    let repaired = scratch.decoded(which);
+                    self.integrity.retrying(pd, || self.backend.write_unit(pd, off, repaired))?;
+                    self.integrity.sums.record(pd, off, repaired);
+                    bytes[slot * us..(slot + 1) * us].copy_from_slice(repaired);
+                    self.integrity.checksum_repairs.fetch_add(1, Ordering::Relaxed);
+                    self.integrity.health.note_repair(pd);
+                    self.events
+                        .emit(|| Event::ChecksumRepair { disk: pd as u32, offset: off as u64 });
+                    fixed += 1;
+                }
+                Ok(())
+            })();
+            self.scratch.put(scratch);
+            res?;
+        } else if nfailed == 0 {
+            // Every unit verified (or is unset) and the whole stripe
+            // is present: check the parity equations themselves. Data
+            // is authoritative — a mismatching parity unit is
+            // recomputed and rewritten.
+            let is_pq = self.scheme == ParityScheme::PQ;
+            let mut acc_p = vec![0u8; us];
+            let mut acc_q = vec![0u8; us];
+            for slot in 0..units.len() {
+                if slot == p_slot || Some(slot) == q_slot {
+                    continue;
+                }
+                let val = &bytes[slot * us..(slot + 1) * us];
+                xor_slice(&mut acc_p, val);
+                if is_pq {
+                    gf256::mul_add_slice(&mut acc_q, val, gf256::gen_pow(slot));
+                }
+            }
+            let mut fix = |slot: usize, acc: &[u8]| -> Result<(), StoreError> {
+                if &bytes[slot * us..(slot + 1) * us] == acc {
+                    return Ok(());
+                }
+                let (pd, off) = phys(slot);
+                self.integrity.retrying(pd, || self.backend.write_unit(pd, off, acc))?;
+                self.integrity.sums.record(pd, off, acc);
+                bytes[slot * us..(slot + 1) * us].copy_from_slice(acc);
+                self.integrity.parity_repairs.fetch_add(1, Ordering::Relaxed);
+                self.integrity.health.note_repair(pd);
+                self.events.emit(|| Event::ChecksumRepair { disk: pd as u32, offset: off as u64 });
+                fixed_parity += 1;
+                Ok(())
+            };
+            fix(p_slot, &acc_p)?;
+            if let Some(qs) = q_slot {
+                fix(qs, &acc_q)?;
+            }
+        }
+        if nfailed == 0 {
+            // The stripe is now internally consistent: adopt sums for
+            // units that never had one, so the next pass verifies
+            // them too.
+            for slot in unset {
+                let (pd, off) = phys(slot);
+                self.integrity.sums.record(pd, off, &bytes[slot * us..(slot + 1) * us]);
+            }
+        }
+        if fixed + fixed_parity > 0 {
+            self.metrics.record_op(
+                OpKind::RepairWrite,
+                (fixed + fixed_parity) as u64,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        Ok((fixed, fixed_parity))
     }
 
     /// Reconstructs the unit at `(disk, offset)` from the surviving
@@ -1447,7 +1792,7 @@ impl<B: Backend> BlockStore<B> {
         let shift = (offset / size * size) as u32;
         let r = st.world.layout.unit_ref(disk, offset % size);
         let si = r.stripe as usize;
-        let solved = self.decode_stripe(st, si, shift, Some(r.slot as usize), scratch)?;
+        let solved = self.decode_stripe(st, si, shift, &[r.slot as usize], scratch)?;
         for (slot, which) in solved.into_iter().flatten() {
             if slot == r.slot as usize {
                 out.copy_from_slice(scratch.decoded(which));
@@ -1495,66 +1840,119 @@ impl<B: Backend> BlockStore<B> {
             })
             .collect();
         sort_shard_set(&mut shards);
-        let _guards = self.locks.lock_sorted_shared(&shards);
-        // Gather every surviving stripe member the decodes below will
-        // touch. Distinct target offsets live in distinct stripes, and
-        // stripes never share units, so the want-list is duplicate-free
-        // and the per-disk unit counts stay identical to the per-unit
-        // path — only the call count drops.
-        cache.wants.clear();
-        for i in 0..n {
-            let offset = start + i;
-            let shift = (offset / size * size) as u32;
-            let r = w.layout.unit_ref(disk, offset % size);
-            for u in w.layout.stripes()[r.stripe as usize].units() {
-                if u.disk as usize == disk || st.failed.contains(u.disk as usize) {
+        let mut attempt = 0;
+        loop {
+            let guards = self.locks.lock_sorted_shared(&shards);
+            // Gather every surviving stripe member the decodes below
+            // will touch. Distinct target offsets live in distinct
+            // stripes, and stripes never share units, so the want-list
+            // is duplicate-free and the per-disk unit counts stay
+            // identical to the per-unit path — only the call count
+            // drops.
+            cache.wants.clear();
+            for i in 0..n {
+                let offset = start + i;
+                let shift = (offset / size * size) as u32;
+                let r = w.layout.unit_ref(disk, offset % size);
+                for u in w.layout.stripes()[r.stripe as usize].units() {
+                    if u.disk as usize == disk || st.failed.contains(u.disk as usize) {
+                        continue;
+                    }
+                    cache.push_want(st.redirect[u.disk as usize] as u32, u.offset + shift);
+                }
+            }
+            let t0 = Instant::now();
+            cache.fill(&self.backend, self.unit_size, &self.integrity)?;
+            // The chunk's surviving-member prefetch *is* the rebuild
+            // read load; timed unconditionally (chunks are large, the
+            // two Instant reads vanish against the vectored I/O).
+            let prefetch_ns = t0.elapsed().as_nanos() as u64;
+            self.metrics.record_op(OpKind::RebuildRead, cache.wants.len() as u64, prefetch_ns);
+            // A corrupt survivor must never be folded into the spare:
+            // verify the whole prefetch before decoding. Mismatching
+            // stripes are repaired in place (exclusive locks, after
+            // the shared guards drop) and the chunk retried once.
+            if self.integrity.verifying() {
+                let mut bad: Vec<(usize, usize)> = Vec::new();
+                let mut first_bad: Option<(usize, usize)> = None;
+                for i in 0..n {
+                    let offset = start + i;
+                    let copy = offset / size;
+                    let shift = (copy * size) as u32;
+                    let r = w.layout.unit_ref(disk, offset % size);
+                    let si = r.stripe as usize;
+                    for u in w.layout.stripes()[si].units() {
+                        if u.disk as usize == disk || st.failed.contains(u.disk as usize) {
+                            continue;
+                        }
+                        let pd = st.redirect[u.disk as usize];
+                        let off = (u.offset + shift) as usize;
+                        let ok = match cache.wants.binary_search(&(pd as u32, u.offset + shift)) {
+                            Ok(ix) => self.integrity.sums.check(pd, off, cache.unit(ix)),
+                            Err(_) => true,
+                        };
+                        if !ok {
+                            if bad.last() != Some(&(copy, si)) {
+                                bad.push((copy, si));
+                            }
+                            first_bad.get_or_insert((pd, off));
+                        }
+                    }
+                }
+                if let Some((pd, off)) = first_bad {
+                    if attempt == 1 {
+                        return Err(StoreError::ChecksumMismatch { disk: pd, offset: off });
+                    }
+                    attempt = 1;
+                    drop(guards);
+                    for &(copy, si) in &bad {
+                        let shard = self.locks.shard_of(copy, si);
+                        let (_g, _) = self.locks.lock_one_counting(shard);
+                        self.repair_stripe_locked(&st, copy, si)?;
+                    }
                     continue;
                 }
-                cache.push_want(st.redirect[u.disk as usize] as u32, u.offset + shift);
             }
-        }
-        let t0 = Instant::now();
-        cache.fill(&self.backend, self.unit_size)?;
-        // The chunk's surviving-member prefetch *is* the rebuild read
-        // load; timed unconditionally (chunks are large, the two
-        // Instant reads vanish against the vectored I/O).
-        let prefetch_ns = t0.elapsed().as_nanos() as u64;
-        self.metrics.record_op(OpKind::RebuildRead, cache.wants.len() as u64, prefetch_ns);
-        for (i, chunk) in out.chunks_exact_mut(self.unit_size).enumerate() {
-            let offset = start + i;
-            let shift = (offset / size * size) as u32;
-            let r = w.layout.unit_ref(disk, offset % size);
-            let si = r.stripe as usize;
-            let solved =
-                self.decode_stripe_with(&st, si, shift, Some(r.slot as usize), scratch, {
-                    let cache = &*cache;
-                    let redirect = &st.redirect;
-                    move |u: StripeUnit, buf: &mut [u8]| {
-                        cache.copy_to(redirect[u.disk as usize] as u32, u.offset, buf)
+            for (i, chunk) in out.chunks_exact_mut(self.unit_size).enumerate() {
+                let offset = start + i;
+                let shift = (offset / size * size) as u32;
+                let r = w.layout.unit_ref(disk, offset % size);
+                let si = r.stripe as usize;
+                let solved =
+                    self.decode_stripe_with(&st, si, shift, &[r.slot as usize], scratch, {
+                        let cache = &*cache;
+                        let redirect = &st.redirect;
+                        move |u: StripeUnit, buf: &mut [u8]| {
+                            cache.copy_to(redirect[u.disk as usize] as u32, u.offset, buf)
+                        }
+                    })?;
+                let mut found = false;
+                for (slot, which) in solved.into_iter().flatten() {
+                    if slot == r.slot as usize {
+                        chunk.copy_from_slice(scratch.decoded(which));
+                        found = true;
                     }
-                })?;
-            let mut found = false;
-            for (slot, which) in solved.into_iter().flatten() {
-                if slot == r.slot as usize {
-                    chunk.copy_from_slice(scratch.decoded(which));
-                    found = true;
+                }
+                if !found {
+                    return Err(StoreError::Corrupt(format!(
+                        "decode of stripe {si} skipped slot {}",
+                        r.slot
+                    )));
                 }
             }
-            if !found {
-                return Err(StoreError::Corrupt(format!(
-                    "decode of stripe {si} skipped slot {}",
-                    r.slot
-                )));
+            let data_out: &[u8] = out;
+            self.integrity.retrying(spare, || self.backend.write_units(spare, start, data_out))?;
+            if self.integrity.verifying() {
+                self.integrity.sums.record_span(spare, start, out, self.unit_size);
             }
+            self.metrics.record_op(
+                OpKind::SpareWrite,
+                n as u64,
+                (t0.elapsed().as_nanos() as u64).saturating_sub(prefetch_ns),
+            );
+            self.rb_tracker.add_done(n as u64);
+            return Ok(());
         }
-        self.backend.write_units(spare, start, out)?;
-        self.metrics.record_op(
-            OpKind::SpareWrite,
-            n as u64,
-            (t0.elapsed().as_nanos() as u64).saturating_sub(prefetch_ns),
-        );
-        self.rb_tracker.add_done(n as u64);
-        Ok(())
     }
 
     /// [`BlockStore::decode_stripe_with`] reading straight from the
@@ -1564,7 +1962,7 @@ impl<B: Backend> BlockStore<B> {
         st: &ArrayState,
         si: usize,
         shift: u32,
-        extra_lost: Option<usize>,
+        extra_lost: &[usize],
         scratch: &mut Scratch,
     ) -> Result<Decoded, StoreError> {
         self.decode_stripe_with(st, si, shift, extra_lost, scratch, |u, buf| {
@@ -1575,17 +1973,19 @@ impl<B: Backend> BlockStore<B> {
     /// Erasure-decodes one stripe (at copy offset `shift`): reads every
     /// surviving member exactly once through `read` (the backend, or a
     /// prefetched [`UnitCache`]), accumulates the P/Q syndromes, and
-    /// solves for the lost units. `extra_lost` forces one more slot
-    /// into the lost set (a unit being rebuilt whose disk may not be in
-    /// the failure set). Returns up to two `(slot, buffer)` pairs; the
-    /// values live in `scratch` until its next decode. No heap
-    /// allocation (this sits in the rebuild workers' per-unit loop).
+    /// solves for the lost units. `extra_lost` forces extra slots
+    /// into the lost set beyond the failed disks — a unit being
+    /// rebuilt whose disk may not be in the failure set, or units
+    /// whose checksums mismatched and are being repaired as erasures.
+    /// Returns up to two `(slot, buffer)` pairs; the values live in
+    /// `scratch` until its next decode. No heap allocation (this sits
+    /// in the rebuild workers' per-unit loop).
     pub(crate) fn decode_stripe_with<F>(
         &self,
         st: &ArrayState,
         si: usize,
         shift: u32,
-        extra_lost: Option<usize>,
+        extra_lost: &[usize],
         scratch: &mut Scratch,
         mut read: F,
     ) -> Result<Decoded, StoreError>
@@ -1600,7 +2000,7 @@ impl<B: Backend> BlockStore<B> {
         let mut lost = [usize::MAX; 3];
         let mut nlost = 0usize;
         for (slot, u) in stripe.units().iter().enumerate() {
-            if st.failed.contains(u.disk as usize) || Some(slot) == extra_lost {
+            if st.failed.contains(u.disk as usize) || extra_lost.contains(&slot) {
                 if nlost < lost.len() {
                     lost[nlost] = slot;
                 }
@@ -1733,9 +2133,31 @@ impl<B: Backend> BlockStore<B> {
                 self.read_phys(&st, m.unit, buf)
             }
         })();
+        // Read-repair: a checksum mismatch — on this block's unit
+        // (healthy path) or among the survivors its decode read
+        // (degraded path) — is treated as an erasure. Either way the
+        // corrupt unit sits in this block's stripe: take the stripe
+        // exclusively, repair it from parity, and retry once.
+        let res = match res {
+            Err(StoreError::ChecksumMismatch { .. }) => {
+                let shard = self.locks.shard_of(m.copy, m.stripe);
+                let (_g, _) = self.locks.lock_one_counting(shard);
+                self.repair_stripe_locked(&st, m.copy, m.stripe)?;
+                if degraded {
+                    self.reconstruct_unit(&st, m.unit.disk as usize, m.unit.offset as usize, buf)
+                } else {
+                    self.read_phys(&st, m.unit, buf)
+                }
+            }
+            r => r,
+        };
         if res.is_ok() {
             let ns = self.metrics.finish(t, 1).unwrap_or(0);
             self.events.emit(|| Event::OpEnd { kind, addr: addr as u64, blocks: 1, ns });
+        }
+        drop(st);
+        if self.integrity.health.has_pending() {
+            self.apply_pending_health();
         }
         res
     }
@@ -1854,17 +2276,37 @@ impl<B: Backend> BlockStore<B> {
             let ns = self.metrics.finish(t, 1).unwrap_or(0);
             self.events.emit(|| Event::OpEnd { kind, addr: addr as u64, blocks: 1, ns });
         }
+        drop(st);
+        if self.integrity.health.has_pending() {
+            self.apply_pending_health();
+        }
         res
     }
 
     /// The single-block write body; the caller holds the stripe's
-    /// shard lock exclusive and the state read guard.
+    /// shard lock exclusive and the state read guard. A checksum
+    /// mismatch discovered by the read-modify-write's reads (old
+    /// data, old parity, or a degraded decode's survivor — all in
+    /// this stripe) triggers a stripe repair and one retry: folding a
+    /// corrupt old value into a parity delta would corrupt the parity
+    /// permanently.
     fn write_block_locked(
         &self,
         st: &ArrayState,
         addr: usize,
         data: &[u8],
     ) -> Result<(), StoreError> {
+        match self.write_block_rmw(st, addr, data) {
+            Err(StoreError::ChecksumMismatch { .. }) => {
+                let m = st.world.smap.locate_full(addr);
+                self.repair_stripe_locked(st, m.copy, m.stripe)?;
+                self.write_block_rmw(st, addr, data)
+            }
+            r => r,
+        }
+    }
+
+    fn write_block_rmw(&self, st: &ArrayState, addr: usize, data: &[u8]) -> Result<(), StoreError> {
         let w = st.world.clone();
         let m = w.smap.locate_full(addr);
         let u = m.unit;
@@ -1916,9 +2358,9 @@ impl<B: Backend> BlockStore<B> {
                     // the stripe lock); post-rebuild it holds the
                     // true old P and the delta lands correctly.
                     let pu = shifted(p_unit);
-                    self.backend.read_unit(spare, pu.offset as usize, par)?;
+                    self.read_spare(spare, pu.offset as usize, par)?;
                     xor_slice(par, delta);
-                    self.backend.write_unit(spare, pu.offset as usize, par)?;
+                    self.write_spare(spare, pu.offset as usize, par)?;
                 }
                 if let Some((q_unit, q_alive)) = q {
                     let qu = shifted(q_unit);
@@ -1927,9 +2369,9 @@ impl<B: Backend> BlockStore<B> {
                         gf256::mul_add_slice(par, delta, gf256::gen_pow(t_slot));
                         self.write_phys(st, qu, par)?;
                     } else if let Some(spare) = Self::spare_for(st, q_unit.disk as usize) {
-                        self.backend.read_unit(spare, qu.offset as usize, par)?;
+                        self.read_spare(spare, qu.offset as usize, par)?;
                         gf256::mul_add_slice(par, delta, gf256::gen_pow(t_slot));
-                        self.backend.write_unit(spare, qu.offset as usize, par)?;
+                        self.write_spare(spare, qu.offset as usize, par)?;
                     }
                 }
                 self.write_phys(st, u, data)?;
@@ -1958,7 +2400,7 @@ impl<B: Backend> BlockStore<B> {
         let res = (|| {
             let mut other_buf: Option<DecodedBuf> = None;
             if let Some(o) = lost_other_data {
-                let solved = self.decode_stripe(st, si, shift, None, &mut dec_scratch)?;
+                let solved = self.decode_stripe(st, si, shift, &[], &mut dec_scratch)?;
                 other_buf = Some(
                     solved
                         .iter()
@@ -1995,13 +2437,13 @@ impl<B: Backend> BlockStore<B> {
             if p_alive {
                 self.write_phys(st, shifted(p_unit), acc_p)?;
             } else if let Some(spare) = Self::spare_for(st, p_unit.disk as usize) {
-                self.backend.write_unit(spare, shifted(p_unit).offset as usize, acc_p)?;
+                self.write_spare(spare, shifted(p_unit).offset as usize, acc_p)?;
             }
             if let Some((q_unit, q_alive)) = q {
                 if q_alive {
                     self.write_phys(st, shifted(q_unit), acc_q)?;
                 } else if let Some(spare) = Self::spare_for(st, q_unit.disk as usize) {
-                    self.backend.write_unit(spare, shifted(q_unit).offset as usize, acc_q)?;
+                    self.write_spare(spare, shifted(q_unit).offset as usize, acc_q)?;
                 }
             }
             // The target's new value exists only through parity — and
@@ -2010,7 +2452,7 @@ impl<B: Backend> BlockStore<B> {
             // fresh (a not-yet-reconstructed one is re-decoded to
             // these exact bytes later).
             if let Some(spare) = Self::spare_for(st, u.disk as usize) {
-                self.backend.write_unit(spare, u.offset as usize, data)?;
+                self.write_spare(spare, u.offset as usize, data)?;
             }
             self.dual_write_if_reshaping(st, addr, data)
         })();
@@ -2032,6 +2474,16 @@ impl<B: Backend> BlockStore<B> {
             Some(rs) => self.dual_write(rs, addr, data),
             None => Ok(()),
         }
+    }
+
+    /// Repairs the stripe owning logical block `addr` under its
+    /// exclusive shard lock (taken here — the caller must hold none).
+    fn repair_addr(&self, st: &ArrayState, addr: usize) -> Result<(), StoreError> {
+        let m = st.world.smap.locate_full(addr);
+        let shard = self.locks.shard_of(m.copy, m.stripe);
+        let (_g, _) = self.locks.lock_one_counting(shard);
+        self.repair_stripe_locked(st, m.copy, m.stripe)?;
+        Ok(())
     }
 
     /// Reads `buf.len() / unit_size` consecutive logical blocks
@@ -2124,6 +2576,7 @@ impl<B: Backend> BlockStore<B> {
         // caller's buffer — no staging copy.
         let mut holes: Vec<u8> = Vec::new();
         let bridge = if self.backend.prefers_gap_bridging() { READ_GAP_BRIDGE } else { 0 };
+        let verify = self.integrity.verifying();
         for (disk, bucket) in by_disk.iter_mut().enumerate() {
             if bucket.is_empty() {
                 continue;
@@ -2139,8 +2592,27 @@ impl<B: Backend> BlockStore<B> {
                 }
                 let first = bucket[s].0;
                 if e - s == 1 {
-                    let chunk = chunks[bucket[s].1 as usize].take().expect("block read once");
-                    self.backend.read_unit(disk, first as usize, chunk)?;
+                    let bi = bucket[s].1 as usize;
+                    let chunk = chunks[bi].take().expect("block read once");
+                    self.integrity.retrying(disk, || {
+                        self.backend.read_unit(disk, first as usize, &mut *chunk)
+                    })?;
+                    if verify && !self.integrity.sums.check(disk, first as usize, chunk) {
+                        // Latent corruption: repair the stripe in
+                        // place (exclusive lock — none held here),
+                        // then re-read. A second mismatch means the
+                        // repair could not restore the unit.
+                        self.repair_addr(&st, start + bi)?;
+                        self.integrity.retrying(disk, || {
+                            self.backend.read_unit(disk, first as usize, &mut *chunk)
+                        })?;
+                        if !self.integrity.sums.check(disk, first as usize, chunk) {
+                            return Err(StoreError::ChecksumMismatch {
+                                disk,
+                                offset: first as usize,
+                            });
+                        }
+                    }
                 } else {
                     let span = (bucket[e - 1].0 - first + 1) as usize;
                     holes.resize((span - (e - s)) * us, 0);
@@ -2161,7 +2633,45 @@ impl<B: Backend> BlockStore<B> {
                         bufs.push(chunks[entry.1 as usize].take().expect("block read once"));
                         at = entry.0 + 1;
                     }
-                    self.backend.read_units_scatter(disk, first as usize, &mut bufs)?;
+                    self.integrity.retrying(disk, || {
+                        self.backend.read_units_scatter(disk, first as usize, &mut bufs)
+                    })?;
+                    if verify {
+                        // Verify while the run's slices are still in
+                        // scope (they were `take()`n from `chunks`);
+                        // on mismatch repair the owning stripes and
+                        // re-read the same run into the same buffers.
+                        for pass in 0..2 {
+                            let mut bad: Vec<(u32, u32)> = Vec::new();
+                            let mut vi = 0usize;
+                            let mut vat = first;
+                            for entry in &bucket[s..e] {
+                                if entry.0 > vat {
+                                    vi += 1; // the gap's discard slice
+                                }
+                                if !self.integrity.sums.check(disk, entry.0 as usize, bufs[vi]) {
+                                    bad.push(*entry);
+                                }
+                                vi += 1;
+                                vat = entry.0 + 1;
+                            }
+                            if bad.is_empty() {
+                                break;
+                            }
+                            if pass == 1 {
+                                return Err(StoreError::ChecksumMismatch {
+                                    disk,
+                                    offset: bad[0].0 as usize,
+                                });
+                            }
+                            for &(_, blk) in &bad {
+                                self.repair_addr(&st, start + blk as usize)?;
+                            }
+                            self.integrity.retrying(disk, || {
+                                self.backend.read_units_scatter(disk, first as usize, &mut bufs)
+                            })?;
+                        }
+                    }
                 }
                 s = e;
             }
@@ -2181,37 +2691,75 @@ impl<B: Backend> BlockStore<B> {
                 })
                 .collect();
             sort_shard_set(&mut shards);
-            let _guards = self.locks.lock_sorted_shared(&shards);
             let mut scratch = self.scratch.get();
-            let res: Result<(), StoreError> = (|| {
-                let mut decoded_key: Option<(usize, usize)> = None;
-                let mut solved: Decoded = [None, None];
-                for &(bi, addr) in &degraded {
-                    let si = st.world.smap.stripe_of(addr);
-                    let copy = st.world.smap.copy_of(addr);
-                    if decoded_key != Some((copy, si)) {
-                        let shift = (copy * st.world.layout.size()) as u32;
-                        solved = self.decode_stripe(&st, si, shift, None, &mut scratch)?;
-                        decoded_key = Some((copy, si));
+            // Two attempts: a checksum mismatch on a survivor read
+            // aborts the decode loop, the affected stripes are
+            // repaired (exclusive locks, taken with the shared guards
+            // released), and the loop reruns — blocks already served
+            // are `None` in `chunks` and skip.
+            let mut attempt = 0;
+            let res: Result<(), StoreError> = loop {
+                let res = {
+                    let _guards = self.locks.lock_sorted_shared(&shards);
+                    (|| {
+                        let mut decoded_key: Option<(usize, usize)> = None;
+                        let mut solved: Decoded = [None, None];
+                        for &(bi, addr) in &degraded {
+                            if chunks[bi].is_none() {
+                                continue;
+                            }
+                            let si = st.world.smap.stripe_of(addr);
+                            let copy = st.world.smap.copy_of(addr);
+                            if decoded_key != Some((copy, si)) {
+                                let shift = (copy * st.world.layout.size()) as u32;
+                                solved = self.decode_stripe(&st, si, shift, &[], &mut scratch)?;
+                                decoded_key = Some((copy, si));
+                            }
+                            let slot = st.world.smap.slot_of(addr);
+                            let which = solved
+                                .iter()
+                                .flatten()
+                                .find(|(s, _)| *s == slot)
+                                .map(|&(_, w)| w)
+                                .ok_or_else(|| {
+                                    StoreError::Corrupt(format!(
+                                        "decode of stripe {si} skipped slot {slot}"
+                                    ))
+                                })?;
+                            chunks[bi]
+                                .take()
+                                .expect("block decoded once")
+                                .copy_from_slice(scratch.decoded(which));
+                        }
+                        Ok(())
+                    })()
+                };
+                match res {
+                    Err(StoreError::ChecksumMismatch { .. }) if attempt == 0 => {
+                        attempt = 1;
+                        let mut seen: Option<(usize, usize)> = None;
+                        let mut rep: Result<(), StoreError> = Ok(());
+                        for &(_, addr) in &degraded {
+                            let copy = st.world.smap.copy_of(addr);
+                            let si = st.world.smap.stripe_of(addr);
+                            if seen == Some((copy, si)) {
+                                continue;
+                            }
+                            seen = Some((copy, si));
+                            let shard = self.locks.shard_of(copy, si);
+                            let (_g, _) = self.locks.lock_one_counting(shard);
+                            if let Err(e) = self.repair_stripe_locked(&st, copy, si) {
+                                rep = Err(e);
+                                break;
+                            }
+                        }
+                        if let Err(e) = rep {
+                            break Err(e);
+                        }
                     }
-                    let slot = st.world.smap.slot_of(addr);
-                    let which = solved
-                        .iter()
-                        .flatten()
-                        .find(|(s, _)| *s == slot)
-                        .map(|&(_, w)| w)
-                        .ok_or_else(|| {
-                            StoreError::Corrupt(format!(
-                                "decode of stripe {si} skipped slot {slot}"
-                            ))
-                        })?;
-                    chunks[bi]
-                        .take()
-                        .expect("block decoded once")
-                        .copy_from_slice(scratch.decoded(which));
+                    r => break r,
                 }
-                Ok(())
-            })();
+            };
             self.scratch.put(scratch);
             res?;
         }
@@ -2224,6 +2772,10 @@ impl<B: Backend> BlockStore<B> {
             blocks: n as u32,
             ns,
         });
+        drop(st);
+        if self.integrity.health.has_pending() {
+            self.apply_pending_health();
+        }
         Ok(())
     }
 
@@ -2414,6 +2966,10 @@ impl<B: Backend> BlockStore<B> {
         }
         let ns = self.metrics.finish(t, n as u64).unwrap_or(0);
         self.events.emit(|| Event::OpEnd { kind, addr: start as u64, blocks: n as u32, ns });
+        drop(st);
+        if self.integrity.health.has_pending() {
+            self.apply_pending_health();
+        }
         Ok(())
     }
 
@@ -2533,6 +3089,7 @@ impl<B: Backend> BlockStore<B> {
                 &data[i * us..(i + 1) * us]
             }
         };
+        let verify = self.integrity.verifying();
         let mut srcs: Vec<&[u8]> = Vec::new();
         for (disk, bucket) in by_disk.iter_mut().enumerate() {
             if bucket.is_empty() {
@@ -2549,11 +3106,23 @@ impl<B: Backend> BlockStore<B> {
                     j += 1;
                 }
                 if j - i == 1 {
-                    self.backend.write_unit(disk, offset as usize, src(bucket[i].1))?;
+                    let b = src(bucket[i].1);
+                    self.integrity
+                        .retrying(disk, || self.backend.write_unit(disk, offset as usize, b))?;
+                    if verify {
+                        self.integrity.sums.record(disk, offset as usize, b);
+                    }
                 } else {
                     srcs.clear();
                     srcs.extend(bucket[i..j].iter().map(|e| src(e.1)));
-                    self.backend.write_units_gather(disk, offset as usize, &srcs)?;
+                    self.integrity.retrying(disk, || {
+                        self.backend.write_units_gather(disk, offset as usize, &srcs)
+                    })?;
+                    if verify {
+                        for (t, b) in srcs.iter().enumerate() {
+                            self.integrity.sums.record(disk, offset as usize + t, b);
+                        }
+                    }
                 }
                 i = j;
             }
@@ -2635,7 +3204,11 @@ impl<B: Backend> BlockStore<B> {
                 acc_q.fill(0);
                 for (slot, u) in stripe.units().iter().enumerate() {
                     let phys = StripeUnit { disk: u.disk, offset: u.offset + shift };
-                    self.read_phys(&st, phys, &mut tmp)?;
+                    // Raw read: this scan checks the parity equations
+                    // themselves, so a corrupt unit should surface as
+                    // the named `ParityMismatch`, not a checksum error
+                    // (scrub is the checksum-aware repair pass).
+                    self.read_phys_raw(&st, phys, &mut tmp)?;
                     if Some(slot) == q_slot {
                         xor_slice(&mut acc_q, &tmp);
                     } else {

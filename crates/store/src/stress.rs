@@ -293,7 +293,13 @@ pub fn run<B: Backend>(
                 // Let the traffic threads take the field first so the
                 // rebuild genuinely races in-flight writes.
                 std::thread::sleep(Duration::from_millis(2));
-                *rebuild_result.lock().unwrap() = Some(Rebuilder::default().rebuild(store, spare));
+                // Poison-proof locking throughout the harness: if a
+                // client thread panics (its message carries the seed),
+                // dying on `PoisonError` in a racing thread would
+                // replace that seeded repro line with a useless
+                // "poisoned lock" panic.
+                *rebuild_result.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some(Rebuilder::default().rebuild(store, spare));
                 rebuild_done.store(true, Ordering::Release);
             });
             // Poll live rebuild progress while the rebuild overlaps
@@ -303,7 +309,7 @@ pub fn run<B: Backend>(
             s.spawn(move || {
                 while !rebuild_done.load(Ordering::Acquire) {
                     if let Some(p) = store.rebuild_progress() {
-                        progress_samples.lock().unwrap().push(p);
+                        progress_samples.lock().unwrap_or_else(|e| e.into_inner()).push(p);
                     }
                     std::thread::sleep(Duration::from_micros(200));
                 }
@@ -329,7 +335,8 @@ pub fn run<B: Backend>(
                         "[stress seed {}] not enough unmapped spares to add",
                         cfg.seed
                     );
-                    *reshape_result.lock().unwrap() = Some(store.add_disks(&joining));
+                    *reshape_result.lock().unwrap_or_else(|e| e.into_inner()) =
+                        Some(store.add_disks(&joining));
                 });
             }
             RebuildMode::ReshapeRemove { removed } => {
@@ -338,7 +345,8 @@ pub fn run<B: Backend>(
                     std::thread::sleep(Duration::from_millis(2));
                     let v = store.v();
                     let leaving: Vec<usize> = (v - removed..v).collect();
-                    *reshape_result.lock().unwrap() = Some(store.remove_disks(&leaving));
+                    *reshape_result.lock().unwrap_or_else(|e| e.into_inner()) =
+                        Some(store.remove_disks(&leaving));
                 });
             }
             _ => {}
@@ -352,21 +360,36 @@ pub fn run<B: Backend>(
                 s.spawn(move || client_thread(store, cfg, t, lo, hi, salts))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| {
+                // Re-raise the client thread's own panic payload — it
+                // is the message that names the failing seed/thread/op.
+                h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))
+            })
+            .collect()
     });
     let elapsed = start.elapsed();
 
     let rebuild = match cfg.rebuild {
         RebuildMode::None => None,
         RebuildMode::Racing { .. } => {
-            let r = rebuild_result.lock().unwrap().take().expect("racing rebuild ran");
+            let r = rebuild_result
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("racing rebuild ran");
             Some(r?)
         }
         RebuildMode::AtEnd { spare } => Some(Rebuilder::default().rebuild(store, spare)?),
         RebuildMode::ReshapeAdd { .. } | RebuildMode::ReshapeRemove { .. } => None,
     };
     let reshape = if reshaping {
-        let r = reshape_result.lock().unwrap().take().expect("racing reshape ran");
+        let r = reshape_result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("racing reshape ran");
         Some(r.unwrap_or_else(|e| {
             panic!("[stress seed {} threads {threads}] reshape: {e}", cfg.seed)
         }))
@@ -419,7 +442,7 @@ pub fn run<B: Backend>(
         rebuild,
         reshape,
         stats,
-        rebuild_progress: progress_samples.into_inner().unwrap(),
+        rebuild_progress: progress_samples.into_inner().unwrap_or_else(|e| e.into_inner()),
     };
     for t in tallies {
         report.reads += t.reads;
