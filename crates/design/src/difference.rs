@@ -1,4 +1,4 @@
-//! Difference families and block development (Wallis [16]).
+//! Difference families and block development (Wallis \[16\]).
 //!
 //! Section 2.1 closes by noting that "the ring-based block design
 //! construction is a special case of the construction of block designs

@@ -6,7 +6,7 @@
 //! exclusive stripe lock. This module adds the standard cure (write
 //! caching/combining, per Thomasian's survey of mirrored and hybrid
 //! arrays): dirty data units accumulate per stripe in a sharded
-//! [`StripeCache`] keyed by the same `(copy, stripe)` pair as the
+//! `StripeCache` keyed by the same `(copy, stripe)` pair as the
 //! store's stripe lock table, and are flushed as **one combined
 //! parity update per stripe** instead of one RMW cycle per write.
 //!

@@ -77,6 +77,9 @@ pub enum StoreError {
     ReshapeInProgress,
     /// A reshape operation was requested but none is registered.
     NoActiveReshape,
+    /// A background reshape driver is already attached to the active
+    /// reshape; only one pumps the migration at a time.
+    ReshapeDriverInProgress,
     /// `complete_reshape` before every stripe migrated — carries the
     /// migration cursor position.
     ReshapeIncomplete {
@@ -158,6 +161,9 @@ impl fmt::Display for StoreError {
                 write!(f, "a reshape is in progress; wait for it to complete")
             }
             StoreError::NoActiveReshape => write!(f, "no reshape is registered"),
+            StoreError::ReshapeDriverInProgress => {
+                write!(f, "a background reshape driver is already running")
+            }
             StoreError::ReshapeIncomplete { done, total } => {
                 write!(f, "reshape migration incomplete: {done}/{total} target stripes migrated")
             }

@@ -38,6 +38,7 @@ use crate::error::StoreError;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
+use std::time::Instant;
 
 /// XXH64 prime constants.
 const P1: u64 = 0x9E3779B185EBCA87;
@@ -126,9 +127,39 @@ pub fn xxh64(seed: u64, data: &[u8]) -> u64 {
 /// a computed hash that collides with the sentinel is stored as `1`
 /// ([`ChecksumTable::encode`]), so "never written" and "written" are
 /// always distinguishable.
+///
+/// Each column also carries a *dirty bitmap* (one bit per unit, set
+/// by every [`ChecksumTable::record`]) so the persister can append
+/// only changed entries to an incremental sidecar log
+/// ([`ChecksumTable::drain_dirty`]) instead of rewriting the whole
+/// table on every flush.
 #[derive(Debug)]
 pub struct ChecksumTable {
-    disks: RwLock<Vec<Box<[AtomicU64]>>>,
+    disks: RwLock<Vec<Column>>,
+}
+
+/// One disk's checksums plus the dirty bitmap tracking which entries
+/// changed since the last persist.
+#[derive(Debug)]
+struct Column {
+    sums: Box<[AtomicU64]>,
+    /// `(units + 63) / 64` words; bit `offset % 64` of word
+    /// `offset / 64` is set when that unit's sum changed.
+    dirty: Box<[AtomicU64]>,
+}
+
+impl Column {
+    fn new(units: usize) -> Self {
+        let zeroed = |n: usize, v: u64| (0..n).map(|_| AtomicU64::new(v)).collect::<Box<[_]>>();
+        Column { sums: zeroed(units, ChecksumTable::UNSET), dirty: zeroed(units.div_ceil(64), 0) }
+    }
+
+    #[inline]
+    fn mark_dirty(&self, offset: usize) {
+        if let Some(w) = self.dirty.get(offset / 64) {
+            w.fetch_or(1u64 << (offset % 64), Ordering::Relaxed);
+        }
+    }
 }
 
 impl ChecksumTable {
@@ -140,8 +171,13 @@ impl ChecksumTable {
 
     /// A table of `disks × units` unset entries.
     pub fn new(disks: usize, units: usize) -> Self {
-        let mk = |n: usize| (0..n).map(|_| AtomicU64::new(Self::UNSET)).collect::<Box<[_]>>();
-        ChecksumTable { disks: RwLock::new((0..disks).map(|_| mk(units)).collect()) }
+        ChecksumTable { disks: RwLock::new((0..disks).map(|_| Column::new(units)).collect()) }
+    }
+
+    /// The table's geometry as `(disks, units_per_disk)`.
+    pub fn geometry(&self) -> (usize, usize) {
+        let t = self.disks.read().unwrap();
+        (t.len(), t.first().map(|d| d.sums.len()).unwrap_or(0))
     }
 
     /// Maps a computed hash into the stored encoding (never the
@@ -162,8 +198,10 @@ impl ChecksumTable {
     #[inline]
     pub fn record(&self, disk: usize, offset: usize, data: &[u8]) {
         let t = self.disks.read().unwrap();
-        if let Some(slot) = t.get(disk).and_then(|d| d.get(offset)) {
+        let Some(d) = t.get(disk) else { return };
+        if let Some(slot) = d.sums.get(offset) {
             slot.store(Self::encode(xxh64(Self::SEED, data)), Ordering::Relaxed);
+            d.mark_dirty(offset);
         }
     }
 
@@ -173,8 +211,9 @@ impl ChecksumTable {
         let t = self.disks.read().unwrap();
         let Some(d) = t.get(disk) else { return };
         for (i, unit) in data.chunks_exact(unit_size).enumerate() {
-            if let Some(slot) = d.get(start + i) {
+            if let Some(slot) = d.sums.get(start + i) {
                 slot.store(Self::encode(xxh64(Self::SEED, unit)), Ordering::Relaxed);
+                d.mark_dirty(start + i);
             }
         }
     }
@@ -185,7 +224,7 @@ impl ChecksumTable {
     #[inline]
     pub fn check(&self, disk: usize, offset: usize, data: &[u8]) -> bool {
         let t = self.disks.read().unwrap();
-        match t.get(disk).and_then(|d| d.get(offset)) {
+        match t.get(disk).and_then(|d| d.sums.get(offset)) {
             Some(slot) => {
                 let stored = slot.load(Ordering::Relaxed);
                 stored == Self::UNSET || stored == Self::encode(xxh64(Self::SEED, data))
@@ -197,8 +236,43 @@ impl ChecksumTable {
     /// Whether unit `(disk, offset)` has a recorded checksum.
     pub fn recorded(&self, disk: usize, offset: usize) -> bool {
         let t = self.disks.read().unwrap();
-        t.get(disk).and_then(|d| d.get(offset)).map(|s| s.load(Ordering::Relaxed))
+        t.get(disk).and_then(|d| d.sums.get(offset)).map(|s| s.load(Ordering::Relaxed))
             != Some(Self::UNSET)
+    }
+
+    /// Stores a raw (already encoded) sum without touching the dirty
+    /// bitmap — the sidecar-log replay path, which must not re-dirty
+    /// entries it just read back from disk.
+    pub fn set_raw(&self, disk: usize, offset: usize, sum: u64) {
+        let t = self.disks.read().unwrap();
+        if let Some(slot) = t.get(disk).and_then(|d| d.sums.get(offset)) {
+            slot.store(sum, Ordering::Relaxed);
+        }
+    }
+
+    /// Drains the dirty bitmap, invoking `f(disk, offset, sum)` for
+    /// every entry recorded since the last drain. Each bitmap word is
+    /// atomically swapped to zero before its bits are walked, so a
+    /// concurrent `record` is either captured by this drain or left
+    /// dirty for the next one — never lost. (A sum racing the drain
+    /// may be captured at its newer value and persisted again next
+    /// drain; the sidecar is best-effort and self-healing, so
+    /// over-persisting is harmless.)
+    pub fn drain_dirty(&self, mut f: impl FnMut(usize, usize, u64)) {
+        let t = self.disks.read().unwrap();
+        for (disk, col) in t.iter().enumerate() {
+            for (wi, word) in col.dirty.iter().enumerate() {
+                let mut bits = word.swap(0, Ordering::AcqRel);
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let offset = wi * 64 + bit;
+                    if let Some(slot) = col.sums.get(offset) {
+                        f(disk, offset, slot.load(Ordering::Relaxed));
+                    }
+                }
+            }
+        }
     }
 
     /// Forgets every checksum on `disk` (its medium was wiped or
@@ -206,8 +280,9 @@ impl ChecksumTable {
     pub fn clear_disk(&self, disk: usize) {
         let t = self.disks.read().unwrap();
         if let Some(d) = t.get(disk) {
-            for slot in d.iter() {
+            for (offset, slot) in d.sums.iter().enumerate() {
                 slot.store(Self::UNSET, Ordering::Relaxed);
+                d.mark_dirty(offset);
             }
         }
     }
@@ -218,12 +293,13 @@ impl ChecksumTable {
     pub fn resize_units(&self, units: usize) {
         let mut t = self.disks.write().unwrap();
         for d in t.iter_mut() {
-            let mut next: Vec<AtomicU64> = Vec::with_capacity(units);
+            let next = Column::new(units);
             for i in 0..units {
-                let v = d.get(i).map(|s| s.load(Ordering::Relaxed)).unwrap_or(Self::UNSET);
-                next.push(AtomicU64::new(v));
+                let v = d.sums.get(i).map(|s| s.load(Ordering::Relaxed)).unwrap_or(Self::UNSET);
+                next.sums[i].store(v, Ordering::Relaxed);
+                next.mark_dirty(i);
             }
-            *d = next.into_boxed_slice();
+            *d = next;
         }
     }
 
@@ -234,9 +310,11 @@ impl ChecksumTable {
         let t = self.disks.read().unwrap();
         let Some(d) = t.get(disk) else { return };
         for row in 0..n {
-            let v = d.get(base + row).map(|s| s.load(Ordering::Relaxed)).unwrap_or(Self::UNSET);
-            if let Some(dst) = d.get(row) {
+            let v =
+                d.sums.get(base + row).map(|s| s.load(Ordering::Relaxed)).unwrap_or(Self::UNSET);
+            if let Some(dst) = d.sums.get(row) {
                 dst.store(v, Ordering::Relaxed);
+                d.mark_dirty(row);
             }
         }
     }
@@ -246,13 +324,13 @@ impl ChecksumTable {
     pub fn to_bytes(&self) -> Vec<u8> {
         let t = self.disks.read().unwrap();
         let disks = t.len();
-        let units = t.first().map(|d| d.len()).unwrap_or(0);
+        let units = t.first().map(|d| d.sums.len()).unwrap_or(0);
         let mut out = Vec::with_capacity(24 + disks * units * 8);
         out.extend_from_slice(b"PDLSUM1\0");
         out.extend_from_slice(&(disks as u64).to_le_bytes());
         out.extend_from_slice(&(units as u64).to_le_bytes());
         for d in t.iter() {
-            for slot in d.iter() {
+            for slot in d.sums.iter() {
                 out.extend_from_slice(&slot.load(Ordering::Relaxed).to_le_bytes());
             }
         }
@@ -267,7 +345,7 @@ impl ChecksumTable {
     pub fn load_bytes(&self, bytes: &[u8]) -> bool {
         let t = self.disks.read().unwrap();
         let disks = t.len();
-        let units = t.first().map(|d| d.len()).unwrap_or(0);
+        let units = t.first().map(|d| d.sums.len()).unwrap_or(0);
         if bytes.len() != 24 + disks * units * 8 || &bytes[..8] != b"PDLSUM1\0" {
             return false;
         }
@@ -277,7 +355,7 @@ impl ChecksumTable {
         }
         let mut at = 24;
         for d in t.iter() {
-            for slot in d.iter() {
+            for slot in d.sums.iter() {
                 slot.store(rd(at), Ordering::Relaxed);
                 at += 8;
             }
@@ -335,6 +413,18 @@ pub struct HealthMonitor {
     /// `errors + repairs` count at which a disk auto-fails
     /// (`0` disables the policy — the default).
     threshold: AtomicU64,
+    /// Decaying recent-error count per physical disk: bumped with
+    /// `errors`/`repairs`, halved every elapsed [`rate_window_ms`]
+    /// (`rate_window_ms`: field below), so a burst spikes it while
+    /// the same errors spread over many windows stay near zero.
+    recent: Vec<AtomicU64>,
+    /// Recent-count at which a disk auto-fails (`0` disables the
+    /// rate policy — the default).
+    rate_threshold: AtomicU64,
+    /// Half-life of the `recent` counters in milliseconds.
+    rate_window_ms: AtomicU64,
+    /// When the `recent` counters were last decayed.
+    last_decay: Mutex<Instant>,
     /// Physical disks queued for auto-fail.
     pending: Mutex<Vec<usize>>,
     /// Disks the policy has auto-failed (sticky, for stats).
@@ -350,6 +440,10 @@ impl HealthMonitor {
             repairs: zeros(disks),
             retries: zeros(disks),
             threshold: AtomicU64::new(0),
+            recent: zeros(disks),
+            rate_threshold: AtomicU64::new(0),
+            rate_window_ms: AtomicU64::new(1000),
+            last_decay: Mutex::new(Instant::now()),
             pending: Mutex::new(Vec::new()),
             auto_failed: Mutex::new(Vec::new()),
         }
@@ -358,6 +452,56 @@ impl HealthMonitor {
     /// Sets the auto-fail threshold (`0` disables).
     pub fn set_threshold(&self, n: u64) {
         self.threshold.store(n, Ordering::Relaxed);
+    }
+
+    /// Sets the rate-based auto-fail policy: a disk whose decaying
+    /// recent-error count reaches `threshold` is queued for auto-fail
+    /// even if its cumulative score is under the cumulative
+    /// threshold. The count halves every `window_ms` milliseconds, so
+    /// `threshold` errors inside roughly one window trip the policy
+    /// while the same errors spread across many windows do not.
+    /// `threshold == 0` disables (the default); `window_ms` is
+    /// clamped to at least 1.
+    pub fn set_rate_policy(&self, threshold: u64, window_ms: u64) {
+        self.rate_window_ms.store(window_ms.max(1), Ordering::Relaxed);
+        self.rate_threshold.store(threshold, Ordering::Relaxed);
+    }
+
+    /// Halves every `recent` counter once per elapsed window since
+    /// the last decay (a whole-array pass under the decay mutex; only
+    /// error paths get here, so it is never hot).
+    fn decay_recent(&self) {
+        let window = self.rate_window_ms.load(Ordering::Relaxed).max(1);
+        let mut last = Self::locked(&self.last_decay);
+        let elapsed_ms = last.elapsed().as_millis() as u64;
+        let periods = elapsed_ms / window;
+        if periods == 0 {
+            return;
+        }
+        *last += std::time::Duration::from_millis(periods * window);
+        let shift = periods.min(63) as u32;
+        for c in &self.recent {
+            let v = c.load(Ordering::Relaxed);
+            if v != 0 {
+                c.store(v >> shift, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Bumps `disk`'s decaying recent-error count and queues the disk
+    /// when the rate policy's threshold is reached.
+    fn note_recent(&self, disk: usize) {
+        let th = self.rate_threshold.load(Ordering::Relaxed);
+        if th == 0 || disk >= self.recent.len() {
+            return;
+        }
+        self.decay_recent();
+        if self.recent[disk].fetch_add(1, Ordering::Relaxed) + 1 >= th {
+            let mut p = Self::locked(&self.pending);
+            if !p.contains(&disk) {
+                p.push(disk);
+            }
+        }
     }
 
     fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -393,6 +537,7 @@ impl HealthMonitor {
         if let Some(c) = self.errors.get(disk) {
             c.fetch_add(1, Ordering::Relaxed);
         }
+        self.note_recent(disk);
         self.maybe_queue(disk);
     }
 
@@ -401,6 +546,7 @@ impl HealthMonitor {
         if let Some(c) = self.repairs.get(disk) {
             c.fetch_add(1, Ordering::Relaxed);
         }
+        self.note_recent(disk);
         self.maybe_queue(disk);
     }
 
@@ -448,6 +594,7 @@ impl HealthMonitor {
                 errors: self.errors[d].load(Ordering::Relaxed),
                 repairs: self.repairs[d].load(Ordering::Relaxed),
                 retries: self.retries[d].load(Ordering::Relaxed),
+                recent: self.recent[d].load(Ordering::Relaxed),
                 auto_failed: auto.contains(&d),
             })
             .collect()
@@ -465,6 +612,9 @@ pub struct DiskHealthSnapshot {
     pub repairs: u64,
     /// Transient errors absorbed by retry.
     pub retries: u64,
+    /// Decaying recent-error count (the rate policy's input; halves
+    /// every rate window).
+    pub recent: u64,
     /// Whether the health policy auto-failed this disk.
     pub auto_failed: bool,
 }
@@ -700,6 +850,60 @@ mod tests {
         let snap = ig.health.snapshot();
         assert_eq!(snap[0].errors, 2);
         assert_eq!(snap[0].retries, 3, "default budget burned");
+    }
+
+    #[test]
+    fn dirty_bitmap_drains_once_and_recaptures() {
+        let t = ChecksumTable::new(2, 70); // spans two bitmap words
+        let unit = [3u8; 4];
+        t.record(0, 0, &unit);
+        t.record(0, 69, &unit);
+        t.record(1, 5, &unit);
+        let mut got = Vec::new();
+        t.drain_dirty(|d, o, s| got.push((d, o, s)));
+        got.sort_unstable();
+        assert_eq!(got.len(), 3);
+        assert_eq!((got[0].0, got[0].1), (0, 0));
+        assert_eq!((got[1].0, got[1].1), (0, 69));
+        assert_eq!((got[2].0, got[2].1), (1, 5));
+        assert_eq!(got[0].2, ChecksumTable::encode(xxh64(ChecksumTable::SEED, &unit)));
+        // Drained entries stay drained until re-recorded.
+        let mut again = Vec::new();
+        t.drain_dirty(|d, o, s| again.push((d, o, s)));
+        assert!(again.is_empty());
+        t.record(0, 69, &unit);
+        t.drain_dirty(|d, o, _| again.push((d, o, 0)));
+        assert_eq!(again, vec![(0, 69, 0)]);
+        // set_raw applies without dirtying (the replay path).
+        t.set_raw(1, 7, 42);
+        assert!(t.recorded(1, 7));
+        let mut raw = Vec::new();
+        t.drain_dirty(|d, o, _| raw.push((d, o)));
+        assert!(raw.is_empty());
+        assert_eq!(t.geometry(), (2, 70));
+    }
+
+    #[test]
+    fn health_rate_policy_trips_on_burst_not_drizzle() {
+        // Burst: 4 errors back to back inside one long window.
+        let h = HealthMonitor::new(2);
+        h.set_rate_policy(4, 60_000);
+        for _ in 0..3 {
+            h.note_error(1);
+        }
+        assert!(!h.has_pending(), "under the rate threshold");
+        h.note_error(1);
+        assert_eq!(h.take_pending(), vec![1]);
+        assert_eq!(h.snapshot()[1].recent, 4);
+        // Drizzle: the same 4 errors with >=2 windows between them
+        // decay below the threshold every time.
+        let h = HealthMonitor::new(2);
+        h.set_rate_policy(4, 5);
+        for _ in 0..4 {
+            h.note_error(0);
+            std::thread::sleep(std::time::Duration::from_millis(12));
+        }
+        assert!(!h.has_pending(), "spread errors decay before reaching the threshold");
     }
 
     #[test]

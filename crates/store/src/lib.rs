@@ -137,6 +137,7 @@ pub mod backend;
 pub mod cache;
 pub mod error;
 pub mod integrity;
+pub mod maintenance;
 pub mod meta;
 pub mod obs;
 pub mod rebuild;
@@ -152,9 +153,13 @@ pub use error::StoreError;
 pub use integrity::{
     xxh64, ChecksumTable, DiskHealthSnapshot, IntegrityStatsSnapshot, RetryPolicy,
 };
+pub use maintenance::{
+    ContinuousScrubConfig, ContinuousScrubHandle, ContinuousScrubReport, MaintenanceStateSnapshot,
+    ReshapeDriverConfig, ReshapeDriverHandle, ReshapeDriverReport,
+};
 pub use meta::{
     create_file_store, create_file_store_pq, open_file_store, update_cache_policy, ReshapeState,
-    ScrubState, StoreMeta, META_FILE, SUMS_FILE,
+    ScrubState, StoreMeta, META_FILE, SUMS_FILE, SUMS_LOG_FILE,
 };
 pub use obs::{
     render_stats, CacheStatsSnapshot, DegradedSnapshot, DiskCounters, DiskStatSnapshot, Event,

@@ -185,6 +185,14 @@ pub const META_FILE: &str = "store.json";
 /// the next scrub pass.
 pub const SUMS_FILE: &str = "checksums.bin";
 
+/// File name of the incremental checksum-sidecar log inside an array
+/// directory: self-checksummed records of entries dirtied since the
+/// last full sidecar write, appended by flushes and scrub checkpoints
+/// and compacted back into [`SUMS_FILE`] when it outgrows half the
+/// base table (see `BlockStore::persist_sums`). A torn tail from a
+/// crash mid-append is detected and ignored on replay.
+pub const SUMS_LOG_FILE: &str = "checksums.log";
+
 impl StoreMeta {
     /// Captures the metadata of an XOR store configuration. XOR
     /// documents carry no version-2-only information (the scheme is
@@ -484,9 +492,27 @@ pub fn open_file_store(dir: impl AsRef<Path>) -> Result<BlockStore<FileBackend>,
     }
     // Best-effort sidecar load: wrong geometry or torn bytes leave
     // the table unset (every verification skipped until re-adopted).
+    let mut base_ok = false;
     if let Ok(bytes) = std::fs::read(dir.join(SUMS_FILE)) {
-        store.load_checksums(&bytes);
+        base_ok = store.load_checksums(&bytes);
     }
+    // Replay the incremental log over the base (entries persisted by
+    // flushes since the base was last compacted). Replay is safe even
+    // without a base: records carry the geometry they were written
+    // under and torn tails stop the replay. A tail the replay could
+    // not consume (the crash landed mid-append) forces the next
+    // persist to rewrite the base and drop the log — appending past a
+    // torn record would leave the new entries unreachable forever.
+    let mut log_torn = false;
+    if let Ok(bytes) = std::fs::read(dir.join(SUMS_LOG_FILE)) {
+        let consumed = store.replay_sums_log(&bytes);
+        log_torn = consumed != bytes.len();
+        store.sums_log_len.store(bytes.len() as u64, std::sync::atomic::Ordering::Release);
+    }
+    // Only build incrementally on a base that actually loaded and a
+    // log that replayed whole; otherwise the first persist
+    // re-establishes a clean base.
+    store.sums_full_rewrite.store(!base_ok || log_torn, std::sync::atomic::Ordering::Release);
     Ok(store)
 }
 

@@ -480,11 +480,23 @@ impl Metrics {
         OpKind::ALL.iter().map(|&k| threads.iter().map(|t| t.ops(k)).sum::<u64>()).sum()
     }
 
+    /// Client-facing ops (reads and writes, healthy or degraded)
+    /// across all threads — excludes maintenance kinds (rebuild,
+    /// reshape, scrub), so maintenance pacing can measure foreground
+    /// load without counting itself. Reads as zero when the registry
+    /// is disabled.
+    pub fn client_ops(&self) -> u64 {
+        const CLIENT: [OpKind; 4] =
+            [OpKind::Read, OpKind::Write, OpKind::DegradedRead, OpKind::DegradedWrite];
+        let threads = self.threads.lock().unwrap();
+        CLIENT.iter().map(|&k| threads.iter().map(|t| t.ops(k)).sum::<u64>()).sum()
+    }
+
     /// Feeds the recent read/write mix estimator (decayed counters;
     /// approximate under races, which is all the admission check
     /// needs). Callers invoke this only on ops whose
-    /// [`OpTimer::mix_due`] flag is set (1 in
-    /// [`MIX_SAMPLE`](Self::MIX_SAMPLE)); each sample also refreshes
+    /// `OpTimer::mix_due` flag is set (1 in
+    /// `Self::MIX_SAMPLE`); each sample also refreshes
     /// the cached [`Metrics::read_mostly`] verdict.
     pub fn note_mix(&self, is_read: bool) {
         if !self.enabled() {
@@ -899,7 +911,7 @@ impl RebuildTracker {
     }
 }
 
-/// A live view of a running rebuild (see [`RebuildTracker`] /
+/// A live view of a running rebuild (see `RebuildTracker` /
 /// [`crate::BlockStore::rebuild_progress`]). `per_disk_reads` counts
 /// backend reads per *logical* disk since the rebuild registered —
 /// with racing client traffic those reads are included, so
@@ -1122,6 +1134,10 @@ pub struct StatsSnapshot {
     /// Integrity-subsystem totals: repairs, retries, scrub state, and
     /// per-disk health.
     pub integrity: crate::integrity::IntegrityStatsSnapshot,
+    /// Background-maintenance scheduler state: reshape driver and
+    /// continuous-scrub activity, pacing decisions, and arbitration
+    /// counters.
+    pub maintenance: crate::maintenance::MaintenanceStateSnapshot,
 }
 
 /// Live progress of a running reshape in a [`StatsSnapshot`].
@@ -1262,6 +1278,23 @@ pub fn render_stats(s: &StatsSnapshot) -> String {
         ig.transient_retries,
         ig.scrub_passes,
         ig.scrub_cursor
+    );
+    let m = &s.maintenance;
+    let _ = writeln!(
+        out,
+        "maintenance: scrub {}{} ({} paced pass(es), {} yield(s), {} idle restart(s), step {}, \
+         sleep {}us); driver {} ({} run(s), {} step(s), {} resume(s))",
+        if m.continuous_scrub_active { "continuous" } else { "idle" },
+        if m.continuous_scrub_active { " ACTIVE" } else { "" },
+        m.paced_passes,
+        m.scrub_yields,
+        m.idle_restarts,
+        m.paced_step,
+        m.paced_sleep_us,
+        if m.reshape_driver_active { "ACTIVE" } else { "idle" },
+        m.driver_runs,
+        m.driver_steps,
+        m.driver_resumes
     );
     for d in &ig.disk_health {
         if d.errors == 0 && d.repairs == 0 && d.retries == 0 && !d.auto_failed {
@@ -1442,8 +1475,16 @@ mod tests {
                     errors: 1,
                     repairs: 2,
                     retries: 4,
+                    recent: 1,
                     auto_failed: true,
                 }],
+            },
+            maintenance: crate::maintenance::MaintenanceStateSnapshot {
+                continuous_scrub_active: true,
+                paced_passes: 3,
+                scrub_yields: 2,
+                driver_runs: 1,
+                ..Default::default()
             },
         };
         let json = serde_json::to_string(&snap).unwrap();
@@ -1462,6 +1503,8 @@ mod tests {
         assert!(text.contains("rebuild: disk 1"));
         assert!(text.contains("reshape: add -> v=9"));
         assert!(text.contains("integrity: 2 checksum repair(s)"));
+        assert_eq!(back.maintenance.paced_passes, 3);
+        assert!(text.contains("maintenance: scrub continuous ACTIVE (3 paced pass(es)"));
         assert!(text.contains("AUTO-FAILED"));
     }
 

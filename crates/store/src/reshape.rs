@@ -23,7 +23,7 @@
 //!   swaps worlds, so reads need no migration cursor at all.
 //! * **Writes are dual, unconditionally.** Every acknowledged write
 //!   during an active reshape also lands in the target world
-//!   ([`BlockStore::dual_write`]): under the reshape's own per-stripe
+//!   (`BlockStore::dual_write`): under the reshape's own per-stripe
 //!   lock table, the target data unit is read, the delta folded into
 //!   the target P (and Q), and the new bytes written. Re-applying the
 //!   same value is a no-op (delta = 0), so dual writes are
@@ -864,6 +864,22 @@ impl<B: Backend> BlockStore<B> {
         res
     }
 
+    /// Durably checkpoints the active reshape at its *current* cursor
+    /// (a no-op when none is active, or for memory-backed stores) —
+    /// the reshape driver's stop path, so a later driver resumes at
+    /// the stop point instead of the last periodic checkpoint.
+    pub(crate) fn checkpoint_active_reshape(&self) -> Result<(), StoreError> {
+        let rs = {
+            let st = self.state_read();
+            match &st.reshape {
+                Some(rs) => rs.clone(),
+                None => return Ok(()),
+            }
+        };
+        let cursor = rs.cursor.load(Ordering::Acquire);
+        self.persist_migrate_checkpoint(&rs, cursor)
+    }
+
     fn persist_migrate_checkpoint(
         &self,
         rs: &Arc<ReshapeRuntime>,
@@ -1001,6 +1017,10 @@ impl<B: Backend> BlockStore<B> {
         for d in 0..self.backend.disks() {
             self.integrity.sums.clear_disk(d);
         }
+        // The sidecar's geometry header changed with the table: force
+        // the next persist to write a fresh base rather than append
+        // old-geometry entries to the incremental log.
+        self.sums_full_rewrite.store(true, Ordering::Release);
         self.scrub_cursor.store(0, Ordering::Release);
         let epoch = st.epoch;
         let to_v = tw.layout.v();

@@ -1,7 +1,7 @@
 //! Background scrubbing: a rate-limited walk over every stripe that
 //! verifies unit checksums *and* parity consistency, repairing what
 //! it finds via erasure decode (see
-//! [`BlockStore::repair_stripe_locked`]'s read-repair machinery).
+//! `BlockStore::repair_stripe_locked`'s read-repair machinery).
 //!
 //! Latent sector errors are the quiet failure mode of disk arrays:
 //! a corrupt unit that nobody reads stays corrupt until the disk
@@ -148,7 +148,7 @@ impl<B: Backend> BlockStore<B> {
             return Err(StoreError::ScrubInProgress);
         }
         let _active = ActiveGuard(&self.scrub_active);
-        self.scrub_pass(cfg, None)
+        self.scrub_pass(cfg, None, None)
     }
 
     /// Starts a scrub pass on a background thread and returns a
@@ -176,7 +176,7 @@ impl<B: Backend> BlockStore<B> {
                     return Ok(ScrubReport::default());
                 };
                 let _active = ActiveGuard(&store.scrub_active);
-                store.scrub_pass(&cfg, Some(&stop_t))
+                store.scrub_pass(&cfg, Some(&stop_t), None)
             })
             .expect("spawn scrub thread");
         Ok(ScrubHandle { stop, thread })
@@ -184,13 +184,20 @@ impl<B: Backend> BlockStore<B> {
 
     /// The scrub pass body. `stop` is `Some` for background passes
     /// (checked at batch boundaries) and `None` for foreground ones.
-    /// The caller owns `scrub_active`.
-    fn scrub_pass(
+    /// `pacer` is `Some` for load-aware passes (see
+    /// [`crate::maintenance`]): it resizes the batch and inserts
+    /// sleeps after each one. The caller owns `scrub_active`.
+    pub(crate) fn scrub_pass(
         &self,
         cfg: &ScrubConfig,
         stop: Option<&AtomicBool>,
+        mut pacer: Option<&mut crate::maintenance::ScrubPacer>,
     ) -> Result<ScrubReport, StoreError> {
-        let step = cfg.stripes_per_step.max(1) as u64;
+        let mut step = match &pacer {
+            Some(p) => p.step().max(1) as u64,
+            None => cfg.stripes_per_step.max(1) as u64,
+        };
+        let mut pace_sleep_us = 0u64;
         let mut report = ScrubReport {
             resumed_from: self.scrub_cursor.load(Ordering::Acquire),
             ..ScrubReport::default()
@@ -215,6 +222,9 @@ impl<B: Backend> BlockStore<B> {
                 match stop {
                     None => return Err(StoreError::ReshapeInProgress),
                     Some(_) => {
+                        // Arbitration rule 1: scrub yields to reshape
+                        // (see `crate::maintenance`), observably.
+                        self.maint.scrub_yields.fetch_add(1, Ordering::Relaxed);
                         std::thread::sleep(Duration::from_millis(2));
                         continue;
                     }
@@ -230,6 +240,9 @@ impl<B: Backend> BlockStore<B> {
                 // Pass complete: bump the pass counter, rewind the
                 // cursor, and make both durable with the sums.
                 self.integrity.scrub_passes.fetch_add(1, Ordering::AcqRel);
+                if pacer.is_some() {
+                    self.maint.paced_passes.fetch_add(1, Ordering::Relaxed);
+                }
                 self.scrub_cursor.store(0, Ordering::Release);
                 self.checkpoint_scrub(&st)?;
                 report.completed = true;
@@ -246,6 +259,7 @@ impl<B: Backend> BlockStore<B> {
                 return Ok(report);
             }
             let end = (cur + step).min(total);
+            let batch_t0 = Instant::now();
             for t in cur..end {
                 let (copy, si) = ((t / spc) as usize, (t % spc) as usize);
                 let shard = self.locks.shard_of(copy, si);
@@ -262,6 +276,7 @@ impl<B: Backend> BlockStore<B> {
                 report.checksum_repairs += u64::from(c);
                 report.parity_repairs += u64::from(p);
             }
+            let batch_ns = batch_t0.elapsed().as_nanos() as u64;
             self.scrub_cursor.store(end, Ordering::Release);
             report.stripes += end - cur;
             since_ckpt += end - cur;
@@ -273,8 +288,15 @@ impl<B: Backend> BlockStore<B> {
             if self.integrity.health.has_pending() {
                 self.apply_pending_health();
             }
-            if cfg.sleep_us > 0 {
-                std::thread::sleep(Duration::from_micros(cfg.sleep_us));
+            if let Some(p) = pacer.as_mut() {
+                let (next_step, sleep_us) =
+                    p.pace(&self.metrics, &self.maint, end, total, batch_ns, end - cur);
+                step = next_step.max(1) as u64;
+                pace_sleep_us = sleep_us;
+            }
+            let sleep_us = cfg.sleep_us.max(pace_sleep_us);
+            if sleep_us > 0 {
+                std::thread::sleep(Duration::from_micros(sleep_us));
             }
         }
     }

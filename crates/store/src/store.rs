@@ -23,7 +23,7 @@
 //! threads at once (`BlockStore<B>: Sync` whenever `B: Backend`).
 //! Three mechanisms make that safe:
 //!
-//! 1. **A stripe-sharded lock table** ([`StripeLockTable`]). Parity
+//! 1. **A stripe-sharded lock table** (`StripeLockTable`). Parity
 //!    maintenance is a multi-unit read-modify-write over one stripe,
 //!    so each `(copy, stripe)` hashes to one of a fixed number of
 //!    shard `RwLock`s. Writers (and rebuild workers) lock every shard
@@ -114,7 +114,8 @@
 use crate::backend::Backend;
 use crate::cache::{key_parts, stripe_key, CachePolicy, FlushSnapshot, StripeCache};
 use crate::error::StoreError;
-use crate::integrity::{Integrity, RetryPolicy};
+use crate::integrity::{xxh64, ChecksumTable, Integrity, RetryPolicy};
+use crate::maintenance::MaintState;
 use crate::meta::StoreMeta;
 use crate::obs::{
     DiskStatSnapshot, Event, EventHub, EventSink, Metrics, OpKind, RebuildProgress, RebuildTracker,
@@ -574,9 +575,25 @@ pub struct BlockStore<B> {
     pub(crate) scrub_active: AtomicBool,
     /// Where the checksum-table sidecar lives for file-backed stores
     /// (`None` for memory stores). `flush` and scrub checkpoints
-    /// rewrite it atomically so a reopened store verifies against the
-    /// sums it last made durable.
+    /// persist it (base table plus an incremental dirty-entry log, see
+    /// [`BlockStore::persist_sums`]) so a reopened store verifies
+    /// against the sums it last made durable.
     pub(crate) sums_path: Option<std::path::PathBuf>,
+    /// Background-maintenance scheduler state (reshape driver +
+    /// continuous scrub), see [`crate::maintenance`].
+    pub(crate) maint: MaintState,
+    /// Serializes sidecar persists: `flush`, scrub checkpoints, and
+    /// maintenance threads may all call [`BlockStore::persist_sums`]
+    /// concurrently, and interleaved log appends would corrupt the
+    /// record stream.
+    pub(crate) sums_persist_lock: Mutex<()>,
+    /// Bytes currently in the incremental sidecar log — drives the
+    /// compaction heuristic.
+    pub(crate) sums_log_len: AtomicU64,
+    /// Forces the next [`BlockStore::persist_sums`] to rewrite the
+    /// whole base table (set at build, after a geometry change, and
+    /// when a log append fails).
+    pub(crate) sums_full_rewrite: AtomicBool,
 }
 
 /// Signature of a metadata-persistence hook: atomically durably write
@@ -732,6 +749,10 @@ impl<B: Backend> BlockStore<B> {
             scrub_cursor: AtomicU64::new(0),
             scrub_active: AtomicBool::new(false),
             sums_path: None,
+            maint: MaintState::default(),
+            sums_persist_lock: Mutex::new(()),
+            sums_log_len: AtomicU64::new(0),
+            sums_full_rewrite: AtomicBool::new(true),
         })
     }
 
@@ -1092,6 +1113,18 @@ impl<B: Backend> BlockStore<B> {
         self.integrity.health.set_threshold(n);
     }
 
+    /// Sets the *rate-based* disk-health auto-fail policy: a physical
+    /// disk accumulating `threshold` recent errors (hard errors +
+    /// checksum repairs, decaying by half every `window_ms`
+    /// milliseconds) is queued and auto-failed at the next operation
+    /// epilogue — a predictive complement to the cumulative
+    /// [`BlockStore::set_health_threshold`]: an error *burst* trips
+    /// it while the same count spread over a long window does not.
+    /// `threshold == 0` (the default) disables it.
+    pub fn set_health_rate_policy(&self, threshold: u64, window_ms: u64) {
+        self.integrity.health.set_rate_policy(threshold, window_ms);
+    }
+
     /// Installs the transient-error retry policy applied around every
     /// backend call the store issues.
     pub fn set_retry_policy(&self, policy: RetryPolicy) {
@@ -1184,6 +1217,7 @@ impl<B: Backend> BlockStore<B> {
             rebuild: self.rebuild_progress(),
             reshape,
             integrity,
+            maintenance: self.maint.snapshot(),
         }
     }
 
@@ -1209,14 +1243,33 @@ impl<B: Backend> BlockStore<B> {
     /// Seeds the checksum table from a serialized sidecar (see
     /// [`crate::meta::SUMS_FILE`]). Malformed or geometry-mismatched
     /// bytes are ignored — the table simply stays unset and fills
-    /// back in as units are written.
-    pub(crate) fn load_checksums(&self, bytes: &[u8]) {
-        self.integrity.sums.load_bytes(bytes);
+    /// back in as units are written. Returns whether the bytes were
+    /// accepted, so the opener knows if incremental persistence may
+    /// build on the base table.
+    pub(crate) fn load_checksums(&self, bytes: &[u8]) -> bool {
+        self.integrity.sums.load_bytes(bytes)
     }
 
-    /// Atomically rewrites the checksum-table sidecar (tmp + rename),
-    /// when one is configured and verification is on. Called from
-    /// [`BlockStore::flush`] and from scrub checkpoints.
+    /// Magic prefix of one incremental sidecar-log record.
+    pub(crate) const SUMS_LOG_MAGIC: &'static [u8; 4] = b"PSL1";
+
+    /// Persists the checksum-table sidecar, when one is configured
+    /// and verification is on. Called from [`BlockStore::flush`] and
+    /// from scrub checkpoints.
+    ///
+    /// Rather than rewriting the whole table every time (continuous
+    /// scrubbing would turn that into continuous full-table
+    /// rewrites), entries dirtied since the last persist are appended
+    /// as one self-checksummed record to an adjacent log file
+    /// (`checksums.log`): `"PSL1" + disks u32 + units u32 + count
+    /// u32 + count × (disk u32, offset u32, sum u64) +
+    /// xxh64(entries)`.
+    /// The base table is fully rewritten (tmp + rename, then the log
+    /// is discarded) only when forced — first persist, geometry
+    /// change, failed append — or when the log outgrows half the base
+    /// size (compaction). A torn tail from a crash mid-append is
+    /// detected on replay by the record checksum and ignored; sums
+    /// are best-effort and self-heal through read-repair.
     pub(crate) fn persist_sums(&self) -> Result<(), StoreError> {
         let Some(path) = &self.sums_path else {
             return Ok(());
@@ -1224,10 +1277,115 @@ impl<B: Backend> BlockStore<B> {
         if !self.integrity.verifying() {
             return Ok(());
         }
-        let tmp = path.with_extension("bin.tmp");
-        std::fs::write(&tmp, self.integrity.sums.to_bytes())?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+        let _serial = self.sums_persist_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let (disks, units) = self.integrity.sums.geometry();
+        let base_len = 24 + (disks * units * 8) as u64;
+        let log_path = path.with_extension("log");
+        let full = self.sums_full_rewrite.swap(false, Ordering::AcqRel)
+            || self.sums_log_len.load(Ordering::Acquire) > base_len / 2;
+        if full {
+            // Drain (and discard) the dirty set first: everything it
+            // covers is in the table we are about to write whole.
+            self.integrity.sums.drain_dirty(|_, _, _| {});
+            let res: Result<(), StoreError> = (|| {
+                let tmp = path.with_extension("bin.tmp");
+                std::fs::write(&tmp, self.integrity.sums.to_bytes())?;
+                std::fs::rename(&tmp, path)?;
+                // Remove the now-stale log *after* the base rename: a
+                // crash between the two leaves a log whose replay is
+                // idempotent over the new base.
+                match std::fs::remove_file(&log_path) {
+                    Err(e) if e.kind() != std::io::ErrorKind::NotFound => return Err(e.into()),
+                    _ => {}
+                }
+                self.sums_log_len.store(0, Ordering::Release);
+                Ok(())
+            })();
+            if res.is_err() {
+                self.sums_full_rewrite.store(true, Ordering::Release);
+            }
+            return res;
+        }
+        let mut entries = Vec::new();
+        let mut count = 0u32;
+        self.integrity.sums.drain_dirty(|d, o, s| {
+            entries.extend_from_slice(&(d as u32).to_le_bytes());
+            entries.extend_from_slice(&(o as u32).to_le_bytes());
+            entries.extend_from_slice(&s.to_le_bytes());
+            count += 1;
+        });
+        if count == 0 {
+            return Ok(());
+        }
+        let mut rec = Vec::with_capacity(16 + entries.len() + 8);
+        rec.extend_from_slice(Self::SUMS_LOG_MAGIC);
+        rec.extend_from_slice(&(disks as u32).to_le_bytes());
+        rec.extend_from_slice(&(units as u32).to_le_bytes());
+        rec.extend_from_slice(&count.to_le_bytes());
+        rec.extend_from_slice(&entries);
+        rec.extend_from_slice(
+            &ChecksumTable::encode(xxh64(ChecksumTable::SEED, &entries)).to_le_bytes(),
+        );
+        let res: Result<(), StoreError> = (|| {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().create(true).append(true).open(&log_path)?;
+            f.write_all(&rec)?;
+            f.sync_data()?;
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                self.sums_log_len.fetch_add(rec.len() as u64, Ordering::AcqRel);
+                Ok(())
+            }
+            Err(e) => {
+                // The drained entries may be half-appended; force the
+                // next persist to re-establish a clean base.
+                self.sums_full_rewrite.store(true, Ordering::Release);
+                Err(e)
+            }
+        }
+    }
+
+    /// Replays an incremental sidecar log (see
+    /// [`BlockStore::persist_sums`]) over the already-loaded base
+    /// table, returning the number of bytes consumed. Stops — without
+    /// erroring — at the first malformed or checksum-failing record
+    /// (a torn tail from a crash mid-append); records whose geometry
+    /// header disagrees with the current table (written before a
+    /// reshape changed the world) are skipped, not applied.
+    pub(crate) fn replay_sums_log(&self, bytes: &[u8]) -> usize {
+        let (disks, units) = self.integrity.sums.geometry();
+        let mut at = 0usize;
+        while bytes.len() - at >= 24 {
+            let rec = &bytes[at..];
+            if &rec[..4] != Self::SUMS_LOG_MAGIC {
+                break;
+            }
+            let rd32 = |b: &[u8]| u32::from_le_bytes(b[..4].try_into().unwrap());
+            let count = rd32(&rec[12..]) as usize;
+            let body_end = 16 + count * 16;
+            if rec.len() < body_end + 8 {
+                break;
+            }
+            let entries = &rec[16..body_end];
+            let want = u64::from_le_bytes(rec[body_end..body_end + 8].try_into().unwrap());
+            if ChecksumTable::encode(xxh64(ChecksumTable::SEED, entries)) != want {
+                break;
+            }
+            let geometry_ok =
+                rd32(&rec[4..]) as usize == disks && rd32(&rec[8..]) as usize == units;
+            if geometry_ok {
+                for e in entries.chunks_exact(16) {
+                    let d = rd32(e) as usize;
+                    let o = rd32(&e[4..]) as usize;
+                    let s = u64::from_le_bytes(e[8..16].try_into().unwrap());
+                    self.integrity.sums.set_raw(d, o, s);
+                }
+            }
+            at += body_end + 8;
+        }
+        at
     }
 
     /// The installed [`CachePolicy`].

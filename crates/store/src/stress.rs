@@ -26,9 +26,10 @@
 use crate::backend::Backend;
 use crate::cache::CachePolicy;
 use crate::error::StoreError;
+use crate::maintenance::{ContinuousScrubConfig, ContinuousScrubReport, ReshapeDriverConfig};
 use crate::obs::{RebuildProgress, StatsSnapshot};
 use crate::rebuild::{RebuildReport, Rebuilder};
-use crate::reshape::ReshapeReport;
+use crate::reshape::{ReshapeOptions, ReshapeReport};
 use crate::store::{fill_pattern, BlockStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -68,6 +69,16 @@ pub enum RebuildMode {
     ReshapeRemove {
         /// How many of the highest-numbered logical disks leave.
         removed: usize,
+    },
+    /// The full background-maintenance gauntlet: a *continuous*
+    /// paced scrub ([`BlockStore::run_continuous_scrub`]) runs for
+    /// the whole client phase while a background reshape *driver*
+    /// ([`BlockStore::drive_reshape`]) grows the array — scrub
+    /// yields to reshape, both pace against the live traffic, and
+    /// the final sweep still demands bit-exact content.
+    BackgroundMaintenance {
+        /// How many unmapped physical spares join the array.
+        added: usize,
     },
 }
 
@@ -164,6 +175,9 @@ pub struct StressReport {
     pub rebuild: Option<RebuildReport>,
     /// The reshape's report, when a racing reshape mode ran.
     pub reshape: Option<ReshapeReport>,
+    /// The continuous scrubber's accumulated report, when
+    /// [`RebuildMode::BackgroundMaintenance`] ran.
+    pub scrub: Option<ContinuousScrubReport>,
     /// The store's observability snapshot, taken after the traffic
     /// (and any rebuild and cache drain) but before the verification
     /// sweep — so its counters describe the workload, not the checker.
@@ -259,8 +273,12 @@ pub fn run<B: Backend>(
         }
     }
 
-    let reshaping =
-        matches!(cfg.rebuild, RebuildMode::ReshapeAdd { .. } | RebuildMode::ReshapeRemove { .. });
+    let reshaping = matches!(
+        cfg.rebuild,
+        RebuildMode::ReshapeAdd { .. }
+            | RebuildMode::ReshapeRemove { .. }
+            | RebuildMode::BackgroundMaintenance { .. }
+    );
     if let Some(disk) = cfg.fail_disk {
         // Drain the write cache before killing the medium: wiping a
         // disk that deferred writes still assume intact would feed
@@ -282,8 +300,10 @@ pub fn run<B: Backend>(
 
     let rebuild_result: Mutex<Option<Result<RebuildReport, StoreError>>> = Mutex::new(None);
     let reshape_result: Mutex<Option<Result<ReshapeReport, StoreError>>> = Mutex::new(None);
+    let scrub_result: Mutex<Option<Result<ContinuousScrubReport, StoreError>>> = Mutex::new(None);
     let progress_samples: Mutex<Vec<RebuildProgress>> = Mutex::new(Vec::new());
     let rebuild_done = AtomicBool::new(false);
+    let scrub_stop = AtomicBool::new(false);
     let start = Instant::now();
     let tallies: Vec<ThreadTally> = std::thread::scope(|s| {
         if let RebuildMode::Racing { spare } = cfg.rebuild {
@@ -349,6 +369,54 @@ pub fn run<B: Backend>(
                         Some(store.remove_disks(&leaving));
                 });
             }
+            RebuildMode::BackgroundMaintenance { added } => {
+                // Continuous scrub: paced passes for the entire client
+                // phase, stopped (and joined by the scope) after the
+                // client threads finish.
+                let scrub_result = &scrub_result;
+                let scrub_stop = &scrub_stop;
+                s.spawn(move || {
+                    let cfg = ContinuousScrubConfig {
+                        idle_ms: 1,
+                        load_budget: 0.3,
+                        ..ContinuousScrubConfig::default()
+                    };
+                    *scrub_result.lock().unwrap_or_else(|e| e.into_inner()) =
+                        Some(store.run_continuous_scrub(&cfg, scrub_stop));
+                });
+                // Reshape driver: fine-grained batches so migration,
+                // dual writes, scrub yields, and the commit flip all
+                // interleave with the traffic many times over.
+                let reshape_result = &reshape_result;
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(2));
+                    let mapped: Vec<usize> =
+                        (0..store.v()).map(|d| store.physical_disk(d)).collect();
+                    let joining: Vec<usize> = (0..store.backend().disks())
+                        .filter(|p| !mapped.contains(p))
+                        .take(added)
+                        .collect();
+                    assert_eq!(
+                        joining.len(),
+                        added,
+                        "[stress seed {}] not enough unmapped spares to add",
+                        cfg.seed
+                    );
+                    let res = store
+                        .begin_add_disks_with(
+                            &joining,
+                            &ReshapeOptions { batch_stripes: 1, ..ReshapeOptions::default() },
+                        )
+                        .and_then(|()| {
+                            store.drive_reshape(&ReshapeDriverConfig {
+                                batches_per_step: 1,
+                                sleep_us: 200,
+                            })
+                        })
+                        .map(|rep| rep.report.expect("a never-stopped driver runs to commit"));
+                    *reshape_result.lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
+                });
+            }
             _ => {}
         }
         let handles: Vec<_> = (0..threads)
@@ -360,14 +428,19 @@ pub fn run<B: Backend>(
                 s.spawn(move || client_thread(store, cfg, t, lo, hi, salts))
             })
             .collect();
-        handles
+        let tallies = handles
             .into_iter()
             .map(|h| {
                 // Re-raise the client thread's own panic payload — it
                 // is the message that names the failing seed/thread/op.
                 h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))
             })
-            .collect()
+            .collect();
+        // Release the continuous scrubber *inside* the scope — the
+        // scope's implicit join would otherwise wait on a loop that
+        // only stops when told to.
+        scrub_stop.store(true, Ordering::Release);
+        tallies
     });
     let elapsed = start.elapsed();
 
@@ -382,7 +455,9 @@ pub fn run<B: Backend>(
             Some(r?)
         }
         RebuildMode::AtEnd { spare } => Some(Rebuilder::default().rebuild(store, spare)?),
-        RebuildMode::ReshapeAdd { .. } | RebuildMode::ReshapeRemove { .. } => None,
+        RebuildMode::ReshapeAdd { .. }
+        | RebuildMode::ReshapeRemove { .. }
+        | RebuildMode::BackgroundMaintenance { .. } => None,
     };
     let reshape = if reshaping {
         let r = reshape_result
@@ -392,6 +467,18 @@ pub fn run<B: Backend>(
             .expect("racing reshape ran");
         Some(r.unwrap_or_else(|e| {
             panic!("[stress seed {} threads {threads}] reshape: {e}", cfg.seed)
+        }))
+    } else {
+        None
+    };
+    let scrub = if matches!(cfg.rebuild, RebuildMode::BackgroundMaintenance { .. }) {
+        let r = scrub_result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("continuous scrub ran");
+        Some(r.unwrap_or_else(|e| {
+            panic!("[stress seed {} threads {threads}] continuous scrub: {e}", cfg.seed)
         }))
     } else {
         None
@@ -441,6 +528,7 @@ pub fn run<B: Backend>(
         elapsed,
         rebuild,
         reshape,
+        scrub,
         stats,
         rebuild_progress: progress_samples.into_inner().unwrap_or_else(|e| e.into_inner()),
     };
