@@ -31,7 +31,7 @@
 
 use pdl_core::RingLayout;
 use pdl_store::stress::{self, RebuildMode, StressConfig};
-use pdl_store::{Backend, BlockStore, FileBackend, MemBackend, StoreError};
+use pdl_store::{Backend, BlockStore, EngineConfig, FileBackend, MemBackend, StoreError};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -41,6 +41,14 @@ const UNIT: usize = 512;
 const SERVICE_TIME_US: u64 = 100;
 /// Thread counts of the scaling curve.
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Batch size of the async legs: the engine's win is submitting a
+/// multi-run batch to many disks at once, so the workload must hand
+/// it batches (the sync path's throughput on a per-call-latency
+/// backend is batch-size-invariant — same number of serial calls
+/// either way — so the sync × async ratios stay apples-to-apples).
+const ASYNC_BATCH: usize = 8;
+/// Queue depths of the engine sweep (1 caller thread each).
+const DEPTHS: [usize; 3] = [2, 8, 32];
 
 /// Wraps any backend with a fixed per-call service time, emulating a
 /// device whose latency concurrency can overlap. Counters and
@@ -214,6 +222,8 @@ fn main() {
         );
         let store = BlockStore::new(layout.clone(), backend).unwrap();
         run_curve("mem", &store, &cfg, &mut samples);
+        run_async_curve("mem", &store, &cfg, &mut samples);
+        run_depth_sweep("mem", &store, &cfg, &mut samples);
     }
     // Raw memcpy backend: honest CPU-bound numbers, host-dependent.
     {
@@ -230,6 +240,7 @@ fn main() {
         )
         .unwrap();
         run_curve("file", &store, &cfg, &mut samples);
+        run_async_curve("file", &store, &cfg, &mut samples);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -275,7 +286,7 @@ fn main() {
 
 /// One backend's scaling curve: pure reads and a 70/30 mixed workload
 /// at each thread count, same total op budget per point.
-fn run_curve<B: Backend>(
+fn run_curve<B: Backend + 'static>(
     name: &'static str,
     store: &BlockStore<B>,
     cfg: &Config,
@@ -288,11 +299,13 @@ fn run_curve<B: Backend>(
                 ops_per_thread: cfg.total_ops / threads,
                 seed: 0xbe7c + threads as u64,
                 batch_max: 1,
+                batch_min: 1,
                 read_fraction,
                 fail_disk: None,
                 rebuild: RebuildMode::None,
                 verify_reads: false,
                 cache: pdl_store::CachePolicy::WriteThrough,
+                engine: None,
             };
             let report = stress::run(store, &stress_cfg).unwrap();
             let blocks = report.blocks_read + report.blocks_written;
@@ -314,20 +327,115 @@ fn run_curve<B: Backend>(
     store.verify_parity().unwrap_or_else(|e| panic!("{name}: parity after the curve: {e}"));
 }
 
+/// The async curve: the same scaling measurement with the I/O engine
+/// running, in multi-block batches so each op hands the per-disk
+/// queues a whole band of runs. `concurrent_read_async` is the
+/// headline (a single caller's batch seeks on every disk at once);
+/// `random_small_write_async` drives the write-gather submission
+/// path.
+fn run_async_curve<B: Backend + 'static>(
+    name: &'static str,
+    store: &BlockStore<B>,
+    cfg: &Config,
+    samples: &mut Vec<Sample>,
+) {
+    for &threads in &THREADS {
+        for (workload, read_fraction) in
+            [("concurrent_read_async", 1.0), ("random_small_write_async", 0.0)]
+        {
+            let stress_cfg = StressConfig {
+                threads,
+                ops_per_thread: cfg.total_ops / (threads * ASYNC_BATCH),
+                seed: 0xa57c + threads as u64,
+                batch_max: ASYNC_BATCH,
+                batch_min: ASYNC_BATCH,
+                read_fraction,
+                fail_disk: None,
+                rebuild: RebuildMode::None,
+                verify_reads: false,
+                cache: pdl_store::CachePolicy::WriteThrough,
+                engine: Some(EngineConfig::default()),
+            };
+            let report = stress::run(store, &stress_cfg).unwrap();
+            let blocks = report.blocks_read + report.blocks_written;
+            let seconds = report.elapsed.as_secs_f64();
+            samples.push(Sample {
+                backend: name,
+                workload,
+                threads,
+                mb_per_s: (blocks * report.unit_size) as f64 / seconds.max(1e-9) / 1e6,
+                blocks,
+                seconds,
+            });
+        }
+    }
+    store.verify_parity().unwrap_or_else(|e| panic!("{name}: parity after the async curve: {e}"));
+}
+
+/// Queue-depth sweep: `concurrent_read_async` at one caller thread
+/// across `target_depth` ∈ {2, 8, 32} — how much per-disk pile-on
+/// the scheduler needs before a single caller saturates the array.
+fn run_depth_sweep<B: Backend + 'static>(
+    name: &'static str,
+    store: &BlockStore<B>,
+    cfg: &Config,
+    samples: &mut Vec<Sample>,
+) {
+    for &depth in &DEPTHS {
+        let workload = match depth {
+            2 => "concurrent_read_async_depth2",
+            8 => "concurrent_read_async_depth8",
+            32 => "concurrent_read_async_depth32",
+            _ => unreachable!("DEPTHS is fixed"),
+        };
+        let stress_cfg = StressConfig {
+            threads: 1,
+            ops_per_thread: cfg.total_ops / ASYNC_BATCH,
+            seed: 0xdeb7 + depth as u64,
+            batch_max: ASYNC_BATCH,
+            batch_min: ASYNC_BATCH,
+            read_fraction: 1.0,
+            fail_disk: None,
+            rebuild: RebuildMode::None,
+            verify_reads: false,
+            cache: pdl_store::CachePolicy::WriteThrough,
+            engine: Some(EngineConfig { target_depth: depth, ..EngineConfig::default() }),
+        };
+        let report = stress::run(store, &stress_cfg).unwrap();
+        let blocks = report.blocks_read + report.blocks_written;
+        let seconds = report.elapsed.as_secs_f64();
+        samples.push(Sample {
+            backend: name,
+            workload,
+            threads: 1,
+            mb_per_s: (blocks * report.unit_size) as f64 / seconds.max(1e-9) / 1e6,
+            blocks,
+            seconds,
+        });
+    }
+    store.verify_parity().unwrap_or_else(|e| panic!("{name}: parity after the depth sweep: {e}"));
+}
+
+/// Raw throughput of one `(backend, workload, threads)` sample (NaN
+/// when the sample is missing, which fails any gate on the ratio).
+fn mb_per_s(samples: &[Sample], backend: &str, workload: &str, threads: usize) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.backend == backend && s.workload == workload && s.threads == threads)
+        .map(|s| s.mb_per_s)
+        .unwrap_or(f64::NAN)
+}
+
 /// Throughput at `threads` over the 1-thread figure for one curve.
 fn scaling_ratio(samples: &[Sample], backend: &str, workload: &str, threads: usize) -> f64 {
-    let get = |t: usize| {
-        samples
-            .iter()
-            .find(|s| s.backend == backend && s.workload == workload && s.threads == t)
-            .map(|s| s.mb_per_s)
-            .unwrap_or(f64::NAN)
-    };
-    get(threads) / get(1)
+    mb_per_s(samples, backend, workload, threads) / mb_per_s(samples, backend, workload, 1)
 }
 
 /// The headline ratios: each thread count over 1, per backend, for
-/// the read curve (plus the mixed curve at 4 threads).
+/// the read curve (plus the mixed curve at 4 threads), then the
+/// async-engine comparisons — async over sync at every thread count,
+/// the single/dual-caller async figures against the 8-thread sync
+/// ceiling, and the queue-depth sweep.
 fn ratios(samples: &[Sample]) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     for backend in ["mem", "mem_raw", "file"] {
@@ -340,6 +448,40 @@ fn ratios(samples: &[Sample]) -> Vec<(String, f64)> {
         out.push((
             format!("{backend}_concurrent_mixed_x4_over_x1"),
             scaling_ratio(samples, backend, "concurrent_mixed", 4),
+        ));
+    }
+    for backend in ["mem", "file"] {
+        for t in THREADS {
+            out.push((
+                format!("{backend}_concurrent_read_async_x{t}_over_sync_x{t}"),
+                mb_per_s(samples, backend, "concurrent_read_async", t)
+                    / mb_per_s(samples, backend, "concurrent_read", t),
+            ));
+        }
+    }
+    for t in [1usize, 2] {
+        out.push((
+            format!("mem_concurrent_read_async_x{t}_over_sync_x8"),
+            mb_per_s(samples, "mem", "concurrent_read_async", t)
+                / mb_per_s(samples, "mem", "concurrent_read", 8),
+        ));
+    }
+    out.push((
+        "mem_random_small_write_async_x4_over_x1".into(),
+        scaling_ratio(samples, "mem", "random_small_write_async", 4),
+    ));
+    for depth in [8usize, 32] {
+        out.push((
+            format!("mem_concurrent_read_async_depth{depth}_over_depth2"),
+            mb_per_s(
+                samples,
+                "mem",
+                match depth {
+                    8 => "concurrent_read_async_depth8",
+                    _ => "concurrent_read_async_depth32",
+                },
+                1,
+            ) / mb_per_s(samples, "mem", "concurrent_read_async_depth2", 1),
         ));
     }
     out

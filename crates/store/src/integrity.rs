@@ -233,6 +233,54 @@ impl ChecksumTable {
         }
     }
 
+    /// Verifies a contiguous span of units starting at `(disk,
+    /// start)` — `data` holds the units back to back — in **one**
+    /// table-lock acquisition instead of a `check` call (and its
+    /// `RwLock` read) per unit. Offsets of mismatching units are
+    /// appended to `bad`; units with no recorded checksum pass, as
+    /// in [`ChecksumTable::check`]. Returns `true` when every unit
+    /// passed.
+    pub fn check_span(
+        &self,
+        disk: usize,
+        start: usize,
+        data: &[u8],
+        unit_size: usize,
+        bad: &mut Vec<usize>,
+    ) -> bool {
+        let t = self.disks.read().unwrap();
+        let Some(d) = t.get(disk) else { return true };
+        let before = bad.len();
+        for (i, unit) in data.chunks_exact(unit_size).enumerate() {
+            if let Some(slot) = d.sums.get(start + i) {
+                let stored = slot.load(Ordering::Relaxed);
+                if stored != Self::UNSET && stored != Self::encode(xxh64(Self::SEED, unit)) {
+                    bad.push(start + i);
+                }
+            }
+        }
+        bad.len() == before
+    }
+
+    /// Verifies a batch of (offset, unit-bytes) pairs on `disk` in
+    /// one table-lock acquisition — the scattered-run counterpart of
+    /// [`ChecksumTable::check_span`]. Mismatching offsets are
+    /// appended to `bad`; returns `true` when every unit passed.
+    pub fn check_many(&self, disk: usize, units: &[(usize, &[u8])], bad: &mut Vec<usize>) -> bool {
+        let t = self.disks.read().unwrap();
+        let Some(d) = t.get(disk) else { return true };
+        let before = bad.len();
+        for &(offset, unit) in units {
+            if let Some(slot) = d.sums.get(offset) {
+                let stored = slot.load(Ordering::Relaxed);
+                if stored != Self::UNSET && stored != Self::encode(xxh64(Self::SEED, unit)) {
+                    bad.push(offset);
+                }
+            }
+        }
+        bad.len() == before
+    }
+
     /// Whether unit `(disk, offset)` has a recorded checksum.
     pub fn recorded(&self, disk: usize, offset: usize) -> bool {
         let t = self.disks.read().unwrap();
@@ -796,6 +844,40 @@ mod tests {
         // Out-of-range access is a no-op, never a panic.
         t.record(9, 9, &a);
         assert!(t.check(9, 9, &a));
+    }
+
+    #[test]
+    fn batch_checks_match_per_unit_checks() {
+        let t = ChecksumTable::new(2, 8);
+        let units: Vec<[u8; 4]> = (0..6u8).map(|i| [i; 4]).collect();
+        let span: Vec<u8> = units.iter().flat_map(|u| u.iter().copied()).collect();
+        t.record_span(0, 1, &span, 4);
+        // Clean span passes and reports nothing.
+        let mut bad = Vec::new();
+        assert!(t.check_span(0, 1, &span, 4, &mut bad));
+        assert!(bad.is_empty());
+        // Corrupt two units mid-span: both offsets reported, in
+        // order, matching what per-unit check() says.
+        let mut torn = span.clone();
+        torn[4] ^= 0xff; // unit at offset 2
+        torn[16] ^= 0xff; // unit at offset 5
+        assert!(!t.check_span(0, 1, &torn, 4, &mut bad));
+        assert_eq!(bad, vec![2, 5]);
+        for (i, u) in torn.chunks_exact(4).enumerate() {
+            assert_eq!(t.check(0, 1 + i, u), !bad.contains(&(1 + i)));
+        }
+        // Unset entries pass (offset 7 never recorded).
+        bad.clear();
+        assert!(t.check_span(0, 7, &[0xab; 4], 4, &mut bad));
+        // check_many over scattered offsets agrees too.
+        let scattered: Vec<(usize, &[u8])> =
+            vec![(1, &torn[..4]), (2, &torn[4..8]), (5, &torn[16..20])];
+        assert!(!t.check_many(0, &scattered, &mut bad));
+        assert_eq!(bad, vec![2, 5]);
+        // Out-of-range disk is a pass, never a panic.
+        bad.clear();
+        assert!(t.check_many(9, &scattered, &mut bad));
+        assert!(t.check_span(9, 0, &span, 4, &mut bad));
     }
 
     #[test]

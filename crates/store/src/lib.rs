@@ -135,6 +135,7 @@
 
 pub mod backend;
 pub mod cache;
+pub mod engine;
 pub mod error;
 pub mod integrity;
 pub mod maintenance;
@@ -147,8 +148,11 @@ pub mod scrub;
 pub mod store;
 pub mod stress;
 
-pub use backend::{Backend, FaultConfig, FaultyBackend, FileBackend, MemBackend};
+pub use backend::{AsyncFileBackend, Backend, FaultConfig, FaultyBackend, FileBackend, MemBackend};
 pub use cache::CachePolicy;
+pub use engine::{
+    Completion, DiskQueue, Engine, EngineConfig, EngineDiskSnapshot, EngineStatsSnapshot, Priority,
+};
 pub use error::StoreError;
 pub use integrity::{
     xxh64, ChecksumTable, DiskHealthSnapshot, IntegrityStatsSnapshot, RetryPolicy,

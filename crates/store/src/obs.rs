@@ -512,7 +512,22 @@ impl Metrics {
             self.recent_reads.store(r, Ordering::Relaxed);
             self.recent_writes.store(w, Ordering::Relaxed);
         }
-        self.read_heavy.store(r + w >= Self::MIX_MIN && r >= 2 * w, Ordering::Relaxed);
+        // Hysteresis: enter read-heavy at r ≥ 2w, but only *leave*
+        // below r = 1.5w. A mix sitting near the 2:1 boundary (the
+        // canonical 70/30 workload is 2.33:1, with sampling noise
+        // straddling 2:1) would otherwise flip the verdict back and
+        // forth, and every flip to read-heavy drains the write-back
+        // cache — making cached slower than uncached. Sticky
+        // verdicts keep the bypass decision stable across
+        // interleaved passes of such workloads.
+        let verdict = if r + w < Self::MIX_MIN {
+            false
+        } else if self.read_heavy.load(Ordering::Relaxed) {
+            2 * r >= 3 * w
+        } else {
+            r >= 2 * w
+        };
+        self.read_heavy.store(verdict, Ordering::Relaxed);
     }
 
     /// True when recent traffic is read-dominated (reads ≥ 2× writes
@@ -1138,6 +1153,11 @@ pub struct StatsSnapshot {
     /// continuous-scrub activity, pacing decisions, and arbitration
     /// counters.
     pub maintenance: crate::maintenance::MaintenanceStateSnapshot,
+    /// Async I/O engine state — per-disk queue-depth gauges, EWMA
+    /// service times, the queue-wait histogram, and the queue-tier
+    /// arbitration counters. `None` (serialized as `null`) while no
+    /// engine is running.
+    pub engine: Option<crate::engine::EngineStatsSnapshot>,
 }
 
 /// Live progress of a running reshape in a [`StatsSnapshot`].
@@ -1310,6 +1330,37 @@ pub fn render_stats(s: &StatsSnapshot) -> String {
             if d.auto_failed { "  AUTO-FAILED" } else { "" }
         );
     }
+    if let Some(e) = &s.engine {
+        let _ = writeln!(
+            out,
+            "engine: {} worker(s), depth target {}; {} client + {} maintenance submitted, \
+             {} completed ({} error(s)), {} maintenance deferral(s)",
+            e.workers,
+            e.target_depth,
+            e.client_submitted,
+            e.maintenance_submitted,
+            e.completed,
+            e.errors,
+            e.maintenance_deferred
+        );
+        for d in &e.disks {
+            if d.submitted == 0 && d.queued == 0 && d.in_flight == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  queue d{:<2} {:>3} queued / {:>2} in-flight / ewma {:>6}us / {:>8} sub / \
+                 {:>8} done / {:>6} coalesced",
+                d.disk,
+                d.queued,
+                d.in_flight,
+                d.ewma_service_us,
+                d.submitted,
+                d.completed,
+                d.coalesced
+            );
+        }
+    }
     out
 }
 
@@ -1390,6 +1441,28 @@ mod tests {
             m.note_mix(false);
         }
         assert!(!m.read_mostly(), "mix dropped below 2x");
+    }
+
+    #[test]
+    fn read_mostly_verdict_is_sticky_near_the_boundary() {
+        let m = Metrics::default();
+        // A 70/30 mix (2.33:1) enters read-heavy…
+        for i in 0..200 {
+            m.note_mix(i % 10 < 7);
+        }
+        assert!(m.read_mostly(), "70/30 enters read-heavy");
+        // …and a dip to 9/5 (1.8:1) — below the 2:1 entry threshold
+        // but above the 1.5:1 exit threshold — must NOT flip it
+        // back: every flip drains the write-back cache.
+        for i in 0..70 {
+            m.note_mix(i % 14 < 9);
+        }
+        assert!(m.read_mostly(), "1.8:1 dip stays read-heavy (hysteresis)");
+        // A genuinely write-heavy shift does leave.
+        for _ in 0..300 {
+            m.note_mix(false);
+        }
+        assert!(!m.read_mostly(), "sustained writes leave read-heavy");
     }
 
     #[test]
@@ -1486,6 +1559,25 @@ mod tests {
                 driver_runs: 1,
                 ..Default::default()
             },
+            engine: Some(crate::engine::EngineStatsSnapshot {
+                workers: 9,
+                target_depth: 8,
+                client_submitted: 40,
+                maintenance_submitted: 6,
+                completed: 46,
+                errors: 0,
+                maintenance_deferred: 2,
+                queue_wait_log2_ns: vec![0, 1, 3],
+                disks: vec![crate::engine::EngineDiskSnapshot {
+                    disk: 0,
+                    queued: 0,
+                    in_flight: 1,
+                    ewma_service_us: 120,
+                    submitted: 5,
+                    completed: 4,
+                    coalesced: 2,
+                }],
+            }),
         };
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
@@ -1505,6 +1597,17 @@ mod tests {
         assert!(text.contains("integrity: 2 checksum repair(s)"));
         assert_eq!(back.maintenance.paced_passes, 3);
         assert!(text.contains("maintenance: scrub continuous ACTIVE (3 paced pass(es)"));
+        let eng = back.engine.as_ref().unwrap();
+        assert_eq!(eng.client_submitted, 40);
+        assert_eq!(eng.maintenance_deferred, 2);
+        assert_eq!(eng.disks[0].coalesced, 2);
+        assert!(text.contains("engine: 9 worker(s)"));
+        // Engine-less snapshots round-trip the section as null.
+        let mut no_engine = snap.clone();
+        no_engine.engine = None;
+        let json2 = serde_json::to_string(&no_engine).unwrap();
+        let back2: StatsSnapshot = serde_json::from_str(&json2).unwrap();
+        assert!(back2.engine.is_none());
         assert!(text.contains("AUTO-FAILED"));
     }
 

@@ -93,6 +93,11 @@ pub struct StressConfig {
     pub seed: u64,
     /// Largest batched read/write, in blocks.
     pub batch_max: usize,
+    /// Smallest read/write, in blocks (default 1). Raising it to
+    /// `batch_max` makes every op a full-size batch — the shape the
+    /// async-engine benches measure, where each op hands the
+    /// submission queues a whole band of per-disk runs.
+    pub batch_min: usize,
     /// Fraction of operations that are reads (the rest write).
     pub read_fraction: f64,
     /// Fail this logical disk (and wipe its physical medium) before
@@ -111,6 +116,14 @@ pub struct StressConfig {
     /// concurrency matrix replays every schedule with write-back
     /// combining on).
     pub cache: CachePolicy,
+    /// When set, the async I/O engine runs for the duration of the
+    /// stress run with this configuration (started before the
+    /// traffic, stopped after the verification sweep) — every hot
+    /// path then goes through the per-disk submission queues. The
+    /// `PDL_ENGINE` / `PDL_ENGINE_DEPTH` / `PDL_ENGINE_WORKERS`
+    /// environment variables override it, so the CI engine matrix
+    /// replays every schedule through the queues at several depths.
+    pub engine: Option<crate::engine::EngineConfig>,
 }
 
 impl Default for StressConfig {
@@ -120,11 +133,13 @@ impl Default for StressConfig {
             ops_per_thread: 400,
             seed: 0xdecaf,
             batch_max: 8,
+            batch_min: 1,
             read_fraction: 0.5,
             fail_disk: None,
             rebuild: RebuildMode::None,
             verify_reads: true,
             cache: CachePolicy::WriteThrough,
+            engine: None,
         }
     }
 }
@@ -147,6 +162,22 @@ impl StressConfig {
         if let Ok(s) = std::env::var("PDL_CACHE") {
             self.cache = CachePolicy::decode(&s)
                 .expect("PDL_CACHE must be writethrough, writeback, or writeback:<max_dirty>");
+        }
+        if let Ok(s) = std::env::var("PDL_ENGINE") {
+            let on: u32 = s.parse().expect("PDL_ENGINE must be 0 or 1");
+            self.engine = if on != 0 { Some(crate::engine::EngineConfig::default()) } else { None };
+        }
+        if let Ok(s) = std::env::var("PDL_ENGINE_DEPTH") {
+            let depth = s.parse().expect("PDL_ENGINE_DEPTH must be a usize");
+            let mut ecfg = self.engine.unwrap_or_default();
+            ecfg.target_depth = depth;
+            self.engine = Some(ecfg);
+        }
+        if let Ok(s) = std::env::var("PDL_ENGINE_WORKERS") {
+            let workers = s.parse().expect("PDL_ENGINE_WORKERS must be a usize");
+            let mut ecfg = self.engine.unwrap_or_default();
+            ecfg.workers = workers;
+            self.engine = Some(ecfg);
         }
         self
     }
@@ -235,13 +266,27 @@ struct ThreadTally {
 ///
 /// Panics — with the seed in the message — on any content mismatch,
 /// so test and CI failures are replayable via `PDL_STRESS_SEED`.
-pub fn run<B: Backend>(
+pub fn run<B: Backend + 'static>(
     store: &BlockStore<B>,
     cfg: &StressConfig,
 ) -> Result<StressReport, StoreError> {
     let blocks = store.blocks();
     let unit = store.unit_size();
     store.set_cache_policy(cfg.cache)?;
+    // Engine session: the whole run — prefill, traffic, maintenance,
+    // verification sweep — goes through the submission queues; the
+    // guard stops the engine on every exit path (including seeded
+    // panics) so a reused bench store reverts to the sync path.
+    struct EngineGuard<'a, B: Backend + 'static>(&'a BlockStore<B>);
+    impl<B: Backend + 'static> Drop for EngineGuard<'_, B> {
+        fn drop(&mut self) {
+            self.0.stop_engine();
+        }
+    }
+    let _engine_session = cfg.engine.map(|ecfg| {
+        store.start_engine(ecfg);
+        EngineGuard(store)
+    });
     let threads = cfg.threads.max(1).min(blocks);
     let per_region = blocks / threads;
     assert!(per_region > 0, "store too small for {threads} threads");
@@ -569,12 +614,13 @@ fn client_thread<B: Backend>(
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15));
     let mut tally = ThreadTally::default();
     let batch_max = cfg.batch_max.clamp(1, hi - lo);
+    let batch_min = cfg.batch_min.clamp(1, batch_max);
     let mut buf = vec![0u8; batch_max * unit];
     let mut want = vec![0u8; unit];
     let ctx = |op: usize| format!("[stress seed {} thread {t} op {op}]", cfg.seed);
     for op in 0..cfg.ops_per_thread {
         let batched = rng.random_bool(0.3);
-        let len = if batched { rng.random_range(1..=batch_max) } else { 1 };
+        let len = if batched { rng.random_range(batch_min..=batch_max) } else { batch_min };
         let addr = rng.random_range(lo..=hi - len);
         if rng.random_bool(cfg.read_fraction) {
             let out = &mut buf[..len * unit];

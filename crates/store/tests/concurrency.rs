@@ -32,7 +32,7 @@ fn record_seed(name: &str, seed: u64) {
 /// Runs the stress harness and persists its observability snapshot
 /// next to the seed (`target/stress/<name>.stats.json`) — CI uploads
 /// these as artifacts on every run, pass or fail.
-fn run_recorded<B: Backend>(
+fn run_recorded<B: Backend + 'static>(
     name: &str,
     store: &BlockStore<B>,
     cfg: &StressConfig,

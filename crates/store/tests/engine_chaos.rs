@@ -1,0 +1,268 @@
+//! Chaos battery for the async I/O engine: the same seeded fault
+//! model as `chaos.rs` — transient errors, stalling calls, torn
+//! writes, silent corruption — driven through the per-disk
+//! submission queues instead of the synchronous backend path. The
+//! engine must be *transparent* to the fault-handling stack:
+//! transients retry inside the workers with the same policy the sync
+//! path uses (no error ever reaches a completion), hard failures
+//! surface through the tokens exactly once each, corruption found on
+//! an engine read or scrub burst repairs identically, and — the
+//! engine's own contract — every token handed out is fulfilled, on
+//! success, error, and shutdown alike: `completed` must equal
+//! `submitted` once the traffic quiesces.
+//!
+//! Reproducibility mirrors `chaos.rs`: seeds land in
+//! `target/chaos/engine_<name>.seed` before each leg and
+//! `PDL_CHAOS_SEED=<n>` replays exactly one seed.
+
+use pdl_core::{DoubleParityLayout, RingLayout};
+use pdl_store::{
+    stress, BlockStore, EngineConfig, FaultConfig, FaultyBackend, FileBackend, MemBackend,
+    RebuildMode, ScrubConfig, StressConfig,
+};
+use std::path::PathBuf;
+
+const UNIT: usize = 64;
+const COPIES: usize = 2;
+
+fn seed_file(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/chaos");
+    std::fs::create_dir_all(&dir).expect("create seed dir");
+    dir.join(format!("engine_{name}.seed"))
+}
+
+fn seeds_under_test() -> Vec<u64> {
+    if let Ok(s) = std::env::var("PDL_CHAOS_SEED") {
+        vec![s.parse().expect("PDL_CHAOS_SEED must be a u64")]
+    } else {
+        vec![0xe46e, 23]
+    }
+}
+
+fn record_seeds(name: &str, seeds: &[u64]) {
+    let body: String = seeds.iter().map(|s| format!("PDL_CHAOS_SEED={s}\n")).collect();
+    std::fs::write(seed_file(name), body).expect("record seeds for CI");
+}
+
+/// Transients and stalls only — retryable noise the engine's workers
+/// must absorb without a single completion seeing an error.
+fn noisy(seed: u64) -> FaultConfig {
+    FaultConfig { transient_rate: 0.003, slow_rate: 0.002, slow_us: 30, ..FaultConfig::quiet(seed) }
+}
+
+fn xor_faulty_mem(cfg: FaultConfig) -> BlockStore<FaultyBackend<MemBackend>> {
+    let layout = RingLayout::for_v_k(7, 3).layout().clone();
+    let mem = MemBackend::new(7 + 2, COPIES * layout.size(), UNIT);
+    BlockStore::new(layout, FaultyBackend::new(mem, cfg)).unwrap()
+}
+
+fn pq_faulty_mem(cfg: FaultConfig) -> BlockStore<FaultyBackend<MemBackend>> {
+    let dp = DoubleParityLayout::new(RingLayout::for_v_k(9, 4).layout().clone()).unwrap();
+    let mem = MemBackend::new(9 + 2, COPIES * dp.layout().size(), UNIT);
+    BlockStore::new_pq(dp, FaultyBackend::new(mem, cfg)).unwrap()
+}
+
+fn xor_faulty_file(dir: &PathBuf, cfg: FaultConfig) -> BlockStore<FaultyBackend<FileBackend>> {
+    let layout = RingLayout::for_v_k(7, 3).layout().clone();
+    let fb = FileBackend::create(dir, 7 + 2, COPIES * layout.size(), UNIT).unwrap();
+    BlockStore::new(layout, FaultyBackend::new(fb, cfg)).unwrap()
+}
+
+/// Multi-threaded stress with the engine on: every hot path routed
+/// through the queues, a rebuild racing the traffic, transients and
+/// stalls firing throughout, and the harness's own bit-exact final
+/// sweep (also engine-served) as the correctness oracle.
+fn engine_stress_case(
+    name: &str,
+    make: impl Fn(FaultConfig) -> BlockStore<FaultyBackend<MemBackend>>,
+) {
+    let seeds = seeds_under_test();
+    record_seeds(name, &seeds);
+    for seed in seeds {
+        let store = make(noisy(seed));
+        let cfg = StressConfig {
+            threads: 3,
+            ops_per_thread: 250,
+            seed,
+            fail_disk: Some(2),
+            rebuild: RebuildMode::Racing { spare: 7 },
+            engine: Some(EngineConfig::default()),
+            ..StressConfig::default()
+        };
+        let report = stress::run(&store, &cfg).unwrap();
+        assert!(report.reads + report.writes > 0, "[chaos seed {seed}] traffic ran");
+        assert!(
+            store.backend().injected_transients() > 0,
+            "[chaos seed {seed}] schedule must actually fire"
+        );
+        let eng = report.stats.engine.as_ref().expect("stats carry the live engine section");
+        assert!(eng.client_submitted > 0, "[chaos seed {seed}] client ops used the queues");
+        assert_eq!(
+            eng.completed,
+            eng.client_submitted + eng.maintenance_submitted,
+            "[chaos seed {seed}] every token fulfilled once the traffic quiesced"
+        );
+        assert_eq!(
+            eng.errors, 0,
+            "[chaos seed {seed}] transients retry inside the workers, \
+             identically to the sync path — none may surface"
+        );
+    }
+}
+
+#[test]
+fn engine_chaos_transients_under_racing_rebuild_mem() {
+    engine_stress_case("transients_mem", xor_faulty_mem);
+}
+
+#[test]
+fn engine_chaos_transients_under_racing_rebuild_file() {
+    let seeds = seeds_under_test();
+    record_seeds("transients_file", &seeds);
+    for seed in seeds {
+        let dir =
+            std::env::temp_dir().join(format!("pdl-engine-chaos-{}-{seed}", std::process::id()));
+        let store = xor_faulty_file(&dir, noisy(seed));
+        let cfg = StressConfig {
+            threads: 3,
+            ops_per_thread: 250,
+            seed,
+            fail_disk: Some(2),
+            rebuild: RebuildMode::Racing { spare: 7 },
+            engine: Some(EngineConfig::default()),
+            ..StressConfig::default()
+        };
+        let report = stress::run(&store, &cfg).unwrap();
+        let eng = report.stats.engine.as_ref().expect("stats carry the live engine section");
+        assert_eq!(eng.completed, eng.client_submitted + eng.maintenance_submitted);
+        assert_eq!(eng.errors, 0, "[chaos seed {seed}] transients must be retried, not surfaced");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Silent corruption planted on the medium, then found and repaired
+/// by a scrub whose read burst goes through the **maintenance** lane
+/// of the queues: the repair outcome must be identical to the sync
+/// path (everything fixed, second pass clean), and the lane split
+/// must be visible in the engine counters.
+#[test]
+fn engine_scrub_burst_repairs_planted_corruption() {
+    let seeds = seeds_under_test();
+    record_seeds("scrub_repair", &seeds);
+    for seed in seeds {
+        let store = pq_faulty_mem(FaultConfig::quiet(seed));
+        let blocks = store.blocks();
+        let data = vec![0xabu8; UNIT];
+        for addr in 0..blocks {
+            store.write_block(addr, &data).unwrap();
+        }
+        // Two distinct disks: any one stripe holds at most one unit
+        // of each, so no stripe exceeds the P+Q redundancy.
+        store.backend().corrupt_unit(0, 3).unwrap();
+        store.backend().corrupt_unit(1, 10).unwrap();
+        store.start_engine(EngineConfig::default());
+        let report = store.scrub(&ScrubConfig::default()).unwrap();
+        assert!(
+            report.checksum_repairs >= 2,
+            "[chaos seed {seed}] both planted corruptions repaired (got {})",
+            report.checksum_repairs
+        );
+        let clean = store.scrub(&ScrubConfig::default()).unwrap();
+        assert_eq!(
+            (clean.checksum_repairs, clean.parity_repairs),
+            (0, 0),
+            "[chaos seed {seed}] second engine scrub must be clean"
+        );
+        let eng = store.stats().engine.expect("engine running");
+        assert!(
+            eng.maintenance_submitted > 0,
+            "[chaos seed {seed}] scrub bursts ride the maintenance lane"
+        );
+        assert_eq!(eng.completed, eng.client_submitted + eng.maintenance_submitted);
+        store.stop_engine();
+        store.verify_parity().unwrap();
+        for addr in 0..blocks {
+            let mut got = vec![0u8; UNIT];
+            store.read_block(addr, &mut got).unwrap();
+            assert_eq!(got, data, "[chaos seed {seed}] block {addr} corrupted");
+        }
+    }
+}
+
+/// A torn multi-unit write fails non-transiently inside a worker: the
+/// error must surface through the tokens (first request the original,
+/// coalesced peers a reconstruction), every token must still be
+/// fulfilled, and the store must heal once the schedule disarms.
+#[test]
+fn engine_torn_write_surfaces_error_without_leaking_tokens() {
+    let seeds = seeds_under_test();
+    record_seeds("torn_write", &seeds);
+    for seed in seeds {
+        let store = xor_faulty_mem(FaultConfig { torn_rate: 1.0, ..FaultConfig::quiet(seed) });
+        let blocks = store.blocks();
+        let data: Vec<u8> = (0..blocks * UNIT).map(|i| (i % 251) as u8).collect();
+        store.backend().set_armed(false);
+        store.write_blocks(0, &data).unwrap();
+        store.backend().set_armed(true);
+        store.start_engine(EngineConfig::default());
+        // Every multi-unit write now tears: the engine write path must
+        // return an error (not hang, not panic) with all tokens
+        // drained.
+        let err = store.write_blocks(0, &data);
+        assert!(err.is_err(), "[chaos seed {seed}] torn writes must surface");
+        assert!(
+            store.backend().injected_torn() > 0,
+            "[chaos seed {seed}] the schedule must actually tear"
+        );
+        let eng = store.stats().engine.expect("engine running");
+        assert_eq!(
+            eng.completed,
+            eng.client_submitted + eng.maintenance_submitted,
+            "[chaos seed {seed}] no token leaked on error"
+        );
+        assert!(eng.errors > 0, "[chaos seed {seed}] failures counted");
+        // Disarm and heal: rewrite through the still-running engine,
+        // then prove the bytes and the parity invariants.
+        store.backend().set_armed(false);
+        store.write_blocks(0, &data).unwrap();
+        let mut got = vec![0u8; UNIT];
+        for addr in 0..blocks {
+            store.read_block(addr, &mut got).unwrap();
+            assert_eq!(
+                got,
+                &data[addr * UNIT..(addr + 1) * UNIT],
+                "[chaos seed {seed}] block {addr} corrupted after heal"
+            );
+        }
+        store.stop_engine();
+        store.verify_parity().unwrap();
+    }
+}
+
+/// Forced transients around engine shutdown: tokens submitted right
+/// before `stop_engine` are all fulfilled (served or failed by the
+/// drain sweep), and a stopped engine rejects new submissions instead
+/// of hanging.
+#[test]
+fn engine_stop_under_forced_transients_fulfils_everything() {
+    let seeds = seeds_under_test();
+    record_seeds("stop_drain", &seeds);
+    for seed in seeds {
+        let store = xor_faulty_mem(noisy(seed));
+        store.start_engine(EngineConfig { workers: 2, ..EngineConfig::default() });
+        store.backend().fail_next(3);
+        let mut buf = vec![0u8; UNIT];
+        // Reads retry through the forced transients exactly like the
+        // sync path — the client sees clean data, not errors.
+        for addr in 0..8 {
+            store.read_block(addr, &mut buf).unwrap();
+        }
+        let eng = store.stats().engine.expect("engine running");
+        assert_eq!(eng.errors, 0, "[chaos seed {seed}] forced transients retried");
+        store.stop_engine();
+        // After stop the store transparently falls back to the sync
+        // path — reads still work.
+        store.read_block(0, &mut buf).unwrap();
+        assert!(store.stats().engine.is_none(), "engine section absent once stopped");
+    }
+}

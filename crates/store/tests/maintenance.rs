@@ -244,7 +244,7 @@ fn maintenance_reshape_driver_file() {
 /// *and* a background add-disks driver under the seeded mixed
 /// workload. The reshape must commit, the scrubber must have run, and
 /// the array must verify.
-fn both_racing_case<B: Backend>(name: &str, store: &BlockStore<B>) {
+fn both_racing_case<B: Backend + 'static>(name: &str, store: &BlockStore<B>) {
     let cfg = with_default_threads(base_config(name), 8);
     let cfg = StressConfig { rebuild: RebuildMode::BackgroundMaintenance { added: 1 }, ..cfg };
     let report = stress::run(store, &cfg).unwrap();
